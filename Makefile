@@ -1,0 +1,28 @@
+# Convenience targets for the Quetzal reproduction.
+
+.PHONY: install test bench figures figures-paper-scale examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every table and figure at the default (fast) scale.
+figures:
+	python -m repro.experiments
+
+# Paper-scale regeneration (1000 events; takes ~20 minutes).
+figures-paper-scale:
+	python -m repro.experiments --events 1000 --seeds 3 \
+		--json results_paper_scale.json | tee results_paper_scale.txt
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

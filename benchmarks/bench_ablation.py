@@ -1,0 +1,74 @@
+"""Ablations of Quetzal's design choices (beyond the paper's figures).
+
+DESIGN.md calls out three internal choices worth isolating:
+
+* the PID prediction-error mitigation (section 4.3) on/off;
+* the hardware-assisted estimator (ADC-quantised Algorithm 3) vs an exact
+  floating-point evaluation of Eq. 1 — does measurement error cost anything?
+* variable task costs (section 5.2 future work): how Quetzal behaves when
+  t_exe jitters around the profiled value (see repro.workload.variability).
+"""
+
+from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+
+from repro.core.runtime import QuetzalRuntime
+from repro.core.service_time import ExactServiceTimeEstimator
+from repro.experiments.configs import apollo_simulation_config
+from repro.experiments.harness import aggregate, run_grid
+from repro.experiments.reporting import FigureResult
+
+
+def run_ablation(n_events, seeds):
+    cfg = apollo_simulation_config("crowded", n_events)
+    grid = {
+        "QZ (full)": lambda: QuetzalRuntime(),
+        "QZ no-PID": lambda: QuetzalRuntime(pid=None, name="quetzal-nopid"),
+        "QZ exact-estimator": lambda: QuetzalRuntime(
+            estimator=ExactServiceTimeEstimator(), name="quetzal-exact"
+        ),
+    }
+    results = run_grid(cfg, grid, seeds)
+
+    # Variable-cost extension: break the consistent-t_exe assumption with
+    # 30 % log-normal latency jitter and see how Quetzal holds up.
+    jitter_runs = []
+    for offset in seeds:
+        seeded = cfg.with_seeds(offset)
+        metrics = run_config_with_jitter(seeded, sigma=0.3)
+        jitter_runs.append(metrics)
+    results["QZ 30% cost jitter"] = aggregate("QZ 30% cost jitter", jitter_runs)
+
+    figure = FigureResult(
+        "Ablation", "Quetzal design-choice ablations (Crowded env)"
+    )
+    for name, agg in results.items():
+        figure.rows.append({"variant": name, **agg.as_row()})
+    return figure, results
+
+
+def run_config_with_jitter(cfg, sigma):
+    from dataclasses import replace as dc_replace
+
+    from repro.sim.engine import SimulationEngine
+
+    sim_config = dc_replace(cfg.build_sim_config(), cost_jitter_sigma=sigma)
+    engine = SimulationEngine(
+        app=cfg.build_app(),
+        policy=QuetzalRuntime(),
+        trace=cfg.build_trace(),
+        schedule=cfg.build_schedule(),
+        mcu=cfg.mcu,
+        storage=cfg.build_storage(),
+        config=sim_config,
+    )
+    return engine.run()
+
+
+def test_design_ablations(benchmark, figure_printer):
+    figure, results = run_once(benchmark, run_ablation, BENCH_EVENTS, BENCH_SEEDS)
+    figure_printer(figure)
+    full = results["QZ (full)"]
+    exact = results["QZ exact-estimator"]
+    # The quantised hardware estimator must not be dramatically worse than
+    # the exact one: the circuit's <=5.5 % exponent error is affordable.
+    assert full.discarded_fraction <= exact.discarded_fraction * 1.6 + 0.02

@@ -1,0 +1,37 @@
+"""Simulator throughput micro-benchmarks (not a paper figure).
+
+Tracks how fast the breakpoint engine simulates a standard workload —
+useful for catching performance regressions that would make the paper-scale
+(1000-event) reproductions impractical.
+"""
+
+from repro.core.runtime import QuetzalRuntime
+from repro.env.activity import CROWDED
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.sim.engine import SimulationConfig, simulate
+from repro.trace.solar import SolarTraceGenerator
+from repro.workload.pipelines import build_apollo_app
+
+
+def _run(policy_factory):
+    trace = SolarTraceGenerator(seed=1).generate()
+    schedule = CROWDED.schedule(30, seed=2)
+    return simulate(
+        build_apollo_app(),
+        policy_factory(),
+        trace,
+        schedule,
+        config=SimulationConfig(seed=3),
+    )
+
+
+def test_engine_throughput_noadapt(benchmark):
+    metrics = benchmark.pedantic(_run, args=(NoAdaptPolicy,), rounds=3, iterations=1)
+    assert metrics.jobs_completed > 0
+    # Simulated-seconds per run should dwarf the wall time (sanity only).
+    assert metrics.sim_end_s > 100
+
+
+def test_engine_throughput_quetzal(benchmark):
+    metrics = benchmark.pedantic(_run, args=(QuetzalRuntime,), rounds=3, iterations=1)
+    assert metrics.jobs_completed > 0

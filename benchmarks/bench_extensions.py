@@ -1,0 +1,45 @@
+"""Extension studies: buffer capacity, supercap size, PID gain sweeps."""
+
+from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+
+from repro.experiments.extensions import (
+    buffer_capacity_study,
+    pid_gain_study,
+    supercap_size_study,
+)
+
+
+def test_buffer_capacity_study(benchmark, figure_printer):
+    result = run_once(
+        benchmark, buffer_capacity_study, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+    )
+    figure_printer(result)
+    na_rows = [r for r in result.rows if r["policy"] == "NA"]
+    qz_rows = [r for r in result.rows if r["policy"] == "QZ"]
+    # NoAdapt's IBO losses shrink with capacity.
+    assert na_rows[-1]["ibo %"] <= na_rows[0]["ibo %"]
+    # Quetzal keeps an advantage at every capacity.
+    wins = sum(
+        1 for qz, na in zip(qz_rows, na_rows) if qz["discarded %"] < na["discarded %"]
+    )
+    assert wins >= len(qz_rows) - 1
+
+
+def test_supercap_size_study(benchmark, figure_printer):
+    result = run_once(
+        benchmark, supercap_size_study, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+    )
+    figure_printer(result)
+    # Bigger caps mean (weakly) fewer power failures.
+    failures = [row["power failures"] for row in result.rows]
+    assert failures[-1] <= failures[0]
+
+
+def test_pid_gain_study(benchmark, figure_printer):
+    result = run_once(
+        benchmark, pid_gain_study, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+    )
+    figure_printer(result)
+    discards = [row["discarded %"] for row in result.rows]
+    # Robustness claim: no gain setting catastrophically changes discards.
+    assert max(discards) < 3 * max(min(discards), 1e-9)

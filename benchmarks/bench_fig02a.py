@@ -1,0 +1,15 @@
+"""Figure 2a: processing rate varies with input power and event activity."""
+
+from conftest import run_once
+
+from repro.experiments.figures import fig2a_processing_rate_dynamics
+
+
+def test_fig2a_processing_rate_dynamics(benchmark, figure_printer):
+    result = run_once(benchmark, fig2a_processing_rate_dynamics, n_events=40)
+    figure_printer(result)
+    rates = [row["processing rate (jobs/s)"] for row in result.rows]
+    assert len(rates) >= 3
+    # The motivating observation: processing rate is NOT constant — it
+    # varies substantially across power/activity windows.
+    assert max(rates) > 1.5 * max(min(rates), 1e-9)

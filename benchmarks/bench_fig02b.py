@@ -1,0 +1,20 @@
+"""Figure 2b: capture-rate degradation still misses events."""
+
+from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+
+from repro.experiments.figures import fig2b_capture_rate_sweep
+
+
+def test_fig2b_capture_rate_sweep(benchmark, figure_printer):
+    result = run_once(
+        benchmark,
+        fig2b_capture_rate_sweep,
+        n_events=BENCH_EVENTS,
+        seeds=BENCH_SEEDS,
+    )
+    figure_printer(result)
+    # Longer capture periods capture strictly less interesting data.
+    captured = [row["interesting captured"] for row in result.rows]
+    assert captured[0] > captured[-1]
+    # And the total missed fraction never collapses to zero.
+    assert all(row["total missed % of 1s baseline"] > 0 for row in result.rows)

@@ -1,0 +1,18 @@
+"""Figure 3: naive solutions are ineffective against IBOs."""
+
+from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+
+from repro.experiments.figures import fig3_naive_solutions
+
+
+def test_fig3_naive_solutions(benchmark, figure_printer):
+    result = run_once(
+        benchmark, fig3_naive_solutions, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+    )
+    figure_printer(result)
+    rows = {row["policy"]: row for row in result.rows}
+    # Quetzal discards fewer interesting inputs than every naive system.
+    for baseline in ("NA", "CN", "PZO"):
+        assert rows["QZ"]["discarded %"] < rows[baseline]["discarded %"]
+    # The Ideal system's only losses are ML false negatives.
+    assert rows["Ideal"]["ibo %"] == 0.0

@@ -1,0 +1,18 @@
+"""Figure 8: the end-to-end (hardware-experiment-scale) comparison."""
+
+from conftest import BENCH_SEEDS, run_once
+
+from repro.experiments.figures import fig8_hardware_experiment
+
+
+def test_fig8_hardware_experiment(benchmark, figure_printer):
+    # The paper's hardware rig ran 100 events; keep that scale.
+    result = run_once(benchmark, fig8_hardware_experiment, n_events=100, seeds=BENCH_SEEDS)
+    figure_printer(result)
+    by_env = {}
+    for row in result.rows:
+        by_env.setdefault(row["environment"], {})[row["policy"]] = row
+    for env, rows in by_env.items():
+        # Paper: QZ reduces discarded interesting inputs 6.4x / 5x and
+        # reports more interesting inputs in both environments.
+        assert rows["QZ"]["discarded %"] < rows["NA"]["discarded %"], env

@@ -1,0 +1,26 @@
+"""Figure 9: Quetzal vs NoAdapt / AlwaysDegrade / Ideal, three environments."""
+
+from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+
+from repro.experiments.figures import fig9_vs_nonadaptive
+
+
+def test_fig9_vs_nonadaptive(benchmark, figure_printer):
+    result = run_once(
+        benchmark, fig9_vs_nonadaptive, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+    )
+    figure_printer(result)
+    by_env = {}
+    for row in result.rows:
+        by_env.setdefault(row["environment"], {})[row["policy"]] = row
+    for env, rows in by_env.items():
+        # Paper: QZ discards 2.9x/3.5x/4.2x fewer than NA.
+        assert rows["QZ"]["discarded %"] < rows["NA"]["discarded %"], env
+        # AlwaysDegrade reports zero high-quality packets.
+        assert rows["AD"]["hq pkts"] == 0.0, env
+        # NoAdapt never degrades: everything it reports is high quality.
+        assert rows["NA"]["lq pkts"] == 0.0, env
+    # Paper: QZ reports 92/96/98 % of the infinite-memory baseline; require
+    # the same "most of ideal" shape.
+    for env, rows in by_env.items():
+        assert rows["QZ"]["reported / ideal %"] > 60.0, env

@@ -1,0 +1,20 @@
+"""Figure 10: Quetzal vs prior work (CatNap, Protean/Zygarde)."""
+
+from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+
+from repro.experiments.figures import fig10_vs_prior_work
+
+
+def test_fig10_vs_prior_work(benchmark, figure_printer):
+    result = run_once(
+        benchmark, fig10_vs_prior_work, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+    )
+    figure_printer(result)
+    by_env = {}
+    for row in result.rows:
+        by_env.setdefault(row["environment"], {})[row["policy"]] = row
+    for env, rows in by_env.items():
+        # CatNap adapts too late: strictly more discards than QZ.
+        assert rows["QZ"]["discarded %"] < rows["CN"]["discarded %"], env
+        # Power-threshold systems degrade constantly: mostly low quality.
+        assert rows["PZO"]["hq share %"] <= rows["QZ"]["hq share %"], env

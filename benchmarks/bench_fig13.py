@@ -1,0 +1,20 @@
+"""Figure 13: Quetzal's versatility on the MSP430 microcontroller."""
+
+from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+
+from repro.experiments.figures import fig13_msp430
+
+
+def test_fig13_msp430(benchmark, figure_printer):
+    result = run_once(
+        benchmark, fig13_msp430, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+    )
+    figure_printer(result)
+    rows = {row["policy"]: row for row in result.rows}
+    # Paper: QZ discards 2.8x fewer interesting inputs than NA on MSP430.
+    assert rows["QZ"]["discarded %"] < rows["NA"]["discarded %"]
+    # And beats the fixed-threshold family on discards.
+    for baseline in ("CN", "TH25", "TH50"):
+        assert rows["QZ"]["discarded %"] < rows[baseline]["discarded %"], baseline
+    # Always-degrading systems send zero high-quality packets.
+    assert rows["AD"]["hq pkts"] == 0.0

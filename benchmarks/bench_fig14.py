@@ -1,0 +1,20 @@
+"""Figure 14: sensitivity to harvester cells and tracker window sizes."""
+
+from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+
+from repro.experiments.figures import fig14_sensitivity
+
+
+def test_fig14_sensitivity(benchmark, figure_printer):
+    result = run_once(
+        benchmark, fig14_sensitivity, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+    )
+    figure_printer(result)
+    cells = [row for row in result.rows if row["parameter"] == "harvester cells"]
+    # More harvester cells -> more high-quality reporting (paper's trend).
+    assert cells[-1]["hq pkts"] >= cells[0]["hq pkts"]
+    # Fewer cells must not *improve* discards.
+    assert cells[0]["discarded %"] >= cells[-1]["discarded %"] - 1.0
+    # All three swept parameters are present.
+    parameters = {row["parameter"] for row in result.rows}
+    assert parameters == {"harvester cells", "arrival-window", "task-window"}

@@ -1,0 +1,84 @@
+"""Section 5.1: hardware-module error, energy savings, overheads, footprint.
+
+Besides regenerating the cost table, this file micro-benchmarks the
+division-free service-time computation (Algorithm 3) against the naive
+division form, demonstrating the operation-count gap even at Python speed.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.figures import section51_hardware_costs
+from repro.hardware.circuit import PowerMonitor
+from repro.hardware.ratio import DivisionFreeServiceTime
+
+
+def test_section51_cost_table(benchmark, figure_printer):
+    result = run_once(benchmark, section51_hardware_costs)
+    figure_printer(result)
+    rows = {row["quantity"]: row for row in result.rows}
+    error_row = rows["max exponent-coefficient error, 25-50 C"]
+    assert float(error_row["measured"].rstrip("%")) <= 5.5
+
+
+def test_division_free_service_time_speed(benchmark):
+    """Algorithm 3 in a tight loop: one sub, one lookup, two shifts, one mul."""
+    firmware = DivisionFreeServiceTime(t_exe_s=0.8, v_d2_code=180)
+    codes = list(range(0, 256, 3))
+
+    def compute_all():
+        total = 0.0
+        for code in codes:
+            total += firmware.service_time(code)
+        return total
+
+    total = benchmark(compute_all)
+    assert total > 0
+
+
+def test_exact_division_reference_speed(benchmark):
+    """The division/exponentiation form Algorithm 3 replaces."""
+    t_exe, e_exe = 0.8, 0.24
+    powers = [0.3 * 2 ** (-(180 - code) / 8) for code in range(0, 256, 3)]
+
+    def compute_all():
+        total = 0.0
+        for p_in in powers:
+            total += max(t_exe, e_exe / p_in)
+        return total
+
+    total = benchmark(compute_all)
+    assert total > 0
+
+
+def test_monitor_measurement_speed(benchmark):
+    """One run-time input-power measurement through the circuit model."""
+    monitor = PowerMonitor()
+
+    def measure():
+        return monitor.measure_input_power(0.023)
+
+    code = benchmark(measure)
+    assert 0 <= code <= 255
+
+
+def test_end_to_end_ratio_accuracy_sweep(benchmark, figure_printer):
+    """Measured ratio error across the 25-50 C band at realistic powers."""
+
+    def sweep():
+        worst = 0.0
+        for temp_c in range(25, 51, 5):
+            monitor = PowerMonitor().with_temperature(temp_c)
+            for p_exe, p_in in ((0.3, 0.05), (0.3, 0.01), (0.01, 0.004)):
+                firmware = DivisionFreeServiceTime(
+                    1.0, monitor.profile_execution_power(p_exe)
+                )
+                estimate = firmware.service_time(monitor.measure_input_power(p_in))
+                exact = max(1.0, monitor.exact_ratio(p_exe, p_in))
+                worst = max(worst, abs(math.log2(estimate / exact)))
+        return worst
+
+    worst_log2_error = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Within one binary order of magnitude across the whole band and range.
+    assert worst_log2_error < 1.0

@@ -1,0 +1,15 @@
+"""Table 1: resolved experiment configurations."""
+
+from conftest import run_once
+
+from repro.experiments.figures import table1_configurations
+
+
+def test_table1_configurations(benchmark, figure_printer):
+    result = run_once(benchmark, table1_configurations)
+    figure_printer(result)
+    rows = {row["config"]: row for row in result.rows}
+    assert rows["msp430"]["mcu"] == "MSP430FR5994"
+    assert all(row["buffer (imgs)"] == 10 for row in result.rows)
+    assert all(row["capture rate"] == "1 FPS" for row in result.rows)
+    assert rows["apollo-more-crowded"]["max interesting dur (s)"] == 600.0

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""City surveillance on an MSP430: threshold sweeps vs Quetzal.
+
+The paper's Figure 13 deploys the pipeline on a divider-less
+MSP430FR5994 with int16/int8-quantized LeNet models.  This example sweeps
+the fixed buffer-threshold family against Quetzal and reports the radio
+packet mix, plus the CPU overhead Quetzal's measurement circuit saves on
+this class of MCU (section 5.1).
+
+Run:  python examples/city_surveillance_msp430.py
+"""
+
+from repro import (
+    MSP430FR5994,
+    BufferThresholdPolicy,
+    NoAdaptPolicy,
+    QuetzalRuntime,
+    SimulationConfig,
+    SolarTraceGenerator,
+    build_msp430_app,
+    environment_by_name,
+    simulate,
+)
+from repro.hardware.costs import scheduler_overhead_fraction
+
+
+def run(policy, trace, schedule):
+    return simulate(
+        build_msp430_app(),
+        policy,
+        trace,
+        schedule,
+        mcu=MSP430FR5994,
+        config=SimulationConfig(seed=5),
+    )
+
+
+def main():
+    trace = SolarTraceGenerator(seed=2).generate()
+    schedule = environment_by_name("msp430").schedule(n_events=120, seed=4)
+
+    print("MSP430FR5994 deployment, 120 events, 1 FPS\n")
+    print(f"{'policy':<22} {'discarded':>10} {'hq pkts':>8} {'lq pkts':>8} "
+          f"{'hq share':>9}")
+
+    rows = {}
+    for threshold in (0.25, 0.50, 0.75, 1.00):
+        policy = BufferThresholdPolicy(threshold)
+        rows[policy.name] = run(policy, trace, schedule)
+    rows["noadapt"] = run(NoAdaptPolicy(), trace, schedule)
+    rows["quetzal"] = run(QuetzalRuntime(), trace, schedule)
+
+    for name, metrics in rows.items():
+        print(
+            f"{name:<22} {metrics.interesting_discarded_fraction:>9.1%} "
+            f"{metrics.packets_interesting_high:>8} "
+            f"{metrics.packets_interesting_low:>8} "
+            f"{metrics.high_quality_fraction:>8.0%}"
+        )
+
+    print("\nWhy the measurement circuit matters on this MCU:")
+    division = scheduler_overhead_fraction(MSP430FR5994, use_module=False)
+    module = scheduler_overhead_fraction(MSP430FR5994, use_module=True)
+    print(
+        f"  scheduler CPU overhead with software division : {division:.1%}\n"
+        f"  with Quetzal's diode/ADC module               : {module:.2%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Replay recorded data: trace & schedule round-trips through CSV.
+
+Deployments record harvester power (e.g. with an Otii, as the paper's
+authors did) and activity ground truth.  This example shows the full
+round trip: synthesise a trace and an event schedule, save both as CSV
+(as if they were field recordings), reload them, and drive an experiment
+from the files — plus the trace statistics a designer would check first.
+
+Run:  python examples/replay_recorded_trace.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    QuetzalRuntime,
+    SimulationConfig,
+    SolarTraceGenerator,
+    build_apollo_app,
+    environment_by_name,
+    simulate,
+)
+from repro.core.analysis import stability_power_w
+from repro.env.io import load_schedule_csv, save_schedule_csv
+from repro.trace.io import load_trace_csv, save_trace_csv
+from repro.trace.stats import fraction_above, summarize
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="quetzal-replay-"))
+    trace_csv = workdir / "harvester_recording.csv"
+    schedule_csv = workdir / "activity_log.csv"
+
+    # 1. "Record" a deployment: one synthetic solar day + 80 events.
+    trace = SolarTraceGenerator(seed=5).generate()
+    schedule = environment_by_name("crowded").schedule(n_events=80, seed=6)
+    save_trace_csv(trace, trace_csv)
+    save_schedule_csv(schedule, schedule_csv)
+    print(f"recorded trace    -> {trace_csv}")
+    print(f"recorded activity -> {schedule_csv}\n")
+
+    # 2. Reload the recordings, as a user with field data would.
+    trace = load_trace_csv(trace_csv)
+    schedule = load_schedule_csv(schedule_csv)
+
+    # 3. First-look analysis before simulating anything.
+    print("trace summary:")
+    print(summarize(trace).render())
+    app = build_apollo_app()
+    p_star = stability_power_w(app.jobs, arrival_rate=0.35)
+    duty = fraction_above(trace, p_star)
+    print(
+        f"\nfull-quality pipeline needs >= {p_star * 1e3:.1f} mW at "
+        f"lambda=0.35/s; this trace sustains that {duty:.0%} of the time —\n"
+        "the rest is where IBO prevention earns its keep.\n"
+    )
+
+    # 4. Run Quetzal against the replayed recordings.
+    metrics = simulate(
+        app, QuetzalRuntime(), trace, schedule, config=SimulationConfig(seed=7)
+    )
+    print(
+        f"quetzal on replayed data: "
+        f"{metrics.interesting_discarded_fraction:.1%} interesting inputs lost, "
+        f"{metrics.high_quality_fraction:.0%} of reports at full quality, "
+        f"{metrics.power_failures} power failures survived"
+    )
+
+
+if __name__ == "__main__":
+    main()

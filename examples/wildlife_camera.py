@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Wildlife camera trap: a custom environment and harvester configuration.
+
+The paper's intro motivates wildlife tracking: rare, sometimes long animal
+visits, a small forest-canopy solar harvester (fewer cells, heavy cloud
+attenuation), and a device that must not miss the rare interesting frames.
+This example shows how to configure every substrate from the public API
+rather than using the built-in presets.
+
+Run:  python examples/wildlife_camera.py
+"""
+
+from repro import (
+    AlwaysDegradePolicy,
+    EventScheduleGenerator,
+    NoAdaptPolicy,
+    QuetzalRuntime,
+    SimulationConfig,
+    SolarTraceConfig,
+    SolarTraceGenerator,
+    build_apollo_app,
+    simulate,
+)
+from repro.policies.buffer_threshold import catnap_policy
+
+
+def make_environment():
+    """Rare but long animal visits; almost no background motion."""
+    return EventScheduleGenerator(
+        max_interesting_duration_s=300.0,   # an animal may linger minutes
+        duration_median_s=40.0,
+        duration_sigma=1.2,
+        interarrival_median_s=120.0,        # long quiet stretches
+        interarrival_sigma=1.0,
+        interesting_probability=0.7,        # most motion IS wildlife here
+        diff_probability=0.5,               # animals move around
+        background_diff_probability=0.05,   # wind in the foliage
+    )
+
+
+def make_trace():
+    """A 4-cell harvester under a forest canopy: darker, gustier light."""
+    config = SolarTraceConfig(
+        cells=4,
+        peak_power_per_cell_w=35e-3,
+        cloud_attenuation=(0.8, 0.25, 0.06),  # canopy shading everywhere
+        night_floor_w=3e-3,
+    )
+    return SolarTraceGenerator(config, seed=11).generate()
+
+
+def main():
+    trace = make_trace()
+    schedule = make_environment().generate(60, seed=3)
+    config = SimulationConfig(seed=9)
+    print(
+        f"Canopy harvester: mean {trace.mean_power * 1e3:.1f} mW, "
+        f"peak {trace.max_power * 1e3:.0f} mW"
+    )
+    print(f"{len(schedule)} animal-activity events, "
+          f"{schedule.interesting_count} interesting\n")
+
+    policies = {
+        "Quetzal": QuetzalRuntime(),
+        "NoAdapt": NoAdaptPolicy(),
+        "AlwaysDegrade": AlwaysDegradePolicy(),
+        "CatNap": catnap_policy(),
+    }
+    print(f"{'policy':<15} {'discarded':>10} {'IBO':>6} {'FN':>6} "
+          f"{'full imgs':>10} {'alerts':>7}")
+    for name, policy in policies.items():
+        metrics = simulate(build_apollo_app(), policy, trace, schedule, config=config)
+        print(
+            f"{name:<15} {metrics.interesting_discarded_fraction:>9.1%} "
+            f"{metrics.ibo_drops_interesting:>6} {metrics.false_negatives:>6} "
+            f"{metrics.packets_interesting_high:>10} "
+            f"{metrics.packets_interesting_low:>7}"
+        )
+
+    print(
+        "\nA camera trap lives on Quetzal's exact tradeoff: full images "
+        "when energy allows, degraded single-byte alerts instead of lost "
+        "sightings when the buffer is about to overflow."
+    )
+
+
+if __name__ == "__main__":
+    main()

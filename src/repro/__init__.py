@@ -1,0 +1,155 @@
+"""Quetzal reproduction: energy-aware scheduling and IBO prevention.
+
+A faithful Python reproduction of *"Energy-aware Scheduling and Input
+Buffer Overflow Prevention for Energy-harvesting Systems"* (Desai, Wang,
+Lucia — ASPLOS 2025): the Quetzal runtime (energy-aware SJF scheduling,
+Little's-Law IBO prediction, quality-minimal task degradation, PID error
+mitigation, and the division-free power-measurement circuit), every
+baseline the paper compares against, and the full simulation substrate its
+evaluation runs on.
+
+Quickstart::
+
+    from repro import (
+        QuetzalRuntime, NoAdaptPolicy, build_apollo_app, simulate,
+        SolarTraceGenerator, environment_by_name, SimulationConfig,
+    )
+
+    app = build_apollo_app()
+    trace = SolarTraceGenerator(seed=1).generate()
+    schedule = environment_by_name("crowded").schedule(n_events=100, seed=2)
+    metrics = simulate(app, QuetzalRuntime(), trace, schedule)
+    print(f"{metrics.interesting_discarded_fraction:.1%} interesting inputs lost")
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the paper-vs-
+measured record of every figure.
+"""
+
+from repro.core import (
+    AverageServiceTimeEstimator,
+    EnergyAwareSJF,
+    ExactServiceTimeEstimator,
+    FCFSScheduler,
+    HardwareServiceTimeEstimator,
+    IBOEngine,
+    LCFSScheduler,
+    PIDController,
+    QuetzalRuntime,
+    end_to_end_service_time,
+)
+from repro.device import (
+    APOLLO4,
+    MSP430FR5994,
+    CheckpointModel,
+    InputBuffer,
+    MCUProfile,
+    Supercapacitor,
+    mcu_by_name,
+)
+from repro.env import (
+    APOLLO_ENVIRONMENTS,
+    Event,
+    EventSchedule,
+    EventScheduleGenerator,
+    SensingEnvironment,
+    environment_by_name,
+)
+from repro.hardware import ADC, Diode, PowerMonitor
+from repro.policies import (
+    AlwaysDegradePolicy,
+    BufferThresholdPolicy,
+    NoAdaptPolicy,
+    Policy,
+    PowerThresholdPolicy,
+    catnap_policy,
+)
+from repro.sim import (
+    RunMetrics,
+    SimulationConfig,
+    SimulationEngine,
+    TelemetryRecorder,
+    simulate,
+)
+from repro.trace import (
+    PiecewiseConstantTrace,
+    SolarTraceConfig,
+    SolarTraceGenerator,
+    constant_trace,
+    square_wave_trace,
+)
+from repro.workload import (
+    DegradationOption,
+    Job,
+    JobSet,
+    MLModelProfile,
+    Task,
+    TaskCost,
+    TaskRef,
+    build_apollo_app,
+    build_msp430_app,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "QuetzalRuntime",
+    "EnergyAwareSJF",
+    "FCFSScheduler",
+    "LCFSScheduler",
+    "IBOEngine",
+    "PIDController",
+    "end_to_end_service_time",
+    "ExactServiceTimeEstimator",
+    "HardwareServiceTimeEstimator",
+    "AverageServiceTimeEstimator",
+    # policies
+    "Policy",
+    "NoAdaptPolicy",
+    "AlwaysDegradePolicy",
+    "BufferThresholdPolicy",
+    "catnap_policy",
+    "PowerThresholdPolicy",
+    # device
+    "MCUProfile",
+    "APOLLO4",
+    "MSP430FR5994",
+    "mcu_by_name",
+    "Supercapacitor",
+    "InputBuffer",
+    "CheckpointModel",
+    # hardware
+    "PowerMonitor",
+    "Diode",
+    "ADC",
+    # environment
+    "Event",
+    "EventSchedule",
+    "EventScheduleGenerator",
+    "SensingEnvironment",
+    "APOLLO_ENVIRONMENTS",
+    "environment_by_name",
+    # traces
+    "PiecewiseConstantTrace",
+    "SolarTraceGenerator",
+    "SolarTraceConfig",
+    "constant_trace",
+    "square_wave_trace",
+    # workload
+    "Task",
+    "TaskCost",
+    "TaskRef",
+    "DegradationOption",
+    "Job",
+    "JobSet",
+    "MLModelProfile",
+    "build_apollo_app",
+    "build_msp430_app",
+    # simulation
+    "SimulationEngine",
+    "SimulationConfig",
+    "RunMetrics",
+    "simulate",
+    "TelemetryRecorder",
+    "__version__",
+]

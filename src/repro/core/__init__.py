@@ -1,0 +1,57 @@
+"""Quetzal's core: the paper's primary contribution.
+
+* :mod:`repro.core.service_time` — the energy-aware end-to-end service-time
+  model (Eq. 1) with exact, hardware-assisted, and historical-average
+  estimators;
+* :mod:`repro.core.littles_law` — occupancy prediction via Little's Law
+  (Eq. 2);
+* :mod:`repro.core.trackers` — the bit-vector windows tracking input
+  arrival rate and per-task execution probability (section 5.1);
+* :mod:`repro.core.pid` — the PID prediction-error mitigation (section 4.3);
+* :mod:`repro.core.scheduler` — Energy-aware SJF (Alg. 1) plus the FCFS /
+  LCFS comparison policies;
+* :mod:`repro.core.ibo` — the IBO-detection and reaction engine (Alg. 2);
+* :mod:`repro.core.runtime` — the Quetzal runtime wiring it all together.
+"""
+
+from repro.core.ibo import IBODecision, IBOEngine
+from repro.core.littles_law import expected_queue_growth, predicts_overflow
+from repro.core.pid import PIDController
+from repro.core.runtime import QuetzalRuntime
+from repro.core.scheduler import (
+    EnergyAwareSJF,
+    FCFSScheduler,
+    JobCandidate,
+    LCFSScheduler,
+    Scheduler,
+)
+from repro.core.service_time import (
+    AverageServiceTimeEstimator,
+    ExactServiceTimeEstimator,
+    HardwareServiceTimeEstimator,
+    ServiceTimeEstimator,
+    end_to_end_service_time,
+)
+from repro.core.trackers import ArrivalRateTracker, BitVectorWindow, ExecutionProbabilityTracker
+
+__all__ = [
+    "end_to_end_service_time",
+    "ServiceTimeEstimator",
+    "ExactServiceTimeEstimator",
+    "HardwareServiceTimeEstimator",
+    "AverageServiceTimeEstimator",
+    "expected_queue_growth",
+    "predicts_overflow",
+    "BitVectorWindow",
+    "ArrivalRateTracker",
+    "ExecutionProbabilityTracker",
+    "PIDController",
+    "Scheduler",
+    "EnergyAwareSJF",
+    "FCFSScheduler",
+    "LCFSScheduler",
+    "JobCandidate",
+    "IBOEngine",
+    "IBODecision",
+    "QuetzalRuntime",
+]

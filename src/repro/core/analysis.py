@@ -1,0 +1,143 @@
+"""Analytical queueing helpers.
+
+The paper grounds Quetzal in queueing theory (Harchol-Balter [33]); this
+module provides the closed-form quantities a designer would use to reason
+about an energy-harvesting pipeline *before* simulating it:
+
+* per-arrival expected work and the utilisation ρ of the device's queue,
+* the stability condition ``ρ < 1`` at a given input power,
+* the minimum input power at which a pipeline configuration is stable —
+  i.e. where the queue stops growing without bound.
+
+Property tests use these to cross-check the simulator: below the stability
+power a long event must overflow a bounded buffer; comfortably above it,
+the buffer should stay small.
+"""
+
+from __future__ import annotations
+
+from repro.core.service_time import end_to_end_service_time
+from repro.errors import ConfigurationError
+from repro.workload.job import Job, JobSet
+from repro.workload.task import DegradationOption
+
+__all__ = [
+    "job_service_time_at_power",
+    "per_arrival_work_s",
+    "utilization",
+    "is_stable",
+    "stability_power_w",
+]
+
+
+def job_service_time_at_power(
+    job: Job,
+    p_in_w: float,
+    probability: float = 1.0,
+    option_picker=None,
+) -> float:
+    """Exact E[S] of one job at input power ``p_in_w`` (Eq. 1 summed).
+
+    ``probability`` weights conditional tasks; ``option_picker`` maps a
+    task to the option evaluated (defaults to highest quality).
+    """
+    total = 0.0
+    for ref in job.task_refs:
+        option: DegradationOption = (
+            option_picker(ref.task) if option_picker else ref.task.highest_quality
+        )
+        weight = probability if ref.conditional else 1.0
+        total += weight * end_to_end_service_time(
+            option.cost.t_exe_s, option.cost.energy_j, p_in_w
+        )
+    return total
+
+
+def per_arrival_work_s(
+    jobs: JobSet,
+    p_in_w: float,
+    spawn_probability: float = 0.5,
+    entry_job: str = "detect",
+    option_picker=None,
+) -> float:
+    """Expected total service time consumed by one arriving input.
+
+    One arrival runs the entry job and, with ``spawn_probability``, the job
+    it spawns (the classify → transmit chain of the person-detection app).
+    """
+    if not 0 <= spawn_probability <= 1:
+        raise ConfigurationError("spawn_probability must be in [0, 1]")
+    entry = jobs.job(entry_job)
+    work = job_service_time_at_power(
+        entry, p_in_w, probability=spawn_probability, option_picker=option_picker
+    )
+    if entry.spawns is not None:
+        spawned = jobs.job(entry.spawns)
+        work += spawn_probability * job_service_time_at_power(
+            spawned, p_in_w, option_picker=option_picker
+        )
+    return work
+
+
+def utilization(
+    jobs: JobSet,
+    arrival_rate: float,
+    p_in_w: float,
+    spawn_probability: float = 0.5,
+    option_picker=None,
+) -> float:
+    """Queue utilisation ``ρ = λ · E[work per arrival]``."""
+    if arrival_rate < 0:
+        raise ConfigurationError("arrival_rate must be >= 0")
+    return arrival_rate * per_arrival_work_s(
+        jobs, p_in_w, spawn_probability, option_picker=option_picker
+    )
+
+
+def is_stable(
+    jobs: JobSet,
+    arrival_rate: float,
+    p_in_w: float,
+    spawn_probability: float = 0.5,
+    option_picker=None,
+) -> bool:
+    """True when the queue does not grow without bound (``ρ < 1``)."""
+    return (
+        utilization(jobs, arrival_rate, p_in_w, spawn_probability, option_picker)
+        < 1.0
+    )
+
+
+def stability_power_w(
+    jobs: JobSet,
+    arrival_rate: float,
+    spawn_probability: float = 0.5,
+    option_picker=None,
+    p_low_w: float = 1e-6,
+    p_high_w: float = 10.0,
+    tolerance: float = 1e-6,
+) -> float:
+    """Minimum input power at which the pipeline is stable (bisection).
+
+    Returns ``p_high_w`` if even that power is insufficient (the pipeline
+    is compute-bound beyond what harvesting can fix) and ``p_low_w`` if the
+    pipeline is stable even at the floor.
+    """
+    if arrival_rate <= 0:
+        return p_low_w
+
+    def stable(p):
+        return is_stable(jobs, arrival_rate, p, spawn_probability, option_picker)
+
+    if stable(p_low_w):
+        return p_low_w
+    if not stable(p_high_w):
+        return p_high_w
+    low, high = p_low_w, p_high_w
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if stable(mid):
+            high = mid
+        else:
+            low = mid
+    return high

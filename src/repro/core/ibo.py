@@ -1,0 +1,147 @@
+"""The IBO-detection and reaction engine (paper Algorithm 2).
+
+After the scheduler selects the energy-aware shortest job, Quetzal asks:
+*will an input buffer overflow happen while this job runs?*  Using Little's
+Law (Eq. 2), it compares the expected arrivals during the job against the
+buffer's free space.  If an overflow is predicted, the engine steps down
+the job's degradable task's quality-ordered option list, selecting the
+**highest-quality option that avoids the predicted overflow** — degrading
+only as much as required (section 4.2).  If no option avoids it, the engine
+falls back to the option with the lowest S_e2e to minimise E[N].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.littles_law import predicts_overflow
+from repro.workload.job import Job
+from repro.workload.task import DegradationOption, Task
+
+__all__ = ["IBODecision", "IBOEngine"]
+
+#: ``(task, option) -> S_e2e`` estimate.
+ServiceTimeFn = Callable[[Task, DegradationOption], float]
+
+#: ``task_name -> execution probability``.
+ProbabilityFn = Callable[[str], float]
+
+
+@dataclass(frozen=True)
+class IBODecision:
+    """Outcome of one IBO-detection + reaction pass.
+
+    Attributes
+    ----------
+    option:
+        The degradation option the job's degradable task should run at.
+    ibo_predicted:
+        True if the job at highest quality was predicted to overflow the
+        buffer (Alg. 2's detection step fired).
+    ibo_avoided:
+        True if the chosen option is predicted to avoid the overflow; False
+        when the engine had to fall back to the fastest option without
+        clearing the risk.
+    predicted_service_s:
+        The job's E[S] at the chosen option, including the PID correction —
+        the prediction later compared against the observed service time.
+    degraded:
+        True when the chosen option is below the task's highest quality.
+    """
+
+    option: DegradationOption
+    ibo_predicted: bool
+    ibo_avoided: bool
+    predicted_service_s: float
+    degraded: bool
+
+
+class IBOEngine:
+    """Implements Algorithm 2 for one selected job at a time.
+
+    The engine is stateless; service-time and probability estimators are
+    injected per decision so the same engine drives Quetzal proper and the
+    scheduler/estimator ablations of section 7.3.
+    """
+
+    def decide(
+        self,
+        job: Job,
+        arrival_rate: float,
+        buffer_occupancy: int,
+        buffer_limit: int | None,
+        service_time_fn: ServiceTimeFn,
+        probability_fn: ProbabilityFn,
+        correction_s: float = 0.0,
+    ) -> IBODecision:
+        """Run IBO detection, then (if needed) the reaction walk.
+
+        Parameters
+        ----------
+        job:
+            The scheduler-selected job.
+        arrival_rate:
+            Tracked λ (inputs/second).
+        buffer_occupancy / buffer_limit:
+            Current queue state; ``buffer_limit=None`` models an infinite
+            buffer (for which no IBO is ever predicted).
+        service_time_fn / probability_fn:
+            The estimator's service-time function and the tracker's
+            execution-probability function.
+        correction_s:
+            PID output added to E[S] predictions (section 4.3).  The
+            corrected E[S] is floored at zero.
+        """
+        deg_ref = job.degradable_ref
+        deg_task = deg_ref.task
+        deg_prob = probability_fn(deg_task.name) if deg_ref.conditional else 1.0
+
+        # E[S] contribution of the non-degradable tasks (Alg. 2 line 9).
+        non_deg = 0.0
+        for ref in job.non_degradable_refs:
+            prob = probability_fn(ref.task.name) if ref.conditional else 1.0
+            non_deg += prob * service_time_fn(ref.task, ref.task.highest_quality)
+
+        def corrected_e_s(option: DegradationOption) -> float:
+            raw = non_deg + deg_prob * service_time_fn(deg_task, option)
+            return max(0.0, raw + correction_s)
+
+        best = deg_task.highest_quality
+        e_s_best = corrected_e_s(best)
+
+        # Detection (Alg. 2 line 6).
+        if not predicts_overflow(arrival_rate, e_s_best, buffer_limit, buffer_occupancy):
+            return IBODecision(
+                option=best,
+                ibo_predicted=False,
+                ibo_avoided=True,
+                predicted_service_s=e_s_best,
+                degraded=False,
+            )
+
+        # Reaction (Alg. 2 lines 8-19): walk options in quality order and
+        # select the first predicted to avoid the overflow.
+        for option in deg_task.options:
+            e_s = corrected_e_s(option)
+            if not predicts_overflow(arrival_rate, e_s, buffer_limit, buffer_occupancy):
+                return IBODecision(
+                    option=option,
+                    ibo_predicted=True,
+                    ibo_avoided=True,
+                    predicted_service_s=e_s,
+                    degraded=deg_task.quality_rank(option) > 0,
+                )
+
+        # No option clears the risk: minimise S_e2e to minimise E[N]
+        # (section 4.2 "Reacting to Overflows").
+        fastest = deg_task.fastest_option(
+            lambda opt: service_time_fn(deg_task, opt)
+        )
+        return IBODecision(
+            option=fastest,
+            ibo_predicted=True,
+            ibo_avoided=False,
+            predicted_service_s=corrected_e_s(fastest),
+            degraded=deg_task.quality_rank(fastest) > 0,
+        )

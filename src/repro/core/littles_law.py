@@ -1,0 +1,56 @@
+"""Occupancy prediction via Little's Law (paper Eq. 2 and Alg. 2 line 6).
+
+Little's Law states that the long-run average number of items in a system
+equals the arrival rate times the average time spent in the system,
+``E[N] = λ · E[S]``.  Quetzal applies it over the horizon of the *next
+scheduled job*: with arrival rate λ and job service time E[S], about
+``λ · E[S]`` new inputs will arrive while the job runs.  If that exceeds
+the buffer's free space, an overflow is imminent (Alg. 2)::
+
+    λ × E[S]  >=  buffer_limit − current_occupancy   →  IBO predicted
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["expected_queue_growth", "free_capacity", "predicts_overflow"]
+
+
+def expected_queue_growth(arrival_rate: float, service_time_s: float) -> float:
+    """Expected arrivals during one service period: ``λ · E[S]`` (Eq. 2)."""
+    if arrival_rate < 0:
+        raise ConfigurationError(f"arrival_rate must be >= 0, got {arrival_rate}")
+    if service_time_s < 0:
+        raise ConfigurationError(f"service_time_s must be >= 0, got {service_time_s}")
+    return arrival_rate * service_time_s
+
+
+def free_capacity(buffer_limit: int | None, current_occupancy: int) -> float:
+    """Free buffer slots; infinite for unbounded (Ideal) buffers."""
+    if current_occupancy < 0:
+        raise ConfigurationError(
+            f"current_occupancy must be >= 0, got {current_occupancy}"
+        )
+    if buffer_limit is None:
+        return math.inf
+    if buffer_limit < 0:
+        raise ConfigurationError(f"buffer_limit must be >= 0, got {buffer_limit}")
+    return max(0.0, float(buffer_limit - current_occupancy))
+
+
+def predicts_overflow(
+    arrival_rate: float,
+    service_time_s: float,
+    buffer_limit: int | None,
+    current_occupancy: int,
+) -> bool:
+    """Alg. 2's IBO-detection predicate.
+
+    True when the expected arrivals during the scheduled job meet or exceed
+    the buffer's free space.
+    """
+    growth = expected_queue_growth(arrival_rate, service_time_s)
+    return growth >= free_capacity(buffer_limit, current_occupancy)

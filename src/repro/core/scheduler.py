@@ -1,0 +1,174 @@
+"""Job scheduling policies: Energy-aware SJF, FCFS, LCFS.
+
+The scheduler answers one question whenever the device is ready to process
+a buffered input: *which pending job runs next, on which input?*
+
+* :class:`EnergyAwareSJF` — the paper's contribution (Alg. 1): score every
+  job type with pending inputs by its expected end-to-end service time
+  ``E[S] = Σ_i P(task_i executes) · S_e2e(task_i, P_in)`` and pick the
+  minimum; ties go to the job processing the older input (section 4.1).
+  SJF minimises the mean waiting time of the other buffered inputs,
+  relieving buffer pressure (the queueing-theory motivation from
+  Harchol-Balter that the paper cites).
+* :class:`FCFSScheduler` / :class:`LCFSScheduler` — the commonly used
+  baselines of the section 7.3 ablation: process the oldest / newest
+  captured input regardless of cost.
+
+Schedulers are deliberately stateless: the scoring function (estimator +
+probability tracker + PID correction) is injected per decision, so the
+same classes serve Quetzal, the Avg-S_e2e ablation, and the baselines.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.device.buffer import BufferedInput
+from repro.errors import SchedulingError
+from repro.workload.job import Job
+
+__all__ = [
+    "JobCandidate",
+    "Selection",
+    "Scheduler",
+    "EnergyAwareSJF",
+    "FCFSScheduler",
+    "LCFSScheduler",
+    "expected_job_service_time",
+]
+
+
+@dataclass(frozen=True)
+class JobCandidate:
+    """One schedulable job type with at least one pending input.
+
+    Attributes
+    ----------
+    job:
+        The job definition.
+    oldest:
+        The oldest pending input of this job type (by capture time) — what
+        EASJF and FCFS would process.
+    newest:
+        The newest pending input — what LCFS would process.
+    pending_count:
+        Number of buffered inputs waiting for this job type.
+    """
+
+    job: Job
+    oldest: BufferedInput
+    newest: BufferedInput
+    pending_count: int
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A scheduler's choice: which job runs, on which buffered input."""
+
+    candidate: JobCandidate
+    entry: BufferedInput
+
+    @property
+    def job(self) -> Job:
+        return self.candidate.job
+
+
+#: Scores a candidate job: returns its expected service time E[S] (s).
+JobScorer = Callable[[JobCandidate], float]
+
+
+def expected_job_service_time(
+    job: Job,
+    service_time_fn: Callable,
+    probability_fn: Callable[[str], float],
+    option_fn: Callable | None = None,
+) -> float:
+    """Alg. 1 lines 5-8: ``E[S] = Σ_i P(task_i) * S_e2e(task_i)``.
+
+    Parameters
+    ----------
+    job:
+        The job to score.
+    service_time_fn:
+        ``(task, option) -> S_e2e`` (an estimator's bound method).
+    probability_fn:
+        ``task_name -> execution probability``; unconditional tasks always
+        count with probability 1.
+    option_fn:
+        ``task -> option`` selecting which quality each task is scored at;
+        defaults to every task's highest quality (the state before the IBO
+        engine considers degradation).
+    """
+    total = 0.0
+    for ref in job.task_refs:
+        option = option_fn(ref.task) if option_fn else ref.task.highest_quality
+        prob = probability_fn(ref.task.name) if ref.conditional else 1.0
+        total += prob * service_time_fn(ref.task, option)
+    return total
+
+
+class Scheduler(ABC):
+    """Selects the next job (and input) from the set of candidates."""
+
+    #: Name used in figures and metrics.
+    name: str = "scheduler"
+
+    @abstractmethod
+    def select(
+        self, candidates: Sequence[JobCandidate], scorer: JobScorer
+    ) -> Selection:
+        """Pick one candidate and the input it should process."""
+
+    @staticmethod
+    def _require_candidates(candidates: Sequence[JobCandidate]) -> None:
+        if not candidates:
+            raise SchedulingError("select() called with no pending jobs")
+
+
+class EnergyAwareSJF(Scheduler):
+    """Energy-aware Shortest Job First (paper Alg. 1).
+
+    Minimises E[S] at the *current* input power; the injected scorer embeds
+    the energy-aware service-time model, so low input power automatically
+    steers the schedule toward low-energy jobs (e.g. ML inference before
+    radio transmission) and high input power toward low-latency jobs
+    (section 1's scheduling example).
+    """
+
+    name = "energy-aware-sjf"
+
+    def select(
+        self, candidates: Sequence[JobCandidate], scorer: JobScorer
+    ) -> Selection:
+        self._require_candidates(candidates)
+        # Ties on E[S] break toward the older input (section 4.1).
+        best = min(candidates, key=lambda c: (scorer(c), c.oldest.capture_time))
+        return Selection(best, best.oldest)
+
+
+class FCFSScheduler(Scheduler):
+    """First-Come-First-Served: process the oldest captured input."""
+
+    name = "fcfs"
+
+    def select(
+        self, candidates: Sequence[JobCandidate], scorer: JobScorer
+    ) -> Selection:
+        self._require_candidates(candidates)
+        best = min(candidates, key=lambda c: c.oldest.capture_time)
+        return Selection(best, best.oldest)
+
+
+class LCFSScheduler(Scheduler):
+    """Last-Come-First-Served: process the newest captured input."""
+
+    name = "lcfs"
+
+    def select(
+        self, candidates: Sequence[JobCandidate], scorer: JobScorer
+    ) -> Selection:
+        self._require_candidates(candidates)
+        best = max(candidates, key=lambda c: c.newest.capture_time)
+        return Selection(best, best.newest)

@@ -1,0 +1,235 @@
+"""Energy-aware end-to-end service time (paper Eq. 1) and its estimators.
+
+A task's end-to-end service time is::
+
+    S_e2e = max(t_exe, t_chg) = max(t_exe, E_exe / P_in)
+
+When harvested power exceeds the task's operating power, execution time
+dominates; otherwise the device must stall to recharge, and the recharge
+time ``E_exe / P_in`` dominates (section 3.2).
+
+Three estimator implementations mirror the systems in the evaluation:
+
+* :class:`ExactServiceTimeEstimator` — evaluates Eq. 1 with exact floats
+  (an idealisation; used for validation and ablations);
+* :class:`HardwareServiceTimeEstimator` — what Quetzal actually runs:
+  powers observed only through the measurement circuit's ADC codes, ratios
+  computed with the division-free Algorithm 3.  Circuit quantisation and
+  temperature error propagate into the estimates exactly as on hardware;
+* :class:`AverageServiceTimeEstimator` — the *Avg. S_e2e* baseline of
+  section 7.3, which averages previously observed service times instead of
+  scaling to the current input power.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.hardware.circuit import PowerMonitor
+from repro.hardware.ratio import DivisionFreeServiceTime
+from repro.workload.task import DegradationOption, Task
+
+__all__ = [
+    "end_to_end_service_time",
+    "ServiceTimeEstimator",
+    "ExactServiceTimeEstimator",
+    "HardwareServiceTimeEstimator",
+    "AverageServiceTimeEstimator",
+    "EWMAServiceTimeEstimator",
+]
+
+#: Floor applied to input power in the exact estimator so a momentary 0 W
+#: reading yields a very large (but finite) service time rather than inf.
+#: The hardware estimator gets the same effect physically from the sense
+#: diode's bias current.
+DEFAULT_INPUT_POWER_FLOOR_W = 1e-6
+
+
+def end_to_end_service_time(t_exe_s: float, e_exe_j: float, p_in_w: float) -> float:
+    """Eq. 1: ``S_e2e = max(t_exe, E_exe / P_in)``.
+
+    ``p_in_w`` must be positive; callers floor zero readings (see
+    :data:`DEFAULT_INPUT_POWER_FLOOR_W`).
+    """
+    if t_exe_s < 0 or e_exe_j < 0:
+        raise ConfigurationError("t_exe and E_exe must be non-negative")
+    if p_in_w <= 0:
+        raise ConfigurationError(f"p_in_w must be positive, got {p_in_w}")
+    return max(t_exe_s, e_exe_j / p_in_w)
+
+
+class ServiceTimeEstimator(ABC):
+    """Estimates per-option S_e2e for the scheduler and IBO engine.
+
+    Lifecycle: the runtime calls :meth:`profile` once with every task (the
+    paper's offline profiling phase), :meth:`begin_cycle` at the start of
+    each scheduling decision with the current true input power (which the
+    estimator observes through whatever measurement model it has), then any
+    number of :meth:`service_time` queries.  :meth:`observe` feeds back the
+    service time actually realised by a completed job's task, used by the
+    averaging baseline.
+    """
+
+    def profile(self, tasks: Iterable[Task]) -> None:
+        """Offline profiling phase; default is a no-op."""
+
+    @abstractmethod
+    def begin_cycle(self, true_input_power_w: float) -> None:
+        """Start a scheduling decision at the given (true) input power."""
+
+    @abstractmethod
+    def service_time(self, task: Task, option: DegradationOption) -> float:
+        """Estimated S_e2e (seconds) of ``task`` at ``option`` right now."""
+
+    def observe(
+        self, task: Task, option: DegradationOption, observed_s: float
+    ) -> None:
+        """Record a realised task service time; default is a no-op."""
+
+
+class ExactServiceTimeEstimator(ServiceTimeEstimator):
+    """Evaluates Eq. 1 with exact arithmetic on true powers."""
+
+    def __init__(self, input_power_floor_w: float = DEFAULT_INPUT_POWER_FLOOR_W) -> None:
+        if input_power_floor_w <= 0:
+            raise ConfigurationError("input_power_floor_w must be positive")
+        self._floor = input_power_floor_w
+        self._p_in = self._floor
+
+    def begin_cycle(self, true_input_power_w: float) -> None:
+        if true_input_power_w < 0:
+            raise ConfigurationError("input power must be non-negative")
+        self._p_in = max(true_input_power_w, self._floor)
+
+    def service_time(self, task: Task, option: DegradationOption) -> float:
+        cost = option.cost
+        return end_to_end_service_time(cost.t_exe_s, cost.energy_j, self._p_in)
+
+
+class HardwareServiceTimeEstimator(ServiceTimeEstimator):
+    """Quetzal's production estimator: circuit codes + Algorithm 3.
+
+    Profiling records each option's execution-power diode code (``V_D2``)
+    and pre-multiplies its ``t_exe`` table; at run time only the input-power
+    code (``V_D1``) is read and the division-free computation produces
+    S_e2e.  All error sources of the real module — 8-bit quantisation and
+    the fixed 1/8 exponent's temperature dependence — are inherent in the
+    returned values.
+    """
+
+    def __init__(self, monitor: PowerMonitor | None = None) -> None:
+        self.monitor = monitor or PowerMonitor()
+        self._firmware: dict[tuple[str, str], DivisionFreeServiceTime] = {}
+        self._v_d1_code = 0
+
+    def profile(self, tasks: Iterable[Task]) -> None:
+        for task in tasks:
+            for option in task.options:
+                v_d2 = self.monitor.profile_execution_power(option.cost.p_exe_w)
+                self._firmware[(task.name, option.name)] = DivisionFreeServiceTime(
+                    option.cost.t_exe_s, v_d2
+                )
+
+    def begin_cycle(self, true_input_power_w: float) -> None:
+        self._v_d1_code = self.monitor.measure_input_power(true_input_power_w)
+
+    def service_time(self, task: Task, option: DegradationOption) -> float:
+        key = (task.name, option.name)
+        if key not in self._firmware:
+            raise ConfigurationError(
+                f"task {task.name!r} option {option.name!r} was never profiled"
+            )
+        return self._firmware[key].service_time(self._v_d1_code)
+
+
+class AverageServiceTimeEstimator(ServiceTimeEstimator):
+    """The *Avg. S_e2e* baseline (section 7.3).
+
+    Ignores the current input power, predicting each option's S_e2e as the
+    mean of its recently observed service times.  Until an option has been
+    observed, its pure execution time is used (the optimistic static
+    estimate a designer would start from).
+    """
+
+    def __init__(self, history: int = 16) -> None:
+        if history < 1:
+            raise ConfigurationError(f"history must be >= 1, got {history}")
+        self._history = history
+        self._observations: dict[tuple[str, str], deque[float]] = {}
+
+    def begin_cycle(self, true_input_power_w: float) -> None:
+        # Deliberately ignores input power — that is the point of the baseline.
+        pass
+
+    def service_time(self, task: Task, option: DegradationOption) -> float:
+        window = self._observations.get((task.name, option.name))
+        if not window:
+            return option.cost.t_exe_s
+        return sum(window) / len(window)
+
+    def observe(
+        self, task: Task, option: DegradationOption, observed_s: float
+    ) -> None:
+        if observed_s < 0:
+            raise ConfigurationError("observed service time must be >= 0")
+        key = (task.name, option.name)
+        window = self._observations.get(key)
+        if window is None:
+            window = deque(maxlen=self._history)
+            self._observations[key] = window
+        window.append(observed_s)
+
+
+class EWMAServiceTimeEstimator(ServiceTimeEstimator):
+    """Online-profiling estimator for variable task costs (future work).
+
+    The paper assumes consistent, pre-profiled ``t_exe``/``P_exe`` and
+    names variable execution costs as a future direction (section 5.2).
+    This estimator drops the pre-profiling assumption: it starts from the
+    static profile and *re-learns* each option's execution time online as
+    an EWMA of observed task spans — but only from executions that were
+    plausibly execution-dominated (the measured input power at decision
+    time was at or above the option's operating power), since spans
+    observed under recharge stalls say nothing about ``t_exe``.
+
+    Predictions still follow Eq. 1, with the learned latency:
+    ``S = max(t̂, t̂ · P_exe / P_in)``.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.2,
+        input_power_floor_w: float = DEFAULT_INPUT_POWER_FLOOR_W,
+    ) -> None:
+        from repro.workload.variability import EWMACostTracker
+
+        if input_power_floor_w <= 0:
+            raise ConfigurationError("input_power_floor_w must be positive")
+        self._tracker = EWMACostTracker(alpha=alpha)
+        self._floor = input_power_floor_w
+        self._p_in = self._floor
+
+    def begin_cycle(self, true_input_power_w: float) -> None:
+        if true_input_power_w < 0:
+            raise ConfigurationError("input power must be non-negative")
+        self._p_in = max(true_input_power_w, self._floor)
+
+    def service_time(self, task: Task, option: DegradationOption) -> float:
+        t_hat = self._tracker.estimate(
+            task.name, option.name, option.cost.t_exe_s
+        )
+        return end_to_end_service_time(
+            t_hat, t_hat * option.cost.p_exe_w, self._p_in
+        )
+
+    def observe(
+        self, task: Task, option: DegradationOption, observed_s: float
+    ) -> None:
+        if observed_s < 0:
+            raise ConfigurationError("observed service time must be >= 0")
+        # Only execution-dominated observations update the latency model.
+        if self._p_in >= option.cost.p_exe_w:
+            self._tracker.observe(task.name, option.name, observed_s)

@@ -1,0 +1,24 @@
+"""Device models: MCUs, energy storage, input buffer, checkpointing.
+
+These modules model the physical platform of the paper's experiments
+(section 6.2): an Ambiq Apollo 4 or TI MSP430FR5994 microcontroller powered
+from a 33 mF supercapacitor charged by a solar harvester, with a small
+in-memory input buffer holding compressed images and a just-in-time
+checkpointing runtime that rides through power failures.
+"""
+
+from repro.device.buffer import BufferedInput, InputBuffer
+from repro.device.checkpoint import CheckpointModel
+from repro.device.mcu import APOLLO4, MSP430FR5994, MCUProfile, mcu_by_name
+from repro.device.storage import Supercapacitor
+
+__all__ = [
+    "MCUProfile",
+    "APOLLO4",
+    "MSP430FR5994",
+    "mcu_by_name",
+    "Supercapacitor",
+    "InputBuffer",
+    "BufferedInput",
+    "CheckpointModel",
+]

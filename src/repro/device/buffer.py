@@ -1,0 +1,164 @@
+"""The input buffer: a bounded in-memory queue of captured inputs.
+
+This is the data structure whose overflow the whole paper is about.  The
+device stores each captured image that survives the cheap differencing
+filter into this buffer; jobs consume buffered inputs, and a job may
+re-insert its input tagged for a follow-on job (paper sections 3.1 and 5.2:
+"one job can spawn another job by inserting its input into the device's
+input buffer").  When an input arrives to a full buffer it is lost — an
+input buffer overflow (IBO).
+
+The buffer exposes read-only views to scheduling policies: occupancy,
+capacity, and the pending entries grouped by the job that must process
+them.  Policies never mutate the buffer directly; the simulation engine
+owns insertion and removal so that metrics stay consistent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["BufferedInput", "InputBuffer"]
+
+_input_ids = itertools.count()
+
+
+@dataclass
+class BufferedInput:
+    """One buffered input awaiting processing.
+
+    Attributes
+    ----------
+    input_id:
+        Unique id for metrics/tracing.
+    capture_time:
+        Simulation time (s) at which the camera captured the underlying
+        image.  Used for age-based tie-breaking (section 4.1: "for jobs with
+        the same E[S], Quetzal chooses the job that processes an older
+        input") and for FCFS/LCFS ordering.
+    interesting:
+        Ground truth from the environment (the paper's second I/O pin).
+    job_name:
+        Name of the job that must process this input next.
+    enqueue_time:
+        Time (s) at which the input (re-)entered the buffer.
+    """
+
+    capture_time: float
+    interesting: bool
+    job_name: str
+    enqueue_time: float
+    input_id: int = field(default_factory=lambda: next(_input_ids))
+
+
+class InputBuffer:
+    """Bounded FIFO-capable buffer of :class:`BufferedInput` entries.
+
+    Capacity is expressed in inputs (images); the paper's platforms hold 10
+    compressed images (Table 1).  ``capacity=None`` models the infinite
+    buffer of the Ideal baseline.
+    """
+
+    def __init__(self, capacity: int | None = 10) -> None:
+        if capacity is not None and capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1 or None, got {capacity}")
+        self._capacity = capacity
+        self._entries: list[BufferedInput] = []
+
+    # -- read-only views -------------------------------------------------------
+
+    @property
+    def capacity(self) -> int | None:
+        """Maximum entries, or ``None`` for an unbounded (Ideal) buffer."""
+        return self._capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Current number of buffered inputs."""
+        return len(self._entries)
+
+    @property
+    def free_slots(self) -> float:
+        """Remaining capacity (``inf`` for an unbounded buffer)."""
+        if self._capacity is None:
+            return float("inf")
+        return self._capacity - len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return self._capacity is not None and len(self._entries) >= self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def fill_fraction(self) -> float:
+        """Occupancy as a fraction of capacity (0 for unbounded buffers)."""
+        if self._capacity is None:
+            return 0.0
+        return len(self._entries) / self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[BufferedInput]:
+        return iter(self._entries)
+
+    def entries(self) -> tuple[BufferedInput, ...]:
+        """Snapshot of all entries in insertion order."""
+        return tuple(self._entries)
+
+    def pending_job_names(self) -> tuple[str, ...]:
+        """Distinct job names with at least one pending input, oldest first."""
+        seen: dict[str, None] = {}
+        for e in self._entries:
+            seen.setdefault(e.job_name, None)
+        return tuple(seen)
+
+    def oldest_for_job(self, job_name: str) -> BufferedInput | None:
+        """Oldest entry (by capture time, then insertion) for ``job_name``."""
+        best: BufferedInput | None = None
+        for e in self._entries:
+            if e.job_name != job_name:
+                continue
+            if best is None or e.capture_time < best.capture_time:
+                best = e
+        return best
+
+    def newest_for_job(self, job_name: str) -> BufferedInput | None:
+        """Newest entry (by capture time) for ``job_name``."""
+        best: BufferedInput | None = None
+        for e in self._entries:
+            if e.job_name != job_name:
+                continue
+            if best is None or e.capture_time >= best.capture_time:
+                best = e
+        return best
+
+    # -- mutation (engine only) --------------------------------------------------
+
+    def try_insert(self, entry: BufferedInput) -> bool:
+        """Insert ``entry``; returns False (an IBO) if the buffer is full."""
+        if self.is_full:
+            return False
+        self._entries.append(entry)
+        return True
+
+    def remove(self, entry: BufferedInput) -> None:
+        """Remove a specific entry (the input a job just finished)."""
+        try:
+            self._entries.remove(entry)
+        except ValueError:
+            raise SimulationError(
+                f"input {entry.input_id} not present in buffer"
+            ) from None
+
+    def clear(self) -> list[BufferedInput]:
+        """Drop and return all entries (end-of-run accounting)."""
+        dropped = self._entries
+        self._entries = []
+        return dropped

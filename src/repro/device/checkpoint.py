@@ -1,0 +1,69 @@
+"""Just-in-time checkpointing cost model.
+
+The paper's simulator "implemented a just-in-time (JIT) checkpointing
+system [Hibernus, QUICKRECALL, ...] to support intermittent computing"
+(section 6.3): when the supercapacitor reaches the brown-out threshold
+mid-task, the runtime saves volatile state to non-volatile memory, the
+device dies, recharges, restores state, and resumes the task where it
+stopped.
+
+We model the checkpoint as fixed time/energy costs on each side of a power
+failure.  The save must be paid *from the remaining energy headroom* — real
+JIT systems trigger the save early enough that it completes before
+brown-out — so the executor reserves ``save_energy_j`` when computing the
+usable energy of a charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CheckpointModel"]
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Time/energy cost of one checkpoint-restore cycle.
+
+    Defaults approximate FRAM/MRAM JIT checkpointers on small MCUs
+    (hundreds of microseconds, microjoules per save/restore).
+
+    Attributes
+    ----------
+    save_time_s / save_energy_j:
+        Cost to snapshot volatile state before brown-out.
+    restore_time_s / restore_energy_j:
+        Cost to reload state after the device restarts.
+    """
+
+    save_time_s: float = 0.5e-3
+    save_energy_j: float = 2e-6
+    restore_time_s: float = 0.5e-3
+    restore_energy_j: float = 2e-6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "save_time_s",
+            "save_energy_j",
+            "restore_time_s",
+            "restore_energy_j",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    @property
+    def round_trip_time_s(self) -> float:
+        """Total time overhead of one power-failure cycle (excl. recharge)."""
+        return self.save_time_s + self.restore_time_s
+
+    @property
+    def round_trip_energy_j(self) -> float:
+        """Total energy overhead of one power-failure cycle."""
+        return self.save_energy_j + self.restore_energy_j
+
+
+#: A zero-cost checkpoint model, useful for analytical tests where the
+#: engine's timing must match closed-form queueing math exactly.
+ZERO_COST = CheckpointModel(0.0, 0.0, 0.0, 0.0)

@@ -1,0 +1,127 @@
+"""Microcontroller profiles.
+
+The paper evaluates on two MCUs (Table 1):
+
+* **Ambiq Apollo 4 Blue Plus** — an energy-efficient Cortex-M4F with a
+  hardware divider, used in the hardware experiment and the primary
+  simulations.
+* **TI MSP430FR5994** — an ultra-low-power 16-bit MCU *without* a hardware
+  divider (software division costs 100s of cycles, motivating Quetzal's
+  measurement circuit, sections 1 and 5.1).
+
+A profile carries only what the simulator and the cost model consume: clock
+rate, per-cycle energy, sleep power, division costs, and the cycle/energy
+cost of Quetzal's hardware module on that platform.  The division/module
+numbers are the paper's own (section 5.1 "Costs and Overheads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MCUProfile", "APOLLO4", "MSP430FR5994", "mcu_by_name"]
+
+
+@dataclass(frozen=True)
+class MCUProfile:
+    """Static characteristics of a microcontroller platform.
+
+    Attributes
+    ----------
+    name:
+        Platform name.
+    clock_hz:
+        Core clock frequency used for cycle <-> time conversion.
+    active_power_w:
+        Power drawn by the core while actively computing (used for runtime
+        overhead tasks such as scheduler invocations).
+    sleep_power_w:
+        Power drawn while idle/sleeping between jobs.
+    has_hw_divider:
+        Whether the ISA provides hardware integer division.
+    division_cycles:
+        Cycles per integer division using the platform's native mechanism
+        (software routine on MSP430, hardware divider on Apollo 4).
+    division_energy_j:
+        Energy per integer division using the native mechanism.
+    module_cycles:
+        Cycles per ratio computation using Quetzal's measurement circuit
+        (one subtraction, one lookup, two shifts, one multiply; Alg. 3).
+    module_energy_j:
+        Energy per ratio computation using the circuit.
+    input_buffer_capacity:
+        Number of (compressed) images the device's input buffer holds
+        (Table 1: 10 images on both platforms).
+    """
+
+    name: str
+    clock_hz: float
+    active_power_w: float
+    sleep_power_w: float
+    has_hw_divider: bool
+    division_cycles: int
+    division_energy_j: float
+    module_cycles: int
+    module_energy_j: float
+    input_buffer_capacity: int = 10
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock_hz must be positive")
+        if self.active_power_w <= 0 or self.sleep_power_w < 0:
+            raise ConfigurationError("power values must be positive/non-negative")
+        if self.division_cycles < 1 or self.module_cycles < 1:
+            raise ConfigurationError("cycle counts must be >= 1")
+        if self.division_energy_j <= 0 or self.module_energy_j <= 0:
+            raise ConfigurationError("per-operation energies must be positive")
+        if self.input_buffer_capacity < 1:
+            raise ConfigurationError("input_buffer_capacity must be >= 1")
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at this MCU's clock."""
+        return cycles / self.clock_hz
+
+
+#: Ambiq Apollo 4: 192 MHz Cortex-M4F with a hardware divider.  Division and
+#: module costs are from section 5.1: native divider 13 cycles / 0.4 nJ,
+#: Quetzal module 5 cycles / 0.16 nJ (62 % energy reduction).
+APOLLO4 = MCUProfile(
+    name="Apollo 4",
+    clock_hz=192e6,
+    active_power_w=5e-3,
+    sleep_power_w=20e-6,
+    has_hw_divider=True,
+    division_cycles=13,
+    division_energy_j=0.4e-9,
+    module_cycles=5,
+    module_energy_j=0.16e-9,
+)
+
+#: TI MSP430FR5994: 16 MHz, no hardware divider.  Software division costs
+#: 158 cycles / 49.37 nJ; Quetzal's module costs 12 cycles / 3.75 nJ
+#: (92.5 % energy reduction), per section 5.1.
+MSP430FR5994 = MCUProfile(
+    name="MSP430FR5994",
+    clock_hz=16e6,
+    active_power_w=2e-3,
+    sleep_power_w=5e-6,
+    has_hw_divider=False,
+    division_cycles=158,
+    division_energy_j=49.37e-9,
+    module_cycles=12,
+    module_energy_j=3.75e-9,
+)
+
+_BY_NAME = {p.name.lower(): p for p in (APOLLO4, MSP430FR5994)}
+_BY_NAME["apollo4"] = APOLLO4
+_BY_NAME["msp430"] = MSP430FR5994
+
+
+def mcu_by_name(name: str) -> MCUProfile:
+    """Look up an MCU profile by (case-insensitive) name."""
+    key = name.lower()
+    if key not in _BY_NAME:
+        raise ConfigurationError(f"unknown MCU {name!r}; available: {sorted(_BY_NAME)}")
+    return _BY_NAME[key]

@@ -1,0 +1,148 @@
+"""Supercapacitor energy-storage model.
+
+Energy-harvesting devices buffer harvested energy in a small supercapacitor
+(the paper's rig uses a 33 mF BestCap, section 6.2).  The device operates
+between two voltage thresholds: it browns out when the capacitor discharges
+to ``v_off`` and may restart once recharged to ``v_on``.  We track the
+*usable* energy between those thresholds directly in joules; the voltage
+endpoints only determine the capacity, which keeps the simulator's energy
+arithmetic linear and exact.
+
+The model deliberately omits leakage and ESR: the paper treats the storage
+element the same way in its own simulator ("we also modeled an energy
+storage element, to which we add harvested energy every simulator time
+step", section 6.3), and notes Quetzal is agnostic to power-system details
+such as ESR (section 8).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.units import supercap_energy
+
+__all__ = ["Supercapacitor"]
+
+
+class Supercapacitor:
+    """Usable-energy model of a supercapacitor between two thresholds.
+
+    Parameters
+    ----------
+    capacitance_f:
+        Capacitance in farads (paper: 33 mF).
+    v_operating:
+        Regulated operating / fully-charged voltage (top of the usable band).
+    v_brownout:
+        Brown-out threshold; at this voltage usable energy is zero and the
+        device dies mid-task (triggering a JIT checkpoint).
+    restart_fraction:
+        Fraction of full usable energy that must accumulate before a
+        browned-out device restarts.  Harvester front-ends impose hysteresis
+        so the device does not oscillate at the threshold.
+    initial_fraction:
+        Fraction of full usable energy present at simulation start.
+    """
+
+    def __init__(
+        self,
+        capacitance_f: float = 33e-3,
+        v_operating: float = 3.3,
+        v_brownout: float = 1.8,
+        restart_fraction: float = 0.99,
+        initial_fraction: float = 1.0,
+    ) -> None:
+        if v_operating <= v_brownout:
+            raise ConfigurationError(
+                f"v_operating ({v_operating}) must exceed v_brownout ({v_brownout})"
+            )
+        if not 0 < restart_fraction <= 1:
+            raise ConfigurationError("restart_fraction must be in (0, 1]")
+        if not 0 <= initial_fraction <= 1:
+            raise ConfigurationError("initial_fraction must be in [0, 1]")
+        self.capacitance_f = capacitance_f
+        self.v_operating = v_operating
+        self.v_brownout = v_brownout
+        self._capacity = supercap_energy(capacitance_f, v_operating, v_brownout)
+        self._energy = initial_fraction * self._capacity
+        self._restart_energy = restart_fraction * self._capacity
+
+    # -- read-only state -------------------------------------------------------
+
+    @property
+    def capacity_j(self) -> float:
+        """Full usable energy (J) between the operating and brown-out levels."""
+        return self._capacity
+
+    @property
+    def energy_j(self) -> float:
+        """Currently stored usable energy (J), in ``[0, capacity_j]``."""
+        return self._energy
+
+    @property
+    def restart_energy_j(self) -> float:
+        """Usable energy required before a browned-out device restarts."""
+        return self._restart_energy
+
+    @property
+    def fraction(self) -> float:
+        """Stored energy as a fraction of capacity."""
+        return self._energy / self._capacity
+
+    @property
+    def is_depleted(self) -> bool:
+        """True when the capacitor is at the brown-out threshold."""
+        return self._energy <= 0.0
+
+    @property
+    def headroom_j(self) -> float:
+        """Energy (J) the capacitor can still absorb before saturating."""
+        return self._capacity - self._energy
+
+    # -- mutation ----------------------------------------------------------------
+
+    def harvest(self, energy_j: float) -> float:
+        """Add harvested energy; returns the amount actually stored.
+
+        Energy beyond capacity is shed (a full capacitor cannot absorb more;
+        real front-ends shunt the harvester).
+        """
+        if energy_j < 0:
+            raise SimulationError(f"cannot harvest negative energy {energy_j}")
+        stored = min(energy_j, self.headroom_j)
+        self._energy += stored
+        return stored
+
+    def draw(self, energy_j: float) -> None:
+        """Remove ``energy_j`` from the store.
+
+        The engine must never draw more than is present (it computes
+        depletion times analytically); overdraw indicates an engine bug and
+        raises :class:`SimulationError`.  A tiny negative residue from float
+        round-off is clamped to zero.
+        """
+        if energy_j < 0:
+            raise SimulationError(f"cannot draw negative energy {energy_j}")
+        remaining = self._energy - energy_j
+        if remaining < -1e-9 * max(1.0, self._capacity):
+            raise SimulationError(
+                f"energy overdraw: drew {energy_j} J with only {self._energy} J stored"
+            )
+        self._energy = max(0.0, remaining)
+
+    def set_energy(self, energy_j: float) -> None:
+        """Set the stored energy directly (for tests and snapshots)."""
+        if not 0 <= energy_j <= self._capacity * (1 + 1e-12):
+            raise SimulationError(
+                f"energy {energy_j} outside [0, {self._capacity}]"
+            )
+        self._energy = min(energy_j, self._capacity)
+
+    def deficit_to_restart_j(self) -> float:
+        """Energy still needed to reach the restart threshold (0 if there)."""
+        return max(0.0, self._restart_energy - self._energy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Supercapacitor({self.capacitance_f * 1e3:.0f} mF, "
+            f"{self._energy * 1e3:.2f}/{self._capacity * 1e3:.2f} mJ)"
+        )

@@ -1,0 +1,32 @@
+"""Sensing environments: event schedules and activity presets.
+
+The paper models the environment as a stream of sensing events with
+durations and interarrival gaps drawn from a surveillance-video dataset
+(section 6.4).  Events are either 'interesting' (contain what the
+application is looking for, e.g. a person) or 'uninteresting'.  A capture
+taken while an event is active yields a 'different' image that enters the
+input buffer; a capture during an interesting event yields an 'interesting'
+input.  This package generates such event schedules synthetically (see
+DESIGN.md for the dataset substitution) and ships the three sensing
+environments of Table 1.
+"""
+
+from repro.env.activity import (
+    APOLLO_ENVIRONMENTS,
+    HARDWARE_ENVIRONMENTS,
+    MSP430_ENVIRONMENT,
+    SensingEnvironment,
+    environment_by_name,
+)
+from repro.env.events import Event, EventSchedule, EventScheduleGenerator
+
+__all__ = [
+    "Event",
+    "EventSchedule",
+    "EventScheduleGenerator",
+    "SensingEnvironment",
+    "APOLLO_ENVIRONMENTS",
+    "HARDWARE_ENVIRONMENTS",
+    "MSP430_ENVIRONMENT",
+    "environment_by_name",
+]

@@ -1,0 +1,99 @@
+"""Event-schedule serialization (CSV).
+
+Field studies produce ground-truth activity logs; round-tripping them lets
+users replay recorded activity through the simulator, the same way the
+paper replays VIRAT-derived statistics through its secondary-MCU rig.
+
+Format: header ``start_s,duration_s,interesting`` followed by one event
+per line (``interesting`` as 0/1).  The filter probabilities are carried
+as ``#diff_probability=`` / ``#background_diff_probability=`` comment
+lines before the header so a file is self-contained.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TextIO
+
+from repro.env.events import Event, EventSchedule
+from repro.errors import ConfigurationError
+
+__all__ = ["load_schedule_csv", "save_schedule_csv"]
+
+_HEADER = ("start_s", "duration_s", "interesting")
+
+
+def save_schedule_csv(
+    schedule: EventSchedule, destination: str | Path | TextIO
+) -> None:
+    """Write a schedule (including filter probabilities) to CSV."""
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            save_schedule_csv(schedule, handle)
+        return
+    destination.write(f"#diff_probability={schedule.diff_probability}\n")
+    destination.write(
+        f"#background_diff_probability={schedule.background_diff_probability}\n"
+    )
+    writer = csv.writer(destination)
+    writer.writerow(_HEADER)
+    for event in schedule:
+        writer.writerow(
+            [f"{event.start:.6f}", f"{event.duration:.6f}", int(event.interesting)]
+        )
+
+
+def load_schedule_csv(source: str | Path | TextIO) -> EventSchedule:
+    """Read a schedule written by :func:`save_schedule_csv`."""
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return load_schedule_csv(handle)
+
+    diff_probability = 1.0
+    background = 0.0
+    header_seen = False
+    events: list[Event] = []
+    for line_no, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            key, _, value = line[1:].partition("=")
+            key = key.strip()
+            if key == "diff_probability":
+                diff_probability = float(value)
+            elif key == "background_diff_probability":
+                background = float(value)
+            else:
+                raise ConfigurationError(f"line {line_no}: unknown directive {key!r}")
+            continue
+        cells = [c.strip() for c in line.split(",")]
+        if not header_seen:
+            if tuple(cells) != _HEADER:
+                raise ConfigurationError(
+                    f"line {line_no}: expected header {','.join(_HEADER)!r}"
+                )
+            header_seen = True
+            continue
+        if len(cells) != 3:
+            raise ConfigurationError(
+                f"line {line_no}: expected 3 columns, got {len(cells)}"
+            )
+        try:
+            events.append(
+                Event(
+                    start=float(cells[0]),
+                    duration=float(cells[1]),
+                    interesting=bool(int(cells[2])),
+                )
+            )
+        except ValueError as exc:
+            raise ConfigurationError(f"line {line_no}: {exc}") from None
+    if not header_seen:
+        raise ConfigurationError("schedule CSV has no header line")
+    return EventSchedule(
+        events,
+        diff_probability=diff_probability,
+        background_diff_probability=background,
+    )

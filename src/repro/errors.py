@@ -1,0 +1,51 @@
+"""Exception hierarchy for the Quetzal reproduction.
+
+Every error raised by the library derives from :class:`QuetzalError` so
+applications can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class QuetzalError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(QuetzalError):
+    """An experiment, device, or workload was configured inconsistently.
+
+    Raised eagerly at construction time (e.g. a job with two degradable
+    tasks, a trace with negative power, a buffer with zero capacity) so that
+    bad setups fail before a simulation starts.
+    """
+
+
+class SimulationError(QuetzalError):
+    """The simulator reached an internally inconsistent state.
+
+    This always indicates a bug in the engine or a physically impossible
+    configuration (e.g. a task whose power draw can never be satisfied by the
+    energy store), never ordinary workload behaviour such as an IBO.
+    """
+
+
+class TraceError(QuetzalError):
+    """A power trace was queried outside its domain or built incorrectly."""
+
+
+class HardwareModelError(QuetzalError):
+    """The power-measurement circuit model was used outside its valid range.
+
+    For example: measuring a non-positive current through a diode, or an ADC
+    input voltage outside the converter's full-scale range when clamping is
+    disabled.
+    """
+
+
+class SchedulingError(QuetzalError):
+    """A scheduling policy violated its contract.
+
+    For example: selecting a job that is not pending, or returning a
+    degradation option that does not belong to the job's degradable task.
+    """

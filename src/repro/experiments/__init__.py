@@ -1,0 +1,41 @@
+"""Experiment harness: Table-1 configurations and per-figure runners.
+
+Every table and figure of the paper's evaluation has a runner in
+:mod:`repro.experiments.figures`; :mod:`repro.experiments.configs` holds
+the resolved experiment parameters (Table 1) and
+:mod:`repro.experiments.harness` the machinery to run policy grids over
+seeds.  ``python -m repro.experiments`` regenerates everything.
+"""
+
+from repro.experiments.configs import (
+    ExperimentConfig,
+    apollo_simulation_config,
+    hardware_experiment_config,
+    msp430_simulation_config,
+)
+from repro.experiments.harness import (
+    AggregateMetrics,
+    PolicyGrid,
+    aggregate,
+    quetzal_factory,
+    run_config,
+    run_grid,
+    standard_policies,
+)
+from repro.experiments.reporting import FigureResult, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "apollo_simulation_config",
+    "hardware_experiment_config",
+    "msp430_simulation_config",
+    "AggregateMetrics",
+    "PolicyGrid",
+    "aggregate",
+    "run_config",
+    "run_grid",
+    "standard_policies",
+    "quetzal_factory",
+    "FigureResult",
+    "format_table",
+]

@@ -1,0 +1,83 @@
+"""Regenerate the reproduced tables and figures.
+
+Usage::
+
+    python -m repro.experiments [--events N] [--seeds K] [--figure ID]
+
+``--events`` scales the per-run event count (default 120; the paper uses
+1000) and ``--seeds`` the number of seed replicas averaged per bar.
+``--figure`` selects figures by substring of their id (e.g. ``9``,
+``11``, ``Table``); only the selected figures are computed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures
+
+#: Figure id -> runner.  Runners returning multiple results are wrapped.
+RUNNERS = {
+    "Figure 2a": lambda n, s: [figures.fig2a_processing_rate_dynamics(min(n, 60))],
+    "Figure 2b": lambda n, s: [figures.fig2b_capture_rate_sweep(n, s)],
+    "Figure 3": lambda n, s: [figures.fig3_naive_solutions(n, s)],
+    "Figure 8": lambda n, s: [figures.fig8_hardware_experiment(min(n, 100), s)],
+    "Figure 9": lambda n, s: [figures.fig9_vs_nonadaptive(n, s)],
+    "Figure 10": lambda n, s: [figures.fig10_vs_prior_work(n, s)],
+    "Figure 11": lambda n, s: list(figures.fig11_vs_fixed_thresholds(n, s)),
+    "Figure 12": lambda n, s: [figures.fig12_scheduler_ablation(n, s)],
+    "Figure 13": lambda n, s: [figures.fig13_msp430(n, s)],
+    "Figure 14": lambda n, s: [figures.fig14_sensitivity(n, s)],
+    "Table 1": lambda n, s: [figures.table1_configurations()],
+    "Section 5.1": lambda n, s: [figures.section51_hardware_costs()],
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the Quetzal paper's tables and figures.",
+    )
+    parser.add_argument("--events", type=int, default=figures.DEFAULT_EVENTS)
+    parser.add_argument("--seeds", type=int, default=len(figures.DEFAULT_SEEDS))
+    parser.add_argument("--figure", type=str, default=None)
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="also dump the results as a JSON file",
+    )
+    args = parser.parse_args(argv)
+
+    seeds = tuple(range(args.seeds))
+    selected = {
+        name: runner
+        for name, runner in RUNNERS.items()
+        if args.figure is None or args.figure.lower() in name.lower()
+    }
+    if not selected:
+        print(f"no figure matches {args.figure!r}; known: {sorted(RUNNERS)}")
+        return 1
+
+    start = time.time()
+    collected = []
+    for name, runner in selected.items():
+        for result in runner(args.events, seeds):
+            print(result.render())
+            print()
+            collected.append(result)
+    if args.json is not None:
+        import json
+
+        with open(args.json, "w") as handle:
+            json.dump([r.to_dict() for r in collected], handle, indent=2)
+        print(f"[wrote {args.json}]")
+    print(f"[regenerated {len(selected)} figure(s) in {time.time() - start:.1f} s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

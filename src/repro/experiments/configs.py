@@ -1,0 +1,193 @@
+"""Experiment configurations (paper Table 1).
+
+===============  ==========================================================
+Component        Values
+===============  ==========================================================
+Compute          Apollo 4 (HW & sim) and MSP430FR5994 (sim); buffer = 10
+Expt. config     Capture rate 1 FPS; max interesting durations 600/60/20 s
+                 (Apollo) and 10 s (MSP430)
+App details      High-Q ML MobileNetV2 / Low-Q LeNet (Apollo),
+                 int16/int8 LeNet (MSP430); radio full JPEG vs single byte
+Quetzal params   <task-window>=64, <arrival-window>=256,
+                 PID Kp=5e-6 Ki=1e-6 Kd=1
+Harvester        6 cells (swept 2-10 in the sensitivity study)
+Events           100 (hardware experiment), 1000 (simulation)
+===============  ==========================================================
+
+An :class:`ExperimentConfig` bundles the device, environment, trace, and
+engine parameters of one run and knows how to build all of them; the
+harness and figure runners never construct engines by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.device.mcu import APOLLO4, MSP430FR5994, MCUProfile
+from repro.device.storage import Supercapacitor
+from repro.env.activity import MSP430_ENVIRONMENT, SensingEnvironment, environment_by_name
+from repro.env.events import EventSchedule
+from repro.errors import ConfigurationError
+from repro.sim.engine import SimulationConfig
+from repro.trace.power_trace import PiecewiseConstantTrace
+from repro.trace.solar import SolarTraceConfig, SolarTraceGenerator
+from repro.workload.pipelines import PersonDetectionApp, app_for_mcu
+
+__all__ = [
+    "ExperimentConfig",
+    "apollo_simulation_config",
+    "hardware_experiment_config",
+    "msp430_simulation_config",
+    "DEFAULT_SIM_EVENTS",
+    "DEFAULT_HW_EVENTS",
+]
+
+#: The paper's event counts (section 6.4).  Figure runners default to a
+#: scaled-down count so the full suite regenerates in minutes; pass
+#: ``n_events=DEFAULT_SIM_EVENTS`` for the paper-scale runs.
+DEFAULT_SIM_EVENTS = 1000
+DEFAULT_HW_EVENTS = 100
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One fully resolved experiment setup.
+
+    Attributes
+    ----------
+    name:
+        Human-readable experiment name.
+    mcu:
+        Device profile (Apollo 4 or MSP430FR5994).
+    environment:
+        Sensing environment preset.
+    n_events:
+        Number of events in the generated schedule.
+    cells:
+        Harvester cell count (Table 1 default: 6; swept in Figure 14).
+    capture_period_s:
+        Camera capture period (swept in Figure 2b).
+    buffer_capacity:
+        Input buffer capacity in images; ``None`` = Ideal infinite buffer.
+    trace_seed / schedule_seed / sim_seed:
+        RNG seeds for the solar trace, the event schedule, and the
+        classification draws respectively.
+    """
+
+    name: str
+    mcu: MCUProfile = APOLLO4
+    environment: SensingEnvironment = None  # type: ignore[assignment]
+    n_events: int = 100
+    cells: int = 6
+    capture_period_s: float = 1.0
+    buffer_capacity: int | None = 10
+    trace_seed: int = 1
+    schedule_seed: int = 10
+    sim_seed: int = 100
+    drain_timeout_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.environment is None:
+            raise ConfigurationError("environment is required")
+        if self.n_events < 1:
+            raise ConfigurationError("n_events must be >= 1")
+        if self.cells < 1:
+            raise ConfigurationError("cells must be >= 1")
+
+    # -- builders ---------------------------------------------------------------
+
+    def build_app(self) -> PersonDetectionApp:
+        """The person-detection app matching this config's MCU."""
+        return app_for_mcu(self.mcu)
+
+    def build_trace(self) -> PiecewiseConstantTrace:
+        """The solar trace for this config's cell count and seed."""
+        solar = SolarTraceConfig(cells=self.cells)
+        return SolarTraceGenerator(solar, seed=self.trace_seed).generate()
+
+    def build_schedule(self) -> EventSchedule:
+        """The event schedule for this config's environment and seed."""
+        return self.environment.schedule(self.n_events, seed=self.schedule_seed)
+
+    def build_storage(self) -> Supercapacitor:
+        """A fresh 33 mF supercapacitor (section 6.2)."""
+        return Supercapacitor()
+
+    def build_sim_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            capture_period_s=self.capture_period_s,
+            buffer_capacity=self.buffer_capacity,
+            drain_timeout_s=self.drain_timeout_s,
+            seed=self.sim_seed,
+        )
+
+    # -- variants ---------------------------------------------------------------
+
+    def with_seeds(self, offset: int) -> "ExperimentConfig":
+        """A seed-shifted copy (same trace; new schedule and draws)."""
+        return replace(
+            self,
+            schedule_seed=self.schedule_seed + offset,
+            sim_seed=self.sim_seed + offset,
+        )
+
+    def with_ideal_buffer(self) -> "ExperimentConfig":
+        """Copy with an unbounded buffer (the Ideal baseline's device).
+
+        The Ideal system models infinite memory *and* patience: its backlog
+        may take far longer than the event schedule to drain, so the drain
+        timeout is extended accordingly (otherwise end-of-run leftovers
+        would masquerade as losses the paper's Ideal bar does not have).
+        """
+        return replace(
+            self,
+            name=f"{self.name}-ideal",
+            buffer_capacity=None,
+            drain_timeout_s=max(self.drain_timeout_s, 200_000.0),
+        )
+
+
+def apollo_simulation_config(
+    environment: str | SensingEnvironment = "crowded",
+    n_events: int = 200,
+) -> ExperimentConfig:
+    """The primary Apollo 4 simulation setup (sections 6.3-6.4)."""
+    env = (
+        environment_by_name(environment)
+        if isinstance(environment, str)
+        else environment
+    )
+    return ExperimentConfig(
+        name=f"apollo-{env.name.lower().replace(' ', '-')}",
+        mcu=APOLLO4,
+        environment=env,
+        n_events=n_events,
+    )
+
+
+def hardware_experiment_config(
+    environment: str | SensingEnvironment = "more crowded",
+    n_events: int = DEFAULT_HW_EVENTS,
+) -> ExperimentConfig:
+    """The end-to-end hardware experiment setup (section 6.2): 100 events."""
+    env = (
+        environment_by_name(environment)
+        if isinstance(environment, str)
+        else environment
+    )
+    return ExperimentConfig(
+        name=f"hw-{env.name.lower().replace(' ', '-')}",
+        mcu=APOLLO4,
+        environment=env,
+        n_events=n_events,
+    )
+
+
+def msp430_simulation_config(n_events: int = 200) -> ExperimentConfig:
+    """The MSP430FR5994 versatility study (Figure 13, Table 1)."""
+    return ExperimentConfig(
+        name="msp430",
+        mcu=MSP430FR5994,
+        environment=MSP430_ENVIRONMENT,
+        n_events=n_events,
+    )

@@ -1,0 +1,169 @@
+"""Running policy grids over experiment configurations.
+
+The evaluation compares many policies on the same environments; to make
+that reproducible and statistically honest the harness:
+
+* rebuilds every stateful object (policy, storage, engine) per run;
+* shares the solar trace and the arrival stream across policies at a given
+  seed (the paper's secondary-MCU repeatability, section 6.2);
+* aggregates each metric over seed replicas as a mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.runtime import QuetzalRuntime
+from repro.core.scheduler import FCFSScheduler, LCFSScheduler
+from repro.core.service_time import AverageServiceTimeEstimator
+from repro.errors import ConfigurationError
+from repro.experiments.configs import ExperimentConfig
+from repro.policies.always_degrade import AlwaysDegradePolicy
+from repro.policies.base import Policy
+from repro.policies.buffer_threshold import BufferThresholdPolicy, catnap_policy
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.policies.power_threshold import PowerThresholdPolicy
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import RunMetrics
+
+__all__ = [
+    "PolicyFactory",
+    "PolicyGrid",
+    "AggregateMetrics",
+    "aggregate",
+    "run_config",
+    "run_grid",
+    "standard_policies",
+    "quetzal_factory",
+    "PZ_DATASHEET_MAX_W",
+]
+
+#: A factory producing a *fresh* policy instance per run.
+PolicyFactory = Callable[[], Policy]
+
+#: Named grid of policies to compare.
+PolicyGrid = Mapping[str, PolicyFactory]
+
+#: Datasheet maximum of the modelled harvester (6 x IXYS SM700K10L at
+#: standard test conditions, before real-world derating).  Real traces
+#: almost never reach it, which is the flaw the paper calls out in the
+#: Zygarde/Protean thresholds (section 6.1).
+PZ_DATASHEET_MAX_W = 2.4
+
+
+@dataclass(frozen=True)
+class AggregateMetrics:
+    """Seed-averaged summary of one policy on one configuration."""
+
+    policy: str
+    runs: int
+    discarded_fraction: float
+    ibo_fraction: float
+    false_negative_fraction: float
+    reported_interesting: float
+    reported_hq: float
+    reported_lq: float
+    high_quality_fraction: float
+    captures_interesting: float
+    packets_uninteresting: float
+
+    def as_row(self) -> dict:
+        """Row dict for the reporting table helpers."""
+        return {
+            "policy": self.policy,
+            "discarded %": 100 * self.discarded_fraction,
+            "ibo %": 100 * self.ibo_fraction,
+            "fn %": 100 * self.false_negative_fraction,
+            "hq pkts": self.reported_hq,
+            "lq pkts": self.reported_lq,
+            "hq share %": 100 * self.high_quality_fraction,
+        }
+
+
+def aggregate(policy: str, runs: Sequence[RunMetrics]) -> AggregateMetrics:
+    """Average the figure-of-merit metrics over seed replicas."""
+    if not runs:
+        raise ConfigurationError("aggregate() needs at least one run")
+    n = len(runs)
+
+    def mean(fn: Callable[[RunMetrics], float]) -> float:
+        return sum(fn(m) for m in runs) / n
+
+    return AggregateMetrics(
+        policy=policy,
+        runs=n,
+        discarded_fraction=mean(lambda m: m.interesting_discarded_fraction),
+        ibo_fraction=mean(lambda m: m.ibo_discarded_fraction),
+        false_negative_fraction=mean(lambda m: m.false_negative_fraction),
+        reported_interesting=mean(lambda m: m.reported_interesting),
+        reported_hq=mean(lambda m: m.packets_interesting_high),
+        reported_lq=mean(lambda m: m.packets_interesting_low),
+        high_quality_fraction=mean(lambda m: m.high_quality_fraction),
+        captures_interesting=mean(lambda m: m.captures_interesting),
+        packets_uninteresting=mean(
+            lambda m: m.packets_uninteresting_high + m.packets_uninteresting_low
+        ),
+    )
+
+
+def run_config(config: ExperimentConfig, policy: Policy) -> RunMetrics:
+    """Run one policy once on one configuration."""
+    engine = SimulationEngine(
+        app=config.build_app(),
+        policy=policy,
+        trace=config.build_trace(),
+        schedule=config.build_schedule(),
+        mcu=config.mcu,
+        storage=config.build_storage(),
+        config=config.build_sim_config(),
+    )
+    return engine.run()
+
+
+def run_grid(
+    config: ExperimentConfig,
+    policies: PolicyGrid,
+    seeds: Sequence[int] = (0, 1, 2),
+) -> dict[str, AggregateMetrics]:
+    """Run every policy over seed-shifted replicas of ``config``.
+
+    Returns a name → :class:`AggregateMetrics` mapping in grid order.
+    """
+    results: dict[str, AggregateMetrics] = {}
+    for name, factory in policies.items():
+        runs = [
+            run_config(config.with_seeds(offset), factory()) for offset in seeds
+        ]
+        results[name] = aggregate(name, runs)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Standard policy factories (the section 6.1 baseline grid).
+# ---------------------------------------------------------------------------
+
+
+def quetzal_factory(**kwargs) -> PolicyFactory:
+    """A factory for Quetzal runtimes with fixed constructor arguments."""
+    return lambda: QuetzalRuntime(**kwargs)
+
+
+def standard_policies() -> dict[str, PolicyFactory]:
+    """The full baseline grid of section 6.1 (Ideal is a config, not a policy)."""
+    return {
+        "QZ": quetzal_factory(),
+        "NA": NoAdaptPolicy,
+        "AD": AlwaysDegradePolicy,
+        "CN": catnap_policy,
+        "PZO": lambda: PowerThresholdPolicy(0.5, datasheet_max_w=PZ_DATASHEET_MAX_W),
+        "PZI": lambda: PowerThresholdPolicy(0.5),
+        "TH25": lambda: BufferThresholdPolicy(0.25),
+        "TH50": lambda: BufferThresholdPolicy(0.50),
+        "TH75": lambda: BufferThresholdPolicy(0.75),
+        "QZ-FCFS": quetzal_factory(scheduler=FCFSScheduler(), name="quetzal-fcfs"),
+        "QZ-LCFS": quetzal_factory(scheduler=LCFSScheduler(), name="quetzal-lcfs"),
+        "QZ-AVG": lambda: QuetzalRuntime(
+            estimator=AverageServiceTimeEstimator(), name="quetzal-avg"
+        ),
+    }

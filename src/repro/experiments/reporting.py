@@ -1,0 +1,82 @@
+"""Plain-text reporting of figure results.
+
+Each figure runner returns a :class:`FigureResult` whose rows print as an
+aligned ASCII table — the textual equivalent of the paper's bar charts, so
+benchmark output can be compared against EXPERIMENTS.md by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+__all__ = ["FigureResult", "format_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render dict rows as an aligned ASCII table (columns from row 0)."""
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    table = [[_format_cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in table
+    )
+    return f"{header}\n{rule}\n{body}"
+
+
+@dataclass
+class FigureResult:
+    """One reproduced table/figure: an identifier, caption, and data rows.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper reference (e.g. ``"Figure 9"``).
+    title:
+        One-line description of what the figure shows.
+    rows:
+        Data rows (column → value mappings) in display order.
+    notes:
+        Free-form notes (e.g. headline ratios computed from the rows).
+    """
+
+    figure_id: str
+    title: str
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Full plain-text rendering (id, title, table, notes)."""
+        parts = [f"=== {self.figure_id}: {self.title} ===", format_table(self.rows)]
+        for note in self.notes:
+            parts.append(f"  * {note}")
+        return "\n".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (for machine comparison of runs)."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

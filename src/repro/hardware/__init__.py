@@ -1,0 +1,56 @@
+"""Quetzal's power-measurement hardware module (paper section 5).
+
+The circuit uses two diodes, a multiplexer, and an 8-bit ADC to measure
+input and execution power in the *log domain*: by the Shockley diode law,
+the voltage across a diode is proportional to the logarithm of the current
+through it, so the ratio ``P_exe / P_in`` — which Eq. 1 needs whenever
+recharge time dominates — becomes ``2^((V_D2 - V_D1)/8)`` in ADC codes.
+That exponentiation costs one subtraction, one table lookup, two shifts and
+one multiply, eliminating the integer divisions that are painfully slow on
+divider-less MCUs like the MSP430 (sections 1 and 5.1).
+
+This package models the physics (diode + ADC quantisation + temperature),
+implements Algorithm 3 exactly as the firmware would, and provides the
+cycle/energy/footprint cost model behind the paper's overhead claims.
+"""
+
+from repro.hardware.adc import ADC
+from repro.hardware.calibration import (
+    CalibrationResult,
+    band_error,
+    optimal_full_scale_voltage,
+)
+from repro.hardware.circuit import CircuitConfig, PowerMonitor
+from repro.hardware.costs import (
+    MemoryLayout,
+    quetzal_memory_layout,
+    ratio_energy_saving,
+    scheduler_overhead_fraction,
+)
+from repro.hardware.diode import Diode
+from repro.hardware.ratio import (
+    DivisionFreeServiceTime,
+    exact_exponent_coefficient,
+    exponent_coefficient_error,
+    hardware_ratio,
+    premultiplied_table,
+)
+
+__all__ = [
+    "Diode",
+    "ADC",
+    "PowerMonitor",
+    "CircuitConfig",
+    "hardware_ratio",
+    "premultiplied_table",
+    "DivisionFreeServiceTime",
+    "exact_exponent_coefficient",
+    "exponent_coefficient_error",
+    "ratio_energy_saving",
+    "scheduler_overhead_fraction",
+    "MemoryLayout",
+    "quetzal_memory_layout",
+    "CalibrationResult",
+    "band_error",
+    "optimal_full_scale_voltage",
+]

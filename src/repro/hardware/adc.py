@@ -1,0 +1,69 @@
+"""8-bit ADC model.
+
+The circuit digitises diode voltages with a low-power 8-bit converter whose
+full-scale voltage is a design parameter: the paper sets ``V_ADCMax`` to
+0.6 V so that one ADC code corresponds to one eighth of a binary order of
+magnitude of current ratio (section 5.1), turning the exponent arithmetic
+into shifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+
+__all__ = ["ADC"]
+
+
+@dataclass(frozen=True)
+class ADC:
+    """A clamping, uniformly quantising analog-to-digital converter.
+
+    Attributes
+    ----------
+    resolution_bits:
+        Converter resolution; the paper's part is 8-bit.
+    v_ref:
+        Full-scale input voltage (``V_ADCMax``); the paper uses 0.6 V.
+    """
+
+    resolution_bits: int = 8
+    v_ref: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.resolution_bits < 1 or self.resolution_bits > 24:
+            raise HardwareModelError(
+                f"resolution_bits must be in [1, 24], got {self.resolution_bits}"
+            )
+        if self.v_ref <= 0:
+            raise HardwareModelError(f"v_ref must be positive, got {self.v_ref}")
+
+    @property
+    def max_code(self) -> int:
+        """Largest representable code (255 for 8 bits)."""
+        return (1 << self.resolution_bits) - 1
+
+    @property
+    def lsb_voltage(self) -> float:
+        """Voltage represented by one code step."""
+        return self.v_ref / self.max_code
+
+    def quantize(self, voltage_v: float) -> int:
+        """Convert a voltage to the nearest code, clamping to full scale.
+
+        Negative inputs clamp to 0 and inputs above ``v_ref`` clamp to the
+        maximum code, as real converters with protected inputs do.
+        """
+        if voltage_v <= 0:
+            return 0
+        code = round(voltage_v / self.lsb_voltage)
+        return min(code, self.max_code)
+
+    def voltage(self, code: int) -> float:
+        """Reconstruct the voltage represented by ``code``."""
+        if not 0 <= code <= self.max_code:
+            raise HardwareModelError(
+                f"code {code} outside [0, {self.max_code}]"
+            )
+        return code * self.lsb_voltage

@@ -1,0 +1,80 @@
+"""Design procedure for the measurement circuit's full-scale voltage.
+
+The paper sets ``V_ADCMax = 0.6 V`` so the ratio exponent becomes 1/8 per
+ADC code "for temperatures between 25-50 C" (section 5.1).  That choice is
+the solution of a minimax problem: pick the full-scale voltage whose exact
+physics coefficient stays closest to the firmware's fixed 1/8 across the
+deployment's temperature band.  This module implements the procedure so a
+user targeting a different climate (a freezer, a desert) can re-derive
+their own full scale — and verifies that the paper's band indeed yields
+~0.6 V.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.hardware.ratio import (
+    NOMINAL_COEFFICIENT,
+    exact_exponent_coefficient,
+    exponent_coefficient_error,
+)
+
+__all__ = ["CalibrationResult", "optimal_full_scale_voltage", "band_error"]
+
+
+def band_error(
+    v_adc_max: float, t_low_c: float, t_high_c: float, steps: int = 26
+) -> float:
+    """Worst-case |relative exponent error| over a temperature band."""
+    if t_high_c < t_low_c:
+        raise HardwareModelError("t_high_c must be >= t_low_c")
+    if steps < 2:
+        raise HardwareModelError("steps must be >= 2")
+    worst = 0.0
+    for i in range(steps):
+        t = t_low_c + (t_high_c - t_low_c) * i / (steps - 1)
+        worst = max(worst, abs(exponent_coefficient_error(t, v_adc_max)))
+    return worst
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of the full-scale optimisation."""
+
+    v_adc_max: float
+    worst_error: float
+    t_low_c: float
+    t_high_c: float
+
+
+def optimal_full_scale_voltage(
+    t_low_c: float = 25.0,
+    t_high_c: float = 50.0,
+    v_low: float = 0.1,
+    v_high: float = 2.0,
+    tolerance: float = 1e-5,
+) -> CalibrationResult:
+    """Full-scale voltage minimising the band's worst exponent error.
+
+    The exact coefficient scales linearly with ``V_ADCMax``, so the optimum
+    equalises the signed error at the band's endpoints: solve
+    ``c(T_low, V) - 1/8 = 1/8 - c(T_high, V)`` for V.  (The band error is
+    unimodal in V; we solve the balance equation in closed form and report
+    the resulting worst-case error.)
+    """
+    if not v_low < v_high:
+        raise HardwareModelError("need v_low < v_high")
+    # c(T, V) = k(T) * V with k(T) = exact_exponent_coefficient(T, 1.0).
+    k_low = exact_exponent_coefficient(t_low_c, 1.0)
+    k_high = exact_exponent_coefficient(t_high_c, 1.0)
+    # Balance: k_low*V - c0 = c0 - k_high*V  ->  V = 2*c0 / (k_low + k_high)
+    v_star = 2 * NOMINAL_COEFFICIENT / (k_low + k_high)
+    v_star = min(max(v_star, v_low), v_high)
+    return CalibrationResult(
+        v_adc_max=v_star,
+        worst_error=band_error(v_star, t_low_c, t_high_c),
+        t_low_c=t_low_c,
+        t_high_c=t_high_c,
+    )

@@ -1,0 +1,127 @@
+"""The full power-measurement circuit (paper Figure 6).
+
+A microcontroller interfaces with the circuit through two signals: one
+drives the multiplexer to select among three measurement points (``V_in``,
+``V_cap``, ``V_exe``) and the other reads back 8-bit ADC codes.  Both power
+measurements are taken at the same node voltage so the power ratio reduces
+to a current ratio, and each current flows through a matched sense diode so
+the ADC digitises the *logarithm* of the current (section 5.1).
+
+:class:`PowerMonitor` is the software-visible face of the circuit: it turns
+true (simulated) powers into the ADC codes the firmware would observe, with
+the real error sources — diode-law temperature dependence and 8-bit
+quantisation — applied.  The Quetzal runtime consumes codes only, exactly
+like the firmware, so measurement error propagates into its scheduling and
+IBO predictions the same way it would on hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import HardwareModelError
+from repro.hardware.adc import ADC
+from repro.hardware.diode import Diode
+
+__all__ = ["CircuitConfig", "PowerMonitor"]
+
+
+@dataclass(frozen=True)
+class CircuitConfig:
+    """Component values and operating point of the measurement circuit.
+
+    Attributes
+    ----------
+    adc:
+        The converter (paper: 8-bit, 0.6 V full scale).
+    diode:
+        The matched sense diodes (D1 on the harvester path, D2 on the
+        device-supply path share this model).
+    measurement_voltage_v:
+        Node voltage at which both currents are sensed; powers convert to
+        currents as ``I = P / V`` at this common voltage.
+    temperature_c:
+        Junction temperature; the firmware's fixed 1/8 exponent is exact
+        near 42 degC and degrades toward the edges of the paper's 25-50 degC
+        band.
+    bias_current_a:
+        Small bias added to the sensed current so the diode stays in forward
+        conduction even at (near-)zero harvested power; real designs bias
+        the sense path for the same reason.
+    """
+
+    adc: ADC = field(default_factory=ADC)
+    diode: Diode = field(default_factory=Diode)
+    measurement_voltage_v: float = 3.3
+    temperature_c: float = 35.0
+    bias_current_a: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.measurement_voltage_v <= 0:
+            raise HardwareModelError("measurement_voltage_v must be positive")
+        if self.bias_current_a <= 0:
+            raise HardwareModelError("bias_current_a must be positive")
+
+
+class PowerMonitor:
+    """Simulates the Figure-6 circuit: powers in, ADC codes out.
+
+    The monitor exposes exactly the two operations the paper's runtime
+    performs:
+
+    * :meth:`profile_execution_power` — during the offline profiling phase,
+      record a task's (or degradation option's) ``V_D2`` code;
+    * :meth:`measure_input_power` — at run time, read the instantaneous
+      ``V_D1`` code for the harvested power.
+
+    For tests and ablations, :meth:`exact_ratio` provides the ground-truth
+    ratio the firmware approximates.
+    """
+
+    def __init__(self, config: CircuitConfig | None = None) -> None:
+        self.config = config or CircuitConfig()
+
+    # -- internals -------------------------------------------------------------
+
+    def _power_to_current(self, power_w: float) -> float:
+        if power_w < 0:
+            raise HardwareModelError(f"power must be non-negative, got {power_w}")
+        return power_w / self.config.measurement_voltage_v + self.config.bias_current_a
+
+    def code_for_power(self, power_w: float) -> int:
+        """ADC code of the diode voltage produced by ``power_w``."""
+        cfg = self.config
+        current = self._power_to_current(power_w)
+        voltage = cfg.diode.forward_voltage(current, cfg.temperature_c)
+        return cfg.adc.quantize(voltage)
+
+    # -- the firmware-facing interface -------------------------------------------
+
+    def measure_input_power(self, true_input_power_w: float) -> int:
+        """Run-time measurement of the harvester power: the ``V_D1`` code."""
+        return self.code_for_power(true_input_power_w)
+
+    def profile_execution_power(self, true_execution_power_w: float) -> int:
+        """Profile-time measurement of a task's supply power: ``V_D2``."""
+        return self.code_for_power(true_execution_power_w)
+
+    # -- ground truth for validation ----------------------------------------------
+
+    def exact_ratio(self, execution_power_w: float, input_power_w: float) -> float:
+        """True ``P_exe / P_in`` ratio including the sense bias current."""
+        i_exe = self._power_to_current(execution_power_w)
+        i_in = self._power_to_current(input_power_w)
+        return i_exe / i_in
+
+    def with_temperature(self, temperature_c: float) -> "PowerMonitor":
+        """A monitor identical to this one at a different temperature."""
+        cfg = self.config
+        return PowerMonitor(
+            CircuitConfig(
+                adc=cfg.adc,
+                diode=cfg.diode,
+                measurement_voltage_v=cfg.measurement_voltage_v,
+                temperature_c=temperature_c,
+                bias_current_a=cfg.bias_current_a,
+            )
+        )

@@ -1,0 +1,63 @@
+"""Shockley diode model.
+
+Quetzal's circuit routes the harvester current (for :math:`P_{in}`) or the
+device supply current (for :math:`P_{exe}`) through a sense diode and
+measures the forward voltage.  Per the diode law used in the paper
+(section 5.1)::
+
+    V_d = (kT/q) * ln(I / I_0)
+
+with ``k`` the Boltzmann constant, ``q`` the elementary charge, ``T`` the
+junction temperature, and ``I_0`` the reverse saturation current.  Because
+both measurements use identical diodes (matched ``I_0``), the *difference*
+of two diode voltages encodes the log of the current ratio and ``I_0``
+cancels — which is what makes the trick system-agnostic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import HardwareModelError
+from repro.units import celsius_to_kelvin, thermal_voltage
+
+__all__ = ["Diode"]
+
+
+@dataclass(frozen=True)
+class Diode:
+    """An ideal-law diode with saturation current ``i0_a`` (amperes).
+
+    The default saturation current is typical of the small-signal Schottky
+    part the paper references (SDM40E20LC); its exact value is irrelevant to
+    the ratio computation because it cancels between matched diodes.
+    """
+
+    i0_a: float = 1e-9
+    ideality: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.i0_a <= 0:
+            raise HardwareModelError(f"i0_a must be positive, got {self.i0_a}")
+        if self.ideality <= 0:
+            raise HardwareModelError(f"ideality must be positive, got {self.ideality}")
+
+    def forward_voltage(self, current_a: float, temp_c: float) -> float:
+        """Forward voltage (V) at ``current_a`` amperes, ``temp_c`` Celsius.
+
+        Raises :class:`HardwareModelError` for non-positive currents — the
+        log-domain trick only works for forward conduction, and the circuit
+        guarantees positive sense currents whenever a measurement is taken.
+        """
+        if current_a <= 0:
+            raise HardwareModelError(
+                f"diode law needs positive current, got {current_a}"
+            )
+        vt = thermal_voltage(celsius_to_kelvin(temp_c))
+        return self.ideality * vt * math.log(current_a / self.i0_a)
+
+    def current(self, voltage_v: float, temp_c: float) -> float:
+        """Inverse of :meth:`forward_voltage` (amperes)."""
+        vt = thermal_voltage(celsius_to_kelvin(temp_c))
+        return self.i0_a * math.exp(voltage_v / (self.ideality * vt))

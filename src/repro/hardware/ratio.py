@@ -1,0 +1,162 @@
+"""Division-free ratio computation (paper Algorithm 3).
+
+The runtime needs ``S_e2e = t_exe * (P_exe / P_in)`` whenever recharging
+dominates (Eq. 1).  With both powers measured as diode-voltage ADC codes,
+the current ratio is::
+
+    I_exe / I_in = 2 ** (c * (code_D2 - code_D1))       (exact physics)
+
+where ``c = q * log2(e) * V_ADCMax / (k * T * max_code)`` depends on
+temperature.  Choosing ``V_ADCMax = 0.6 V`` makes ``c ~= 1/8`` across
+25-50 degC, so the firmware uses the *fixed* exponent ``delta / 8`` and splits
+it into integer and fractional parts::
+
+    2 ** (delta / 8) = (1 << (delta >> 3)) * 2 ** ((delta & 0x07) / 8)
+
+The eight fractional factors ``2**(i/8)`` are folded into eight
+pre-multiplied copies of each task's ``t_exe`` at profile time, so the whole
+computation is one subtraction, one table lookup, two shifts, and one
+multiplication — no division (section 5.1).
+
+NOTE: the paper's Algorithm 3 listing masks with ``0x03`` while its prose
+says "the lowest three bits ... decide which pre-multiplied t_exe is used"
+and derives exactly eight fractional values; we follow the prose and use
+``0x07`` (see DESIGN.md, "Known deviations").
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import HardwareModelError
+from repro.units import (
+    BOLTZMANN_K,
+    ELEMENTARY_CHARGE_Q,
+    celsius_to_kelvin,
+)
+
+__all__ = [
+    "FRACTIONAL_BITS",
+    "FRACTIONAL_MASK",
+    "exact_exponent_coefficient",
+    "exponent_coefficient_error",
+    "hardware_ratio",
+    "premultiplied_table",
+    "DivisionFreeServiceTime",
+]
+
+#: Number of fractional exponent bits (the "/8" in ``2**(delta/8)``).
+FRACTIONAL_BITS = 3
+
+#: Mask selecting the fractional part of the code delta.
+FRACTIONAL_MASK = (1 << FRACTIONAL_BITS) - 1  # 0x07
+
+#: The firmware's fixed exponent coefficient (1/8 per ADC code).
+NOMINAL_COEFFICIENT = 1.0 / (1 << FRACTIONAL_BITS)
+
+
+def exact_exponent_coefficient(
+    temp_c: float, v_adc_max: float = 0.6, max_code: int = 255
+) -> float:
+    """Exact physics coefficient ``c`` (ratio exponent per ADC code).
+
+    ``ratio = 2 ** (c * delta)`` with
+    ``c = q * log2(e) * v_adc_max / (k * T * max_code)``.
+    """
+    if v_adc_max <= 0:
+        raise HardwareModelError(f"v_adc_max must be positive, got {v_adc_max}")
+    if max_code < 1:
+        raise HardwareModelError(f"max_code must be >= 1, got {max_code}")
+    temp_k = celsius_to_kelvin(temp_c)
+    if temp_k <= 0:
+        raise HardwareModelError(f"temperature must be above 0 K, got {temp_c} C")
+    return (
+        ELEMENTARY_CHARGE_Q
+        * math.log2(math.e)
+        * v_adc_max
+        / (BOLTZMANN_K * temp_k * max_code)
+    )
+
+
+def exponent_coefficient_error(
+    temp_c: float, v_adc_max: float = 0.6, max_code: int = 255
+) -> float:
+    """Relative error of the fixed 1/8 coefficient at ``temp_c``.
+
+    This is the quantity behind the paper's "<= 5.5 % error for temperatures
+    between 25-50 C" claim: the firmware's 1/8-per-code exponent is exact
+    only at the temperature where ``c == 1/8`` (about 42 degC for 0.6 V
+    full scale) and deviates by at most ~5.5 % at the cold end of the band.
+    """
+    exact = exact_exponent_coefficient(temp_c, v_adc_max, max_code)
+    return (NOMINAL_COEFFICIENT - exact) / exact
+
+
+def premultiplied_table(t_exe_s: float) -> tuple[float, ...]:
+    """The eight profile-time pre-multiplied copies of ``t_exe``.
+
+    ``table[i] = t_exe * 2**(i/8)`` — the firmware indexes this with the low
+    three bits of the code delta.
+    """
+    if t_exe_s < 0:
+        raise HardwareModelError(f"t_exe must be non-negative, got {t_exe_s}")
+    return tuple(t_exe_s * 2.0 ** (i / (1 << FRACTIONAL_BITS)) for i in range(1 << FRACTIONAL_BITS))
+
+
+def hardware_ratio(delta_codes: int) -> float:
+    """The firmware's estimate of ``P_exe / P_in`` from a code delta.
+
+    ``delta_codes`` is ``code(V_D2) - code(V_D1)``; non-positive deltas mean
+    input power meets or exceeds execution power, for which the ratio is not
+    needed (execution time dominates) and 1.0 is returned.
+    """
+    if delta_codes <= 0:
+        return 1.0
+    integer_part = delta_codes >> FRACTIONAL_BITS
+    fractional_part = delta_codes & FRACTIONAL_MASK
+    return float(1 << integer_part) * 2.0 ** (fractional_part / (1 << FRACTIONAL_BITS))
+
+
+class DivisionFreeServiceTime:
+    """Per-task firmware state for Algorithm 3.
+
+    Holds the profile-time products: the task's recorded execution-power
+    diode code ``V_D2`` and the eight pre-multiplied ``t_exe`` values.  At
+    run time, :meth:`service_time` consumes only the current input-power
+    code ``V_D1`` and performs the division-free computation.
+
+    This class mirrors the data the firmware would keep per degradation
+    option; :func:`repro.hardware.costs.quetzal_memory_layout` accounts for
+    its size.
+    """
+
+    def __init__(self, t_exe_s: float, v_d2_code: int) -> None:
+        if t_exe_s < 0:
+            raise HardwareModelError(f"t_exe must be non-negative, got {t_exe_s}")
+        if v_d2_code < 0:
+            raise HardwareModelError(f"v_d2_code must be >= 0, got {v_d2_code}")
+        self.t_exe_s = t_exe_s
+        self.v_d2_code = v_d2_code
+        self._premult = premultiplied_table(t_exe_s)
+
+    def service_time(self, v_d1_code: int) -> float:
+        """End-to-end service time given the input-power code ``V_D1``.
+
+        Implements Algorithm 3: if the recorded execution code does not
+        exceed the input code, execution time dominates and ``t_exe`` is
+        returned; otherwise the pre-multiplied table entry selected by the
+        low delta bits is shifted left by the high delta bits.
+        """
+        if v_d1_code < 0:
+            raise HardwareModelError(f"v_d1_code must be >= 0, got {v_d1_code}")
+        delta = self.v_d2_code - v_d1_code
+        if delta <= 0:
+            return self.t_exe_s
+        base = self._premult[delta & FRACTIONAL_MASK]
+        return base * float(1 << (delta >> FRACTIONAL_BITS))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DivisionFreeServiceTime(t_exe={self.t_exe_s!r}, "
+            f"v_d2_code={self.v_d2_code})"
+        )

@@ -1,0 +1,58 @@
+"""Adaptation policies: Quetzal and every baseline from the evaluation.
+
+A *policy* decides, each time the device is ready to process a buffered
+input, which job runs, on which input, and at which degradation options.
+The simulation engine is policy-agnostic; every system in the paper's
+evaluation (section 6.1) is a policy here:
+
+====================  =======================================================
+Paper system          Policy
+====================  =======================================================
+Quetzal (QZ)          :class:`~repro.core.runtime.QuetzalRuntime`
+NoAdapt (NA)          :class:`~repro.policies.noadapt.NoAdaptPolicy`
+Always Degrade (AD)   :class:`~repro.policies.always_degrade.AlwaysDegradePolicy`
+CatNap (CN)           :func:`~repro.policies.buffer_threshold.catnap_policy`
+Fixed thresholds      :class:`~repro.policies.buffer_threshold.BufferThresholdPolicy`
+Zygarde/Protean       :class:`~repro.policies.power_threshold.PowerThresholdPolicy`
+  (PZO observed,        (``threshold`` from the datasheet maximum)
+   PZI idealized)       (``threshold`` from the max observed power)
+Ideal (∞ memory)      NoAdapt + an unbounded buffer (engine configuration)
+Avg. S_e2e            Quetzal with an AverageServiceTimeEstimator
+FCFS / LCFS ablation  Quetzal with a different Scheduler
+====================  =======================================================
+"""
+
+from repro.policies.always_degrade import AlwaysDegradePolicy
+from repro.policies.base import (
+    CompletionRecord,
+    Decision,
+    Policy,
+    SchedulingContext,
+)
+from repro.policies.buffer_threshold import BufferThresholdPolicy, catnap_policy
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.policies.power_threshold import PowerThresholdPolicy
+
+__all__ = [
+    "Policy",
+    "Decision",
+    "SchedulingContext",
+    "CompletionRecord",
+    "QuetzalRuntime",
+    "NoAdaptPolicy",
+    "AlwaysDegradePolicy",
+    "BufferThresholdPolicy",
+    "catnap_policy",
+    "PowerThresholdPolicy",
+]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: QuetzalRuntime lives in repro.core.runtime, which
+    # itself imports repro.policies.base — importing it eagerly here would
+    # create a circular import through this package's __init__.
+    if name == "QuetzalRuntime":
+        from repro.core.runtime import QuetzalRuntime
+
+        return QuetzalRuntime
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,38 @@
+"""The *Always Degrade* (AD) baseline.
+
+Runs every degradable task at its *lowest* quality all the time (paper
+section 6.1).  This nearly eliminates IBOs — degraded tasks are fast and
+cheap — but pays for it twice: the degraded ML model misclassifies many
+interesting inputs (false negatives), and everything that is reported goes
+out as low-quality single-byte packets (Figures 3 and 9's hatched bars).
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import FCFSScheduler, Scheduler
+from repro.policies.base import Decision, Policy, SchedulingContext
+
+__all__ = ["AlwaysDegradePolicy"]
+
+
+class AlwaysDegradePolicy(Policy):
+    """Lowest quality always; FCFS order."""
+
+    def __init__(self, scheduler: Scheduler | None = None, name: str = "always-degrade") -> None:
+        self.name = name
+        self.scheduler = scheduler or FCFSScheduler()
+
+    def select(self, context: SchedulingContext) -> Decision:
+        selection = self.scheduler.select(context.candidates, scorer=lambda c: 0.0)
+        job = selection.job
+        options = {
+            ref.task.name: ref.task.lowest_quality
+            for ref in job.task_refs
+            if ref.task.degradable
+        }
+        return Decision(
+            job_name=job.name,
+            entry=selection.entry,
+            chosen_options=options,
+            degraded=True,
+        )

@@ -1,0 +1,71 @@
+"""Fixed buffer-occupancy-threshold baselines, including CatNap.
+
+These systems degrade tasks when the input buffer is filled to a static
+threshold, expressed as a fraction of capacity (paper section 6.1).
+CatNap [Maeng & Lucia, PLDI'20] is the threshold=100 % point: it degrades
+only *after* the buffer is completely full — too late to avoid the IBOs
+that occur while the buffer is filling (section 7.2 "vs Prior Work").
+Figure 11 sweeps the whole threshold range (25 %, 50 %, 75 % highlighted)
+and shows that every static threshold either adapts too late (high
+thresholds) or degrades unnecessarily (low thresholds).
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import FCFSScheduler, Scheduler
+from repro.errors import ConfigurationError
+from repro.policies.base import Decision, Policy, SchedulingContext
+
+__all__ = ["BufferThresholdPolicy", "catnap_policy"]
+
+
+class BufferThresholdPolicy(Policy):
+    """Degrade all degradable tasks when buffer fill >= ``threshold``.
+
+    Parameters
+    ----------
+    threshold:
+        Buffer-fill fraction in [0, 1] at which degradation engages.
+        0 degrades always (equivalent to Always Degrade); 1.0 degrades only
+        when the buffer is completely full (CatNap).
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        scheduler: Scheduler | None = None,
+        name: str | None = None,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError(f"threshold must be in [0, 1], got {threshold}")
+        self.threshold = threshold
+        self.scheduler = scheduler or FCFSScheduler()
+        self.name = name if name is not None else f"buffer-threshold-{int(round(threshold * 100))}"
+
+    def _fill_fraction(self, context: SchedulingContext) -> float:
+        if context.buffer_limit is None or context.buffer_limit == 0:
+            return 0.0
+        return context.buffer_occupancy / context.buffer_limit
+
+    def select(self, context: SchedulingContext) -> Decision:
+        selection = self.scheduler.select(context.candidates, scorer=lambda c: 0.0)
+        job = selection.job
+        degrade = self._fill_fraction(context) >= self.threshold
+        options = {}
+        if degrade:
+            options = {
+                ref.task.name: ref.task.lowest_quality
+                for ref in job.task_refs
+                if ref.task.degradable
+            }
+        return Decision(
+            job_name=job.name,
+            entry=selection.entry,
+            chosen_options=options,
+            degraded=degrade,
+        )
+
+
+def catnap_policy(scheduler: Scheduler | None = None) -> BufferThresholdPolicy:
+    """CatNap (CN): degrade only when the input buffer is 100 % full."""
+    return BufferThresholdPolicy(threshold=1.0, scheduler=scheduler, name="catnap")

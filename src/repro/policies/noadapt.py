@@ -1,0 +1,35 @@
+"""The *NoAdapt* (NA) baseline.
+
+Represents the vast majority of prior energy-harvesting systems (paper
+section 6.1): run every task at its highest available quality, process
+inputs first-come-first-served, take no action when the buffer fills.
+Inputs that arrive to a full buffer are simply lost — the behaviour whose
+cost Figures 3, 8, and 9 quantify.
+
+Combined with an unbounded buffer (engine configuration), this policy also
+realises the *Ideal* (∞-memory) reference system, which only loses
+interesting inputs to ML misclassification.
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import FCFSScheduler, Scheduler
+from repro.policies.base import Decision, Policy, SchedulingContext
+
+__all__ = ["NoAdaptPolicy"]
+
+
+class NoAdaptPolicy(Policy):
+    """Highest quality always; FCFS order; no reaction to buffer state."""
+
+    def __init__(self, scheduler: Scheduler | None = None, name: str = "noadapt") -> None:
+        self.name = name
+        self.scheduler = scheduler or FCFSScheduler()
+
+    def select(self, context: SchedulingContext) -> Decision:
+        selection = self.scheduler.select(context.candidates, scorer=lambda c: 0.0)
+        return Decision(
+            job_name=selection.job.name,
+            entry=selection.entry,
+            chosen_options={},  # empty mapping = highest quality everywhere
+        )

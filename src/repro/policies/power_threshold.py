@@ -1,0 +1,89 @@
+"""Input-power-threshold baselines: Zygarde / Protean (PZO and PZI).
+
+Zygarde [Islam & Nirjon '20] and Protean [Bakar et al. '23] degrade tasks
+when harvested input power falls below a static threshold computed as a
+fixed fraction of the harvester's maximum (paper section 6.1).  The paper
+studies two variants:
+
+* **PZO** ("observed"/as-proposed): threshold = fraction × the *datasheet*
+  maximum.  Real traces commonly stay below such thresholds, so the system
+  degrades almost always — the "fundamental flaw in using datasheet
+  maximums".
+* **PZI** ("idealized"): threshold = fraction × the *maximum power actually
+  observed in the experiment* — unimplementable in practice (it requires
+  oracular knowledge of the future) but a stronger comparison point.
+
+Either way, the trigger is input power, not buffer state, so tasks degrade
+even when the buffer is nearly empty and no IBO is remotely imminent
+(Figure 10's unnecessary-degradation story).
+"""
+
+from __future__ import annotations
+
+from repro.core.scheduler import FCFSScheduler, Scheduler
+from repro.errors import ConfigurationError
+from repro.policies.base import Decision, Policy, SchedulingContext
+
+__all__ = ["PowerThresholdPolicy"]
+
+
+class PowerThresholdPolicy(Policy):
+    """Degrade all degradable tasks when input power < threshold.
+
+    Parameters
+    ----------
+    threshold_fraction:
+        Fraction in (0, 1] applied to the reference maximum power.
+    datasheet_max_w:
+        If given, the threshold is ``threshold_fraction * datasheet_max_w``
+        (the PZO variant).  If ``None``, the threshold is computed from the
+        trace's true maximum power exposed in the scheduling context (the
+        idealized PZI variant).
+    """
+
+    def __init__(
+        self,
+        threshold_fraction: float = 0.5,
+        datasheet_max_w: float | None = None,
+        scheduler: Scheduler | None = None,
+        name: str | None = None,
+    ) -> None:
+        if not 0.0 < threshold_fraction <= 1.0:
+            raise ConfigurationError(
+                f"threshold_fraction must be in (0, 1], got {threshold_fraction}"
+            )
+        if datasheet_max_w is not None and datasheet_max_w <= 0:
+            raise ConfigurationError("datasheet_max_w must be positive")
+        self.threshold_fraction = threshold_fraction
+        self.datasheet_max_w = datasheet_max_w
+        self.scheduler = scheduler or FCFSScheduler()
+        if name is None:
+            name = "pz-observed" if datasheet_max_w is not None else "pz-idealized"
+        self.name = name
+
+    def threshold_w(self, context: SchedulingContext) -> float:
+        """The absolute power threshold in effect for this decision."""
+        reference = (
+            self.datasheet_max_w
+            if self.datasheet_max_w is not None
+            else context.max_trace_power_w
+        )
+        return self.threshold_fraction * reference
+
+    def select(self, context: SchedulingContext) -> Decision:
+        selection = self.scheduler.select(context.candidates, scorer=lambda c: 0.0)
+        job = selection.job
+        degrade = context.true_input_power_w < self.threshold_w(context)
+        options = {}
+        if degrade:
+            options = {
+                ref.task.name: ref.task.lowest_quality
+                for ref in job.task_refs
+                if ref.task.degradable
+            }
+        return Decision(
+            job_name=job.name,
+            entry=selection.entry,
+            chosen_options=options,
+            degraded=degrade,
+        )

@@ -1,0 +1,500 @@
+"""The simulation engine.
+
+Faithful to the paper's simulator semantics (section 6.3): harvested energy
+is added to the storage element continuously, a task "runs" by consuming
+its latency and energy, a JIT checkpointing system rides through power
+failures (save state, die, recharge to the restart threshold, restore,
+resume), and policy/degradation logic is evaluated — and its overheads
+charged — before each job.  The capture process inserts inputs at a fixed
+rate regardless of device state (see DESIGN.md's reserved-capture-store
+substitution), so recharge stalls translate directly into buffer pressure.
+
+Instead of literally iterating 1 ms steps, the engine advances between
+*breakpoints* — the next capture tick, the next trace segment boundary, the
+task's completion, or the storage's depletion instant — and integrates the
+piecewise-constant power in closed form over each span.  For such traces
+this is exact (``tests/sim/test_engine_equivalence.py`` checks it against a
+literal fixed-increment stepper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.buffer import BufferedInput, InputBuffer
+from repro.device.checkpoint import CheckpointModel
+from repro.device.mcu import APOLLO4, MCUProfile
+from repro.device.storage import Supercapacitor
+from repro.env.events import EventSchedule
+from repro.errors import ConfigurationError, SchedulingError, SimulationError
+from repro.core.scheduler import JobCandidate
+from repro.policies.base import CompletionRecord, Decision, Policy, SchedulingContext
+from repro.sim.metrics import RunMetrics
+from repro.trace.power_trace import PowerTrace
+from repro.units import TIME_EPSILON
+from repro.workload.pipelines import PersonDetectionApp
+from repro.workload.task import TaskCost
+
+__all__ = ["SimulationConfig", "SimulationEngine", "simulate"]
+
+_ENERGY_EPS = 1e-12
+
+
+class _RunEnded(Exception):
+    """Internal control flow: the hard end of the simulation was reached."""
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Engine parameters independent of device/workload/policy.
+
+    Attributes
+    ----------
+    capture_period_s:
+        Camera capture period (Table 1: 1 s = 1 FPS).
+    buffer_capacity:
+        Input-buffer capacity in images (Table 1: 10); ``None`` gives the
+        Ideal baseline's unbounded buffer.
+    drain_timeout_s:
+        Extra simulated time allowed after the last event for the device to
+        drain its buffer before the run is cut off.
+    charge_policy_overhead:
+        Whether to debit the policy's per-invocation compute cost from the
+        energy store (the paper's simulator does; section 6.3).
+    seed:
+        Seed for the classification-outcome RNG.
+    cost_jitter_sigma:
+        Log-normal sigma of per-execution latency jitter (0 disables it,
+        matching the paper's consistent-cost assumption; section 5.2 names
+        variable costs as future work — see
+        :mod:`repro.workload.variability`).
+    """
+
+    capture_period_s: float = 1.0
+    buffer_capacity: int | None = 10
+    drain_timeout_s: float = 3600.0
+    charge_policy_overhead: bool = True
+    seed: int = 0
+    cost_jitter_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capture_period_s <= 0:
+            raise ConfigurationError("capture_period_s must be positive")
+        if self.drain_timeout_s < 0:
+            raise ConfigurationError("drain_timeout_s must be >= 0")
+        if self.cost_jitter_sigma < 0:
+            raise ConfigurationError("cost_jitter_sigma must be >= 0")
+
+
+class SimulationEngine:
+    """Simulates one policy processing one event schedule under one trace."""
+
+    def __init__(
+        self,
+        app: PersonDetectionApp,
+        policy: Policy,
+        trace: PowerTrace,
+        schedule: EventSchedule,
+        mcu: MCUProfile = APOLLO4,
+        storage: Supercapacitor | None = None,
+        checkpoint: CheckpointModel | None = None,
+        config: SimulationConfig | None = None,
+        telemetry=None,
+    ) -> None:
+        self.app = app
+        self.policy = policy
+        self.trace = trace
+        self.schedule = schedule
+        self.mcu = mcu
+        self.storage = storage or Supercapacitor()
+        self.checkpoint = checkpoint or CheckpointModel()
+        self.config = config or SimulationConfig()
+        #: Optional :class:`repro.sim.telemetry.TelemetryRecorder`.
+        self.telemetry = telemetry
+
+        self.buffer = InputBuffer(self.config.buffer_capacity)
+        self.metrics = RunMetrics()
+        self.rng = np.random.default_rng(self.config.seed)
+        # The differencing-filter draws use a separate stream advanced once
+        # per capture, so every policy simulated at the same seed sees the
+        # *identical* arrival sequence (the paper gets this repeatability
+        # from its secondary-MCU event rig, section 6.2).
+        self._capture_rng = np.random.default_rng((self.config.seed, 0xD1FF))
+        self._cost_jitter = None
+        if self.config.cost_jitter_sigma > 0:
+            from repro.workload.variability import CostJitterModel
+
+            self._cost_jitter = CostJitterModel(
+                self.config.cost_jitter_sigma,
+                np.random.default_rng((self.config.seed, 0xC057)),
+            )
+        self.now = 0.0
+        self.hard_end = self.schedule.end_time + self.config.drain_timeout_s
+        self._capture_index = 1  # first capture at one full period
+        try:
+            self._max_trace_power = trace.max_power  # type: ignore[attr-defined]
+        except AttributeError:
+            self._max_trace_power = trace.power(0.0)
+        self._ran = False
+
+    # ------------------------------------------------------------------ run --
+
+    def run(self) -> RunMetrics:
+        """Execute the simulation and return its metrics (single use)."""
+        if self._ran:
+            raise SimulationError("SimulationEngine instances are single-use")
+        self._ran = True
+        self.policy.prepare(self.app.jobs, self.config.capture_period_s)
+        try:
+            while True:
+                if self.now >= self.hard_end - TIME_EPSILON:
+                    break
+                if not self.buffer.is_empty:
+                    decision = self._invoke_policy()
+                    self._execute_job(decision)
+                else:
+                    next_capture = self._next_capture_time()
+                    if next_capture > self.schedule.end_time:
+                        break  # nothing left to capture or process
+                    self._idle_until(next_capture)
+        except _RunEnded:
+            pass
+        self._finalize()
+        return self.metrics
+
+    # ---------------------------------------------------------- time advance --
+
+    def _next_capture_time(self) -> float:
+        return self._capture_index * self.config.capture_period_s
+
+    def _check_hard_end(self) -> None:
+        if self.now >= self.hard_end - TIME_EPSILON:
+            raise _RunEnded
+
+    def _account_span(self, dt: float, p_in_w: float, draw_w: float) -> None:
+        """Apply ``dt`` seconds of harvesting at ``p_in_w`` and draw at ``draw_w``."""
+        if dt <= 0:
+            return
+        self.metrics.energy_consumed_j += draw_w * dt
+        net = draw_w - p_in_w
+        if net >= 0:
+            self.storage.draw(net * dt)
+            self.metrics.energy_harvested_j += p_in_w * dt
+        else:
+            stored = self.storage.harvest(-net * dt)
+            self.metrics.energy_harvested_j += draw_w * dt + stored
+
+    def _fire_due_captures(self) -> None:
+        while self._next_capture_time() <= self.now + TIME_EPSILON:
+            self._do_capture(self._next_capture_time())
+            self._capture_index += 1
+
+    def _advance_to(
+        self, target_s: float, draw_w: float, stop_energy_j: float | None = None
+    ) -> bool:
+        """Advance time to ``target_s`` drawing ``draw_w`` watts.
+
+        Fires captures crossed along the way.  If ``stop_energy_j`` is set
+        and the store would drain to that level first, stops there and
+        returns True (depleted).  Returns False when ``target_s`` was
+        reached.  Raises :class:`_RunEnded` at the hard end.
+        """
+        while self.now < target_s - TIME_EPSILON:
+            self._check_hard_end()
+            boundary = min(
+                target_s,
+                self._next_capture_time(),
+                self.trace.next_boundary(self.now),
+                self.hard_end,
+            )
+            p_in = self.trace.power(self.now)
+            net = draw_w - p_in
+            if stop_energy_j is not None and net > 0:
+                margin = self.storage.energy_j - stop_energy_j
+                if margin <= _ENERGY_EPS:
+                    return True
+                t_depleted = self.now + margin / net
+                if t_depleted < boundary - TIME_EPSILON:
+                    self._account_span(t_depleted - self.now, p_in, draw_w)
+                    self.now = t_depleted
+                    self._fire_due_captures()
+                    return True
+            self._account_span(boundary - self.now, p_in, draw_w)
+            self.now = boundary
+            self._fire_due_captures()
+        return False
+
+    def _recharge_to_restart(self) -> None:
+        """Dead device: harvest (drawing nothing) until the restart level."""
+        start = self.now
+        while True:
+            deficit = self.storage.deficit_to_restart_j()
+            if deficit <= _ENERGY_EPS:
+                break
+            self._check_hard_end()
+            wait = self.trace.time_to_harvest(self.now, deficit)
+            if math.isinf(wait):
+                # The trace can never refill the store: starve to run end.
+                self.metrics.recharge_time_s += self.hard_end - self.now
+                self.now = self.hard_end
+                raise _RunEnded
+            boundary = min(self.now + wait, self._next_capture_time(), self.hard_end)
+            harvested = self.trace.integrate(self.now, boundary)
+            self.metrics.energy_harvested_j += self.storage.harvest(harvested)
+            self.now = boundary
+            self._fire_due_captures()
+        self.metrics.recharge_time_s += self.now - start
+
+    def _run_block(self, duration_s: float, power_w: float) -> None:
+        """Run a compute block intermittently, checkpointing across failures."""
+        remaining = duration_s
+        reserve = self.checkpoint.save_energy_j
+        while remaining > TIME_EPSILON:
+            if self.storage.energy_j <= reserve + _ENERGY_EPS:
+                # Not enough headroom to make progress: recharge first.
+                self._recharge_to_restart()
+            start = self.now
+            depleted = self._advance_to(self.now + remaining, power_w, stop_energy_j=reserve)
+            remaining -= self.now - start
+            if depleted and remaining > TIME_EPSILON:
+                self._power_failure()
+
+    def _power_failure(self) -> None:
+        """JIT checkpoint: save, die, recharge, restore."""
+        self.metrics.power_failures += 1
+        self._pay_overhead(self.checkpoint.save_time_s, self.checkpoint.save_energy_j)
+        self._recharge_to_restart()
+        self._pay_overhead(
+            self.checkpoint.restore_time_s, self.checkpoint.restore_energy_j
+        )
+
+    def _pay_overhead(self, time_s: float, energy_j: float) -> None:
+        """Charge a fixed time+energy overhead (checkpoint save/restore)."""
+        if time_s > 0:
+            self._advance_to(self.now + time_s, energy_j / time_s)
+        elif energy_j > 0:
+            self.storage.draw(min(energy_j, self.storage.energy_j))
+            self.metrics.energy_consumed_j += energy_j
+
+    def _idle_until(self, target_s: float) -> None:
+        """Sleep (harvesting) until ``target_s``; ride through brownouts."""
+        while self.now < target_s - TIME_EPSILON:
+            depleted = self._advance_to(
+                target_s, self.mcu.sleep_power_w, stop_energy_j=0.0
+            )
+            if depleted:
+                # Sleep-state brownout: no checkpoint needed, state is
+                # retained in NVM; simply wait for the restart threshold.
+                self._recharge_to_restart()
+
+    # ----------------------------------------------------------------- capture --
+
+    def _do_capture(self, t: float) -> None:
+        metrics = self.metrics
+        metrics.captures_total += 1
+        if self.telemetry is not None:
+            self.telemetry.on_capture(
+                t,
+                occupancy=self.buffer.occupancy,
+                stored_energy_j=self.storage.energy_j,
+                input_power_w=self.trace.power(t),
+                event_active=self.schedule.active_at(t),
+            )
+        # One draw per capture keeps the arrival stream identical across
+        # policies at a given seed, whether or not an event is in progress.
+        diff_draw = self._capture_rng.random()
+        if self.schedule.active_at(t):
+            active = diff_draw < self.schedule.diff_probability
+        else:
+            active = diff_draw < self.schedule.background_diff_probability
+        interesting = active and self.schedule.interesting_at(t)
+        if interesting:
+            metrics.captures_interesting += 1
+        self.policy.on_capture(t, stored=active)
+        if not active:
+            return
+        metrics.captures_active += 1
+        entry = BufferedInput(
+            capture_time=t,
+            interesting=interesting,
+            job_name=self.app.entry_job,
+            enqueue_time=t,
+        )
+        if self.buffer.try_insert(entry):
+            metrics.stored += 1
+        else:
+            metrics.ibo_drops += 1
+            if interesting:
+                metrics.ibo_drops_interesting += 1
+
+    # ----------------------------------------------------------------- policy --
+
+    def _build_candidates(self) -> list[JobCandidate]:
+        candidates = []
+        for job_name in self.buffer.pending_job_names():
+            oldest = self.buffer.oldest_for_job(job_name)
+            newest = self.buffer.newest_for_job(job_name)
+            count = sum(1 for e in self.buffer if e.job_name == job_name)
+            assert oldest is not None and newest is not None
+            candidates.append(
+                JobCandidate(
+                    job=self.app.jobs.job(job_name),
+                    oldest=oldest,
+                    newest=newest,
+                    pending_count=count,
+                )
+            )
+        return candidates
+
+    def _invoke_policy(self) -> Decision:
+        context = SchedulingContext(
+            now_s=self.now,
+            candidates=self._build_candidates(),
+            buffer_occupancy=self.buffer.occupancy,
+            buffer_limit=self.buffer.capacity,
+            true_input_power_w=self.trace.power(self.now),
+            max_trace_power_w=self._max_trace_power,
+        )
+        decision = self.policy.select(context)
+        self._validate_decision(decision)
+        if self.telemetry is not None:
+            job = self.app.jobs.job(decision.job_name)
+            deg_task = job.degradable_task
+            option = decision.chosen_options.get(deg_task.name, deg_task.highest_quality)
+            self.telemetry.on_decision(
+                self.now,
+                job_name=decision.job_name,
+                option_name=option.name,
+                degraded=decision.degraded,
+                ibo_predicted=decision.ibo_predicted,
+                predicted_service_s=decision.predicted_service_s,
+            )
+        self.metrics.policy_invocations += 1
+        if decision.ibo_predicted:
+            self.metrics.ibo_predictions += 1
+        if self.config.charge_policy_overhead:
+            time_s, energy_j = self.policy.invocation_cost(self.mcu)
+            if time_s > 0:
+                self.metrics.policy_time_s += time_s
+                self.metrics.policy_energy_j += energy_j
+                self._run_block(time_s, energy_j / time_s)
+        return decision
+
+    def _validate_decision(self, decision: Decision) -> None:
+        if decision.job_name not in self.app.jobs:
+            raise SchedulingError(f"policy selected unknown job {decision.job_name!r}")
+        if decision.entry not in self.buffer.entries():
+            raise SchedulingError(
+                f"policy selected input {decision.entry.input_id} not in buffer"
+            )
+        if decision.entry.job_name != decision.job_name:
+            raise SchedulingError(
+                f"input {decision.entry.input_id} is pending job "
+                f"{decision.entry.job_name!r}, not {decision.job_name!r}"
+            )
+
+    # -------------------------------------------------------------------- jobs --
+
+    def _execute_job(self, decision: Decision) -> None:
+        entry = decision.entry
+        plan = self.app.plan(
+            decision.job_name, entry.interesting, decision.chosen_options, self.rng
+        )
+        started = self.now
+        task_spans: dict[str, float] = {}
+        try:
+            for planned in plan.planned:
+                if not planned.executes:
+                    continue
+                cost: TaskCost = planned.option.cost
+                if self._cost_jitter is not None:
+                    cost = self._cost_jitter.jittered(cost)
+                t0 = self.now
+                self._run_block(cost.t_exe_s, cost.p_exe_w)
+                task_spans[planned.ref.task.name] = self.now - t0
+        except _RunEnded:
+            # Job cut off by the end of the run; its input stays buffered
+            # and is counted as leftover by _finalize.
+            raise
+
+        outcome = plan.outcome
+        if outcome.remove_input:
+            self.buffer.remove(entry)
+        elif outcome.respawn_job is not None:
+            entry.job_name = outcome.respawn_job
+            entry.enqueue_time = self.now
+
+        metrics = self.metrics
+        metrics.jobs_completed += 1
+        if decision.degraded:
+            metrics.jobs_degraded += 1
+        deg_task = plan.job.degradable_task
+        chosen = decision.chosen_options.get(deg_task.name, deg_task.highest_quality)
+        metrics.record_option_use(deg_task.name, chosen.name)
+        if outcome.false_negative:
+            metrics.false_negatives += 1
+        elif outcome.classified_positive is False:
+            metrics.true_negatives += 1
+        if outcome.packet_quality is not None:
+            self._record_packet(entry.interesting, outcome.packet_quality)
+
+        if decision.predicted_service_s is not None:
+            error = (self.now - started) - decision.predicted_service_s
+            metrics.prediction_count += 1
+            metrics.prediction_error_s += error
+            metrics.prediction_abs_error_s += abs(error)
+
+        record = CompletionRecord(
+            decision=decision,
+            started_s=started,
+            finished_s=self.now,
+            executed_by_task={
+                p.ref.task.name: p.executes for p in plan.planned
+            },
+            outcome=outcome,
+            task_spans=task_spans,
+        )
+        self.policy.on_job_complete(record)
+
+    def _record_packet(self, interesting: bool, quality: str) -> None:
+        metrics = self.metrics
+        if quality not in ("high", "low"):
+            raise SimulationError(f"unknown packet quality {quality!r}")
+        high = quality == "high"
+        if interesting and high:
+            metrics.packets_interesting_high += 1
+        elif interesting:
+            metrics.packets_interesting_low += 1
+        elif high:
+            metrics.packets_uninteresting_high += 1
+        else:
+            metrics.packets_uninteresting_low += 1
+
+    # ---------------------------------------------------------------- finalize --
+
+    def _finalize(self) -> None:
+        self.metrics.sim_end_s = self.now
+        leftovers = self.buffer.clear()
+        self.metrics.leftover_total = len(leftovers)
+        self.metrics.leftover_interesting = sum(1 for e in leftovers if e.interesting)
+
+
+def simulate(
+    app: PersonDetectionApp,
+    policy: Policy,
+    trace: PowerTrace,
+    schedule: EventSchedule,
+    mcu: MCUProfile = APOLLO4,
+    storage: Supercapacitor | None = None,
+    checkpoint: CheckpointModel | None = None,
+    config: SimulationConfig | None = None,
+) -> RunMetrics:
+    """Convenience wrapper: build an engine, run it, return the metrics."""
+    engine = SimulationEngine(
+        app, policy, trace, schedule, mcu=mcu, storage=storage,
+        checkpoint=checkpoint, config=config,
+    )
+    return engine.run()

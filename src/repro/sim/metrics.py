@@ -1,0 +1,174 @@
+"""Run metrics: everything the paper's figures are computed from.
+
+The evaluation's figure of merit is *interesting inputs discarded*, broken
+down by cause (paper Figures 3 and 8-13):
+
+* **IBO drops** — interesting inputs that arrived to a full buffer;
+* **false negatives** — interesting inputs the (possibly degraded) ML
+  model misclassified and discarded;
+
+plus the *radio packet distribution* — how many interesting inputs were
+reported, and of those, how many at high quality (full image) vs low
+quality (single byte).
+
+:class:`RunMetrics` also tracks energy/intermittence counters and
+prediction-accuracy sums used by the sensitivity analyses and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Counters collected over one simulation run."""
+
+    # -- run span ------------------------------------------------------------
+    sim_end_s: float = 0.0
+
+    # -- capture process -------------------------------------------------------
+    captures_total: int = 0
+    #: Captures with the 'different' pin high (passed pre-filtering).
+    captures_active: int = 0
+    #: Captures with the 'interesting' pin high (ground-truth interesting).
+    captures_interesting: int = 0
+    #: Inputs actually inserted into the buffer.
+    stored: int = 0
+    #: Inputs lost to input buffer overflows.
+    ibo_drops: int = 0
+    ibo_drops_interesting: int = 0
+
+    # -- job processing ----------------------------------------------------------
+    jobs_completed: int = 0
+    jobs_degraded: int = 0
+    ibo_predictions: int = 0
+    #: Interesting inputs discarded by ML misclassification.
+    false_negatives: int = 0
+    #: Uninteresting inputs correctly discarded.
+    true_negatives: int = 0
+
+    # -- radio packets -------------------------------------------------------------
+    packets_interesting_high: int = 0
+    packets_interesting_low: int = 0
+    packets_uninteresting_high: int = 0
+    packets_uninteresting_low: int = 0
+
+    # -- end-of-run buffer state ------------------------------------------------------
+    leftover_total: int = 0
+    leftover_interesting: int = 0
+
+    # -- energy & intermittence -----------------------------------------------------
+    energy_harvested_j: float = 0.0
+    energy_consumed_j: float = 0.0
+    power_failures: int = 0
+    recharge_time_s: float = 0.0
+    policy_invocations: int = 0
+    policy_time_s: float = 0.0
+    policy_energy_j: float = 0.0
+
+    # -- prediction accuracy -----------------------------------------------------------
+    prediction_count: int = 0
+    prediction_abs_error_s: float = 0.0
+    prediction_error_s: float = 0.0
+
+    # -- per-option degradation counts (task -> option -> jobs) -------------------------
+    option_use: dict = field(default_factory=dict)
+
+    # -- derived figures of merit ----------------------------------------------------------
+
+    @property
+    def interesting_discarded_total(self) -> int:
+        """Interesting inputs lost to IBOs plus ML false negatives.
+
+        Inputs still buffered when the run ends count as discarded too
+        (they were never reported), though a drained run leaves none.
+        """
+        return self.ibo_drops_interesting + self.false_negatives + self.leftover_interesting
+
+    @property
+    def interesting_discarded_fraction(self) -> float:
+        """Discarded interesting inputs as a fraction of all interesting inputs."""
+        if self.captures_interesting == 0:
+            return 0.0
+        return self.interesting_discarded_total / self.captures_interesting
+
+    @property
+    def ibo_discarded_fraction(self) -> float:
+        """IBO-only discard fraction (Figure 9/10's solid bar component)."""
+        if self.captures_interesting == 0:
+            return 0.0
+        return self.ibo_drops_interesting / self.captures_interesting
+
+    @property
+    def false_negative_fraction(self) -> float:
+        """FN-only discard fraction (the hatched bar component)."""
+        if self.captures_interesting == 0:
+            return 0.0
+        return self.false_negatives / self.captures_interesting
+
+    @property
+    def reported_interesting(self) -> int:
+        """Interesting inputs transmitted (at any quality)."""
+        return self.packets_interesting_high + self.packets_interesting_low
+
+    @property
+    def reported_interesting_high_quality(self) -> int:
+        return self.packets_interesting_high
+
+    @property
+    def high_quality_fraction(self) -> float:
+        """Fraction of reported interesting inputs sent at high quality."""
+        reported = self.reported_interesting
+        if reported == 0:
+            return 0.0
+        return self.packets_interesting_high / reported
+
+    @property
+    def packets_total(self) -> int:
+        return (
+            self.packets_interesting_high
+            + self.packets_interesting_low
+            + self.packets_uninteresting_high
+            + self.packets_uninteresting_low
+        )
+
+    @property
+    def mean_abs_prediction_error_s(self) -> float:
+        """Mean |observed - predicted| service time over predicted jobs."""
+        if self.prediction_count == 0:
+            return 0.0
+        return self.prediction_abs_error_s / self.prediction_count
+
+    def record_option_use(self, task_name: str, option_name: str) -> None:
+        """Count one job executing ``task_name`` at ``option_name``."""
+        per_task = self.option_use.setdefault(task_name, {})
+        per_task[option_name] = per_task.get(option_name, 0) + 1
+
+    def to_dict(self) -> dict:
+        """Flat summary used by the reporting helpers."""
+        return {
+            "sim_end_s": self.sim_end_s,
+            "captures_total": self.captures_total,
+            "captures_interesting": self.captures_interesting,
+            "stored": self.stored,
+            "ibo_drops": self.ibo_drops,
+            "ibo_drops_interesting": self.ibo_drops_interesting,
+            "false_negatives": self.false_negatives,
+            "discarded_total": self.interesting_discarded_total,
+            "discarded_fraction": self.interesting_discarded_fraction,
+            "reported_interesting": self.reported_interesting,
+            "reported_hq": self.packets_interesting_high,
+            "reported_lq": self.packets_interesting_low,
+            "hq_fraction": self.high_quality_fraction,
+            "packets_uninteresting": self.packets_uninteresting_high
+            + self.packets_uninteresting_low,
+            "jobs_completed": self.jobs_completed,
+            "jobs_degraded": self.jobs_degraded,
+            "power_failures": self.power_failures,
+            "recharge_time_s": self.recharge_time_s,
+            "energy_harvested_j": self.energy_harvested_j,
+            "energy_consumed_j": self.energy_consumed_j,
+        }

@@ -1,0 +1,154 @@
+"""Time-series telemetry for simulation runs.
+
+The headline metrics (:class:`~repro.sim.metrics.RunMetrics`) are
+aggregates; understanding *why* a run behaved as it did — the story told
+by the paper's Figure 2a — needs the trajectories: buffer occupancy over
+time, stored energy, input power, and the quality decisions taken.
+
+:class:`TelemetryRecorder` is an optional engine attachment.  The engine
+calls it at every capture and every scheduling decision; samples are kept
+as parallel lists cheap enough to leave enabled for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BufferSample", "DecisionSample", "TelemetryRecorder"]
+
+
+@dataclass(frozen=True)
+class BufferSample:
+    """Device state observed at one capture tick."""
+
+    t: float
+    occupancy: int
+    stored_energy_j: float
+    input_power_w: float
+    event_active: bool
+
+
+@dataclass(frozen=True)
+class DecisionSample:
+    """One scheduling decision."""
+
+    t: float
+    job_name: str
+    option_name: str
+    degraded: bool
+    ibo_predicted: bool
+    predicted_service_s: float | None
+
+
+class TelemetryRecorder:
+    """Collects per-capture and per-decision samples during a run.
+
+    Parameters
+    ----------
+    sample_every:
+        Record every Nth capture sample (1 = all).  Decision samples are
+        never thinned — they are the sparse, interesting ones.
+    """
+
+    def __init__(self, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ConfigurationError(f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = sample_every
+        self.buffer_samples: list[BufferSample] = []
+        self.decisions: list[DecisionSample] = []
+        self._capture_count = 0
+
+    # -- engine hooks -----------------------------------------------------------
+
+    def on_capture(
+        self,
+        t: float,
+        occupancy: int,
+        stored_energy_j: float,
+        input_power_w: float,
+        event_active: bool,
+    ) -> None:
+        self._capture_count += 1
+        if (self._capture_count - 1) % self.sample_every:
+            return
+        self.buffer_samples.append(
+            BufferSample(t, occupancy, stored_energy_j, input_power_w, event_active)
+        )
+
+    def on_decision(
+        self,
+        t: float,
+        job_name: str,
+        option_name: str,
+        degraded: bool,
+        ibo_predicted: bool,
+        predicted_service_s: float | None,
+    ) -> None:
+        self.decisions.append(
+            DecisionSample(
+                t, job_name, option_name, degraded, ibo_predicted, predicted_service_s
+            )
+        )
+
+    # -- analysis helpers ----------------------------------------------------------
+
+    def peak_occupancy(self) -> int:
+        """Highest buffer occupancy observed at a capture tick."""
+        if not self.buffer_samples:
+            return 0
+        return max(s.occupancy for s in self.buffer_samples)
+
+    def mean_occupancy(self) -> float:
+        """Mean occupancy across capture ticks (0 if none)."""
+        if not self.buffer_samples:
+            return 0.0
+        return sum(s.occupancy for s in self.buffer_samples) / len(self.buffer_samples)
+
+    def degraded_fraction(self) -> float:
+        """Fraction of decisions that ran a degraded option."""
+        if not self.decisions:
+            return 0.0
+        return sum(1 for d in self.decisions if d.degraded) / len(self.decisions)
+
+    def occupancy_series(self) -> tuple[list[float], list[int]]:
+        """(times, occupancies) for plotting."""
+        return (
+            [s.t for s in self.buffer_samples],
+            [s.occupancy for s in self.buffer_samples],
+        )
+
+    def power_series(self) -> tuple[list[float], list[float]]:
+        """(times, input powers) for plotting."""
+        return (
+            [s.t for s in self.buffer_samples],
+            [s.input_power_w for s in self.buffer_samples],
+        )
+
+    def windowed_processing_rate(
+        self, window_s: float
+    ) -> tuple[list[float], list[float]]:
+        """(window end times, decisions per second) — Figure 2a's y-axis.
+
+        Decisions approximate processed inputs; the rate varies with input
+        power and event activity, which is the paper's motivating
+        observation.
+        """
+        if window_s <= 0:
+            raise ConfigurationError(f"window_s must be positive, got {window_s}")
+        if not self.decisions:
+            return [], []
+        end = self.decisions[-1].t
+        times, rates = [], []
+        t = window_s
+        idx = 0
+        while t <= end + window_s:
+            count = 0
+            while idx < len(self.decisions) and self.decisions[idx].t < t:
+                count += 1
+                idx += 1
+            times.append(t)
+            rates.append(count / window_s)
+            t += window_s
+        return times, rates

@@ -1,0 +1,115 @@
+"""Loading and saving power traces as CSV.
+
+Deployments record harvester power with instruments like the Otii the
+paper used; this module round-trips such recordings so users can drive the
+simulator from their own data instead of the synthetic solar generator.
+
+Format: a header line ``time_s,power_w`` followed by one sample per line.
+Rows must start at ``t=0`` and be strictly increasing; the trace is
+piecewise constant between rows.  ``repeat=True`` (default) loops the
+recording, which requires a final ``period`` row or uses the last sample
+spacing as the tail segment's length.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.errors import TraceError
+from repro.trace.power_trace import PiecewiseConstantTrace
+
+__all__ = ["load_trace_csv", "save_trace_csv", "trace_from_rows"]
+
+_HEADER = ("time_s", "power_w")
+
+
+def trace_from_rows(
+    rows: Iterable[tuple[float, float]],
+    repeat: bool = True,
+    period: float | None = None,
+) -> PiecewiseConstantTrace:
+    """Build a trace from ``(time_s, power_w)`` pairs.
+
+    With ``repeat`` and no explicit ``period``, the recording's period is
+    extrapolated as the last sample time plus the median sample spacing.
+    """
+    times: list[float] = []
+    powers: list[float] = []
+    for t, p in rows:
+        times.append(float(t))
+        powers.append(float(p))
+    if not times:
+        raise TraceError("trace CSV contains no samples")
+    if not repeat:
+        return PiecewiseConstantTrace(times, powers, period=None)
+    if period is None:
+        if len(times) < 2:
+            raise TraceError("repeat=True needs >= 2 samples or an explicit period")
+        spacings = sorted(b - a for a, b in zip(times, times[1:]))
+        median_spacing = spacings[len(spacings) // 2]
+        period = times[-1] + median_spacing
+    return PiecewiseConstantTrace(times, powers, period=period)
+
+
+def load_trace_csv(
+    source: str | Path | TextIO,
+    repeat: bool = True,
+    period: float | None = None,
+) -> PiecewiseConstantTrace:
+    """Load a trace from a CSV file, path, or open text stream."""
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return load_trace_csv(handle, repeat=repeat, period=period)
+    reader = csv.reader(source)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise TraceError("trace CSV is empty") from None
+    if tuple(h.strip() for h in header) != _HEADER:
+        raise TraceError(
+            f"trace CSV must start with header {','.join(_HEADER)!r}, "
+            f"got {','.join(header)!r}"
+        )
+    rows = []
+    for line_no, row in enumerate(reader, start=2):
+        if not row or (len(row) == 1 and not row[0].strip()):
+            continue
+        if len(row) != 2:
+            raise TraceError(f"line {line_no}: expected 2 columns, got {len(row)}")
+        try:
+            rows.append((float(row[0]), float(row[1])))
+        except ValueError as exc:
+            raise TraceError(f"line {line_no}: {exc}") from None
+    return trace_from_rows(rows, repeat=repeat, period=period)
+
+
+def save_trace_csv(
+    trace: PiecewiseConstantTrace,
+    destination: str | Path | TextIO,
+    duration_s: float | None = None,
+    sample_period_s: float = 1.0,
+) -> None:
+    """Sample a trace to CSV.
+
+    ``duration_s`` defaults to one period for repeating traces and must be
+    given for non-repeating ones.
+    """
+    if duration_s is None:
+        if trace.period is None:
+            raise TraceError("duration_s is required for non-repeating traces")
+        duration_s = trace.period
+    if duration_s <= 0 or sample_period_s <= 0:
+        raise TraceError("duration_s and sample_period_s must be positive")
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            save_trace_csv(trace, handle, duration_s, sample_period_s)
+        return
+    writer = csv.writer(destination)
+    writer.writerow(_HEADER)
+    t = 0.0
+    while t < duration_s - 1e-12:
+        writer.writerow([f"{t:.6f}", f"{trace.power(t):.9f}"])
+        t += sample_period_s

@@ -1,0 +1,71 @@
+"""Deterministic traces for tests, examples, and analytical experiments.
+
+These tiny constructors build :class:`~repro.trace.power_trace.PiecewiseConstantTrace`
+instances with known, closed-form behaviour, so unit tests can verify the
+engine's energy accounting against hand-computed values.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.trace.power_trace import PiecewiseConstantTrace
+
+__all__ = ["constant_trace", "square_wave_trace", "two_level_trace", "ramp_trace"]
+
+
+def constant_trace(power_w: float) -> PiecewiseConstantTrace:
+    """A trace that delivers ``power_w`` watts forever."""
+    return PiecewiseConstantTrace([0.0], [power_w])
+
+
+def square_wave_trace(
+    high_w: float,
+    low_w: float,
+    half_period_s: float,
+) -> PiecewiseConstantTrace:
+    """Alternate between ``high_w`` and ``low_w`` every ``half_period_s``.
+
+    Starts high.  Models the coarse day/night or sun/cloud alternation that
+    drives Quetzal's energy-aware behaviour without any randomness.
+    """
+    if half_period_s <= 0:
+        raise TraceError(f"half_period_s must be positive, got {half_period_s}")
+    return PiecewiseConstantTrace(
+        [0.0, half_period_s], [high_w, low_w], period=2 * half_period_s
+    )
+
+
+def two_level_trace(
+    first_w: float,
+    second_w: float,
+    switch_at_s: float,
+) -> PiecewiseConstantTrace:
+    """``first_w`` until ``switch_at_s``, then ``second_w`` forever."""
+    if switch_at_s <= 0:
+        raise TraceError(f"switch_at_s must be positive, got {switch_at_s}")
+    return PiecewiseConstantTrace([0.0, switch_at_s], [first_w, second_w])
+
+
+def ramp_trace(
+    start_w: float,
+    stop_w: float,
+    duration_s: float,
+    steps: int = 100,
+    repeat: bool = False,
+) -> PiecewiseConstantTrace:
+    """A staircase approximation of a linear power ramp.
+
+    ``steps`` equal-duration segments interpolate linearly from ``start_w``
+    to ``stop_w`` over ``duration_s``.  With ``repeat=True`` the ramp loops
+    (sawtooth); otherwise the final level holds.
+    """
+    if duration_s <= 0:
+        raise TraceError(f"duration_s must be positive, got {duration_s}")
+    if steps < 1:
+        raise TraceError(f"steps must be >= 1, got {steps}")
+    dt = duration_s / steps
+    times = [i * dt for i in range(steps)]
+    span = stop_w - start_w
+    powers = [start_w + span * (i + 0.5) / steps for i in range(steps)]
+    period = duration_s if repeat else None
+    return PiecewiseConstantTrace(times, powers, period=period)

@@ -1,0 +1,152 @@
+"""Units and physical constants used throughout the Quetzal reproduction.
+
+All internal quantities use SI base units:
+
+* time — seconds (``float``)
+* energy — joules
+* power — watts
+* voltage — volts
+* current — amperes
+* capacitance — farads
+* temperature — kelvin
+
+The helpers in this module exist so call sites can spell out the unit a
+literal was written in (``ms(50)`` reads better than ``0.050``) and so tests
+can assert on unit conversions in one place.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Physical constants (CODATA values, as used by the paper's diode-law math).
+# ---------------------------------------------------------------------------
+
+#: Boltzmann constant, J/K.
+BOLTZMANN_K = 1.380649e-23
+
+#: Elementary charge, C.
+ELEMENTARY_CHARGE_Q = 1.602176634e-19
+
+#: 0 degrees Celsius in kelvin.
+ZERO_CELSIUS_K = 273.15
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return temp_c + ZERO_CELSIUS_K
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    return temp_k - ZERO_CELSIUS_K
+
+
+def thermal_voltage(temp_k: float) -> float:
+    """Return the diode thermal voltage ``kT/q`` (volts) at ``temp_k`` kelvin.
+
+    At room temperature (~300 K) this is roughly 25.9 mV; it is the scale
+    factor in the Shockley diode equation that Quetzal's measurement circuit
+    exploits (paper section 5.1).
+    """
+    if temp_k <= 0:
+        raise ValueError(f"temperature must be positive kelvin, got {temp_k}")
+    return BOLTZMANN_K * temp_k / ELEMENTARY_CHARGE_Q
+
+
+# ---------------------------------------------------------------------------
+# Time helpers.
+# ---------------------------------------------------------------------------
+
+
+def ms(value: float) -> float:
+    """Milliseconds to seconds."""
+    return value * 1e-3
+
+
+def us(value: float) -> float:
+    """Microseconds to seconds."""
+    return value * 1e-6
+
+
+def minutes(value: float) -> float:
+    """Minutes to seconds."""
+    return value * 60.0
+
+
+def hours(value: float) -> float:
+    """Hours to seconds."""
+    return value * 3600.0
+
+
+def to_ms(seconds: float) -> float:
+    """Seconds to milliseconds."""
+    return seconds * 1e3
+
+
+# ---------------------------------------------------------------------------
+# Power / energy helpers.
+# ---------------------------------------------------------------------------
+
+
+def mw(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * 1e-3
+
+def uw(value: float) -> float:
+    """Microwatts to watts."""
+    return value * 1e-6
+
+
+def mj(value: float) -> float:
+    """Millijoules to joules."""
+    return value * 1e-3
+
+
+def uj(value: float) -> float:
+    """Microjoules to joules."""
+    return value * 1e-6
+
+
+def nj(value: float) -> float:
+    """Nanojoules to joules."""
+    return value * 1e-9
+
+
+def mf(value: float) -> float:
+    """Millifarads to farads."""
+    return value * 1e-3
+
+
+def uf(value: float) -> float:
+    """Microfarads to farads."""
+    return value * 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Numeric tolerances.
+# ---------------------------------------------------------------------------
+
+#: Default absolute tolerance for comparing simulated times (seconds).  The
+#: paper's simulator resolves time at 1 ms; anything below a tenth of that is
+#: noise from floating-point accumulation.
+TIME_EPSILON = 1e-7
+
+#: Default absolute tolerance for comparing energies (joules).
+ENERGY_EPSILON = 1e-12
+
+
+def supercap_energy(capacitance_f: float, v_high: float, v_low: float) -> float:
+    """Usable energy (J) stored in a capacitor between two voltage levels.
+
+    ``E = 1/2 C (V_high^2 - V_low^2)``.  Quetzal's reference platform stores
+    harvested energy in a 33 mF supercapacitor operated between a turn-on and
+    a brown-out threshold; this is the energy budget of one "charge" of the
+    device (paper sections 1 and 6.2).
+    """
+    if capacitance_f <= 0:
+        raise ValueError(f"capacitance must be positive, got {capacitance_f}")
+    if v_high < v_low:
+        raise ValueError(f"v_high ({v_high}) must be >= v_low ({v_low})")
+    if v_low < 0:
+        raise ValueError(f"voltages must be non-negative, got v_low={v_low}")
+    return 0.5 * capacitance_f * (v_high * v_high - v_low * v_low)

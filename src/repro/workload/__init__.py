@@ -1,0 +1,47 @@
+"""Quetzal's programming model: tasks, degradation options, jobs.
+
+The paper's programmer interface (section 5.2): applications are written as
+*tasks* (any computation processing a periodic input — ML inference,
+compression, radio transmission) grouped into *jobs*.  Each job has exactly
+one *degradable* task carrying a quality-ordered list of degradation
+options; a job can spawn another job by re-inserting its input into the
+input buffer.
+
+This package also ships the paper's person-detection application: a
+detect job (MobileNetV2/LeNet inference) that spawns a transmit job
+(full-JPEG vs single-byte radio packet) on a positive classification.
+"""
+
+from repro.workload.builder import ApplicationBuilder
+from repro.workload.imaging import ImageFormat, JPEGModel, buffer_capacity_images
+from repro.workload.job import Job, JobSet, TaskRef
+from repro.workload.ml import MLModelProfile
+from repro.workload.pipelines import (
+    PersonDetectionApp,
+    build_apollo_app,
+    build_msp430_app,
+)
+from repro.workload.radio import LoRaConfig, RadioModel
+from repro.workload.task import DegradationOption, Task, TaskCost
+from repro.workload.variability import CostJitterModel, EWMACostTracker
+
+__all__ = [
+    "TaskCost",
+    "DegradationOption",
+    "Task",
+    "TaskRef",
+    "Job",
+    "JobSet",
+    "MLModelProfile",
+    "PersonDetectionApp",
+    "build_apollo_app",
+    "build_msp430_app",
+    "LoRaConfig",
+    "RadioModel",
+    "ImageFormat",
+    "JPEGModel",
+    "buffer_capacity_images",
+    "CostJitterModel",
+    "EWMACostTracker",
+    "ApplicationBuilder",
+]

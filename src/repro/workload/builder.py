@@ -1,0 +1,148 @@
+"""Builder for custom classify-and-report applications.
+
+:func:`repro.workload.pipelines.build_apollo_app` hard-codes the paper's
+person-detection workload.  Real deployments differ in sensor format,
+model zoo, and radio configuration; :class:`ApplicationBuilder` assembles
+the same detect→transmit structure from user-supplied parts, deriving the
+radio costs from the LoRa model and the full-image payload from the
+imaging model — so the resulting application is physically consistent by
+construction.
+
+Example::
+
+    from repro.workload.builder import ApplicationBuilder
+    from repro.workload.ml import MLModelProfile
+    from repro.workload.task import TaskCost
+
+    app = (
+        ApplicationBuilder()
+        .ml_option("big-model", TaskCost(1.5, 0.012),
+                   MLModelProfile("big", 0.04, 0.02))
+        .ml_option("tiny-model", TaskCost(0.08, 0.008),
+                   MLModelProfile("tiny", 0.20, 0.06))
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.workload.imaging import ImageFormat, JPEGModel, QQVGA_GRAY
+from repro.workload.job import Job, JobSet, TaskRef
+from repro.workload.ml import MLModelProfile
+from repro.workload.pipelines import (
+    DETECT_JOB,
+    ML_TASK,
+    RADIO_TASK,
+    TRANSMIT_JOB,
+    TX_PREP_TASK,
+    PersonDetectionApp,
+)
+from repro.workload.radio import RadioModel
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+__all__ = ["ApplicationBuilder"]
+
+
+class ApplicationBuilder:
+    """Fluent builder for detect→transmit applications.
+
+    Defaults mirror the paper's Apollo 4 pipeline; every part can be
+    replaced.  ML options are appended in quality order (best first).
+    """
+
+    def __init__(self) -> None:
+        self._ml_options: list[DegradationOption] = []
+        self._prep_cost = TaskCost(t_exe_s=0.05, p_exe_w=0.005)
+        self._radio = RadioModel()
+        self._image = QQVGA_GRAY
+        self._jpeg = JPEGModel()
+        self._alert_bytes = 1
+        self._spawn_probability_prior = 0.5
+
+    # -- fluent configuration -----------------------------------------------------
+
+    def ml_option(
+        self, name: str, cost: TaskCost, model: MLModelProfile
+    ) -> "ApplicationBuilder":
+        """Append an inference option (call in decreasing quality order)."""
+        self._ml_options.append(DegradationOption(name, cost, {"ml": model}))
+        return self
+
+    def prep_cost(self, cost: TaskCost) -> "ApplicationBuilder":
+        """Set the transmit-preparation task's cost."""
+        self._prep_cost = cost
+        return self
+
+    def radio(self, radio: RadioModel) -> "ApplicationBuilder":
+        """Set the radio model used to derive transmission costs."""
+        self._radio = radio
+        return self
+
+    def image(
+        self, image: ImageFormat, jpeg: JPEGModel | None = None
+    ) -> "ApplicationBuilder":
+        """Set the sensor format (and optionally the JPEG model)."""
+        self._image = image
+        if jpeg is not None:
+            self._jpeg = jpeg
+        return self
+
+    def alert_bytes(self, n: int) -> "ApplicationBuilder":
+        """Set the degraded report's payload size (paper: a single byte)."""
+        if n < 1:
+            raise ConfigurationError("alert payload must be >= 1 byte")
+        self._alert_bytes = n
+        return self
+
+    def spawn_probability_prior(self, p: float) -> "ApplicationBuilder":
+        """Prior execution probability for the conditional prep task."""
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError("prior must be in [0, 1]")
+        self._spawn_probability_prior = p
+        return self
+
+    # -- assembly ---------------------------------------------------------------------
+
+    @property
+    def full_image_bytes(self) -> int:
+        """The compressed full-report payload the radio will carry."""
+        return self._jpeg.compressed_bytes(self._image)
+
+    def build(self) -> PersonDetectionApp:
+        """Assemble and validate the application."""
+        if len(self._ml_options) < 2:
+            raise ConfigurationError(
+                "need at least two ML options (a degradable detect task)"
+            )
+        ml_task = Task(ML_TASK, self._ml_options)
+        prep_task = Task(TX_PREP_TASK, [DegradationOption("prep", self._prep_cost)])
+        radio_task = Task(
+            RADIO_TASK,
+            [
+                DegradationOption(
+                    "full-image",
+                    self._radio.task_cost(self.full_image_bytes),
+                    {"quality": "high"},
+                ),
+                DegradationOption(
+                    "alert",
+                    self._radio.task_cost(self._alert_bytes),
+                    {"quality": "low"},
+                ),
+            ],
+        )
+        detect = Job(
+            DETECT_JOB,
+            [
+                TaskRef(ml_task),
+                TaskRef(
+                    prep_task,
+                    conditional=True,
+                    default_probability=self._spawn_probability_prior,
+                ),
+            ],
+            spawns=TRANSMIT_JOB,
+        )
+        transmit = Job(TRANSMIT_JOB, [TaskRef(radio_task)])
+        return PersonDetectionApp(JobSet([detect, transmit]))

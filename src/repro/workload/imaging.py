@@ -1,0 +1,106 @@
+"""Imaging model: frame sizes, JPEG compression, buffer sizing.
+
+The paper's device captures with an ultra-low-power Himax HM01B0 sensor
+and JPEG-compresses every stored frame ("all systems therefore always
+compress images before storing in the input buffer", section 6.4).  This
+module derives the quantities the rest of the system treats as constants:
+
+* raw and compressed frame sizes for a sensor format,
+* how many compressed frames fit in a given buffer memory — the paper's
+  "5-10 inputs in [Camaroptera]" / 10-image buffer (Table 1),
+* the payload the radio transmits for a full-image report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ImageFormat", "JPEGModel", "buffer_capacity_images", "QQVGA_GRAY"]
+
+
+@dataclass(frozen=True)
+class ImageFormat:
+    """A sensor frame format.
+
+    Attributes
+    ----------
+    width / height:
+        Frame dimensions in pixels.
+    bits_per_pixel:
+        8 for the HM01B0's grayscale output.
+    """
+
+    width: int
+    height: int
+    bits_per_pixel: int = 8
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError("frame dimensions must be positive")
+        if self.bits_per_pixel not in (1, 8, 10, 12, 16, 24):
+            raise ConfigurationError(
+                f"unsupported bits_per_pixel {self.bits_per_pixel}"
+            )
+
+    @property
+    def pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def raw_bytes(self) -> int:
+        """Uncompressed frame size in bytes."""
+        return math.ceil(self.pixels * self.bits_per_pixel / 8)
+
+
+#: The HM01B0's QQVGA grayscale mode used by Camaroptera-class devices.
+QQVGA_GRAY = ImageFormat(width=160, height=120, bits_per_pixel=8)
+
+
+@dataclass(frozen=True)
+class JPEGModel:
+    """A simple JPEG size model: fixed ratio plus a fixed header.
+
+    Attributes
+    ----------
+    compression_ratio:
+        Raw/compressed size ratio (monochrome surveillance frames at the
+        aggressive quality a LoRa uplink warrants compress ~11:1).
+    header_bytes:
+        JFIF/huffman-table overhead per file.
+    """
+
+    compression_ratio: float = 11.0
+    header_bytes: int = 200
+
+    def __post_init__(self) -> None:
+        if self.compression_ratio < 1:
+            raise ConfigurationError("compression_ratio must be >= 1")
+        if self.header_bytes < 0:
+            raise ConfigurationError("header_bytes must be >= 0")
+
+    def compressed_bytes(self, image: ImageFormat) -> int:
+        """Compressed file size for one frame."""
+        return self.header_bytes + math.ceil(image.raw_bytes / self.compression_ratio)
+
+
+def buffer_capacity_images(
+    memory_bytes: int,
+    image: ImageFormat = QQVGA_GRAY,
+    jpeg: JPEGModel | None = None,
+    metadata_bytes_per_entry: int = 16,
+) -> int:
+    """Compressed frames that fit in ``memory_bytes`` of buffer RAM.
+
+    With ~26 kB of buffer RAM carved from a few-hundred-kB MCU, a QQVGA
+    JPEG (~2.5 kB) fits 10 times — Table 1's input buffer size.
+    """
+    if memory_bytes < 1:
+        raise ConfigurationError("memory_bytes must be positive")
+    if metadata_bytes_per_entry < 0:
+        raise ConfigurationError("metadata_bytes_per_entry must be >= 0")
+    jpeg = jpeg or JPEGModel()
+    per_entry = jpeg.compressed_bytes(image) + metadata_bytes_per_entry
+    return memory_bytes // per_entry

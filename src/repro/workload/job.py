@@ -1,0 +1,174 @@
+"""Jobs: sequences of tasks that process one buffered input.
+
+Per the paper's programming model (sections 3.1, 5.2):
+
+* a job is a sequence of tasks, executed in order for one input;
+* some tasks in a job are *conditional* — they only run for some inputs
+  (e.g. Figure 5's Job1:Task2 runs only for positively classified inputs);
+  the scheduler weights their service time by a tracked execution
+  probability (section 4.1);
+* each job has **exactly one degradable task**, which is the lever the IBO
+  reaction engine pulls;
+* a job may *spawn* another job by re-inserting its input into the buffer.
+
+:class:`JobSet` is the application's registry of jobs, validated as a whole
+(unique names, spawn targets exist).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import ConfigurationError
+from repro.workload.task import Task
+
+__all__ = ["TaskRef", "Job", "JobSet"]
+
+
+@dataclass(frozen=True)
+class TaskRef:
+    """A task's role inside a job.
+
+    Attributes
+    ----------
+    task:
+        The referenced task.
+    conditional:
+        True if the task runs only for some inputs.  Conditional tasks get
+        probability-weighted service times in E[S] (Alg. 1 line 7); the
+        probability itself is tracked at run time from execution history.
+    default_probability:
+        Prior execution probability used before the run-time tracker has
+        observed any jobs (unconditional tasks always use 1.0).
+    """
+
+    task: Task
+    conditional: bool = False
+    default_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.default_probability <= 1.0:
+            raise ConfigurationError("default_probability must be in [0, 1]")
+
+
+class Job:
+    """An ordered sequence of task references with one degradable task.
+
+    Parameters
+    ----------
+    name:
+        Unique job name within the application.
+    task_refs:
+        Tasks in execution order.
+    spawns:
+        Name of the job this job may enqueue its input for (or ``None``).
+        Whether a particular execution actually spawns is decided by the
+        application model (e.g. only positive classifications spawn the
+        transmit job).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        task_refs: list[TaskRef] | tuple[TaskRef, ...],
+        spawns: str | None = None,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("job name must be non-empty")
+        task_refs = tuple(task_refs)
+        if not task_refs:
+            raise ConfigurationError(f"job {name!r} needs at least one task")
+        task_names = [ref.task.name for ref in task_refs]
+        if len(set(task_names)) != len(task_names):
+            raise ConfigurationError(f"job {name!r} repeats a task: {task_names}")
+        degradable = [ref for ref in task_refs if ref.task.degradable]
+        if len(degradable) != 1:
+            raise ConfigurationError(
+                f"job {name!r} must have exactly one degradable task, "
+                f"found {len(degradable)} ({[r.task.name for r in degradable]})"
+            )
+        self.name = name
+        self.task_refs = task_refs
+        self.spawns = spawns
+        self._degradable_ref = degradable[0]
+
+    @property
+    def degradable_task(self) -> Task:
+        """The job's single degradable task (IBO reaction lever)."""
+        return self._degradable_ref.task
+
+    @property
+    def degradable_ref(self) -> TaskRef:
+        """The :class:`TaskRef` wrapping the degradable task."""
+        return self._degradable_ref
+
+    @property
+    def non_degradable_refs(self) -> tuple[TaskRef, ...]:
+        """Task refs other than the degradable one, in execution order."""
+        return tuple(ref for ref in self.task_refs if ref.task is not self._degradable_ref.task)
+
+    def tasks(self) -> Iterator[Task]:
+        """Iterate the job's tasks in execution order."""
+        for ref in self.task_refs:
+            yield ref.task
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.name!r}, tasks={[r.task.name for r in self.task_refs]})"
+
+
+class JobSet:
+    """The validated collection of an application's jobs.
+
+    Ensures job names are unique, spawn targets resolve, and provides the
+    name-indexed lookups the scheduler and engine need.
+    """
+
+    def __init__(self, jobs: list[Job] | tuple[Job, ...]) -> None:
+        jobs = tuple(jobs)
+        if not jobs:
+            raise ConfigurationError("an application needs at least one job")
+        names = [j.name for j in jobs]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate job names: {names}")
+        by_name = {j.name: j for j in jobs}
+        for job in jobs:
+            if job.spawns is not None and job.spawns not in by_name:
+                raise ConfigurationError(
+                    f"job {job.name!r} spawns unknown job {job.spawns!r}"
+                )
+        self._jobs = jobs
+        self._by_name: Mapping[str, Job] = by_name
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def jobs(self) -> tuple[Job, ...]:
+        return self._jobs
+
+    def job(self, name: str) -> Job:
+        """Look up a job by name."""
+        if name not in self._by_name:
+            raise ConfigurationError(
+                f"unknown job {name!r}; available: {sorted(self._by_name)}"
+            )
+        return self._by_name[name]
+
+    def all_tasks(self) -> tuple[Task, ...]:
+        """Every distinct task across all jobs, in first-seen order."""
+        seen: dict[str, Task] = {}
+        for job in self._jobs:
+            for task in job.tasks():
+                seen.setdefault(task.name, task)
+        return tuple(seen.values())
+
+    def max_options_per_task(self) -> int:
+        """Largest degradation-option count over all tasks."""
+        return max(len(t.options) for t in self.all_tasks())

@@ -1,0 +1,279 @@
+"""The paper's person-detection application, as a Quetzal job set.
+
+Pipeline (paper Figures 1 and 5, section 6.2): a camera captures images at
+1 FPS; a cheap pixel-diff discards unchanged frames; surviving frames are
+JPEG-compressed and stored in the input buffer.  Each buffered input is
+then processed by:
+
+* the **detect** job — ML person-detection inference (degradable:
+  MobileNetV2 vs LeNet on Apollo 4; int16 vs int8 LeNet on MSP430) followed
+  by a transmit-preparation step that runs only for positive
+  classifications.  A positive classification re-inserts the input as a
+* **transmit** job — LoRa radio transmission (degradable: full JPEG image
+  vs a single 'interesting event' byte).
+
+Task costs are anchored to the paper's qualitative data (see DESIGN.md):
+the full-image radio task takes 0.8 s of airtime at ~300 mW so its
+end-to-end time spans 0.8 s at high input power to >50 s at low power
+(section 2.2), and MobileNetV2 inference costs ~25x the energy of LeNet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.device.mcu import APOLLO4, MSP430FR5994, MCUProfile
+from repro.errors import ConfigurationError, SimulationError
+from repro.workload.job import Job, JobSet, TaskRef
+from repro.workload.ml import (
+    LENET,
+    LENET_INT8,
+    LENET_INT16,
+    MOBILENET_V2,
+    MLModelProfile,
+)
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+__all__ = [
+    "PlannedTask",
+    "JobOutcome",
+    "JobPlan",
+    "PersonDetectionApp",
+    "build_apollo_app",
+    "build_msp430_app",
+]
+
+#: Job names used by the person-detection application.
+DETECT_JOB = "detect"
+TRANSMIT_JOB = "transmit"
+
+#: Task names.
+ML_TASK = "ml_inference"
+TX_PREP_TASK = "tx_prep"
+RADIO_TASK = "radio_tx"
+
+
+@dataclass(frozen=True)
+class PlannedTask:
+    """One task occurrence within a planned job execution."""
+
+    ref: TaskRef
+    option: DegradationOption
+    executes: bool
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Effects to apply when a planned job completes.
+
+    Attributes
+    ----------
+    remove_input:
+        The input leaves the buffer (processed to completion or discarded).
+    respawn_job:
+        If set, the input stays buffered, re-tagged for this job (the
+        "job spawns another job" mechanism of section 3.1).
+    classified_positive:
+        Detect-job classification result, ``None`` for other jobs.
+    false_negative:
+        True when an interesting input was classified uninteresting and is
+        therefore lost to misclassification.
+    packet_quality:
+        ``"high"`` / ``"low"`` when the job transmits a packet, else None.
+    """
+
+    remove_input: bool
+    respawn_job: str | None = None
+    classified_positive: bool | None = None
+    false_negative: bool = False
+    packet_quality: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.remove_input and self.respawn_job is not None:
+            raise SimulationError("an outcome cannot both remove and respawn an input")
+
+
+@dataclass(frozen=True)
+class JobPlan:
+    """A concrete, pre-drawn execution of a job on one input."""
+
+    job: Job
+    planned: tuple[PlannedTask, ...]
+    outcome: JobOutcome
+
+    def executed_tasks(self) -> tuple[PlannedTask, ...]:
+        """Only the tasks that actually run."""
+        return tuple(p for p in self.planned if p.executes)
+
+
+class PersonDetectionApp:
+    """The person-detection application model.
+
+    Owns the :class:`~repro.workload.job.JobSet` and the application
+    semantics the engine needs: given a job, an input's ground truth, and
+    the degradation options chosen by the policy, produce the concrete task
+    sequence and outcome (:meth:`plan`).  Classification outcomes are drawn
+    from the chosen ML option's misclassification rates, mirroring the
+    paper's I/O-pin methodology (section 6.2).
+    """
+
+    def __init__(self, jobs: JobSet, entry_job: str = DETECT_JOB) -> None:
+        self.jobs = jobs
+        if entry_job not in jobs:
+            raise ConfigurationError(f"entry job {entry_job!r} not in job set")
+        self.entry_job = entry_job
+
+    # -- engine-facing API -------------------------------------------------------
+
+    def plan(
+        self,
+        job_name: str,
+        interesting: bool,
+        chosen_options: Mapping[str, DegradationOption],
+        rng: np.random.Generator,
+    ) -> JobPlan:
+        """Plan one execution of ``job_name`` on an input.
+
+        ``chosen_options`` maps task names to the degradation option the
+        policy selected; tasks absent from the mapping run at highest
+        quality.
+        """
+        job = self.jobs.job(job_name)
+        if job_name == DETECT_JOB:
+            return self._plan_detect(job, interesting, chosen_options, rng)
+        if job_name == TRANSMIT_JOB:
+            return self._plan_transmit(job, chosen_options)
+        raise ConfigurationError(f"unknown job {job_name!r}")
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _option_for(ref: TaskRef, chosen: Mapping[str, DegradationOption]) -> DegradationOption:
+        option = chosen.get(ref.task.name, ref.task.highest_quality)
+        # Validate the policy handed back an option of the right task.
+        ref.task.quality_rank(option)
+        return option
+
+    def _plan_detect(
+        self,
+        job: Job,
+        interesting: bool,
+        chosen: Mapping[str, DegradationOption],
+        rng: np.random.Generator,
+    ) -> JobPlan:
+        ml_ref = job.task_refs[0]
+        prep_ref = job.task_refs[1]
+        ml_option = self._option_for(ml_ref, chosen)
+        model: MLModelProfile = ml_option.metadata["ml"]
+        positive = model.classify(interesting, rng)
+        planned = (
+            PlannedTask(ml_ref, ml_option, executes=True),
+            PlannedTask(prep_ref, self._option_for(prep_ref, chosen), executes=positive),
+        )
+        if positive:
+            outcome = JobOutcome(
+                remove_input=False,
+                respawn_job=job.spawns,
+                classified_positive=True,
+            )
+        else:
+            outcome = JobOutcome(
+                remove_input=True,
+                classified_positive=False,
+                false_negative=interesting,
+            )
+        return JobPlan(job, planned, outcome)
+
+    def _plan_transmit(
+        self, job: Job, chosen: Mapping[str, DegradationOption]
+    ) -> JobPlan:
+        radio_ref = job.task_refs[0]
+        option = self._option_for(radio_ref, chosen)
+        planned = (PlannedTask(radio_ref, option, executes=True),)
+        outcome = JobOutcome(
+            remove_input=True,
+            packet_quality=option.metadata["quality"],
+        )
+        return JobPlan(job, planned, outcome)
+
+
+# ---------------------------------------------------------------------------
+# Platform-specific task cost tables.
+# ---------------------------------------------------------------------------
+
+
+def _radio_task() -> Task:
+    """LoRa radio task, shared by both platforms (same RFM95W module).
+
+    Full-image transmission: ~0.8 s of airtime at ~300 mW (a compressed
+    QQVGA JPEG over several LoRa frames).  Single-byte degradation: one
+    short frame flagging an interesting event (section 2.3).
+    """
+    return Task(
+        RADIO_TASK,
+        [
+            DegradationOption(
+                "full-image", TaskCost(t_exe_s=0.8, p_exe_w=0.300), {"quality": "high"}
+            ),
+            DegradationOption(
+                "single-byte", TaskCost(t_exe_s=0.030, p_exe_w=0.300), {"quality": "low"}
+            ),
+        ],
+    )
+
+
+def _build_app(ml_options: list[DegradationOption], prep_cost: TaskCost) -> PersonDetectionApp:
+    ml_task = Task(ML_TASK, ml_options)
+    prep_task = Task(TX_PREP_TASK, [DegradationOption("prep", prep_cost)])
+    detect = Job(
+        DETECT_JOB,
+        [TaskRef(ml_task), TaskRef(prep_task, conditional=True, default_probability=0.5)],
+        spawns=TRANSMIT_JOB,
+    )
+    transmit = Job(TRANSMIT_JOB, [TaskRef(_radio_task())])
+    return PersonDetectionApp(JobSet([detect, transmit]))
+
+
+def build_apollo_app() -> PersonDetectionApp:
+    """Person detection on the Ambiq Apollo 4 (Table 1).
+
+    High-Q ML = MobileNetV2 (2 s @ 10 mW), Low-Q ML = LeNet (0.1 s @ 8 mW).
+    """
+    ml_options = [
+        DegradationOption(
+            "mobilenetv2", TaskCost(t_exe_s=2.0, p_exe_w=0.010), {"ml": MOBILENET_V2}
+        ),
+        DegradationOption(
+            "lenet", TaskCost(t_exe_s=0.10, p_exe_w=0.008), {"ml": LENET}
+        ),
+    ]
+    return _build_app(ml_options, prep_cost=TaskCost(t_exe_s=0.05, p_exe_w=0.005))
+
+
+def build_msp430_app() -> PersonDetectionApp:
+    """Person detection on the MSP430FR5994 (Table 1).
+
+    High-Q ML = int16 LeNet, Low-Q ML = int8 LeNet; the radio task is the
+    same LoRa module as the Apollo configuration.
+    """
+    ml_options = [
+        DegradationOption(
+            "lenet-int16", TaskCost(t_exe_s=2.5, p_exe_w=0.003), {"ml": LENET_INT16}
+        ),
+        DegradationOption(
+            "lenet-int8", TaskCost(t_exe_s=1.0, p_exe_w=0.003), {"ml": LENET_INT8}
+        ),
+    ]
+    return _build_app(ml_options, prep_cost=TaskCost(t_exe_s=0.2, p_exe_w=0.002))
+
+
+def app_for_mcu(mcu: MCUProfile) -> PersonDetectionApp:
+    """The person-detection app matching an MCU profile."""
+    if mcu.name == APOLLO4.name:
+        return build_apollo_app()
+    if mcu.name == MSP430FR5994.name:
+        return build_msp430_app()
+    raise ConfigurationError(f"no application defined for MCU {mcu.name!r}")

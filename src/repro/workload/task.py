@@ -1,0 +1,147 @@
+"""Tasks and degradation options.
+
+A *task* is an application-specific unit of computation that processes an
+input or manipulates a peripheral (paper section 3.1).  Quetzal assumes each
+task has a consistent execution time ``t_exe`` and operating power ``P_exe``
+that can be profiled in advance (section 5.2); a :class:`TaskCost` carries
+that pair.
+
+A *degradable* task offers several :class:`DegradationOption`\\ s of
+different time/energy cost, quality-ordered by the programmer (highest
+quality first).  Quality is application-specific; Quetzal only requires the
+ordering (section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["TaskCost", "DegradationOption", "Task"]
+
+
+@dataclass(frozen=True)
+class TaskCost:
+    """Profiled execution time and power of one task configuration.
+
+    Attributes
+    ----------
+    t_exe_s:
+        Execution latency in seconds (pure compute time, excluding any
+        energy-recharge stalls).
+    p_exe_w:
+        Operating power in watts while the task runs.
+    """
+
+    t_exe_s: float
+    p_exe_w: float
+
+    def __post_init__(self) -> None:
+        if self.t_exe_s <= 0:
+            raise ConfigurationError(f"t_exe_s must be positive, got {self.t_exe_s}")
+        if self.p_exe_w <= 0:
+            raise ConfigurationError(f"p_exe_w must be positive, got {self.p_exe_w}")
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy cost ``E_exe = t_exe * P_exe`` in joules."""
+        return self.t_exe_s * self.p_exe_w
+
+
+@dataclass(frozen=True)
+class DegradationOption:
+    """One quality level of a degradable task.
+
+    Attributes
+    ----------
+    name:
+        Option name (e.g. ``"mobilenetv2"``, ``"single-byte"``).
+    cost:
+        Profiled time/power of the task at this quality.
+    metadata:
+        Application-defined payload (e.g. the ML confusion rates the
+        application model consults); opaque to the scheduler.
+    """
+
+    name: str
+    cost: TaskCost
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("option name must be non-empty")
+
+
+class Task:
+    """A named task with a quality-ordered list of degradation options.
+
+    ``options[0]`` is the highest quality; later entries trade quality for
+    lower time/energy cost.  A task with a single option is non-degradable.
+
+    Parameters
+    ----------
+    name:
+        Unique task name within its application.
+    options:
+        Quality-ordered option list (at least one).
+    """
+
+    def __init__(self, name: str, options: list[DegradationOption] | tuple[DegradationOption, ...]) -> None:
+        if not name:
+            raise ConfigurationError("task name must be non-empty")
+        options = tuple(options)
+        if not options:
+            raise ConfigurationError(f"task {name!r} needs at least one option")
+        names = [o.name for o in options]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"task {name!r} has duplicate option names: {names}")
+        self.name = name
+        self.options = options
+
+    @property
+    def degradable(self) -> bool:
+        """True if the task offers more than one quality level."""
+        return len(self.options) > 1
+
+    @property
+    def highest_quality(self) -> DegradationOption:
+        """The quality-ordered list's first (best) option."""
+        return self.options[0]
+
+    @property
+    def lowest_quality(self) -> DegradationOption:
+        """The last (cheapest) option."""
+        return self.options[-1]
+
+    def option_named(self, name: str) -> DegradationOption:
+        """Look up an option by name."""
+        for opt in self.options:
+            if opt.name == name:
+                return opt
+        raise ConfigurationError(
+            f"task {self.name!r} has no option {name!r}; "
+            f"available: {[o.name for o in self.options]}"
+        )
+
+    def quality_rank(self, option: DegradationOption) -> int:
+        """0 for the highest-quality option, increasing with degradation."""
+        try:
+            return self.options.index(option)
+        except ValueError:
+            raise ConfigurationError(
+                f"option {option.name!r} does not belong to task {self.name!r}"
+            ) from None
+
+    def fastest_option(self, service_time_fn) -> DegradationOption:
+        """Option minimising ``service_time_fn(option)``.
+
+        Used by the IBO reaction engine's fallback: "if no option removes
+        the imminent IBO risk, Quetzal uses the option with the lowest
+        S_e2e" (section 4.2).
+        """
+        return min(self.options, key=service_time_fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.name!r}, options={[o.name for o in self.options]})"

@@ -1,0 +1,87 @@
+"""Variable task execution costs (paper section 5.2's future work).
+
+Quetzal assumes each task has a consistent ``t_exe`` and ``P_exe`` that can
+be profiled in advance; the paper names support for *variable* execution
+costs as an interesting future direction.  This module implements it:
+
+* :class:`CostJitterModel` — a multiplicative log-normal jitter applied to
+  each task execution's latency (energy scales with it at constant power),
+  modelling input-dependent work such as early-exit inference or
+  content-dependent compression;
+* :class:`EWMACostTracker` — an exponentially weighted moving average of
+  observed per-option execution times, the natural profiling upgrade for a
+  runtime facing jittery costs (cf. the paper's pointer to CleanCut-style
+  cost distributions).
+
+The simulation engine applies a :class:`CostJitterModel` when one is
+configured (``SimulationConfig.cost_jitter_sigma``); the ablation benchmark
+measures how much Quetzal's advantage survives the paper's consistency
+assumption being broken.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workload.task import TaskCost
+
+__all__ = ["CostJitterModel", "EWMACostTracker"]
+
+
+class CostJitterModel:
+    """Multiplicative log-normal jitter on task execution latency.
+
+    Each execution's latency is ``t_exe * J`` with
+    ``J ~ LogNormal(-sigma^2/2, sigma)`` so that ``E[J] = 1`` — profiled
+    costs stay correct *on average*, only per-execution variance is added.
+    Power is unchanged, so energy scales with the jittered latency.
+    """
+
+    def __init__(self, sigma: float, rng: np.random.Generator) -> None:
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = sigma
+        self._rng = rng
+
+    def jittered(self, cost: TaskCost) -> TaskCost:
+        """A fresh cost sample for one execution of a task."""
+        if self.sigma == 0:
+            return cost
+        factor = float(
+            self._rng.lognormal(mean=-0.5 * self.sigma**2, sigma=self.sigma)
+        )
+        return TaskCost(t_exe_s=cost.t_exe_s * factor, p_exe_w=cost.p_exe_w)
+
+
+class EWMACostTracker:
+    """Exponentially weighted moving average of observed task latencies.
+
+    ``estimate`` falls back to the profiled latency until the first
+    observation arrives; afterwards
+    ``est <- (1 - alpha) * est + alpha * observed``.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0 < alpha <= 1:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._estimates: dict[tuple[str, str], float] = {}
+
+    def observe(self, task_name: str, option_name: str, latency_s: float) -> None:
+        """Fold one observed execution latency into the estimate."""
+        if latency_s < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency_s}")
+        key = (task_name, option_name)
+        previous = self._estimates.get(key)
+        if previous is None:
+            self._estimates[key] = latency_s
+        else:
+            self._estimates[key] = (1 - self.alpha) * previous + self.alpha * latency_s
+
+    def estimate(self, task_name: str, option_name: str, profiled_s: float) -> float:
+        """Current latency estimate, defaulting to the profiled value."""
+        return self._estimates.get((task_name, option_name), profiled_s)
+
+    def __len__(self) -> int:
+        return len(self._estimates)

@@ -1,0 +1,106 @@
+"""Tests for the analytical queueing helpers, cross-checked with the sim."""
+
+import pytest
+
+from repro.core.analysis import (
+    is_stable,
+    job_service_time_at_power,
+    per_arrival_work_s,
+    stability_power_w,
+    utilization,
+)
+from repro.errors import ConfigurationError
+from repro.workload.pipelines import build_apollo_app
+
+
+@pytest.fixture
+def jobs(apollo_app):
+    return apollo_app.jobs
+
+
+class TestServiceTime:
+    def test_detect_job_at_high_power(self, jobs):
+        # At 0.5 W everything is execution-dominated: 2 s ML + p*0.05 s prep.
+        s = job_service_time_at_power(jobs.job("detect"), 0.5, probability=0.5)
+        assert s == pytest.approx(2.0 + 0.5 * 0.05)
+
+    def test_transmit_job_at_low_power(self, jobs):
+        # 240 mJ at 4 mW: 60 s.
+        s = job_service_time_at_power(jobs.job("transmit"), 0.004)
+        assert s == pytest.approx(60.0)
+
+    def test_option_picker_degrades(self, jobs):
+        s = job_service_time_at_power(
+            jobs.job("transmit"), 0.004, option_picker=lambda t: t.lowest_quality
+        )
+        assert s == pytest.approx(0.009 / 0.004)
+
+
+class TestUtilization:
+    def test_per_arrival_includes_spawn(self, jobs):
+        work = per_arrival_work_s(jobs, 0.5, spawn_probability=0.5)
+        detect = job_service_time_at_power(jobs.job("detect"), 0.5, 0.5)
+        transmit = job_service_time_at_power(jobs.job("transmit"), 0.5)
+        assert work == pytest.approx(detect + 0.5 * transmit)
+
+    def test_utilization_scales_with_rate(self, jobs):
+        assert utilization(jobs, 0.4, 0.05) == pytest.approx(
+            2 * utilization(jobs, 0.2, 0.05)
+        )
+
+    def test_stability_flips_with_power(self, jobs):
+        # Full-quality pipeline at lambda=0.35: unstable at 4 mW, stable at 0.3 W.
+        assert not is_stable(jobs, 0.35, 0.004)
+        assert is_stable(jobs, 0.35, 0.3)
+
+    def test_degraded_pipeline_stable_at_night_floor(self, jobs):
+        # The DESIGN.md calibration: degraded pipeline keeps up at 6 mW.
+        assert is_stable(
+            jobs, 0.45, 0.006, option_picker=lambda t: t.lowest_quality
+        )
+
+    def test_rejects_bad_args(self, jobs):
+        with pytest.raises(ConfigurationError):
+            utilization(jobs, -1.0, 0.05)
+        with pytest.raises(ConfigurationError):
+            per_arrival_work_s(jobs, 0.05, spawn_probability=2.0)
+
+
+class TestStabilityPower:
+    def test_bisection_brackets_the_threshold(self, jobs):
+        p_star = stability_power_w(jobs, 0.35)
+        assert 0.004 < p_star < 0.3
+        assert is_stable(jobs, 0.35, p_star * 1.01)
+        assert not is_stable(jobs, 0.35, p_star * 0.99)
+
+    def test_zero_rate_always_stable(self, jobs):
+        assert stability_power_w(jobs, 0.0) == pytest.approx(1e-6)
+
+    def test_degraded_threshold_lower(self, jobs):
+        full = stability_power_w(jobs, 0.35)
+        degraded = stability_power_w(
+            jobs, 0.35, option_picker=lambda t: t.lowest_quality
+        )
+        assert degraded < full
+
+    def test_simulation_agrees_with_stability(self, jobs, apollo_app):
+        """Below the stability power a long event overflows; above, not."""
+        from repro.env.events import Event, EventSchedule
+        from repro.policies.noadapt import NoAdaptPolicy
+        from repro.sim.engine import SimulationConfig, simulate
+        from repro.trace.synthetic import constant_trace
+        from repro.workload.pipelines import build_apollo_app
+
+        schedule = EventSchedule(
+            [Event(2.0, 200.0, True)], diff_probability=0.35
+        )
+        p_star = stability_power_w(jobs, 0.35)
+        below = simulate(
+            build_apollo_app(), NoAdaptPolicy(), constant_trace(p_star * 0.3),
+            schedule, config=SimulationConfig(seed=0, drain_timeout_s=3000.0),
+        )
+        above = simulate(
+            build_apollo_app(), NoAdaptPolicy(), constant_trace(p_star * 3.0),
+            schedule, config=SimulationConfig(seed=0, drain_timeout_s=3000.0),
+        )
+        assert below.ibo_drops > above.ibo_drops

@@ -1,0 +1,91 @@
+"""Tests for the EWMA (online-profiling) service-time estimator."""
+
+import pytest
+
+from repro.core.service_time import EWMAServiceTimeEstimator
+from repro.errors import ConfigurationError
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+
+def ml_task():
+    return Task(
+        "ml",
+        [
+            DegradationOption("hq", TaskCost(2.0, 0.010)),
+            DegradationOption("lq", TaskCost(0.1, 0.008)),
+        ],
+    )
+
+
+class TestPrediction:
+    def test_defaults_to_profile(self):
+        est = EWMAServiceTimeEstimator()
+        task = ml_task()
+        est.begin_cycle(0.5)
+        assert est.service_time(task, task.options[0]) == pytest.approx(2.0)
+
+    def test_energy_scaling_follows_learned_latency(self):
+        est = EWMAServiceTimeEstimator(alpha=1.0)
+        task = ml_task()
+        # Learn a 4 s latency from an execution-dominated observation.
+        est.begin_cycle(0.5)
+        est.observe(task, task.options[0], 4.0)
+        # At 4 mW the recharge term uses the learned energy 4 s x 10 mW.
+        est.begin_cycle(0.004)
+        assert est.service_time(task, task.options[0]) == pytest.approx(
+            4.0 * 0.010 / 0.004
+        )
+
+    def test_recharge_dominated_observations_ignored(self):
+        est = EWMAServiceTimeEstimator(alpha=1.0)
+        task = ml_task()
+        # At 2 mW the span is stall-dominated: it must not corrupt t_hat.
+        est.begin_cycle(0.002)
+        est.observe(task, task.options[0], 10.0)
+        est.begin_cycle(0.5)
+        assert est.service_time(task, task.options[0]) == pytest.approx(2.0)
+
+    def test_adapts_to_drifting_costs(self):
+        est = EWMAServiceTimeEstimator(alpha=0.5)
+        task = ml_task()
+        est.begin_cycle(0.5)
+        for span in (3.0, 3.0, 3.0, 3.0, 3.0, 3.0):
+            est.observe(task, task.options[0], span)
+        assert est.service_time(task, task.options[0]) == pytest.approx(3.0, rel=0.05)
+
+    def test_per_option_isolation(self):
+        est = EWMAServiceTimeEstimator(alpha=1.0)
+        task = ml_task()
+        est.begin_cycle(0.5)
+        est.observe(task, task.options[0], 5.0)
+        assert est.service_time(task, task.options[1]) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EWMAServiceTimeEstimator(input_power_floor_w=0.0)
+        est = EWMAServiceTimeEstimator()
+        with pytest.raises(ConfigurationError):
+            est.begin_cycle(-1.0)
+        with pytest.raises(ConfigurationError):
+            est.observe(ml_task(), ml_task().options[0], -1.0)
+
+
+class TestRuntimeIntegration:
+    def test_quetzal_with_ewma_estimator_runs(self, steady_trace):
+        from repro.core.runtime import QuetzalRuntime
+        from repro.env.events import Event, EventSchedule
+        from repro.sim.engine import SimulationConfig, simulate
+        from repro.workload.pipelines import build_apollo_app
+
+        policy = QuetzalRuntime(
+            estimator=EWMAServiceTimeEstimator(), name="quetzal-ewma"
+        )
+        metrics = simulate(
+            build_apollo_app(),
+            policy,
+            steady_trace,
+            EventSchedule([Event(5.0, 30.0, True)], diff_probability=0.5),
+            config=SimulationConfig(seed=1, drain_timeout_s=500.0,
+                                    cost_jitter_sigma=0.3),
+        )
+        assert metrics.jobs_completed > 0

@@ -1,0 +1,158 @@
+"""Tests for the IBO-detection and reaction engine (Algorithm 2)."""
+
+import pytest
+
+from repro.core.ibo import IBOEngine
+from repro.workload.job import Job, TaskRef
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+
+def three_option_job():
+    """A job whose degradable task has three quality levels: 10 s / 4 s / 1 s."""
+    deg = Task(
+        "deg",
+        [
+            DegradationOption("q0", TaskCost(10.0, 0.01)),
+            DegradationOption("q1", TaskCost(4.0, 0.01)),
+            DegradationOption("q2", TaskCost(1.0, 0.01)),
+        ],
+    )
+    fixed = Task("fixed", [DegradationOption("only", TaskCost(1.0, 0.01))])
+    return Job("job", [TaskRef(deg), TaskRef(fixed)])
+
+
+def service_by_texe(task, option):
+    return option.cost.t_exe_s
+
+
+def prob_one(name):
+    return 1.0
+
+
+class TestDetection:
+    def test_no_overflow_keeps_highest_quality(self):
+        engine = IBOEngine()
+        decision = engine.decide(
+            three_option_job(),
+            arrival_rate=0.1,          # growth over 11 s job: 1.1
+            buffer_occupancy=0,
+            buffer_limit=10,
+            service_time_fn=service_by_texe,
+            probability_fn=prob_one,
+        )
+        assert not decision.ibo_predicted
+        assert decision.option.name == "q0"
+        assert not decision.degraded
+        assert decision.predicted_service_s == pytest.approx(11.0)
+
+    def test_infinite_buffer_never_predicts(self):
+        decision = IBOEngine().decide(
+            three_option_job(),
+            arrival_rate=100.0,
+            buffer_occupancy=10**6,
+            buffer_limit=None,
+            service_time_fn=service_by_texe,
+            probability_fn=prob_one,
+        )
+        assert not decision.ibo_predicted
+
+
+class TestReaction:
+    def test_steps_down_to_first_feasible_option(self):
+        # free space 5; lambda=1: q0 -> 11 >= 5 (bad); q1 -> 5 >= 5 (bad);
+        # q2 -> 2 < 5 (good).
+        decision = IBOEngine().decide(
+            three_option_job(),
+            arrival_rate=1.0,
+            buffer_occupancy=5,
+            buffer_limit=10,
+            service_time_fn=service_by_texe,
+            probability_fn=prob_one,
+        )
+        assert decision.ibo_predicted
+        assert decision.ibo_avoided
+        assert decision.option.name == "q2"
+        assert decision.degraded
+
+    def test_selects_highest_feasible_quality(self):
+        # free space 8; lambda=1: q0 -> 11 >= 8 (bad); q1 -> 5 < 8 (good).
+        decision = IBOEngine().decide(
+            three_option_job(),
+            arrival_rate=1.0,
+            buffer_occupancy=2,
+            buffer_limit=10,
+            service_time_fn=service_by_texe,
+            probability_fn=prob_one,
+        )
+        assert decision.option.name == "q1"
+        assert decision.ibo_avoided
+
+    def test_fallback_to_fastest_when_nothing_avoids(self):
+        # free space 1; even q2 gives growth 2 >= 1.
+        decision = IBOEngine().decide(
+            three_option_job(),
+            arrival_rate=1.0,
+            buffer_occupancy=9,
+            buffer_limit=10,
+            service_time_fn=service_by_texe,
+            probability_fn=prob_one,
+        )
+        assert decision.ibo_predicted
+        assert not decision.ibo_avoided
+        assert decision.option.name == "q2"  # lowest S_e2e
+
+    def test_probability_weighting_of_degradable_task(self):
+        # Degradable task runs with probability 0.5 -> its contribution halves.
+        job = Job(
+            "j",
+            [
+                TaskRef(
+                    Task(
+                        "deg",
+                        [
+                            DegradationOption("q0", TaskCost(10.0, 0.01)),
+                            DegradationOption("q1", TaskCost(1.0, 0.01)),
+                        ],
+                    ),
+                    conditional=True,
+                ),
+                TaskRef(Task("fixed", [DegradationOption("o", TaskCost(1.0, 0.01))])),
+            ],
+        )
+        decision = IBOEngine().decide(
+            job,
+            arrival_rate=1.0,
+            buffer_occupancy=3,
+            buffer_limit=10,
+            service_time_fn=service_by_texe,
+            probability_fn=lambda name: 0.5,
+        )
+        # E[S] at q0 = 1 + 0.5*10 = 6 < free 7: no overflow predicted.
+        assert not decision.ibo_predicted
+        assert decision.predicted_service_s == pytest.approx(6.0)
+
+    def test_positive_correction_triggers_degradation(self):
+        # Without correction q0 fits (growth 11 < free 12 is impossible with
+        # limit 10; use lambda 0.5: growth 5.5 < 8); +6 s correction tips it.
+        base = IBOEngine().decide(
+            three_option_job(), 0.5, 2, 10, service_by_texe, prob_one, 0.0
+        )
+        assert not base.ibo_predicted
+        corrected = IBOEngine().decide(
+            three_option_job(), 0.5, 2, 10, service_by_texe, prob_one, 6.0
+        )
+        assert corrected.ibo_predicted
+
+    def test_negative_correction_floors_at_zero(self):
+        decision = IBOEngine().decide(
+            three_option_job(), 1.0, 0, 10, service_by_texe, prob_one, -1e6
+        )
+        assert decision.predicted_service_s == 0.0
+        assert not decision.ibo_predicted
+
+    def test_full_buffer_always_reacts(self):
+        decision = IBOEngine().decide(
+            three_option_job(), 0.0, 10, 10, service_by_texe, prob_one
+        )
+        assert decision.ibo_predicted
+        assert not decision.ibo_avoided

@@ -1,0 +1,103 @@
+"""Property tests of the IBO engine's quality-minimality contract.
+
+Section 4.2: Quetzal selects "the highest-quality degradation option that
+avoids the IBO, if any" — i.e. it never degrades more than necessary, and
+never selects an infeasible option when a feasible one exists.  These
+properties are checked over randomized jobs, rates, and buffer states.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ibo import IBOEngine
+from repro.core.littles_law import predicts_overflow
+from repro.workload.job import Job, TaskRef
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+
+@st.composite
+def job_and_state(draw):
+    n_options = draw(st.integers(2, 4))
+    # Strictly decreasing service times with quality rank.
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(0.01, 50.0), min_size=n_options, max_size=n_options,
+                unique=True,
+            )
+        ),
+        reverse=True,
+    )
+    options = [
+        DegradationOption(f"q{i}", TaskCost(t, 0.01)) for i, t in enumerate(times)
+    ]
+    deg = Task("deg", options)
+    fixed_time = draw(st.floats(0.01, 10.0))
+    fixed = Task("fixed", [DegradationOption("only", TaskCost(fixed_time, 0.01))])
+    job = Job("job", [TaskRef(deg), TaskRef(fixed)])
+    arrival_rate = draw(st.floats(0.0, 2.0))
+    limit = draw(st.integers(1, 20))
+    occupancy = draw(st.integers(0, 20))
+    correction = draw(st.floats(-5.0, 5.0))
+    return job, arrival_rate, limit, min(occupancy, limit), correction
+
+
+def service_by_texe(task, option):
+    return option.cost.t_exe_s
+
+
+def e_s(job, option, correction):
+    fixed = job.non_degradable_refs[0].task
+    raw = fixed.highest_quality.cost.t_exe_s + option.cost.t_exe_s
+    return max(0.0, raw + correction)
+
+
+class TestQualityMinimality:
+    @given(state=job_and_state())
+    @settings(max_examples=200)
+    def test_choice_is_feasible_or_fastest(self, state):
+        job, lam, limit, occupancy, correction = state
+        decision = IBOEngine().decide(
+            job, lam, occupancy, limit, service_by_texe,
+            lambda name: 1.0, correction,
+        )
+        deg = job.degradable_task
+        chosen_rank = deg.quality_rank(decision.option)
+        feasible = [
+            opt
+            for opt in deg.options
+            if not predicts_overflow(lam, e_s(job, opt, correction), limit, occupancy)
+        ]
+        if feasible:
+            # Must pick the highest-quality feasible option, no lower.
+            best_rank = min(deg.quality_rank(o) for o in feasible)
+            assert chosen_rank == best_rank
+            assert decision.ibo_avoided
+        else:
+            # Fallback: the fastest option.
+            assert decision.option is deg.options[-1]
+            assert not decision.ibo_avoided
+
+    @given(state=job_and_state())
+    @settings(max_examples=200)
+    def test_detection_consistent_with_predicate(self, state):
+        job, lam, limit, occupancy, correction = state
+        decision = IBOEngine().decide(
+            job, lam, occupancy, limit, service_by_texe,
+            lambda name: 1.0, correction,
+        )
+        best = job.degradable_task.highest_quality
+        expected = predicts_overflow(
+            lam, e_s(job, best, correction), limit, occupancy
+        )
+        assert decision.ibo_predicted == expected
+
+    @given(state=job_and_state())
+    @settings(max_examples=100)
+    def test_predicted_service_matches_choice(self, state):
+        job, lam, limit, occupancy, correction = state
+        decision = IBOEngine().decide(
+            job, lam, occupancy, limit, service_by_texe,
+            lambda name: 1.0, correction,
+        )
+        assert decision.predicted_service_s == e_s(job, decision.option, correction)

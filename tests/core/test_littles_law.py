@@ -1,0 +1,69 @@
+"""Tests for the Little's-Law overflow predicate (Eq. 2, Alg. 2 line 6)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.littles_law import expected_queue_growth, free_capacity, predicts_overflow
+from repro.errors import ConfigurationError
+
+
+class TestExpectedGrowth:
+    def test_littles_law(self):
+        assert expected_queue_growth(0.5, 10.0) == pytest.approx(5.0)
+
+    def test_zero_rate(self):
+        assert expected_queue_growth(0.0, 100.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            expected_queue_growth(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            expected_queue_growth(1.0, -1.0)
+
+
+class TestFreeCapacity:
+    def test_bounded(self):
+        assert free_capacity(10, 4) == 6.0
+
+    def test_full_clamps_to_zero(self):
+        assert free_capacity(10, 12) == 0.0
+
+    def test_unbounded(self):
+        assert math.isinf(free_capacity(None, 5))
+
+    def test_rejects_negative_occupancy(self):
+        with pytest.raises(ConfigurationError):
+            free_capacity(10, -1)
+
+
+class TestPredictsOverflow:
+    def test_paper_inequality(self):
+        # lambda * E[S] >= limit - occupancy triggers the prediction.
+        assert predicts_overflow(1.0, 4.0, 10, 6)       # 4 >= 4
+        assert not predicts_overflow(1.0, 3.9, 10, 6)   # 3.9 < 4
+
+    def test_full_buffer_always_predicts(self):
+        assert predicts_overflow(0.1, 0.1, 10, 10)
+
+    def test_infinite_buffer_never_predicts(self):
+        assert not predicts_overflow(10.0, 1e9, None, 10**9)
+
+    def test_zero_arrival_rate_never_predicts_with_space(self):
+        assert not predicts_overflow(0.0, 1e9, 10, 9)
+
+    def test_zero_arrival_rate_full_buffer(self):
+        # growth 0 >= free 0: still predicted — the buffer is already full.
+        assert predicts_overflow(0.0, 1.0, 10, 10)
+
+    @given(
+        lam=st.floats(0.0, 5.0),
+        s=st.floats(0.0, 100.0),
+        occupancy=st.integers(0, 10),
+    )
+    @settings(max_examples=100)
+    def test_monotone_in_service_time(self, lam, s, occupancy):
+        if predicts_overflow(lam, s, 10, occupancy):
+            assert predicts_overflow(lam, s * 2 + 1, 10, occupancy)

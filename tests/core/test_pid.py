@@ -1,0 +1,96 @@
+"""Tests for the PID prediction-error controller."""
+
+import pytest
+
+from repro.core.pid import PIDController
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_initial_output_zero(self):
+        assert PIDController().output == 0.0
+
+    def test_proportional_only(self):
+        pid = PIDController(kp=2.0, ki=0.0, kd=0.0)
+        assert pid.update(3.0, dt_s=1.0) == pytest.approx(6.0 + 0.0)
+
+    def test_positive_error_raises_output(self):
+        """Paper section 4.3: positive error -> inflate future predictions."""
+        pid = PIDController(kp=1.0, ki=0.1, kd=0.0)
+        out = pid.update(5.0, dt_s=1.0)
+        assert out > 0
+
+    def test_negative_error_lowers_output(self):
+        pid = PIDController(kp=1.0, ki=0.1, kd=0.0)
+        out = pid.update(-5.0, dt_s=1.0)
+        assert out < 0
+
+    def test_integral_accumulates(self):
+        pid = PIDController(kp=0.0, ki=1.0, kd=0.0)
+        first = pid.update(1.0, dt_s=1.0)
+        second = pid.update(1.0, dt_s=1.0)
+        assert second > first
+
+    def test_derivative_responds_to_change(self):
+        pid = PIDController(kp=0.0, ki=0.0, kd=1.0)
+        assert pid.update(1.0, dt_s=1.0) == 0.0  # no previous error
+        assert pid.update(3.0, dt_s=1.0) == pytest.approx(2.0)
+
+    def test_derivative_filtering_smooths(self):
+        raw = PIDController(kp=0.0, ki=0.0, kd=1.0)
+        filtered = PIDController(kp=0.0, ki=0.0, kd=1.0, derivative_tau_s=10.0)
+        raw.update(0.0, 1.0)
+        filtered.update(0.0, 1.0)
+        assert abs(filtered.update(10.0, 1.0)) < abs(raw.update(10.0, 1.0))
+
+    def test_paper_default_gains(self):
+        pid = PIDController()
+        assert pid.kp == pytest.approx(5e-6)
+        assert pid.ki == pytest.approx(1e-6)
+        assert pid.kd == pytest.approx(1.0)
+
+
+class TestClampingAndReset:
+    def test_output_clamped(self):
+        pid = PIDController(kp=100.0, ki=0.0, kd=0.0, output_limits=(-1.0, 1.0))
+        assert pid.update(10.0, 1.0) == 1.0
+        assert pid.update(-10.0, 1.0) == -1.0
+
+    def test_integrator_anti_windup(self):
+        pid = PIDController(kp=0.0, ki=10.0, kd=0.0, output_limits=(-1.0, 1.0))
+        for _ in range(100):
+            pid.update(10.0, 1.0)
+        # After windup, a single negative error must pull the output back
+        # quickly because the integral was clamped at the limit.
+        pid.update(-10.0, 1.0)
+        recovered = pid.update(-10.0, 1.0)
+        assert recovered < 1.0
+
+    def test_reset_clears_state(self):
+        pid = PIDController(kp=1.0, ki=1.0, kd=1.0)
+        pid.update(5.0, 1.0)
+        pid.reset()
+        assert pid.output == 0.0
+        assert pid.update(0.0, 1.0) == 0.0
+
+
+class TestValidation:
+    def test_rejects_negative_gains(self):
+        with pytest.raises(ConfigurationError):
+            PIDController(kp=-1.0)
+
+    def test_rejects_inverted_limits(self):
+        with pytest.raises(ConfigurationError):
+            PIDController(output_limits=(1.0, -1.0))
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ConfigurationError):
+            PIDController().update(1.0, dt_s=0.0)
+
+    def test_rejects_nonfinite_error(self):
+        with pytest.raises(ConfigurationError):
+            PIDController().update(float("nan"), dt_s=1.0)
+
+    def test_rejects_negative_tau(self):
+        with pytest.raises(ConfigurationError):
+            PIDController(derivative_tau_s=-1.0)

@@ -1,0 +1,203 @@
+"""Tests for the Quetzal runtime (policy integration, PID feedback, costs)."""
+
+import pytest
+
+from repro.core.runtime import QuetzalRuntime
+from repro.core.scheduler import FCFSScheduler, JobCandidate
+from repro.core.service_time import AverageServiceTimeEstimator, ExactServiceTimeEstimator
+from repro.device.buffer import BufferedInput
+from repro.device.mcu import APOLLO4, MSP430FR5994
+from repro.errors import ConfigurationError
+from repro.policies.base import CompletionRecord, SchedulingContext
+from repro.workload.pipelines import DETECT_JOB, TRANSMIT_JOB, JobOutcome, build_apollo_app
+
+
+def entry(t, job=DETECT_JOB):
+    return BufferedInput(capture_time=t, interesting=True, job_name=job, enqueue_time=t)
+
+
+def context(app, candidates, occupancy=0, limit=10, p_in=0.05):
+    return SchedulingContext(
+        now_s=0.0,
+        candidates=candidates,
+        buffer_occupancy=occupancy,
+        buffer_limit=limit,
+        true_input_power_w=p_in,
+        max_trace_power_w=0.3,
+    )
+
+
+def candidates_for(app, *entries):
+    by_job = {}
+    for e in entries:
+        by_job.setdefault(e.job_name, []).append(e)
+    result = []
+    for job_name, ents in by_job.items():
+        ents.sort(key=lambda e: e.capture_time)
+        result.append(
+            JobCandidate(
+                job=app.jobs.job(job_name),
+                oldest=ents[0],
+                newest=ents[-1],
+                pending_count=len(ents),
+            )
+        )
+    return result
+
+
+@pytest.fixture
+def runtime(apollo_app):
+    rt = QuetzalRuntime()
+    rt.prepare(apollo_app.jobs, capture_period_s=1.0)
+    return rt
+
+
+class TestLifecycle:
+    def test_use_before_prepare_raises(self, apollo_app):
+        rt = QuetzalRuntime()
+        with pytest.raises(ConfigurationError):
+            rt.on_capture(0.0, True)
+        with pytest.raises(ConfigurationError):
+            rt.select(context(apollo_app, candidates_for(apollo_app, entry(0.0))))
+
+    def test_fresh_pid_per_instance(self):
+        a, b = QuetzalRuntime(), QuetzalRuntime()
+        assert a.pid is not b.pid
+
+    def test_reset_clears_state(self, runtime, apollo_app):
+        runtime.on_capture(0.0, True)
+        runtime.reset()
+        assert runtime._arrivals.rate() == 0.0  # noqa: SLF001 - state check
+
+
+class TestSelect:
+    def test_returns_valid_decision(self, runtime, apollo_app):
+        e = entry(0.0)
+        decision = runtime.select(context(apollo_app, candidates_for(apollo_app, e)))
+        assert decision.job_name == DETECT_JOB
+        assert decision.entry is e
+        assert decision.predicted_service_s is not None
+        assert decision.predicted_service_s >= 0
+
+    def test_prefers_cheap_detect_at_low_power(self, runtime, apollo_app):
+        d, t = entry(5.0, DETECT_JOB), entry(0.0, TRANSMIT_JOB)
+        # At 4 mW the full-image transmit costs ~60 s; detect a few seconds.
+        decision = runtime.select(
+            context(apollo_app, candidates_for(apollo_app, d, t), p_in=0.004)
+        )
+        assert decision.job_name == DETECT_JOB
+
+    def test_degrades_under_pressure(self, runtime, apollo_app):
+        # Saturate the arrival tracker, then offer a nearly full buffer.
+        for i in range(256):
+            runtime.on_capture(float(i), stored=True)
+        t = entry(0.0, TRANSMIT_JOB)
+        decision = runtime.select(
+            context(
+                apollo_app,
+                candidates_for(apollo_app, t),
+                occupancy=9,
+                limit=10,
+                p_in=0.004,
+            )
+        )
+        assert decision.ibo_predicted
+        assert decision.degraded
+        radio = apollo_app.jobs.job(TRANSMIT_JOB).degradable_task
+        assert decision.chosen_options[radio.name].name == "single-byte"
+
+    def test_no_degradation_when_idle(self, runtime, apollo_app):
+        decision = runtime.select(
+            context(
+                apollo_app,
+                candidates_for(apollo_app, entry(0.0, TRANSMIT_JOB)),
+                occupancy=0,
+                p_in=0.3,
+            )
+        )
+        assert not decision.degraded
+
+    def test_fcfs_variant_orders_by_age(self, apollo_app):
+        rt = QuetzalRuntime(scheduler=FCFSScheduler(), name="fcfs")
+        rt.prepare(apollo_app.jobs, 1.0)
+        d, t = entry(5.0, DETECT_JOB), entry(1.0, TRANSMIT_JOB)
+        decision = rt.select(
+            context(apollo_app, candidates_for(apollo_app, d, t), p_in=0.004)
+        )
+        assert decision.job_name == TRANSMIT_JOB  # oldest capture first
+
+
+class TestFeedback:
+    def make_record(self, runtime, apollo_app, observed=10.0, predicted=5.0):
+        e = entry(0.0)
+        decision = runtime.select(context(apollo_app, candidates_for(apollo_app, e)))
+        decision = type(decision)(
+            job_name=decision.job_name,
+            entry=decision.entry,
+            chosen_options=decision.chosen_options,
+            predicted_service_s=predicted,
+            ibo_predicted=decision.ibo_predicted,
+            degraded=decision.degraded,
+        )
+        return CompletionRecord(
+            decision=decision,
+            started_s=0.0,
+            finished_s=observed,
+            executed_by_task={"ml_inference": True, "tx_prep": False},
+            outcome=JobOutcome(remove_input=True, classified_positive=False),
+            task_spans={"ml_inference": observed},
+        )
+
+    def test_pid_reacts_to_underprediction(self, runtime, apollo_app):
+        record = self.make_record(runtime, apollo_app, observed=20.0, predicted=1.0)
+        runtime.on_job_complete(record)
+        assert runtime.pid.output > 0
+
+    def test_pid_disabled(self, apollo_app):
+        rt = QuetzalRuntime(pid=None)
+        rt.prepare(apollo_app.jobs, 1.0)
+        e = entry(0.0)
+        decision = rt.select(context(apollo_app, candidates_for(apollo_app, e)))
+        assert decision is not None  # no PID, still functional
+
+    def test_execution_probability_updated(self, runtime, apollo_app):
+        for _ in range(4):
+            record = self.make_record(runtime, apollo_app)
+            runtime.on_job_complete(record)
+        assert runtime._probabilities.probability("tx_prep") == 0.0  # noqa: SLF001
+
+    def test_average_estimator_receives_observations(self, apollo_app):
+        est = AverageServiceTimeEstimator()
+        rt = QuetzalRuntime(estimator=est, name="avg")
+        rt.prepare(apollo_app.jobs, 1.0)
+        e = entry(0.0)
+        decision = rt.select(context(apollo_app, candidates_for(apollo_app, e)))
+        record = CompletionRecord(
+            decision=decision,
+            started_s=0.0,
+            finished_s=42.0,
+            executed_by_task={"ml_inference": True, "tx_prep": False},
+            outcome=JobOutcome(remove_input=True, classified_positive=False),
+            task_spans={"ml_inference": 42.0},
+        )
+        rt.on_job_complete(record)
+        ml = apollo_app.jobs.job(DETECT_JOB).degradable_task
+        option = decision.chosen_options.get(ml.name, ml.highest_quality)
+        assert est.service_time(ml, option) == pytest.approx(42.0)
+
+
+class TestCosts:
+    def test_invocation_cost_positive_after_prepare(self, runtime):
+        t, e = runtime.invocation_cost(APOLLO4)
+        assert t > 0 and e > 0
+
+    def test_cost_zero_before_prepare(self):
+        assert QuetzalRuntime().invocation_cost(APOLLO4) == (0.0, 0.0)
+
+    def test_hardware_module_cheaper(self, apollo_app):
+        hw = QuetzalRuntime()
+        hw.prepare(apollo_app.jobs, 1.0)
+        sw = QuetzalRuntime(estimator=ExactServiceTimeEstimator(), name="exact")
+        sw.prepare(apollo_app.jobs, 1.0)
+        assert not sw.uses_hardware_module
+        assert hw.invocation_cost(MSP430FR5994)[1] < sw.invocation_cost(MSP430FR5994)[1]

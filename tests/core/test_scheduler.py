@@ -1,0 +1,139 @@
+"""Tests for the scheduling policies (Alg. 1's selection rule and baselines)."""
+
+import pytest
+
+from repro.core.scheduler import (
+    EnergyAwareSJF,
+    FCFSScheduler,
+    JobCandidate,
+    LCFSScheduler,
+    expected_job_service_time,
+)
+from repro.device.buffer import BufferedInput
+from repro.errors import SchedulingError
+from repro.workload.job import Job, TaskRef
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+
+def entry(t, job="detect"):
+    return BufferedInput(capture_time=t, interesting=False, job_name=job, enqueue_time=t)
+
+
+def make_job(name, t_exe=1.0, conditional_t=None, prob=0.5):
+    options = [
+        DegradationOption("hq", TaskCost(t_exe, 0.01)),
+        DegradationOption("lq", TaskCost(t_exe / 10, 0.01)),
+    ]
+    refs = [TaskRef(Task(f"{name}-main", options))]
+    if conditional_t is not None:
+        refs.append(
+            TaskRef(
+                Task(f"{name}-cond", [DegradationOption("only", TaskCost(conditional_t, 0.01))]),
+                conditional=True,
+                default_probability=prob,
+            )
+        )
+    return Job(name, refs)
+
+
+def candidate(job, oldest_t, newest_t=None, count=1):
+    return JobCandidate(
+        job=job,
+        oldest=entry(oldest_t, job.name),
+        newest=entry(newest_t if newest_t is not None else oldest_t, job.name),
+        pending_count=count,
+    )
+
+
+class TestExpectedJobServiceTime:
+    def test_sums_unconditional_tasks(self):
+        job = make_job("a", t_exe=2.0)
+        e_s = expected_job_service_time(
+            job,
+            service_time_fn=lambda task, opt: opt.cost.t_exe_s,
+            probability_fn=lambda name: 1.0,
+        )
+        assert e_s == pytest.approx(2.0)
+
+    def test_weights_conditional_tasks(self):
+        job = make_job("a", t_exe=2.0, conditional_t=4.0)
+        e_s = expected_job_service_time(
+            job,
+            service_time_fn=lambda task, opt: opt.cost.t_exe_s,
+            probability_fn=lambda name: 0.25,
+        )
+        # 2.0 + 0.25 * 4.0
+        assert e_s == pytest.approx(3.0)
+
+    def test_option_fn_selects_quality(self):
+        job = make_job("a", t_exe=2.0)
+        e_s = expected_job_service_time(
+            job,
+            service_time_fn=lambda task, opt: opt.cost.t_exe_s,
+            probability_fn=lambda name: 1.0,
+            option_fn=lambda task: task.options[-1],
+        )
+        assert e_s == pytest.approx(0.2)
+
+
+class TestEnergyAwareSJF:
+    def test_selects_minimum_score(self):
+        a, b = make_job("a", 5.0), make_job("b", 1.0)
+        ca, cb = candidate(a, 0.0), candidate(b, 10.0)
+        scores = {"a": 5.0, "b": 1.0}
+        sel = EnergyAwareSJF().select([ca, cb], lambda c: scores[c.job.name])
+        assert sel.job.name == "b"
+        assert sel.entry is cb.oldest
+
+    def test_tie_breaks_to_older_input(self):
+        a, b = make_job("a", 1.0), make_job("b", 1.0)
+        ca, cb = candidate(a, 7.0), candidate(b, 3.0)
+        sel = EnergyAwareSJF().select([ca, cb], lambda c: 1.0)
+        assert sel.job.name == "b"
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(SchedulingError):
+            EnergyAwareSJF().select([], lambda c: 0.0)
+
+
+class TestFCFS:
+    def test_oldest_capture_wins(self):
+        a, b = make_job("a", 1.0), make_job("b", 1.0)
+        sel = FCFSScheduler().select(
+            [candidate(a, 5.0), candidate(b, 2.0)], lambda c: 99.0
+        )
+        assert sel.job.name == "b"
+        assert sel.entry.capture_time == 2.0
+
+    def test_ignores_scores(self):
+        a, b = make_job("a", 1.0), make_job("b", 1.0)
+        scores = {"a": 0.0, "b": 100.0}
+        sel = FCFSScheduler().select(
+            [candidate(a, 5.0), candidate(b, 2.0)],
+            lambda c: scores[c.job.name],
+        )
+        assert sel.job.name == "b"
+
+
+class TestLCFS:
+    def test_newest_capture_wins(self):
+        a, b = make_job("a", 1.0), make_job("b", 1.0)
+        sel = LCFSScheduler().select(
+            [candidate(a, 1.0, newest_t=9.0), candidate(b, 2.0, newest_t=4.0)],
+            lambda c: 0.0,
+        )
+        assert sel.job.name == "a"
+        assert sel.entry.capture_time == 9.0
+
+    def test_processes_the_newest_entry(self):
+        a = make_job("a", 1.0)
+        c = candidate(a, 1.0, newest_t=9.0)
+        sel = LCFSScheduler().select([c], lambda c: 0.0)
+        assert sel.entry is c.newest
+
+
+class TestNames:
+    def test_scheduler_names(self):
+        assert EnergyAwareSJF().name == "energy-aware-sjf"
+        assert FCFSScheduler().name == "fcfs"
+        assert LCFSScheduler().name == "lcfs"

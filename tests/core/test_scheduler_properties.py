@@ -1,0 +1,92 @@
+"""Property tests of the scheduling policies' selection contracts."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import (
+    EnergyAwareSJF,
+    FCFSScheduler,
+    JobCandidate,
+    LCFSScheduler,
+)
+from repro.device.buffer import BufferedInput
+from repro.workload.job import Job, TaskRef
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+
+def _job(name):
+    task = Task(
+        f"{name}-t",
+        [
+            DegradationOption("hq", TaskCost(1.0, 0.01)),
+            DegradationOption("lq", TaskCost(0.1, 0.01)),
+        ],
+    )
+    return Job(name, [TaskRef(task)])
+
+
+def _entry(t, job_name):
+    return BufferedInput(
+        capture_time=t, interesting=False, job_name=job_name, enqueue_time=t
+    )
+
+
+@st.composite
+def candidates_and_scores(draw):
+    n = draw(st.integers(1, 6))
+    candidates = []
+    scores = {}
+    for i in range(n):
+        name = f"job{i}"
+        oldest_t = draw(st.floats(0.0, 1000.0))
+        newest_t = oldest_t + draw(st.floats(0.0, 100.0))
+        candidates.append(
+            JobCandidate(
+                job=_job(name),
+                oldest=_entry(oldest_t, name),
+                newest=_entry(newest_t, name),
+                pending_count=draw(st.integers(1, 5)),
+            )
+        )
+        scores[name] = draw(st.floats(0.0, 100.0))
+    return candidates, scores
+
+
+class TestSelectionContracts:
+    @given(data=candidates_and_scores())
+    @settings(max_examples=150)
+    def test_easjf_minimizes_score(self, data):
+        candidates, scores = data
+        selection = EnergyAwareSJF().select(
+            candidates, lambda c: scores[c.job.name]
+        )
+        best = min(scores[c.job.name] for c in candidates)
+        assert scores[selection.job.name] == best
+        assert selection.entry is next(
+            c for c in candidates if c.job.name == selection.job.name
+        ).oldest
+
+    @given(data=candidates_and_scores())
+    @settings(max_examples=150)
+    def test_fcfs_minimizes_age(self, data):
+        candidates, scores = data
+        selection = FCFSScheduler().select(candidates, lambda c: scores[c.job.name])
+        oldest = min(c.oldest.capture_time for c in candidates)
+        assert selection.entry.capture_time == oldest
+
+    @given(data=candidates_and_scores())
+    @settings(max_examples=150)
+    def test_lcfs_maximizes_recency(self, data):
+        candidates, scores = data
+        selection = LCFSScheduler().select(candidates, lambda c: scores[c.job.name])
+        newest = max(c.newest.capture_time for c in candidates)
+        assert selection.entry.capture_time == newest
+
+    @given(data=candidates_and_scores())
+    @settings(max_examples=80)
+    def test_all_schedulers_pick_from_candidates(self, data):
+        candidates, scores = data
+        names = {c.job.name for c in candidates}
+        for scheduler in (EnergyAwareSJF(), FCFSScheduler(), LCFSScheduler()):
+            selection = scheduler.select(candidates, lambda c: scores[c.job.name])
+            assert selection.job.name in names

@@ -1,0 +1,164 @@
+"""Tests for Eq. 1 and the three service-time estimators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.service_time import (
+    AverageServiceTimeEstimator,
+    ExactServiceTimeEstimator,
+    HardwareServiceTimeEstimator,
+    end_to_end_service_time,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.circuit import PowerMonitor
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+
+def radio_task():
+    return Task(
+        "radio",
+        [
+            DegradationOption("full", TaskCost(0.8, 0.300)),
+            DegradationOption("byte", TaskCost(0.030, 0.300)),
+        ],
+    )
+
+
+class TestEquationOne:
+    def test_execution_dominated(self):
+        # P_in above P_exe: S = t_exe.
+        assert end_to_end_service_time(0.8, 0.24, 1.0) == pytest.approx(0.8)
+
+    def test_recharge_dominated(self):
+        # Paper's own anchor: the radio task at low power exceeds 50 s.
+        s = end_to_end_service_time(0.8, 0.24, 0.004)
+        assert s == pytest.approx(60.0)
+        assert s > 50.0
+
+    def test_crossover(self):
+        # S = t_exe exactly when P_in == E/t.
+        assert end_to_end_service_time(0.8, 0.24, 0.3) == pytest.approx(0.8)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            end_to_end_service_time(-1.0, 0.1, 0.1)
+        with pytest.raises(ConfigurationError):
+            end_to_end_service_time(1.0, 0.1, 0.0)
+
+    @given(
+        t=st.floats(1e-3, 100.0),
+        p_exe=st.floats(1e-4, 1.0),
+        p_in=st.floats(1e-5, 1.0),
+    )
+    @settings(max_examples=100)
+    def test_never_below_execution_time(self, t, p_exe, p_in):
+        s = end_to_end_service_time(t, t * p_exe, p_in)
+        assert s >= t
+        # Monotone in 1/P_in.
+        assert end_to_end_service_time(t, t * p_exe, p_in / 2) >= s
+
+
+class TestExactEstimator:
+    def test_matches_equation(self):
+        est = ExactServiceTimeEstimator()
+        task = radio_task()
+        est.begin_cycle(0.004)
+        assert est.service_time(task, task.options[0]) == pytest.approx(60.0)
+
+    def test_floor_applied_at_zero_power(self):
+        est = ExactServiceTimeEstimator(input_power_floor_w=1e-3)
+        task = radio_task()
+        est.begin_cycle(0.0)
+        assert est.service_time(task, task.options[0]) == pytest.approx(240.0)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ConfigurationError):
+            ExactServiceTimeEstimator().begin_cycle(-1.0)
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(ConfigurationError):
+            ExactServiceTimeEstimator(input_power_floor_w=0.0)
+
+
+class TestHardwareEstimator:
+    def test_requires_profiling(self):
+        est = HardwareServiceTimeEstimator()
+        task = radio_task()
+        est.begin_cycle(0.05)
+        with pytest.raises(ConfigurationError):
+            est.service_time(task, task.options[0])
+
+    def test_tracks_exact_estimator(self):
+        task = radio_task()
+        hw = HardwareServiceTimeEstimator(PowerMonitor())
+        hw.profile([task])
+        exact = ExactServiceTimeEstimator()
+        for p_in in (0.002, 0.01, 0.05, 0.2):
+            hw.begin_cycle(p_in)
+            exact.begin_cycle(p_in)
+            s_hw = hw.service_time(task, task.options[0])
+            s_exact = exact.service_time(task, task.options[0])
+            # Within a factor of ~1.6: quantisation + temperature error.
+            assert s_exact / 1.6 <= s_hw <= s_exact * 1.6
+
+    def test_execution_dominated_exact(self):
+        task = radio_task()
+        hw = HardwareServiceTimeEstimator()
+        hw.profile([task])
+        hw.begin_cycle(0.400)  # above radio power
+        assert hw.service_time(task, task.options[0]) == pytest.approx(0.8)
+
+    def test_degraded_option_cheaper(self):
+        task = radio_task()
+        hw = HardwareServiceTimeEstimator()
+        hw.profile([task])
+        hw.begin_cycle(0.004)
+        assert hw.service_time(task, task.options[1]) < hw.service_time(
+            task, task.options[0]
+        )
+
+
+class TestAverageEstimator:
+    def test_defaults_to_execution_time(self):
+        est = AverageServiceTimeEstimator()
+        task = radio_task()
+        est.begin_cycle(0.004)
+        assert est.service_time(task, task.options[0]) == pytest.approx(0.8)
+
+    def test_averages_observations(self):
+        est = AverageServiceTimeEstimator()
+        task = radio_task()
+        est.observe(task, task.options[0], 10.0)
+        est.observe(task, task.options[0], 20.0)
+        assert est.service_time(task, task.options[0]) == pytest.approx(15.0)
+
+    def test_ignores_input_power(self):
+        est = AverageServiceTimeEstimator()
+        task = radio_task()
+        est.observe(task, task.options[0], 10.0)
+        est.begin_cycle(0.001)
+        low = est.service_time(task, task.options[0])
+        est.begin_cycle(0.5)
+        high = est.service_time(task, task.options[0])
+        assert low == high  # the defining flaw of the Avg-S_e2e baseline
+
+    def test_history_window_bounded(self):
+        est = AverageServiceTimeEstimator(history=2)
+        task = radio_task()
+        for s in (100.0, 1.0, 3.0):
+            est.observe(task, task.options[0], s)
+        assert est.service_time(task, task.options[0]) == pytest.approx(2.0)
+
+    def test_per_option_histories(self):
+        est = AverageServiceTimeEstimator()
+        task = radio_task()
+        est.observe(task, task.options[0], 50.0)
+        assert est.service_time(task, task.options[1]) == pytest.approx(0.030)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            AverageServiceTimeEstimator(history=0)
+        est = AverageServiceTimeEstimator()
+        with pytest.raises(ConfigurationError):
+            est.observe(radio_task(), radio_task().options[0], -1.0)

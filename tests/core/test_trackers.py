@@ -1,0 +1,132 @@
+"""Tests for the bit-vector windows and rate/probability trackers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trackers import (
+    ArrivalRateTracker,
+    BitVectorWindow,
+    ExecutionProbabilityTracker,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBitVectorWindow:
+    def test_counts_ones(self):
+        w = BitVectorWindow(4)
+        for bit in (True, False, True, True):
+            w.append(bit)
+        assert w.ones == 3
+        assert w.fraction() == pytest.approx(0.75)
+
+    def test_eviction(self):
+        w = BitVectorWindow(2)
+        w.append(True)
+        w.append(True)
+        w.append(False)  # evicts the first 1
+        assert w.ones == 1
+        assert len(w) == 2
+
+    def test_empty_fraction_default(self):
+        w = BitVectorWindow(8)
+        assert w.fraction() == 0.0
+        assert w.fraction(default=0.5) == 0.5
+
+    def test_filled_saturates(self):
+        w = BitVectorWindow(3)
+        for _ in range(10):
+            w.append(True)
+        assert w.filled == 3
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            BitVectorWindow(0)
+
+    @given(bits=st.lists(st.booleans(), max_size=200), size=st.integers(1, 32))
+    @settings(max_examples=100)
+    def test_one_counter_matches_popcount(self, bits, size):
+        """The O(1) counter must always equal a recount of the window."""
+        w = BitVectorWindow(size)
+        for bit in bits:
+            w.append(bit)
+            expected = sum(bits[max(0, bits.index(bit)) :][:0])  # placeholder
+        # Recount from scratch using the last `size` bits.
+        expected_ones = sum(bits[-size:]) if bits else 0
+        assert w.ones == expected_ones
+        assert len(w) == min(len(bits), size)
+
+
+class TestArrivalRateTracker:
+    def test_rate_from_fraction_and_period(self):
+        tracker = ArrivalRateTracker(window_size=4, capture_period_s=2.0)
+        for stored in (True, True, False, False):
+            tracker.record_capture(stored)
+        # Half the captures stored, one capture per 2 s: 0.25 inputs/s.
+        assert tracker.rate() == pytest.approx(0.25)
+
+    def test_empty_rate_is_zero(self):
+        assert ArrivalRateTracker().rate() == 0.0
+
+    def test_window_slides(self):
+        tracker = ArrivalRateTracker(window_size=2, capture_period_s=1.0)
+        tracker.record_capture(True)
+        tracker.record_capture(True)
+        tracker.record_capture(False)
+        tracker.record_capture(False)
+        assert tracker.rate() == 0.0
+
+    def test_paper_default_window(self):
+        assert ArrivalRateTracker().window.size == 256
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigurationError):
+            ArrivalRateTracker(capture_period_s=0.0)
+
+    def test_full_activity_rate_equals_capture_rate(self):
+        tracker = ArrivalRateTracker(window_size=8, capture_period_s=0.5)
+        for _ in range(8):
+            tracker.record_capture(True)
+        assert tracker.rate() == pytest.approx(2.0)
+
+
+class TestExecutionProbabilityTracker:
+    def test_default_before_observation(self):
+        tracker = ExecutionProbabilityTracker()
+        assert tracker.probability("radio", default=0.5) == 0.5
+        assert tracker.probability("radio") == 1.0
+
+    def test_probability_tracks_history(self):
+        tracker = ExecutionProbabilityTracker(window_size=4)
+        for executed in (True, False, True, False):
+            tracker.record("tx", executed)
+        assert tracker.probability("tx") == pytest.approx(0.5)
+
+    def test_record_job_atomic(self):
+        tracker = ExecutionProbabilityTracker(window_size=8)
+        tracker.record_job({"ml": True, "tx": False})
+        tracker.record_job({"ml": True, "tx": True})
+        assert tracker.probability("ml") == 1.0
+        assert tracker.probability("tx") == 0.5
+
+    def test_windows_independent_per_task(self):
+        tracker = ExecutionProbabilityTracker(window_size=2)
+        tracker.record("a", True)
+        tracker.record("b", False)
+        assert tracker.probability("a") == 1.0
+        assert tracker.probability("b") == 0.0
+
+    def test_paper_default_window(self):
+        assert ExecutionProbabilityTracker().window_size == 64
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionProbabilityTracker(0)
+
+    @given(history=st.lists(st.booleans(), min_size=1, max_size=100))
+    @settings(max_examples=60)
+    def test_probability_in_unit_interval(self, history):
+        tracker = ExecutionProbabilityTracker(window_size=16)
+        for bit in history:
+            tracker.record("t", bit)
+        assert 0.0 <= tracker.probability("t") <= 1.0

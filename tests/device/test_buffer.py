@@ -1,0 +1,126 @@
+"""Tests for the input buffer — the data structure whose overflow is the paper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.buffer import BufferedInput, InputBuffer
+from repro.errors import ConfigurationError, SimulationError
+
+
+def entry(t=0.0, interesting=False, job="detect"):
+    return BufferedInput(
+        capture_time=t, interesting=interesting, job_name=job, enqueue_time=t
+    )
+
+
+class TestCapacity:
+    def test_insert_until_full(self):
+        buf = InputBuffer(capacity=3)
+        assert all(buf.try_insert(entry(i)) for i in range(3))
+        assert buf.is_full
+        assert not buf.try_insert(entry(3))  # the IBO
+        assert buf.occupancy == 3
+
+    def test_unbounded_buffer_never_overflows(self):
+        buf = InputBuffer(capacity=None)
+        for i in range(1000):
+            assert buf.try_insert(entry(i))
+        assert not buf.is_full
+        assert buf.free_slots == float("inf")
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            InputBuffer(capacity=0)
+
+    def test_fill_fraction(self):
+        buf = InputBuffer(capacity=4)
+        buf.try_insert(entry(0))
+        assert buf.fill_fraction() == pytest.approx(0.25)
+        assert InputBuffer(capacity=None).fill_fraction() == 0.0
+
+    def test_free_slots(self):
+        buf = InputBuffer(capacity=5)
+        buf.try_insert(entry(0))
+        buf.try_insert(entry(1))
+        assert buf.free_slots == 3
+
+
+class TestRemoval:
+    def test_remove_frees_slot(self):
+        buf = InputBuffer(capacity=1)
+        e = entry(0)
+        buf.try_insert(e)
+        buf.remove(e)
+        assert buf.is_empty
+        assert buf.try_insert(entry(1))
+
+    def test_remove_missing_raises(self):
+        buf = InputBuffer(capacity=2)
+        with pytest.raises(SimulationError):
+            buf.remove(entry(0))
+
+    def test_clear_returns_all(self):
+        buf = InputBuffer(capacity=5)
+        entries = [entry(i) for i in range(4)]
+        for e in entries:
+            buf.try_insert(e)
+        dropped = buf.clear()
+        assert dropped == entries
+        assert buf.is_empty
+
+
+class TestJobQueries:
+    def test_pending_job_names_order(self):
+        buf = InputBuffer(capacity=10)
+        buf.try_insert(entry(0, job="detect"))
+        buf.try_insert(entry(1, job="transmit"))
+        buf.try_insert(entry(2, job="detect"))
+        assert buf.pending_job_names() == ("detect", "transmit")
+
+    def test_oldest_and_newest_for_job(self):
+        buf = InputBuffer(capacity=10)
+        entries = [entry(t, job="detect") for t in (5.0, 1.0, 3.0)]
+        for e in entries:
+            buf.try_insert(e)
+        assert buf.oldest_for_job("detect").capture_time == 1.0
+        assert buf.newest_for_job("detect").capture_time == 5.0
+
+    def test_queries_for_absent_job(self):
+        buf = InputBuffer(capacity=10)
+        buf.try_insert(entry(0, job="detect"))
+        assert buf.oldest_for_job("transmit") is None
+        assert buf.newest_for_job("transmit") is None
+
+    def test_retagging_entry_moves_between_jobs(self):
+        """The spawn mechanism: an entry re-tagged keeps its slot."""
+        buf = InputBuffer(capacity=1)
+        e = entry(0, job="detect")
+        buf.try_insert(e)
+        e.job_name = "transmit"
+        assert buf.pending_job_names() == ("transmit",)
+        assert buf.occupancy == 1
+
+    def test_unique_input_ids(self):
+        ids = {entry(i).input_id for i in range(100)}
+        assert len(ids) == 100
+
+
+class TestPropertyInvariants:
+    @given(
+        ops=st.lists(st.integers(0, 2), max_size=60),
+        capacity=st.integers(1, 8),
+    )
+    @settings(max_examples=100)
+    def test_occupancy_never_exceeds_capacity(self, ops, capacity):
+        buf = InputBuffer(capacity=capacity)
+        live = []
+        for i, op in enumerate(ops):
+            if op in (0, 1):
+                e = entry(float(i))
+                if buf.try_insert(e):
+                    live.append(e)
+            elif live:
+                buf.remove(live.pop(0))
+            assert 0 <= buf.occupancy <= capacity
+            assert buf.occupancy == len(live)

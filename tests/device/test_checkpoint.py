@@ -1,0 +1,41 @@
+"""Tests for the JIT checkpoint cost model."""
+
+import pytest
+
+from repro.device.checkpoint import ZERO_COST, CheckpointModel
+from repro.errors import ConfigurationError
+
+
+class TestCheckpointModel:
+    def test_defaults_positive(self):
+        model = CheckpointModel()
+        assert model.save_time_s > 0
+        assert model.save_energy_j > 0
+        assert model.restore_time_s > 0
+        assert model.restore_energy_j > 0
+
+    def test_round_trip_sums(self):
+        model = CheckpointModel(1e-3, 2e-6, 3e-3, 4e-6)
+        assert model.round_trip_time_s == pytest.approx(4e-3)
+        assert model.round_trip_energy_j == pytest.approx(6e-6)
+
+    def test_zero_cost_model(self):
+        assert ZERO_COST.round_trip_time_s == 0.0
+        assert ZERO_COST.round_trip_energy_j == 0.0
+
+    @pytest.mark.parametrize(
+        "field",
+        ["save_time_s", "save_energy_j", "restore_time_s", "restore_energy_j"],
+    )
+    def test_rejects_negative(self, field):
+        kwargs = dict(
+            save_time_s=0.0, save_energy_j=0.0, restore_time_s=0.0, restore_energy_j=0.0
+        )
+        kwargs[field] = -1.0
+        with pytest.raises(ConfigurationError):
+            CheckpointModel(**kwargs)
+
+    def test_frozen(self):
+        model = CheckpointModel()
+        with pytest.raises(AttributeError):
+            model.save_time_s = 1.0  # type: ignore[misc]

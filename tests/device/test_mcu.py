@@ -1,0 +1,83 @@
+"""Tests for MCU profiles."""
+
+import pytest
+
+from repro.device.mcu import APOLLO4, MSP430FR5994, MCUProfile, mcu_by_name
+from repro.errors import ConfigurationError
+
+
+class TestPresets:
+    def test_apollo_has_divider(self):
+        assert APOLLO4.has_hw_divider
+
+    def test_msp430_lacks_divider(self):
+        assert not MSP430FR5994.has_hw_divider
+
+    def test_paper_division_costs(self):
+        # Section 5.1: MSP430 sw division 158 cycles / 49.37 nJ; module 12 / 3.75 nJ.
+        assert MSP430FR5994.division_cycles == 158
+        assert MSP430FR5994.division_energy_j == pytest.approx(49.37e-9)
+        assert MSP430FR5994.module_cycles == 12
+        assert MSP430FR5994.module_energy_j == pytest.approx(3.75e-9)
+        # Apollo 4: divider 13 cycles / 0.4 nJ; module 5 / 0.16 nJ.
+        assert APOLLO4.division_cycles == 13
+        assert APOLLO4.division_energy_j == pytest.approx(0.4e-9)
+        assert APOLLO4.module_cycles == 5
+        assert APOLLO4.module_energy_j == pytest.approx(0.16e-9)
+
+    def test_buffer_capacity_is_ten_images(self):
+        assert APOLLO4.input_buffer_capacity == 10
+        assert MSP430FR5994.input_buffer_capacity == 10
+
+    def test_cycles_to_seconds(self):
+        assert MSP430FR5994.cycles_to_seconds(16e6) == pytest.approx(1.0)
+        assert APOLLO4.cycles_to_seconds(192) == pytest.approx(1e-6)
+
+
+class TestLookup:
+    def test_by_full_and_short_names(self):
+        assert mcu_by_name("Apollo 4") is APOLLO4
+        assert mcu_by_name("apollo4") is APOLLO4
+        assert mcu_by_name("msp430") is MSP430FR5994
+        assert mcu_by_name("MSP430FR5994") is MSP430FR5994
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            mcu_by_name("esp32")
+
+
+class TestValidation:
+    def base_kwargs(self):
+        return dict(
+            name="x",
+            clock_hz=1e6,
+            active_power_w=1e-3,
+            sleep_power_w=1e-6,
+            has_hw_divider=False,
+            division_cycles=100,
+            division_energy_j=1e-9,
+            module_cycles=10,
+            module_energy_j=1e-10,
+        )
+
+    def test_valid(self):
+        MCUProfile(**self.base_kwargs())
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("clock_hz", 0.0),
+            ("active_power_w", 0.0),
+            ("sleep_power_w", -1.0),
+            ("division_cycles", 0),
+            ("module_cycles", 0),
+            ("division_energy_j", 0.0),
+            ("module_energy_j", 0.0),
+            ("input_buffer_capacity", 0),
+        ],
+    )
+    def test_invalid_fields(self, field, value):
+        kwargs = self.base_kwargs()
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            MCUProfile(**kwargs)

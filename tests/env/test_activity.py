@@ -1,0 +1,76 @@
+"""Tests for the Table-1 environment presets."""
+
+import pytest
+
+from repro.env.activity import (
+    APOLLO_ENVIRONMENTS,
+    HARDWARE_ENVIRONMENTS,
+    MSP430_ENVIRONMENT,
+    environment_by_name,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPresets:
+    def test_three_apollo_environments(self):
+        names = [env.name for env in APOLLO_ENVIRONMENTS]
+        assert names == ["More Crowded", "Crowded", "Less Crowded"]
+
+    def test_paper_duration_caps(self):
+        caps = {env.name: env.max_interesting_duration_s for env in APOLLO_ENVIRONMENTS}
+        assert caps == {
+            "More Crowded": 600.0,
+            "Crowded": 60.0,
+            "Less Crowded": 20.0,
+        }
+
+    def test_msp430_cap(self):
+        assert MSP430_ENVIRONMENT.max_interesting_duration_s == 10.0
+
+    def test_hardware_environments_subset(self):
+        assert set(HARDWARE_ENVIRONMENTS) <= set(APOLLO_ENVIRONMENTS)
+        assert len(HARDWARE_ENVIRONMENTS) == 2
+
+    def test_crowdedness_orders_activity(self):
+        """More crowded scenes should produce denser 'different' captures."""
+        more, crowded, less = APOLLO_ENVIRONMENTS
+        assert (
+            more.generator.diff_probability
+            >= crowded.generator.diff_probability
+            >= less.generator.diff_probability
+        )
+        assert (
+            more.generator.interarrival_median_s
+            <= crowded.generator.interarrival_median_s
+            <= less.generator.interarrival_median_s
+        )
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert environment_by_name("CROWDED").name == "Crowded"
+        assert environment_by_name("more crowded").name == "More Crowded"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            environment_by_name("downtown")
+
+
+class TestScheduleGeneration:
+    def test_schedule_deterministic(self):
+        env = environment_by_name("crowded")
+        a = env.schedule(25, seed=9)
+        b = env.schedule(25, seed=9)
+        assert [e.start for e in a] == [e.start for e in b]
+
+    def test_schedule_respects_cap(self):
+        env = environment_by_name("less crowded")
+        sched = env.schedule(300, seed=1)
+        assert max(e.duration for e in sched) <= 20.0
+
+    def test_more_crowded_has_longer_events(self):
+        more = environment_by_name("more crowded").schedule(300, seed=1)
+        less = environment_by_name("less crowded").schedule(300, seed=1)
+        mean_more = sum(e.duration for e in more) / len(more)
+        mean_less = sum(e.duration for e in less) / len(less)
+        assert mean_more > mean_less

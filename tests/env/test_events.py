@@ -1,0 +1,165 @@
+"""Tests for events, schedules, and the schedule generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.events import Event, EventSchedule, EventScheduleGenerator
+from repro.errors import ConfigurationError
+
+
+class TestEvent:
+    def test_end_and_activity(self):
+        ev = Event(start=5.0, duration=3.0, interesting=True)
+        assert ev.end == 8.0
+        assert ev.active_at(5.0)
+        assert ev.active_at(7.999)
+        assert not ev.active_at(8.0)
+        assert not ev.active_at(4.999)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError):
+            Event(start=-1.0, duration=1.0, interesting=False)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ConfigurationError):
+            Event(start=0.0, duration=0.0, interesting=False)
+
+
+class TestEventSchedule:
+    def make(self):
+        return EventSchedule(
+            [
+                Event(10.0, 5.0, True),
+                Event(20.0, 2.0, False),
+                Event(30.0, 10.0, True),
+            ]
+        )
+
+    def test_sorted_iteration(self):
+        sched = EventSchedule(
+            [Event(20.0, 2.0, False), Event(10.0, 5.0, True)]
+        )
+        starts = [e.start for e in sched]
+        assert starts == sorted(starts)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventSchedule([Event(0.0, 10.0, True), Event(5.0, 1.0, False)])
+
+    def test_adjacent_allowed(self):
+        EventSchedule([Event(0.0, 5.0, True), Event(5.0, 1.0, False)])
+
+    def test_point_queries(self):
+        sched = self.make()
+        assert sched.active_at(12.0)
+        assert sched.interesting_at(12.0)
+        assert sched.active_at(21.0)
+        assert not sched.interesting_at(21.0)
+        assert not sched.active_at(25.0)
+        assert not sched.active_at(0.0)
+
+    def test_event_at_boundaries(self):
+        sched = self.make()
+        assert sched.event_at(10.0) is sched[0]
+        assert sched.event_at(15.0) is None  # end exclusive
+
+    def test_end_time_and_counts(self):
+        sched = self.make()
+        assert sched.end_time == 40.0
+        assert sched.interesting_count == 2
+        assert sched.total_interesting_seconds() == pytest.approx(15.0)
+
+    def test_empty_schedule(self):
+        sched = EventSchedule([])
+        assert sched.end_time == 0.0
+        assert not sched.active_at(1.0)
+
+    def test_diff_probability_validation(self):
+        with pytest.raises(ConfigurationError):
+            EventSchedule([], diff_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            EventSchedule([], diff_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            EventSchedule([], background_diff_probability=-0.1)
+
+    @given(t=st.floats(0.0, 50.0))
+    @settings(max_examples=100)
+    def test_interesting_implies_active(self, t):
+        sched = self.make()
+        if sched.interesting_at(t):
+            assert sched.active_at(t)
+
+
+class TestGenerator:
+    def gen(self, **kwargs):
+        defaults = dict(max_interesting_duration_s=60.0)
+        defaults.update(kwargs)
+        return EventScheduleGenerator(**defaults)
+
+    def test_deterministic(self):
+        a = self.gen().generate(20, seed=3)
+        b = self.gen().generate(20, seed=3)
+        assert [e.start for e in a] == [e.start for e in b]
+        assert [e.interesting for e in a] == [e.interesting for e in b]
+
+    def test_event_count(self):
+        assert len(self.gen().generate(17, seed=0)) == 17
+
+    def test_zero_events(self):
+        assert len(self.gen().generate(0, seed=0)) == 0
+
+    def test_durations_capped(self):
+        sched = self.gen(max_interesting_duration_s=10.0).generate(200, seed=1)
+        assert all(e.duration <= 10.0 for e in sched)
+
+    def test_durations_floored(self):
+        sched = self.gen(min_duration_s=2.0).generate(200, seed=1)
+        assert all(e.duration >= 2.0 for e in sched)
+
+    def test_no_overlaps(self):
+        sched = self.gen().generate(300, seed=5)
+        for prev, cur in zip(sched, list(sched)[1:]):
+            assert cur.start >= prev.end
+
+    def test_interesting_probability_zero_and_one(self):
+        none = self.gen(interesting_probability=0.0).generate(50, seed=2)
+        assert none.interesting_count == 0
+        everything = self.gen(interesting_probability=1.0).generate(50, seed=2)
+        assert everything.interesting_count == 50
+
+    def test_interesting_probability_statistics(self):
+        sched = self.gen(interesting_probability=0.5).generate(500, seed=4)
+        assert 0.4 < sched.interesting_count / 500 < 0.6
+
+    def test_diff_probability_propagates(self):
+        sched = self.gen(
+            diff_probability=0.4, background_diff_probability=0.1
+        ).generate(5, seed=0)
+        assert sched.diff_probability == 0.4
+        assert sched.background_diff_probability == 0.1
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            self.gen().generate(-1, seed=0)
+
+    def test_rejects_inconsistent_caps(self):
+        with pytest.raises(ConfigurationError):
+            EventScheduleGenerator(
+                max_interesting_duration_s=0.5, min_duration_s=1.0
+            )
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            self.gen(interesting_probability=1.5)
+
+    def test_start_time_offset(self):
+        sched = self.gen().generate(5, seed=0, start_time=1000.0)
+        assert sched[0].start > 1000.0
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_schedules_always_valid(self, seed):
+        sched = self.gen().generate(30, seed=seed)
+        assert len(sched) == 30
+        assert all(e.duration > 0 for e in sched)

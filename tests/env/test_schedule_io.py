@@ -1,0 +1,86 @@
+"""Tests for event-schedule CSV serialization."""
+
+import io
+
+import pytest
+
+from repro.env.activity import CROWDED
+from repro.env.events import Event, EventSchedule
+from repro.env.io import load_schedule_csv, save_schedule_csv
+from repro.errors import ConfigurationError
+
+
+def sample_schedule():
+    return EventSchedule(
+        [Event(5.0, 10.0, True), Event(30.0, 2.5, False)],
+        diff_probability=0.4,
+        background_diff_probability=0.15,
+    )
+
+
+class TestRoundTrip:
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        save_schedule_csv(sample_schedule(), buffer)
+        buffer.seek(0)
+        loaded = load_schedule_csv(buffer)
+        original = sample_schedule()
+        assert len(loaded) == len(original)
+        for a, b in zip(loaded, original):
+            assert a.start == pytest.approx(b.start)
+            assert a.duration == pytest.approx(b.duration)
+            assert a.interesting == b.interesting
+        assert loaded.diff_probability == pytest.approx(0.4)
+        assert loaded.background_diff_probability == pytest.approx(0.15)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "schedule.csv"
+        save_schedule_csv(sample_schedule(), path)
+        loaded = load_schedule_csv(path)
+        assert loaded.end_time == pytest.approx(32.5)
+
+    def test_generated_environment_round_trip(self, tmp_path):
+        original = CROWDED.schedule(40, seed=3)
+        path = tmp_path / "crowded.csv"
+        save_schedule_csv(original, path)
+        loaded = load_schedule_csv(path)
+        assert loaded.interesting_count == original.interesting_count
+        assert loaded.diff_probability == original.diff_probability
+
+    def test_simulation_identical_after_round_trip(self, tmp_path, steady_trace):
+        from repro.policies.noadapt import NoAdaptPolicy
+        from repro.sim.engine import SimulationConfig, simulate
+        from repro.workload.pipelines import build_apollo_app
+
+        original = CROWDED.schedule(10, seed=3)
+        path = tmp_path / "s.csv"
+        save_schedule_csv(original, path)
+        loaded = load_schedule_csv(path)
+        cfg = SimulationConfig(seed=1, drain_timeout_s=500.0)
+        a = simulate(build_apollo_app(), NoAdaptPolicy(), steady_trace, original, config=cfg)
+        b = simulate(build_apollo_app(), NoAdaptPolicy(), steady_trace, loaded, config=cfg)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestValidation:
+    def test_missing_header(self):
+        with pytest.raises(ConfigurationError):
+            load_schedule_csv(io.StringIO("1,2,1\n"))
+
+    def test_empty_file(self):
+        with pytest.raises(ConfigurationError):
+            load_schedule_csv(io.StringIO(""))
+
+    def test_unknown_directive(self):
+        with pytest.raises(ConfigurationError):
+            load_schedule_csv(io.StringIO("#zoom=1\nstart_s,duration_s,interesting\n"))
+
+    def test_bad_column_count(self):
+        text = "start_s,duration_s,interesting\n1.0,2.0\n"
+        with pytest.raises(ConfigurationError):
+            load_schedule_csv(io.StringIO(text))
+
+    def test_bad_values(self):
+        text = "start_s,duration_s,interesting\n1.0,abc,1\n"
+        with pytest.raises(ConfigurationError):
+            load_schedule_csv(io.StringIO(text))

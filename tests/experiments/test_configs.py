@@ -1,0 +1,84 @@
+"""Tests for the Table-1 experiment configurations."""
+
+import pytest
+
+from repro.device.mcu import APOLLO4, MSP430FR5994
+from repro.errors import ConfigurationError
+from repro.experiments.configs import (
+    ExperimentConfig,
+    apollo_simulation_config,
+    hardware_experiment_config,
+    msp430_simulation_config,
+)
+
+
+class TestPresets:
+    def test_apollo_config(self):
+        cfg = apollo_simulation_config("crowded", 50)
+        assert cfg.mcu is APOLLO4
+        assert cfg.environment.name == "Crowded"
+        assert cfg.n_events == 50
+        assert cfg.buffer_capacity == 10
+        assert cfg.capture_period_s == 1.0
+        assert cfg.cells == 6
+
+    def test_hardware_config_event_default(self):
+        cfg = hardware_experiment_config()
+        assert cfg.n_events == 100
+
+    def test_msp430_config(self):
+        cfg = msp430_simulation_config()
+        assert cfg.mcu is MSP430FR5994
+        assert cfg.environment.max_interesting_duration_s == 10.0
+
+    def test_environment_object_accepted(self):
+        from repro.env.activity import CROWDED
+
+        cfg = apollo_simulation_config(CROWDED, 10)
+        assert cfg.environment is CROWDED
+
+
+class TestBuilders:
+    def test_build_app_matches_mcu(self):
+        apollo = apollo_simulation_config("crowded", 10)
+        assert apollo.build_app().jobs.job("detect").degradable_task.options[0].name == "mobilenetv2"
+        msp = msp430_simulation_config(10)
+        assert msp.build_app().jobs.job("detect").degradable_task.options[0].name == "lenet-int16"
+
+    def test_build_trace_scales_with_cells(self):
+        base = apollo_simulation_config("crowded", 10)
+        more = ExperimentConfig(**{**base.__dict__, "cells": 12})
+        assert more.build_trace().max_power > base.build_trace().max_power
+
+    def test_build_schedule_deterministic(self):
+        cfg = apollo_simulation_config("crowded", 20)
+        a, b = cfg.build_schedule(), cfg.build_schedule()
+        assert [e.start for e in a] == [e.start for e in b]
+
+    def test_build_sim_config(self):
+        cfg = apollo_simulation_config("crowded", 10)
+        sim = cfg.build_sim_config()
+        assert sim.buffer_capacity == 10
+        assert sim.capture_period_s == 1.0
+
+
+class TestVariants:
+    def test_with_seeds_changes_schedule(self):
+        cfg = apollo_simulation_config("crowded", 20)
+        shifted = cfg.with_seeds(5)
+        assert shifted.schedule_seed == cfg.schedule_seed + 5
+        assert shifted.trace_seed == cfg.trace_seed  # trace shared
+
+    def test_with_ideal_buffer(self):
+        cfg = apollo_simulation_config("crowded", 10).with_ideal_buffer()
+        assert cfg.buffer_capacity is None
+        assert cfg.name.endswith("-ideal")
+
+    def test_validation(self):
+        base = apollo_simulation_config("crowded", 10)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**{**base.__dict__, "n_events": 0})
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**{**base.__dict__, "cells": 0})
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**{**base.__dict__, "environment": None})

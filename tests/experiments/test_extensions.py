@@ -1,0 +1,29 @@
+"""Smoke tests for the extension studies."""
+
+from repro.experiments.extensions import (
+    buffer_capacity_study,
+    pid_gain_study,
+    supercap_size_study,
+)
+
+TINY = dict(n_events=6, seeds=(0,))
+
+
+def test_buffer_capacity_rows():
+    result = buffer_capacity_study(capacities=(4, 10), **TINY)
+    assert len(result.rows) == 4  # 2 capacities x 2 policies
+    assert {row["policy"] for row in result.rows} == {"QZ", "NA"}
+
+
+def test_supercap_rows():
+    result = supercap_size_study(capacitances_mf=(10.0, 33.0), **TINY)
+    assert len(result.rows) == 2
+    assert result.rows[0]["supercap (mF)"] == 10.0
+    assert all(row["power failures"] >= 0 for row in result.rows)
+
+
+def test_pid_gain_rows():
+    result = pid_gain_study(scales=(0.0, 1.0), **TINY)
+    assert len(result.rows) == 2
+    assert result.rows[0]["gain scale"] == 0.0
+    assert all(row["mean |pred err| (s)"] >= 0 for row in result.rows)

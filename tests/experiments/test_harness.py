@@ -1,0 +1,87 @@
+"""Tests for the experiment harness (grids, aggregation, policy factories)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import apollo_simulation_config
+from repro.experiments.harness import (
+    aggregate,
+    quetzal_factory,
+    run_config,
+    run_grid,
+    standard_policies,
+)
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.sim.metrics import RunMetrics
+
+
+def fake_metrics(interesting=100, ibo=10, fn=5, hq=40, lq=20):
+    m = RunMetrics()
+    m.captures_interesting = interesting
+    m.ibo_drops_interesting = ibo
+    m.false_negatives = fn
+    m.packets_interesting_high = hq
+    m.packets_interesting_low = lq
+    return m
+
+
+class TestAggregate:
+    def test_means_over_runs(self):
+        agg = aggregate("p", [fake_metrics(ibo=10), fake_metrics(ibo=30)])
+        assert agg.runs == 2
+        assert agg.ibo_fraction == pytest.approx(0.20)
+
+    def test_single_run(self):
+        agg = aggregate("p", [fake_metrics()])
+        assert agg.discarded_fraction == pytest.approx(0.15)
+        assert agg.high_quality_fraction == pytest.approx(40 / 60)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate("p", [])
+
+    def test_as_row_keys(self):
+        row = aggregate("p", [fake_metrics()]).as_row()
+        assert row["policy"] == "p"
+        assert "discarded %" in row and "hq share %" in row
+
+
+class TestRunConfig:
+    def test_returns_metrics(self):
+        cfg = apollo_simulation_config("less crowded", 5)
+        metrics = run_config(cfg, NoAdaptPolicy())
+        assert metrics.captures_total > 0
+
+    def test_grid_runs_all_policies(self):
+        cfg = apollo_simulation_config("less crowded", 5)
+        grid = {"NA": NoAdaptPolicy, "QZ": quetzal_factory()}
+        results = run_grid(cfg, grid, seeds=(0, 1))
+        assert set(results) == {"NA", "QZ"}
+        assert all(agg.runs == 2 for agg in results.values())
+
+    def test_grid_preserves_order(self):
+        cfg = apollo_simulation_config("less crowded", 5)
+        grid = {"B": NoAdaptPolicy, "A": NoAdaptPolicy}
+        results = run_grid(cfg, grid, seeds=(0,))
+        assert list(results) == ["B", "A"]
+
+
+class TestStandardPolicies:
+    def test_full_grid_present(self):
+        grid = standard_policies()
+        expected = {
+            "QZ", "NA", "AD", "CN", "PZO", "PZI",
+            "TH25", "TH50", "TH75", "QZ-FCFS", "QZ-LCFS", "QZ-AVG",
+        }
+        assert set(grid) == expected
+
+    def test_factories_produce_fresh_instances(self):
+        grid = standard_policies()
+        assert grid["QZ"]() is not grid["QZ"]()
+
+    def test_variant_names(self):
+        grid = standard_policies()
+        assert grid["QZ-FCFS"]().scheduler.name == "fcfs"
+        assert grid["CN"]().threshold == 1.0
+        assert grid["PZO"]().datasheet_max_w is not None
+        assert grid["PZI"]().datasheet_max_w is None

@@ -1,0 +1,35 @@
+"""Tests for machine-readable figure export."""
+
+import json
+
+from repro.experiments.figures import table1_configurations
+from repro.experiments.reporting import FigureResult
+
+
+class TestToDict:
+    def test_round_trips_through_json(self):
+        result = table1_configurations()
+        payload = json.dumps(result.to_dict())
+        restored = json.loads(payload)
+        assert restored["figure_id"] == "Table 1"
+        assert len(restored["rows"]) == 3
+        assert restored["notes"]
+
+    def test_rows_are_copies(self):
+        result = FigureResult("F", "t")
+        row = {"a": 1}
+        result.rows.append(row)
+        exported = result.to_dict()
+        exported["rows"][0]["a"] = 99
+        assert row["a"] == 1
+
+
+class TestCLIJson:
+    def test_json_flag_writes_file(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        path = tmp_path / "out.json"
+        rc = main(["--figure", "Table", "--json", str(path)])
+        assert rc == 0
+        data = json.loads(path.read_text())
+        assert data[0]["figure_id"] == "Table 1"

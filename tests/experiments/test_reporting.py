@@ -1,0 +1,45 @@
+"""Tests for the ASCII reporting helpers."""
+
+from repro.experiments.reporting import FigureResult, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_header(self):
+        rows = [
+            {"policy": "QZ", "discarded %": 3.14159},
+            {"policy": "NoAdapt", "discarded %": 50.0},
+        ]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("policy")
+        assert "3.14" in text
+        assert "50.00" in text
+        # All lines equal width per column: header and rule align.
+        assert len(lines[0]) == len(lines[1])
+
+    def test_missing_cells_blank(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = format_table(rows)
+        assert "3" in text
+
+    def test_non_float_passthrough(self):
+        text = format_table([{"name": "x", "count": 7}])
+        assert "7" in text
+
+
+class TestFigureResult:
+    def test_render_contains_everything(self):
+        result = FigureResult("Figure 9", "a title")
+        result.rows.append({"policy": "QZ", "x": 1.0})
+        result.add_note("QZ wins")
+        text = result.render()
+        assert "Figure 9" in text
+        assert "a title" in text
+        assert "QZ wins" in text
+        assert str(result) == text
+
+    def test_empty_render(self):
+        assert "(no rows)" in FigureResult("F", "t").render()

@@ -1,0 +1,57 @@
+"""Tests for the ADC full-scale calibration procedure."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.calibration import (
+    band_error,
+    optimal_full_scale_voltage,
+)
+
+
+class TestBandError:
+    def test_paper_configuration(self):
+        # 0.6 V over 25-50 C: the paper's <= 5.5 % claim.
+        assert band_error(0.6, 25.0, 50.0) <= 0.055
+
+    def test_wrong_full_scale_is_worse(self):
+        assert band_error(1.2, 25.0, 50.0) > band_error(0.6, 25.0, 50.0)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            band_error(0.6, 50.0, 25.0)
+        with pytest.raises(HardwareModelError):
+            band_error(0.6, 25.0, 50.0, steps=1)
+
+
+class TestOptimalFullScale:
+    def test_paper_band_yields_about_point_six_volts(self):
+        """The design procedure recovers the paper's 0.6 V choice."""
+        result = optimal_full_scale_voltage(25.0, 50.0)
+        assert result.v_adc_max == pytest.approx(0.6, abs=0.02)
+        assert result.worst_error <= 0.055
+
+    def test_optimum_beats_neighbors(self):
+        result = optimal_full_scale_voltage(25.0, 50.0)
+        for delta in (-0.05, 0.05):
+            assert band_error(result.v_adc_max + delta, 25.0, 50.0) >= (
+                result.worst_error - 1e-9
+            )
+
+    def test_colder_band_needs_smaller_full_scale(self):
+        cold = optimal_full_scale_voltage(-10.0, 10.0)
+        hot = optimal_full_scale_voltage(30.0, 60.0)
+        assert cold.v_adc_max < hot.v_adc_max
+
+    def test_wider_band_has_larger_error(self):
+        narrow = optimal_full_scale_voltage(35.0, 40.0)
+        wide = optimal_full_scale_voltage(0.0, 80.0)
+        assert wide.worst_error > narrow.worst_error
+
+    def test_degenerate_band_is_exact(self):
+        point = optimal_full_scale_voltage(40.0, 40.0)
+        assert point.worst_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(HardwareModelError):
+            optimal_full_scale_voltage(v_low=1.0, v_high=0.5)

@@ -1,0 +1,105 @@
+"""Tests for the section 5.1 cost and footprint model."""
+
+import pytest
+
+from repro.device.mcu import APOLLO4, MSP430FR5994
+from repro.errors import ConfigurationError
+from repro.hardware.costs import (
+    MemoryLayout,
+    evaluations_per_invocation,
+    quetzal_memory_layout,
+    ratio_energy_saving,
+    scheduler_invocation_cost,
+    scheduler_overhead_fraction,
+)
+
+
+class TestEnergySavings:
+    def test_msp430_saving_matches_paper(self):
+        # Paper: 92.5 % vs software division.
+        assert ratio_energy_saving(MSP430FR5994) == pytest.approx(0.925, abs=0.005)
+
+    def test_apollo_saving_matches_paper(self):
+        # Paper: 62 % vs the hardware divider (we land at 60 %).
+        assert ratio_energy_saving(APOLLO4) == pytest.approx(0.62, abs=0.03)
+
+
+class TestOverheads:
+    def test_msp430_software_division_overhead(self):
+        # Paper: 6.2 % at 10 invocations/s, 32 tasks x 4 options.
+        overhead = scheduler_overhead_fraction(MSP430FR5994, use_module=False)
+        assert overhead == pytest.approx(0.062, abs=0.005)
+
+    def test_msp430_module_overhead(self):
+        # Paper: 0.4 %.
+        overhead = scheduler_overhead_fraction(MSP430FR5994, use_module=True)
+        assert overhead == pytest.approx(0.004, abs=0.001)
+
+    def test_apollo_module_overhead(self):
+        # Paper: 0.02 %.
+        overhead = scheduler_overhead_fraction(APOLLO4, use_module=True)
+        assert overhead == pytest.approx(0.0002, abs=5e-5)
+
+    def test_overhead_scales_linearly_with_rate(self):
+        one = scheduler_overhead_fraction(APOLLO4, invocations_per_second=1)
+        ten = scheduler_overhead_fraction(APOLLO4, invocations_per_second=10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_evaluations_per_invocation(self):
+        # num_tasks * (1 + options): every task scored, every option walked.
+        assert evaluations_per_invocation(32, 4) == 160
+        assert evaluations_per_invocation(1, 0) == 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            evaluations_per_invocation(0, 4)
+        with pytest.raises(ConfigurationError):
+            evaluations_per_invocation(4, -1)
+        with pytest.raises(ConfigurationError):
+            scheduler_overhead_fraction(APOLLO4, invocations_per_second=-1)
+
+
+class TestInvocationCost:
+    def test_module_cheaper_than_division(self):
+        t_mod, e_mod = scheduler_invocation_cost(MSP430FR5994, 2, 2, use_module=True)
+        t_div, e_div = scheduler_invocation_cost(MSP430FR5994, 2, 2, use_module=False)
+        assert t_mod < t_div
+        assert e_mod < e_div
+
+    def test_costs_positive_and_tiny(self):
+        t, e = scheduler_invocation_cost(APOLLO4, 3, 2)
+        assert 0 < t < 1e-3
+        assert 0 < e < 1e-6
+
+
+class TestMemoryLayout:
+    def test_footprint_near_paper_value(self):
+        """Paper: 2,360 bytes; our explicit layout lands within ~8 %."""
+        layout = quetzal_memory_layout()
+        assert layout.num_tasks == 32
+        assert layout.options_per_task == 4
+        assert abs(layout.total_bytes - 2360) / 2360 < 0.08
+
+    def test_component_sum(self):
+        layout = quetzal_memory_layout()
+        assert layout.total_bytes == (
+            layout.premultiplied_tables_bytes
+            + layout.recorded_vd2_bytes
+            + layout.task_windows_bytes
+            + layout.arrival_window_bytes
+            + layout.pid_state_bytes
+        )
+
+    def test_premultiplied_dominates(self):
+        layout = quetzal_memory_layout()
+        assert layout.premultiplied_tables_bytes == 32 * 4 * 8 * 2
+
+    def test_scales_with_tasks(self):
+        small = MemoryLayout(num_tasks=8)
+        assert small.total_bytes < quetzal_memory_layout().total_bytes
+
+    def test_rejects_bad_layout(self):
+        with pytest.raises(ConfigurationError):
+            MemoryLayout(num_tasks=0)
+        with pytest.raises(ConfigurationError):
+            MemoryLayout(task_window_bits=4)

@@ -1,0 +1,100 @@
+"""Tests for the diode-law and ADC component models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hardware.adc import ADC
+from repro.hardware.diode import Diode
+
+
+class TestDiode:
+    def test_voltage_grows_logarithmically(self):
+        d = Diode(i0_a=1e-9)
+        v1 = d.forward_voltage(1e-3, 25.0)
+        v2 = d.forward_voltage(2e-3, 25.0)
+        v4 = d.forward_voltage(4e-3, 25.0)
+        # Equal current ratios give equal voltage steps.
+        assert (v2 - v1) == pytest.approx(v4 - v2, rel=1e-9)
+
+    def test_doubling_step_is_vt_ln2(self):
+        d = Diode()
+        v1 = d.forward_voltage(1e-3, 25.0)
+        v2 = d.forward_voltage(2e-3, 25.0)
+        from repro.units import celsius_to_kelvin, thermal_voltage
+
+        assert (v2 - v1) == pytest.approx(
+            thermal_voltage(celsius_to_kelvin(25.0)) * math.log(2), rel=1e-9
+        )
+
+    def test_current_inverts_voltage(self):
+        d = Diode()
+        v = d.forward_voltage(3.7e-4, 30.0)
+        assert d.current(v, 30.0) == pytest.approx(3.7e-4, rel=1e-9)
+
+    def test_rejects_nonpositive_current(self):
+        with pytest.raises(HardwareModelError):
+            Diode().forward_voltage(0.0, 25.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(HardwareModelError):
+            Diode(i0_a=0.0)
+        with pytest.raises(HardwareModelError):
+            Diode(ideality=0.0)
+
+    @given(
+        i=st.floats(1e-9, 1.0),
+        t=st.floats(0.0, 80.0),
+    )
+    @settings(max_examples=80)
+    def test_roundtrip_property(self, i, t):
+        d = Diode()
+        assert d.current(d.forward_voltage(i, t), t) == pytest.approx(i, rel=1e-6)
+
+
+class TestADC:
+    def test_paper_configuration(self):
+        adc = ADC()
+        assert adc.resolution_bits == 8
+        assert adc.v_ref == 0.6
+        assert adc.max_code == 255
+
+    def test_quantize_midscale(self):
+        adc = ADC()
+        assert adc.quantize(0.3) == round(0.3 / adc.lsb_voltage)
+
+    def test_clamping(self):
+        adc = ADC()
+        assert adc.quantize(-0.1) == 0
+        assert adc.quantize(10.0) == 255
+
+    def test_voltage_reconstruction(self):
+        adc = ADC()
+        assert adc.voltage(128) == pytest.approx(128 * 0.6 / 255)
+        with pytest.raises(HardwareModelError):
+            adc.voltage(256)
+        with pytest.raises(HardwareModelError):
+            adc.voltage(-1)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(HardwareModelError):
+            ADC(resolution_bits=0)
+        with pytest.raises(HardwareModelError):
+            ADC(v_ref=0.0)
+
+    @given(v=st.floats(0.0, 0.6))
+    @settings(max_examples=100)
+    def test_quantization_error_within_half_lsb(self, v):
+        adc = ADC()
+        code = adc.quantize(v)
+        assert abs(adc.voltage(code) - v) <= adc.lsb_voltage / 2 + 1e-12
+
+    @given(v1=st.floats(0.0, 0.6), v2=st.floats(0.0, 0.6))
+    @settings(max_examples=60)
+    def test_monotonicity(self, v1, v2):
+        adc = ADC()
+        if v1 <= v2:
+            assert adc.quantize(v1) <= adc.quantize(v2)

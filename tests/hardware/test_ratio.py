@@ -1,0 +1,129 @@
+"""Tests for the division-free ratio computation (Algorithm 3).
+
+The key claims: (1) the firmware arithmetic ``(1 << (d>>3)) * premult[d&7]``
+computes exactly ``t_exe * 2**(d/8)``; (2) the fixed 1/8-per-code exponent
+deviates from the exact diode-law coefficient by at most ~5.5 % over the
+paper's 25-50 degC band.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import HardwareModelError
+from repro.hardware.ratio import (
+    FRACTIONAL_MASK,
+    DivisionFreeServiceTime,
+    exact_exponent_coefficient,
+    exponent_coefficient_error,
+    hardware_ratio,
+    premultiplied_table,
+)
+
+
+class TestHardwareRatio:
+    def test_zero_delta_is_unity(self):
+        assert hardware_ratio(0) == 1.0
+
+    def test_negative_delta_is_unity(self):
+        assert hardware_ratio(-5) == 1.0
+
+    def test_exact_powers_of_two(self):
+        # delta = 8 codes = one binary order of magnitude.
+        assert hardware_ratio(8) == pytest.approx(2.0)
+        assert hardware_ratio(16) == pytest.approx(4.0)
+        assert hardware_ratio(24) == pytest.approx(8.0)
+
+    def test_fractional_steps(self):
+        assert hardware_ratio(1) == pytest.approx(2 ** (1 / 8))
+        assert hardware_ratio(7) == pytest.approx(2 ** (7 / 8))
+
+    @given(delta=st.integers(1, 255))
+    def test_matches_closed_form(self, delta):
+        assert hardware_ratio(delta) == pytest.approx(2 ** (delta / 8), rel=1e-12)
+
+    @given(delta=st.integers(1, 254))
+    def test_monotonic(self, delta):
+        assert hardware_ratio(delta + 1) > hardware_ratio(delta)
+
+
+class TestPremultipliedTable:
+    def test_eight_entries(self):
+        table = premultiplied_table(2.0)
+        assert len(table) == 8
+        assert table[0] == pytest.approx(2.0)
+        assert table[7] == pytest.approx(2.0 * 2 ** (7 / 8))
+
+    def test_mask_is_three_bits(self):
+        assert FRACTIONAL_MASK == 0x07
+
+    def test_rejects_negative_texe(self):
+        with pytest.raises(HardwareModelError):
+            premultiplied_table(-1.0)
+
+
+class TestDivisionFreeServiceTime:
+    def test_execution_dominated(self):
+        # V_D2 <= V_D1 means input power >= execution power: S = t_exe.
+        firmware = DivisionFreeServiceTime(t_exe_s=0.8, v_d2_code=100)
+        assert firmware.service_time(100) == pytest.approx(0.8)
+        assert firmware.service_time(150) == pytest.approx(0.8)
+
+    def test_recharge_dominated(self):
+        firmware = DivisionFreeServiceTime(t_exe_s=0.8, v_d2_code=120)
+        # delta = 40 codes -> ratio 2^5 = 32.
+        assert firmware.service_time(80) == pytest.approx(0.8 * 32)
+
+    @given(t_exe=st.floats(1e-3, 100.0), v_d2=st.integers(0, 255), v_d1=st.integers(0, 255))
+    @settings(max_examples=150)
+    def test_algorithm3_equals_closed_form(self, t_exe, v_d2, v_d1):
+        firmware = DivisionFreeServiceTime(t_exe, v_d2)
+        delta = v_d2 - v_d1
+        expected = t_exe * (2 ** (delta / 8) if delta > 0 else 1.0)
+        assert firmware.service_time(v_d1) == pytest.approx(expected, rel=1e-12)
+
+    def test_rejects_negative_codes(self):
+        with pytest.raises(HardwareModelError):
+            DivisionFreeServiceTime(1.0, -1)
+        with pytest.raises(HardwareModelError):
+            DivisionFreeServiceTime(1.0, 10).service_time(-1)
+
+
+class TestExponentCoefficient:
+    def test_exact_at_calibration_temperature(self):
+        # The 1/8 coefficient is exact where c(T) == 1/8, around 42 degC.
+        errs = {t: exponent_coefficient_error(t) for t in range(25, 51)}
+        zero_crossings = [t for t, e in errs.items() if abs(e) < 0.01]
+        assert zero_crossings, "1/8 should be near-exact somewhere in 25-50 C"
+        # The exact crossing for V_ADCMax=0.6 is ~42 degC.
+        assert 38 <= min(zero_crossings) <= 46
+
+    def test_paper_error_bound(self):
+        """Section 5.1: <= 5.5 % error for temperatures between 25-50 C."""
+        worst = max(abs(exponent_coefficient_error(t)) for t in range(25, 51))
+        assert worst <= 0.055
+
+    def test_error_signs(self):
+        # Cold end: exact coefficient is larger than 1/8 (underestimates).
+        assert exponent_coefficient_error(25.0) < 0
+        # Hot end: the other way.
+        assert exponent_coefficient_error(50.0) > 0
+
+    def test_coefficient_decreases_with_temperature(self):
+        assert exact_exponent_coefficient(25.0) > exact_exponent_coefficient(50.0)
+
+    def test_custom_full_scale(self):
+        # Doubling V_ADCMax doubles the coefficient.
+        assert exact_exponent_coefficient(35.0, v_adc_max=1.2) == pytest.approx(
+            2 * exact_exponent_coefficient(35.0, v_adc_max=0.6)
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(HardwareModelError):
+            exact_exponent_coefficient(25.0, v_adc_max=0.0)
+        with pytest.raises(HardwareModelError):
+            exact_exponent_coefficient(25.0, max_code=0)
+        with pytest.raises(HardwareModelError):
+            exact_exponent_coefficient(-300.0)

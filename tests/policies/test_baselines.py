@@ -1,0 +1,134 @@
+"""Tests for the baseline adaptation policies."""
+
+import pytest
+
+from repro.core.scheduler import JobCandidate
+from repro.device.buffer import BufferedInput
+from repro.device.mcu import APOLLO4
+from repro.errors import ConfigurationError
+from repro.policies.always_degrade import AlwaysDegradePolicy
+from repro.policies.base import SchedulingContext
+from repro.policies.buffer_threshold import BufferThresholdPolicy, catnap_policy
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.policies.power_threshold import PowerThresholdPolicy
+from repro.workload.pipelines import DETECT_JOB, TRANSMIT_JOB, build_apollo_app
+
+
+def entry(t, job=DETECT_JOB):
+    return BufferedInput(capture_time=t, interesting=False, job_name=job, enqueue_time=t)
+
+
+def make_context(app, occupancy=0, limit=10, p_in=0.05, jobs=(DETECT_JOB,)):
+    candidates = []
+    for i, job_name in enumerate(jobs):
+        e = entry(float(i), job_name)
+        candidates.append(
+            JobCandidate(app.jobs.job(job_name), oldest=e, newest=e, pending_count=1)
+        )
+    return SchedulingContext(
+        now_s=0.0,
+        candidates=candidates,
+        buffer_occupancy=occupancy,
+        buffer_limit=limit,
+        true_input_power_w=p_in,
+        max_trace_power_w=0.3,
+    )
+
+
+class TestNoAdapt:
+    def test_always_highest_quality(self, apollo_app):
+        decision = NoAdaptPolicy().select(make_context(apollo_app, occupancy=10))
+        assert decision.chosen_options == {}
+        assert not decision.degraded
+
+    def test_fcfs_order(self, apollo_app):
+        ctx = make_context(apollo_app, jobs=(DETECT_JOB, TRANSMIT_JOB))
+        decision = NoAdaptPolicy().select(ctx)
+        assert decision.entry.capture_time == 0.0
+
+    def test_zero_invocation_cost(self):
+        assert NoAdaptPolicy().invocation_cost(APOLLO4) == (0.0, 0.0)
+
+
+class TestAlwaysDegrade:
+    def test_always_lowest_quality(self, apollo_app):
+        decision = AlwaysDegradePolicy().select(make_context(apollo_app, occupancy=0))
+        ml = apollo_app.jobs.job(DETECT_JOB).degradable_task
+        assert decision.chosen_options[ml.name] is ml.lowest_quality
+        assert decision.degraded
+
+    def test_transmit_degraded_too(self, apollo_app):
+        ctx = make_context(apollo_app, jobs=(TRANSMIT_JOB,))
+        decision = AlwaysDegradePolicy().select(ctx)
+        radio = apollo_app.jobs.job(TRANSMIT_JOB).degradable_task
+        assert decision.chosen_options[radio.name].name == "single-byte"
+
+
+class TestBufferThreshold:
+    def test_below_threshold_keeps_quality(self, apollo_app):
+        policy = BufferThresholdPolicy(0.5)
+        decision = policy.select(make_context(apollo_app, occupancy=4))
+        assert decision.chosen_options == {}
+
+    def test_at_threshold_degrades(self, apollo_app):
+        policy = BufferThresholdPolicy(0.5)
+        decision = policy.select(make_context(apollo_app, occupancy=5))
+        assert decision.degraded
+
+    def test_catnap_only_when_full(self, apollo_app):
+        policy = catnap_policy()
+        assert policy.threshold == 1.0
+        assert policy.name == "catnap"
+        assert not policy.select(make_context(apollo_app, occupancy=9)).degraded
+        assert policy.select(make_context(apollo_app, occupancy=10)).degraded
+
+    def test_zero_threshold_is_always_degrade(self, apollo_app):
+        policy = BufferThresholdPolicy(0.0)
+        assert policy.select(make_context(apollo_app, occupancy=0)).degraded
+
+    def test_unbounded_buffer_never_degrades(self, apollo_app):
+        policy = BufferThresholdPolicy(0.5)
+        ctx = make_context(apollo_app, occupancy=100, limit=None)
+        assert not policy.select(ctx).degraded
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            BufferThresholdPolicy(1.5)
+
+    def test_default_name_encodes_threshold(self):
+        assert BufferThresholdPolicy(0.25).name == "buffer-threshold-25"
+
+
+class TestPowerThreshold:
+    def test_observed_variant_uses_datasheet(self, apollo_app):
+        policy = PowerThresholdPolicy(0.5, datasheet_max_w=2.4)
+        ctx = make_context(apollo_app, p_in=0.3)  # below 1.2 W threshold
+        assert policy.threshold_w(ctx) == pytest.approx(1.2)
+        assert policy.select(ctx).degraded  # real traces stay below
+
+    def test_idealized_variant_uses_trace_max(self, apollo_app):
+        policy = PowerThresholdPolicy(0.5)
+        ctx = make_context(apollo_app, p_in=0.2)  # above 0.15 W threshold
+        assert policy.threshold_w(ctx) == pytest.approx(0.15)
+        assert not policy.select(ctx).degraded
+
+    def test_idealized_degrades_below_threshold(self, apollo_app):
+        policy = PowerThresholdPolicy(0.5)
+        ctx = make_context(apollo_app, p_in=0.1)
+        assert policy.select(ctx).degraded
+
+    def test_names(self):
+        assert PowerThresholdPolicy(0.5, datasheet_max_w=2.4).name == "pz-observed"
+        assert PowerThresholdPolicy(0.5).name == "pz-idealized"
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            PowerThresholdPolicy(0.0)
+        with pytest.raises(ConfigurationError):
+            PowerThresholdPolicy(0.5, datasheet_max_w=0.0)
+
+    def test_ignores_buffer_state(self, apollo_app):
+        """The defining flaw: degrades even with an empty buffer."""
+        policy = PowerThresholdPolicy(0.5)
+        ctx = make_context(apollo_app, occupancy=0, p_in=0.01)
+        assert policy.select(ctx).degraded

@@ -1,0 +1,177 @@
+"""Basic engine behaviour: captures, buffering, IBOs, outcomes, accounting."""
+
+import pytest
+
+from repro.env.events import Event, EventSchedule
+from repro.errors import SimulationError
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.policies.always_degrade import AlwaysDegradePolicy
+from repro.core.runtime import QuetzalRuntime
+from repro.sim.engine import SimulationConfig, SimulationEngine, simulate
+from repro.trace.synthetic import constant_trace
+from repro.errors import ConfigurationError
+
+
+def schedule_one_event(start=5.0, duration=20.0, interesting=True, diff=1.0):
+    return EventSchedule(
+        [Event(start, duration, interesting)], diff_probability=diff
+    )
+
+
+class TestCaptures:
+    def test_capture_count_matches_period(self, apollo_app, steady_trace):
+        sched = schedule_one_event()
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), steady_trace, sched,
+            config=SimulationConfig(seed=0, drain_timeout_s=200.0),
+        )
+        # Captures run from t=1 s through at least the event end (25 s).
+        assert metrics.captures_total >= 24
+
+    def test_interesting_captures_cover_event(self, apollo_app, steady_trace):
+        sched = schedule_one_event(start=5.0, duration=20.0)
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), steady_trace, sched,
+            config=SimulationConfig(seed=0, drain_timeout_s=200.0),
+        )
+        # With diff_probability 1, every capture in [5, 25) is interesting:
+        # captures at t = 5..24 inclusive -> 20 interesting inputs.
+        assert metrics.captures_interesting == 20
+
+    def test_no_event_no_arrivals(self, apollo_app, steady_trace):
+        sched = EventSchedule([], diff_probability=1.0)
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), steady_trace, sched,
+            config=SimulationConfig(seed=0),
+        )
+        assert metrics.stored == 0
+        assert metrics.jobs_completed == 0
+
+    def test_diff_probability_thins_arrivals(self, apollo_app, steady_trace):
+        dense = simulate(
+            apollo_app, NoAdaptPolicy(), steady_trace,
+            schedule_one_event(duration=100.0, diff=1.0),
+            config=SimulationConfig(seed=0, drain_timeout_s=500.0),
+        )
+        sparse = simulate(
+            apollo_app, NoAdaptPolicy(), steady_trace,
+            schedule_one_event(duration=100.0, diff=0.2),
+            config=SimulationConfig(seed=0, drain_timeout_s=500.0),
+        )
+        assert sparse.captures_active < dense.captures_active
+
+    def test_capture_stream_identical_across_policies(self, apollo_app, steady_trace):
+        sched = schedule_one_event(duration=50.0, diff=0.5)
+        cfg = SimulationConfig(seed=7, drain_timeout_s=500.0)
+        a = simulate(apollo_app, NoAdaptPolicy(), steady_trace, sched, config=cfg)
+        from repro.workload.pipelines import build_apollo_app
+
+        b = simulate(
+            build_apollo_app(), AlwaysDegradePolicy(), steady_trace, sched, config=cfg
+        )
+        assert a.captures_interesting == b.captures_interesting
+        assert a.captures_active == b.captures_active
+
+
+class TestOverflow:
+    def test_ibo_happens_at_low_power(self, apollo_app, low_power_trace):
+        # 2 mW: a 20 mJ MobileNetV2 inference takes 10 s; arrivals at 1/s
+        # overflow the 10-slot buffer.
+        sched = schedule_one_event(duration=60.0)
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), low_power_trace, sched,
+            config=SimulationConfig(seed=0, drain_timeout_s=2000.0),
+        )
+        assert metrics.ibo_drops > 0
+        assert metrics.ibo_drops_interesting > 0
+
+    def test_infinite_buffer_never_overflows(self, apollo_app, low_power_trace):
+        sched = schedule_one_event(duration=60.0)
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), low_power_trace, sched,
+            config=SimulationConfig(
+                seed=0, buffer_capacity=None, drain_timeout_s=20000.0
+            ),
+        )
+        assert metrics.ibo_drops == 0
+
+    def test_quetzal_reduces_ibo_vs_noadapt(self, apollo_app, low_power_trace):
+        sched = schedule_one_event(duration=60.0)
+        cfg = SimulationConfig(seed=0, drain_timeout_s=2000.0)
+        na = simulate(apollo_app, NoAdaptPolicy(), low_power_trace, sched, config=cfg)
+        from repro.workload.pipelines import build_apollo_app
+
+        qz = simulate(
+            build_apollo_app(), QuetzalRuntime(), low_power_trace, sched, config=cfg
+        )
+        assert qz.ibo_drops < na.ibo_drops
+
+
+class TestOutcomes:
+    def test_negative_classifications_discard(self, apollo_app, steady_trace):
+        sched = schedule_one_event(interesting=False, duration=30.0)
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), steady_trace, sched,
+            config=SimulationConfig(seed=1, drain_timeout_s=500.0),
+        )
+        assert metrics.true_negatives > 0
+        assert metrics.false_negatives == 0
+
+    def test_interesting_events_produce_packets(self, apollo_app, steady_trace):
+        sched = schedule_one_event(duration=30.0)
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), steady_trace, sched,
+            config=SimulationConfig(seed=1, drain_timeout_s=500.0),
+        )
+        assert metrics.packets_interesting_high > 0
+        assert metrics.packets_interesting_low == 0  # NoAdapt never degrades
+
+    def test_always_degrade_sends_only_low_quality(self, apollo_app, steady_trace):
+        sched = schedule_one_event(duration=30.0)
+        metrics = simulate(
+            apollo_app, AlwaysDegradePolicy(), steady_trace, sched,
+            config=SimulationConfig(seed=1, drain_timeout_s=500.0),
+        )
+        assert metrics.packets_interesting_high == 0
+        assert metrics.packets_interesting_low > 0
+
+    def test_option_use_recorded(self, apollo_app, steady_trace):
+        sched = schedule_one_event(duration=30.0)
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), steady_trace, sched,
+            config=SimulationConfig(seed=1, drain_timeout_s=500.0),
+        )
+        assert metrics.option_use["ml_inference"]["mobilenetv2"] > 0
+
+
+class TestEngineContract:
+    def test_single_use(self, apollo_app, steady_trace):
+        engine = SimulationEngine(
+            apollo_app, NoAdaptPolicy(), steady_trace, schedule_one_event(),
+            config=SimulationConfig(seed=0, drain_timeout_s=100.0),
+        )
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(capture_period_s=0.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(drain_timeout_s=-1.0)
+
+    def test_deterministic_runs(self, steady_trace):
+        from repro.workload.pipelines import build_apollo_app
+
+        sched = schedule_one_event(duration=40.0, diff=0.5)
+        cfg = SimulationConfig(seed=5, drain_timeout_s=500.0)
+        a = simulate(build_apollo_app(), QuetzalRuntime(), steady_trace, sched, config=cfg)
+        b = simulate(build_apollo_app(), QuetzalRuntime(), steady_trace, sched, config=cfg)
+        assert a.to_dict() == b.to_dict()
+
+    def test_metrics_sim_end_positive(self, apollo_app, steady_trace):
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), steady_trace, schedule_one_event(),
+            config=SimulationConfig(seed=0, drain_timeout_s=100.0),
+        )
+        assert metrics.sim_end_s > 0

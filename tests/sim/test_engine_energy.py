@@ -1,0 +1,147 @@
+"""Energy accounting and intermittent-execution behaviour of the engine."""
+
+import pytest
+
+from repro.device.checkpoint import CheckpointModel
+from repro.device.storage import Supercapacitor
+from repro.env.events import Event, EventSchedule
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.sim.engine import SimulationConfig, simulate
+from repro.trace.synthetic import constant_trace, two_level_trace
+from repro.workload.pipelines import build_apollo_app
+
+
+def one_capture_schedule():
+    """Exactly one 'different', interesting capture (at t=1 s)."""
+    return EventSchedule([Event(0.5, 1.0, True)], diff_probability=1.0)
+
+
+class TestEnergyConservation:
+    def test_books_balance(self, apollo_app, steady_trace):
+        """harvested - consumed == storage delta (+shed, which we avoid)."""
+        storage = Supercapacitor(initial_fraction=0.5)
+        start_energy = storage.energy_j
+        sched = EventSchedule(
+            [Event(2.0, 30.0, True)], diff_probability=1.0
+        )
+        from repro.sim.engine import SimulationEngine
+
+        engine = SimulationEngine(
+            apollo_app, NoAdaptPolicy(), constant_trace(0.004), sched,
+            storage=storage,
+            config=SimulationConfig(seed=0, drain_timeout_s=4000.0),
+        )
+        metrics = engine.run()
+        delta = storage.energy_j - start_energy
+        assert metrics.energy_harvested_j - metrics.energy_consumed_j == pytest.approx(
+            delta, abs=1e-6
+        )
+
+    def test_energy_consumed_matches_task_costs(self, apollo_app):
+        """With ample power and no failures, consumption = job energy."""
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), constant_trace(0.5), one_capture_schedule(),
+            config=SimulationConfig(seed=0, drain_timeout_s=100.0),
+        )
+        assert metrics.power_failures == 0
+        # One detect job ran: MobileNetV2 (20 mJ) and, if positive,
+        # prep (0.25 mJ) plus a transmit job (240 mJ).  Sleep power adds a
+        # little on top.
+        assert metrics.jobs_completed >= 1
+        ml_energy = 2.0 * 0.010
+        assert metrics.energy_consumed_j >= ml_energy
+
+
+class TestIntermittentExecution:
+    def test_power_failures_on_big_task(self, apollo_app, small_storage):
+        """A 240 mJ transmit cannot fit in a ~12.6 mJ store: many failures."""
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), constant_trace(0.010),
+            one_capture_schedule(),
+            storage=small_storage,
+            config=SimulationConfig(seed=0, drain_timeout_s=4000.0),
+        )
+        if metrics.packets_total > 0:  # the detect job classified positive
+            assert metrics.power_failures > 10
+
+    def test_no_failures_with_ample_power(self, apollo_app):
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), constant_trace(0.5),
+            one_capture_schedule(),
+            config=SimulationConfig(seed=0, drain_timeout_s=100.0),
+        )
+        assert metrics.power_failures == 0
+        assert metrics.recharge_time_s == 0.0
+
+    def test_recharge_time_tracked(self, apollo_app, small_storage):
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), constant_trace(0.010),
+            one_capture_schedule(),
+            storage=small_storage,
+            config=SimulationConfig(seed=0, drain_timeout_s=4000.0),
+        )
+        if metrics.power_failures > 0:
+            assert metrics.recharge_time_s > 0
+
+    def test_checkpoint_costs_slow_completion(self, apollo_app):
+        """Costlier checkpoints stretch the same workload's makespan."""
+        sched = one_capture_schedule()
+        base_storage = Supercapacitor(capacitance_f=3.3e-3)
+        cheap = simulate(
+            build_apollo_app(), NoAdaptPolicy(), constant_trace(0.010), sched,
+            storage=base_storage,
+            checkpoint=CheckpointModel(0.0, 0.0, 0.0, 0.0),
+            config=SimulationConfig(seed=0, drain_timeout_s=4000.0),
+        )
+        pricey = simulate(
+            build_apollo_app(), NoAdaptPolicy(), constant_trace(0.010), sched,
+            storage=Supercapacitor(capacitance_f=3.3e-3),
+            checkpoint=CheckpointModel(10e-3, 100e-6, 10e-3, 100e-6),
+            config=SimulationConfig(seed=0, drain_timeout_s=4000.0),
+        )
+        if cheap.power_failures > 0:
+            assert pricey.sim_end_s >= cheap.sim_end_s
+
+    def test_recharge_dominated_completion_time(self, apollo_app):
+        """End-to-end time approaches E/P_in when P_in << P_exe (Eq. 1)."""
+        # One interesting capture; force the positive path by seeding until
+        # a packet appears.  At 4 mW the transmit job alone needs 60 s.
+        for seed in range(10):
+            metrics = simulate(
+                build_apollo_app(), NoAdaptPolicy(), constant_trace(0.004),
+                one_capture_schedule(),
+                config=SimulationConfig(seed=seed, drain_timeout_s=4000.0),
+            )
+            if metrics.packets_total > 0:
+                total_energy = 0.020 + 0.00025 + 0.240
+                # The initially full 126 mJ store subsidises the first jobs;
+                # the remainder must be harvested at 4 mW.
+                initial = 0.126225
+                expected = (total_energy - initial) / 0.004
+                assert metrics.sim_end_s >= 0.8 * expected
+                return
+        pytest.fail("no positive classification in 10 seeds")
+
+
+class TestStarvation:
+    def test_zero_power_run_terminates(self, apollo_app):
+        """A dead harvester must not hang the engine: hard end cuts it off."""
+        trace = two_level_trace(0.05, 0.0, switch_at_s=2.0)
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), trace,
+            EventSchedule([Event(1.0, 5.0, True)], diff_probability=1.0),
+            config=SimulationConfig(seed=0, drain_timeout_s=50.0),
+        )
+        assert metrics.sim_end_s <= 6.0 + 50.0 + 1e-6
+        assert metrics.leftover_total >= 0
+
+    def test_leftovers_counted(self, apollo_app):
+        trace = two_level_trace(0.05, 0.0, switch_at_s=2.0)
+        metrics = simulate(
+            apollo_app, NoAdaptPolicy(), trace,
+            EventSchedule([Event(1.0, 10.0, True)], diff_probability=1.0),
+            config=SimulationConfig(seed=0, drain_timeout_s=30.0),
+        )
+        # Power dies at t=2; captures keep arriving; nothing drains.
+        assert metrics.leftover_total > 0
+        assert metrics.leftover_interesting > 0

@@ -1,0 +1,66 @@
+"""Tests for the RunMetrics derived quantities."""
+
+import pytest
+
+from repro.sim.metrics import RunMetrics
+
+
+class TestDerived:
+    def metrics(self):
+        m = RunMetrics()
+        m.captures_interesting = 100
+        m.ibo_drops_interesting = 20
+        m.false_negatives = 10
+        m.packets_interesting_high = 40
+        m.packets_interesting_low = 25
+        m.leftover_interesting = 5
+        return m
+
+    def test_discarded_total(self):
+        assert self.metrics().interesting_discarded_total == 35
+
+    def test_discarded_fraction(self):
+        assert self.metrics().interesting_discarded_fraction == pytest.approx(0.35)
+
+    def test_component_fractions(self):
+        m = self.metrics()
+        assert m.ibo_discarded_fraction == pytest.approx(0.20)
+        assert m.false_negative_fraction == pytest.approx(0.10)
+
+    def test_reported(self):
+        m = self.metrics()
+        assert m.reported_interesting == 65
+        assert m.reported_interesting_high_quality == 40
+
+    def test_high_quality_fraction(self):
+        assert self.metrics().high_quality_fraction == pytest.approx(40 / 65)
+
+    def test_packets_total(self):
+        m = self.metrics()
+        m.packets_uninteresting_high = 3
+        m.packets_uninteresting_low = 2
+        assert m.packets_total == 70
+
+    def test_zero_division_guards(self):
+        empty = RunMetrics()
+        assert empty.interesting_discarded_fraction == 0.0
+        assert empty.high_quality_fraction == 0.0
+        assert empty.ibo_discarded_fraction == 0.0
+        assert empty.mean_abs_prediction_error_s == 0.0
+
+    def test_prediction_error_mean(self):
+        m = RunMetrics()
+        m.prediction_count = 4
+        m.prediction_abs_error_s = 8.0
+        assert m.mean_abs_prediction_error_s == pytest.approx(2.0)
+
+    def test_option_use_recording(self):
+        m = RunMetrics()
+        m.record_option_use("ml", "hq")
+        m.record_option_use("ml", "hq")
+        m.record_option_use("ml", "lq")
+        assert m.option_use == {"ml": {"hq": 2, "lq": 1}}
+
+    def test_to_dict_keys_stable(self):
+        keys = set(RunMetrics().to_dict())
+        assert {"discarded_fraction", "reported_hq", "ibo_drops", "jobs_completed"} <= keys

@@ -1,0 +1,102 @@
+"""Executable check of docs/tutorial.md's code blocks.
+
+Each section of the tutorial is replayed here (with scaled-down sizes) so
+the documentation cannot silently rot.
+"""
+
+import pytest
+
+from repro import (
+    AlwaysDegradePolicy,
+    BufferThresholdPolicy,
+    NoAdaptPolicy,
+    PowerThresholdPolicy,
+    QuetzalRuntime,
+    SimulationConfig,
+    SimulationEngine,
+    SolarTraceConfig,
+    SolarTraceGenerator,
+    TelemetryRecorder,
+    build_apollo_app,
+    catnap_policy,
+    environment_by_name,
+    simulate,
+)
+from repro.core.analysis import is_stable, stability_power_w
+from repro.trace.stats import fraction_above, summarize
+
+
+@pytest.fixture(scope="module")
+def tutorial_world():
+    trace = SolarTraceGenerator(SolarTraceConfig(cells=6), seed=1).generate()
+    schedule = environment_by_name("crowded").schedule(n_events=30, seed=7)
+    return build_apollo_app(), trace, schedule
+
+
+def test_section1_trace(tutorial_world):
+    _, trace, _ = tutorial_world
+    assert trace.power(100.0) >= 0
+    assert trace.integrate(0.0, 600.0) > 0
+    assert "mean power" in summarize(trace).render()
+    assert 0.0 <= fraction_above(trace, 0.144) <= 1.0
+
+
+def test_section2_schedule(tutorial_world):
+    _, _, schedule = tutorial_world
+    assert schedule.interesting_count > 0
+    assert schedule.end_time > 0
+
+
+def test_section3_application(tutorial_world):
+    app, _, _ = tutorial_world
+    detect = app.jobs.job("detect")
+    assert [o.name for o in detect.degradable_task.options] == [
+        "mobilenetv2",
+        "lenet",
+    ]
+
+
+def test_section4_analysis(tutorial_world):
+    app, _, _ = tutorial_world
+    p_star = stability_power_w(app.jobs, arrival_rate=0.35)
+    assert 0.05 < p_star < 0.5
+    assert is_stable(
+        app.jobs, 0.35, 0.006, option_picker=lambda t: t.lowest_quality
+    )
+
+
+def test_sections5_and_6_policies_and_simulation(tutorial_world):
+    app, trace, schedule = tutorial_world
+    policies = {
+        "quetzal": QuetzalRuntime(),
+        "noadapt": NoAdaptPolicy(),
+        "catnap": catnap_policy(),
+        "threshold-50%": BufferThresholdPolicy(0.5),
+        "zygarde-like": PowerThresholdPolicy(0.5),
+        "always": AlwaysDegradePolicy(),
+    }
+    config = SimulationConfig(seed=42)
+    for policy in policies.values():
+        metrics = simulate(build_apollo_app(), policy, trace, schedule, config=config)
+        assert 0.0 <= metrics.interesting_discarded_fraction <= 1.0
+
+
+def test_section6_telemetry(tutorial_world):
+    app, trace, schedule = tutorial_world
+    telemetry = TelemetryRecorder()
+    engine = SimulationEngine(
+        build_apollo_app(), QuetzalRuntime(), trace, schedule,
+        config=SimulationConfig(seed=42), telemetry=telemetry,
+    )
+    engine.run()
+    times, occupancy = telemetry.occupancy_series()
+    assert len(times) == len(occupancy) > 0
+    _, rates = telemetry.windowed_processing_rate(120.0)
+    assert rates
+
+
+def test_section7_figures():
+    from repro.experiments.figures import fig9_vs_nonadaptive
+
+    text = fig9_vs_nonadaptive(n_events=6, seeds=(0,)).render()
+    assert "Figure 9" in text

@@ -1,0 +1,101 @@
+"""Paper-anchor regression suite.
+
+One place that asserts every quantitative anchor this reproduction commits
+to — the section 5.1 numbers, the Eq. 1 radio range, the buffer sizing,
+and (at moderate scale, marked slow) the headline policy orderings.  If a
+refactor or recalibration breaks a paper-facing claim, this file fails.
+"""
+
+import pytest
+
+from repro.device.mcu import APOLLO4, MSP430FR5994
+from repro.hardware.costs import (
+    quetzal_memory_layout,
+    ratio_energy_saving,
+    scheduler_overhead_fraction,
+)
+from repro.hardware.ratio import exponent_coefficient_error
+
+
+class TestSection51Anchors:
+    def test_ratio_error_bound(self):
+        worst = max(abs(exponent_coefficient_error(t)) for t in range(25, 51))
+        assert worst <= 0.055  # paper: <= 5.5 %
+
+    def test_msp430_energy_saving(self):
+        assert ratio_energy_saving(MSP430FR5994) == pytest.approx(0.925, abs=0.01)
+
+    def test_apollo_energy_saving(self):
+        assert ratio_energy_saving(APOLLO4) == pytest.approx(0.62, abs=0.05)
+
+    def test_scheduler_overheads(self):
+        assert scheduler_overhead_fraction(
+            MSP430FR5994, use_module=False
+        ) == pytest.approx(0.062, abs=0.01)
+        assert scheduler_overhead_fraction(
+            MSP430FR5994, use_module=True
+        ) == pytest.approx(0.004, abs=0.002)
+        assert scheduler_overhead_fraction(
+            APOLLO4, use_module=True
+        ) == pytest.approx(0.0002, abs=1e-4)
+
+    def test_memory_footprint(self):
+        assert abs(quetzal_memory_layout().total_bytes - 2360) / 2360 < 0.08
+
+
+class TestSection22Anchors:
+    def test_radio_end_to_end_range(self, apollo_app):
+        """'0.8 s at high power to over 50 s at low power' (section 2.2)."""
+        from repro.core.service_time import end_to_end_service_time
+
+        radio = apollo_app.jobs.job("transmit").degradable_task.highest_quality
+        high = end_to_end_service_time(
+            radio.cost.t_exe_s, radio.cost.energy_j, 0.400
+        )
+        low = end_to_end_service_time(
+            radio.cost.t_exe_s, radio.cost.energy_j, 0.004
+        )
+        assert high == pytest.approx(0.8)
+        assert low > 50.0
+
+    def test_buffer_holds_ten_images(self):
+        from repro.workload.imaging import buffer_capacity_images
+
+        assert buffer_capacity_images(20_000) == 10
+
+    def test_supercap_energy_budget(self):
+        """The 33 mF cap's usable charge is ~126 mJ (3.3 -> 1.8 V)."""
+        from repro.device.storage import Supercapacitor
+
+        assert Supercapacitor().capacity_j == pytest.approx(0.126225)
+
+
+@pytest.mark.slow
+class TestHeadlineOrderings:
+    """The 'who wins' claims, at moderate scale (one seed for speed)."""
+
+    @pytest.fixture(scope="class")
+    def grid(self):
+        from repro.experiments.configs import apollo_simulation_config
+        from repro.experiments.harness import run_grid, standard_policies
+
+        policies = standard_policies()
+        subset = {k: policies[k] for k in ("QZ", "NA", "CN", "PZO", "TH50")}
+        cfg = apollo_simulation_config("crowded", 100)
+        return run_grid(cfg, subset, seeds=(0, 1))
+
+    def test_quetzal_beats_noadapt(self, grid):
+        assert grid["QZ"].discarded_fraction < grid["NA"].discarded_fraction / 2
+
+    def test_quetzal_beats_catnap(self, grid):
+        assert grid["QZ"].discarded_fraction < grid["CN"].discarded_fraction
+
+    def test_quetzal_beats_threshold(self, grid):
+        assert grid["QZ"].discarded_fraction < grid["TH50"].discarded_fraction
+
+    def test_quetzal_beats_power_threshold(self, grid):
+        assert grid["QZ"].discarded_fraction < grid["PZO"].discarded_fraction
+
+    def test_quetzal_reports_high_quality(self, grid):
+        assert grid["QZ"].high_quality_fraction > grid["PZO"].high_quality_fraction
+        assert grid["QZ"].reported_hq > 0

@@ -1,0 +1,99 @@
+"""Hypothesis stateful tests for the core mutable data structures.
+
+These machines hammer the input buffer and the bit-vector window with
+arbitrary operation sequences, checking the invariants the firmware relies
+on after every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.trackers import BitVectorWindow
+from repro.device.buffer import BufferedInput, InputBuffer
+
+
+class BufferMachine(RuleBasedStateMachine):
+    """The bounded buffer against a shadow list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 5
+        self.buffer = InputBuffer(capacity=self.capacity)
+        self.shadow: list[BufferedInput] = []
+        self.counter = 0
+
+    @rule(interesting=st.booleans(), job=st.sampled_from(["detect", "transmit"]))
+    def insert(self, interesting, job):
+        self.counter += 1
+        entry = BufferedInput(
+            capture_time=float(self.counter),
+            interesting=interesting,
+            job_name=job,
+            enqueue_time=float(self.counter),
+        )
+        accepted = self.buffer.try_insert(entry)
+        assert accepted == (len(self.shadow) < self.capacity)
+        if accepted:
+            self.shadow.append(entry)
+
+    @rule(index=st.integers(0, 10))
+    def remove(self, index):
+        if not self.shadow:
+            return
+        entry = self.shadow.pop(index % len(self.shadow))
+        self.buffer.remove(entry)
+
+    @rule(job=st.sampled_from(["detect", "transmit"]))
+    def retag_oldest(self, job):
+        if not self.shadow:
+            return
+        self.shadow[0].job_name = job
+
+    @invariant()
+    def occupancy_matches_shadow(self):
+        assert self.buffer.occupancy == len(self.shadow)
+        assert 0 <= self.buffer.occupancy <= self.capacity
+
+    @invariant()
+    def oldest_per_job_matches_shadow(self):
+        for job in ("detect", "transmit"):
+            mine = [e for e in self.shadow if e.job_name == job]
+            expected = min(mine, key=lambda e: e.capture_time) if mine else None
+            actual = self.buffer.oldest_for_job(job)
+            assert actual is expected
+
+    @invariant()
+    def pending_names_consistent(self):
+        names = set(self.buffer.pending_job_names())
+        assert names == {e.job_name for e in self.shadow}
+
+
+class WindowMachine(RuleBasedStateMachine):
+    """The bit-vector window against a shadow list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.size = 7
+        self.window = BitVectorWindow(self.size)
+        self.shadow: list[bool] = []
+
+    @rule(bit=st.booleans())
+    def append(self, bit):
+        self.window.append(bit)
+        self.shadow.append(bit)
+
+    @invariant()
+    def one_counter_matches(self):
+        recent = self.shadow[-self.size :]
+        assert self.window.ones == sum(recent)
+        assert self.window.filled == len(recent)
+        if recent:
+            assert self.window.fraction() == sum(recent) / len(recent)
+
+
+TestBufferMachine = BufferMachine.TestCase
+TestBufferMachine.settings = settings(max_examples=30, stateful_step_count=40)
+
+TestWindowMachine = WindowMachine.TestCase
+TestWindowMachine.settings = settings(max_examples=30, stateful_step_count=60)

@@ -1,0 +1,121 @@
+"""Tests for unit helpers and physical constants."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestTimeHelpers:
+    def test_ms(self):
+        assert units.ms(1500) == pytest.approx(1.5)
+
+    def test_us(self):
+        assert units.us(2500) == pytest.approx(2.5e-3)
+
+    def test_minutes(self):
+        assert units.minutes(2) == 120.0
+
+    def test_hours(self):
+        assert units.hours(0.5) == 1800.0
+
+    def test_to_ms_roundtrip(self):
+        assert units.to_ms(units.ms(123.0)) == pytest.approx(123.0)
+
+
+class TestPowerEnergyHelpers:
+    def test_mw(self):
+        assert units.mw(300) == pytest.approx(0.3)
+
+    def test_uw(self):
+        assert units.uw(20) == pytest.approx(2e-5)
+
+    def test_mj(self):
+        assert units.mj(240) == pytest.approx(0.24)
+
+    def test_uj(self):
+        assert units.uj(2) == pytest.approx(2e-6)
+
+    def test_nj(self):
+        assert units.nj(3.75) == pytest.approx(3.75e-9)
+
+    def test_mf_uf(self):
+        assert units.mf(33) == pytest.approx(0.033)
+        assert units.uf(100) == pytest.approx(1e-4)
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        # kT/q at 300 K is a classic ~25.85 mV.
+        assert units.thermal_voltage(300.0) == pytest.approx(25.85e-3, rel=1e-2)
+
+    def test_scales_linearly_with_temperature(self):
+        assert units.thermal_voltage(600.0) == pytest.approx(
+            2 * units.thermal_voltage(300.0)
+        )
+
+    def test_rejects_nonpositive_kelvin(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            units.thermal_voltage(-10.0)
+
+    def test_celsius_kelvin_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(25.0)) == pytest.approx(25.0)
+
+
+class TestSupercapEnergy:
+    def test_paper_reference_capacitor(self):
+        # 33 mF between 3.3 V and 1.8 V: 0.5*0.033*(3.3^2-1.8^2) = 126.225 mJ.
+        energy = units.supercap_energy(33e-3, 3.3, 1.8)
+        assert energy == pytest.approx(0.126225, rel=1e-9)
+
+    def test_zero_band_is_zero_energy(self):
+        assert units.supercap_energy(1e-3, 2.0, 2.0) == 0.0
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError):
+            units.supercap_energy(1e-3, 1.0, 2.0)
+
+    def test_rejects_negative_voltage(self):
+        with pytest.raises(ValueError):
+            units.supercap_energy(1e-3, 1.0, -0.5)
+
+    def test_rejects_nonpositive_capacitance(self):
+        with pytest.raises(ValueError):
+            units.supercap_energy(0.0, 3.3, 1.8)
+
+    @given(
+        c=st.floats(1e-6, 1.0),
+        v_low=st.floats(0.0, 5.0),
+        dv=st.floats(0.0, 5.0),
+    )
+    def test_energy_nonnegative_and_monotonic(self, c, v_low, dv):
+        e = units.supercap_energy(c, v_low + dv, v_low)
+        assert e >= 0.0
+        bigger = units.supercap_energy(c, v_low + dv + 1.0, v_low)
+        assert bigger >= e
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_derive_from_quetzal_error(self):
+        from repro import errors
+
+        for name in (
+            "ConfigurationError",
+            "SimulationError",
+            "TraceError",
+            "HardwareModelError",
+            "SchedulingError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.QuetzalError)
+
+    def test_catching_base_catches_subclass(self):
+        from repro.errors import ConfigurationError, QuetzalError
+
+        with pytest.raises(QuetzalError):
+            raise ConfigurationError("boom")

@@ -1,0 +1,45 @@
+"""Tests for the trace command-line utilities."""
+
+import pytest
+
+from repro.trace.__main__ import main
+
+
+class TestGenerate:
+    def test_generate_and_summarize(self, tmp_path, capsys):
+        path = tmp_path / "solar.csv"
+        rc = main(["generate", str(path), "--cells", "4", "--seed", "3"])
+        assert rc == 0
+        assert path.exists()
+        out = capsys.readouterr().out
+        assert "mean power" in out
+
+        rc = main(["summarize", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "energy" in out
+
+    def test_generate_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["generate", str(a), "--seed", "9"])
+        main(["generate", str(b), "--seed", "9"])
+        assert a.read_text() == b.read_text()
+
+    def test_cells_scale_power(self, tmp_path, capsys):
+        small, big = tmp_path / "s.csv", tmp_path / "b.csv"
+        main(["generate", str(small), "--cells", "2"])
+        small_out = capsys.readouterr().out
+        main(["generate", str(big), "--cells", "10"])
+        big_out = capsys.readouterr().out
+
+        def mean_mw(text):
+            for line in text.splitlines():
+                if line.startswith("mean power"):
+                    return float(line.split()[2])
+            raise AssertionError("no mean power line")
+
+        assert mean_mw(big_out) > mean_mw(small_out)
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

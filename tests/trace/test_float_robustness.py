@@ -1,0 +1,71 @@
+"""Float-robustness tests for trace arithmetic at large simulation times.
+
+Multi-day runs push trace queries to large ``t`` where naive modulo
+folding accumulates error; these tests pin the behaviours the engine
+relies on (strict boundary progress, additive integration, exact
+harvest inversion) far from ``t = 0``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.solar import SolarTraceGenerator
+from repro.trace.synthetic import square_wave_trace
+
+
+BIG_TIMES = st.floats(1e4, 1e7)
+
+
+class TestLargeTimeQueries:
+    @given(t=BIG_TIMES)
+    @settings(max_examples=60)
+    def test_power_periodicity_far_out(self, t):
+        trace = square_wave_trace(0.1, 0.02, 10.0)
+        k = math.floor(t / 20.0)
+        local = t - 20.0 * k
+        expected = 0.1 if local < 10.0 else 0.02
+        # Within a hair of a boundary either level is acceptable.
+        if min(abs(local - 10.0), local, 20.0 - local) > 1e-6:
+            assert trace.power(t) == expected
+
+    @given(t=BIG_TIMES)
+    @settings(max_examples=60)
+    def test_next_boundary_strictly_advances(self, t):
+        trace = square_wave_trace(0.1, 0.02, 10.0)
+        nxt = trace.next_boundary(t)
+        assert nxt > t
+        assert nxt - t <= 10.0 + 1e-6
+
+    @given(t=BIG_TIMES, dt=st.floats(0.0, 500.0))
+    @settings(max_examples=60)
+    def test_integration_bounded_by_extremes(self, t, dt):
+        trace = square_wave_trace(0.1, 0.02, 10.0)
+        energy = trace.integrate(t, t + dt)
+        assert 0.02 * dt - 1e-6 <= energy <= 0.1 * dt + 1e-6
+
+    @given(t=BIG_TIMES, energy=st.floats(1e-6, 10.0))
+    @settings(max_examples=60)
+    def test_harvest_inversion_far_out(self, t, energy):
+        trace = square_wave_trace(0.1, 0.02, 10.0)
+        wait = trace.time_to_harvest(t, energy)
+        harvested = trace.integrate(t, t + wait)
+        assert harvested == pytest.approx(energy, rel=1e-6, abs=1e-9)
+
+
+class TestSolarTraceFarOut:
+    def test_repeats_after_many_days(self):
+        trace = SolarTraceGenerator(seed=2).generate()
+        period = trace.period
+        for t in (100.0, 777.7, 1500.3):
+            assert trace.power(t + 1000 * period) == pytest.approx(
+                trace.power(t), rel=1e-9
+            )
+
+    def test_energy_scales_linearly_with_days(self):
+        trace = SolarTraceGenerator(seed=2).generate()
+        one_day = trace.integrate(0.0, trace.period)
+        hundred = trace.integrate(0.0, 100 * trace.period)
+        assert hundred == pytest.approx(100 * one_day, rel=1e-9)

@@ -1,0 +1,212 @@
+"""Tests for the piecewise-constant trace algebra.
+
+The engine's correctness rests on three trace operations being exact:
+``power`` (point lookup), ``integrate`` (energy over a span), and
+``time_to_harvest`` (inverse integration).  These are checked against
+hand-computed values and against each other with property tests.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.trace.power_trace import PiecewiseConstantTrace
+
+
+def square(high=0.1, low=0.02, half=10.0):
+    return PiecewiseConstantTrace([0.0, half], [high, low], period=2 * half)
+
+
+class TestConstruction:
+    def test_requires_equal_lengths(self):
+        with pytest.raises(TraceError):
+            PiecewiseConstantTrace([0.0, 1.0], [0.5])
+
+    def test_requires_zero_start(self):
+        with pytest.raises(TraceError):
+            PiecewiseConstantTrace([1.0], [0.5])
+
+    def test_requires_increasing_times(self):
+        with pytest.raises(TraceError):
+            PiecewiseConstantTrace([0.0, 2.0, 1.0], [1, 2, 3])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(TraceError):
+            PiecewiseConstantTrace([0.0], [-1.0])
+
+    def test_rejects_short_period(self):
+        with pytest.raises(TraceError):
+            PiecewiseConstantTrace([0.0, 5.0], [1.0, 2.0], period=5.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            PiecewiseConstantTrace([], [])
+
+    def test_from_samples_period(self):
+        trace = PiecewiseConstantTrace.from_samples([1.0, 2.0, 3.0], 0.5)
+        assert trace.period == pytest.approx(1.5)
+
+    def test_from_samples_non_repeating(self):
+        trace = PiecewiseConstantTrace.from_samples([1.0, 2.0], 1.0, repeat=False)
+        assert trace.period is None
+        assert trace.power(100.0) == 2.0
+
+    def test_from_samples_rejects_bad_period(self):
+        with pytest.raises(TraceError):
+            PiecewiseConstantTrace.from_samples([1.0], 0.0)
+
+
+class TestPower:
+    def test_segment_lookup(self):
+        trace = square()
+        assert trace.power(0.0) == 0.1
+        assert trace.power(9.999) == 0.1
+        assert trace.power(10.0) == 0.02
+        assert trace.power(19.999) == 0.02
+
+    def test_periodic_wrap(self):
+        trace = square()
+        assert trace.power(20.0) == 0.1
+        assert trace.power(35.0) == 0.02
+        assert trace.power(200.0 + 5.0) == 0.1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            square().power(-1.0)
+
+    def test_stats(self):
+        trace = square()
+        assert trace.max_power == 0.1
+        assert trace.min_power == 0.02
+        assert trace.mean_power == pytest.approx(0.06)
+
+
+class TestNextBoundary:
+    def test_within_first_segment(self):
+        assert square().next_boundary(3.0) == pytest.approx(10.0)
+
+    def test_at_boundary_moves_forward(self):
+        nxt = square().next_boundary(10.0)
+        assert nxt == pytest.approx(20.0)
+
+    def test_wraps_periods(self):
+        assert square().next_boundary(25.0) == pytest.approx(30.0)
+
+    def test_constant_trace_returns_inf(self):
+        trace = PiecewiseConstantTrace([0.0], [0.5])
+        assert math.isinf(trace.next_boundary(123.0))
+
+    def test_strict_progress(self):
+        trace = square()
+        t = 0.0
+        for _ in range(10):
+            nxt = trace.next_boundary(t)
+            assert nxt > t
+            t = nxt
+
+
+class TestIntegrate:
+    def test_within_segment(self):
+        assert square().integrate(2.0, 5.0) == pytest.approx(0.3)
+
+    def test_across_boundary(self):
+        # 5 s at 0.1 plus 5 s at 0.02.
+        assert square().integrate(5.0, 15.0) == pytest.approx(0.5 + 0.1)
+
+    def test_whole_period(self):
+        assert square().integrate(0.0, 20.0) == pytest.approx(1.2)
+
+    def test_many_periods(self):
+        assert square().integrate(0.0, 200.0) == pytest.approx(12.0)
+
+    def test_misaligned_multi_period(self):
+        trace = square()
+        expected = trace.integrate(7.0, 20.0) + trace.integrate(0.0, 3.0) + 2 * 1.2
+        assert trace.integrate(7.0, 63.0) == pytest.approx(expected)
+
+    def test_empty_interval(self):
+        assert square().integrate(4.0, 4.0) == 0.0
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(TraceError):
+            square().integrate(5.0, 4.0)
+
+    def test_non_repeating_tail(self):
+        trace = PiecewiseConstantTrace([0.0, 10.0], [1.0, 2.0])
+        assert trace.integrate(5.0, 20.0) == pytest.approx(5.0 + 20.0)
+
+    @given(
+        t0=st.floats(0.0, 100.0),
+        dt1=st.floats(0.0, 100.0),
+        dt2=st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=60)
+    def test_additivity(self, t0, dt1, dt2):
+        trace = square()
+        total = trace.integrate(t0, t0 + dt1 + dt2)
+        split = trace.integrate(t0, t0 + dt1) + trace.integrate(t0 + dt1, t0 + dt1 + dt2)
+        assert total == pytest.approx(split, rel=1e-9, abs=1e-12)
+
+
+class TestTimeToHarvest:
+    def test_zero_energy(self):
+        assert square().time_to_harvest(3.0, 0.0) == 0.0
+
+    def test_within_segment(self):
+        # 0.05 J at 0.1 W takes 0.5 s.
+        assert square().time_to_harvest(0.0, 0.05) == pytest.approx(0.5)
+
+    def test_across_segments(self):
+        # From t=9: 1 s at 0.1 (0.1 J) then need 0.02 J more at 0.02 W (1 s).
+        assert square().time_to_harvest(9.0, 0.12) == pytest.approx(2.0)
+
+    def test_multi_period(self):
+        # One full period harvests 1.2 J.
+        t = square().time_to_harvest(0.0, 1.2 * 3 + 0.05)
+        assert t == pytest.approx(60.0 + 0.5)
+
+    def test_zero_power_forever_is_inf(self):
+        trace = PiecewiseConstantTrace([0.0, 1.0], [1.0, 0.0])
+        assert math.isinf(trace.time_to_harvest(2.0, 0.5))
+
+    def test_zero_power_periodic_still_finite(self):
+        trace = PiecewiseConstantTrace([0.0, 1.0], [0.0, 1.0], period=2.0)
+        # Starting in the dead half, wait 1 s then harvest 0.5 J in 0.5 s.
+        assert trace.time_to_harvest(0.0, 0.5) == pytest.approx(1.5)
+
+    def test_all_zero_periodic_is_inf(self):
+        trace = PiecewiseConstantTrace([0.0], [0.0], period=5.0)
+        assert math.isinf(trace.time_to_harvest(0.0, 0.1))
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(TraceError):
+            square().time_to_harvest(0.0, -1.0)
+
+    @given(
+        t0=st.floats(0.0, 50.0),
+        energy=st.floats(1e-6, 5.0),
+    )
+    @settings(max_examples=60)
+    def test_inverse_of_integrate(self, t0, energy):
+        trace = square()
+        wait = trace.time_to_harvest(t0, energy)
+        harvested = trace.integrate(t0, t0 + wait)
+        assert harvested == pytest.approx(energy, rel=1e-9, abs=1e-12)
+
+
+class TestScaled:
+    def test_scaling_power_and_energy(self):
+        trace = square()
+        double = trace.scaled(2.0)
+        assert double.power(3.0) == pytest.approx(0.2)
+        assert double.integrate(0.0, 20.0) == pytest.approx(2.4)
+
+    def test_scale_zero(self):
+        assert square().scaled(0.0).max_power == 0.0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(TraceError):
+            square().scaled(-1.0)

@@ -1,0 +1,92 @@
+"""Tests for the synthetic solar trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.solar import SolarTraceConfig, SolarTraceGenerator
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SolarTraceConfig()
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(TraceError):
+            SolarTraceConfig(cells=0)
+
+    def test_rejects_bad_daylight_fraction(self):
+        with pytest.raises(TraceError):
+            SolarTraceConfig(daylight_fraction=0.0)
+        with pytest.raises(TraceError):
+            SolarTraceConfig(daylight_fraction=1.5)
+
+    def test_rejects_bad_transition_matrix(self):
+        with pytest.raises(TraceError):
+            SolarTraceConfig(
+                cloud_transition=((1.0, 0.0, 0.1), (0.3, 0.4, 0.3), (0.1, 0.4, 0.5))
+            )
+
+    def test_rejects_negative_flicker(self):
+        with pytest.raises(TraceError):
+            SolarTraceConfig(flicker_sigma=-0.1)
+
+    def test_peak_power_scales_with_cells(self):
+        base = SolarTraceConfig(cells=1).peak_power_w
+        assert SolarTraceConfig(cells=6).peak_power_w == pytest.approx(6 * base)
+
+
+class TestGeneration:
+    def test_deterministic_in_seed(self):
+        a = SolarTraceGenerator(seed=7).generate()
+        b = SolarTraceGenerator(seed=7).generate()
+        times = np.linspace(0, 1800, 50)
+        assert [a.power(t) for t in times] == [b.power(t) for t in times]
+
+    def test_different_seeds_differ(self):
+        a = SolarTraceGenerator(seed=1).generate()
+        b = SolarTraceGenerator(seed=2).generate()
+        times = np.linspace(0, 1800, 200)
+        assert any(a.power(t) != b.power(t) for t in times)
+
+    def test_repeats_with_day_period(self):
+        cfg = SolarTraceConfig()
+        trace = SolarTraceGenerator(cfg, seed=3).generate()
+        assert trace.period == pytest.approx(cfg.day_length_s)
+
+    def test_night_floor_respected(self):
+        cfg = SolarTraceConfig(night_floor_w=2e-3)
+        trace = SolarTraceGenerator(cfg, seed=3).generate()
+        assert trace.min_power >= 2e-3
+
+    def test_power_never_exceeds_plausible_peak(self):
+        cfg = SolarTraceConfig(flicker_sigma=0.0)
+        trace = SolarTraceGenerator(cfg, seed=5).generate()
+        assert trace.max_power <= cfg.peak_power_w * 1.0 + 1e-12
+
+    def test_night_exists(self):
+        cfg = SolarTraceConfig()
+        trace = SolarTraceGenerator(cfg, seed=4).generate()
+        # Sample the night window: power should be at the floor.
+        night_t = cfg.day_length_s * (cfg.daylight_fraction + 0.1)
+        assert trace.power(night_t) == pytest.approx(cfg.night_floor_w)
+
+    def test_multiple_days(self):
+        cfg = SolarTraceConfig()
+        trace = SolarTraceGenerator(cfg, seed=6).generate(days=3)
+        assert trace.period == pytest.approx(3 * cfg.day_length_s)
+
+    def test_rejects_zero_days(self):
+        with pytest.raises(TraceError):
+            SolarTraceGenerator(seed=1).generate(days=0)
+
+    def test_spans_useful_power_range(self):
+        """The default trace must straddle the workload's operating powers.
+
+        Quetzal's story requires periods where recharge dominates (P_in
+        below ML power) and periods where execution dominates (P_in above
+        the radio crossover); see DESIGN.md.
+        """
+        trace = SolarTraceGenerator(seed=1).generate()
+        assert trace.min_power < 0.010  # below ML operating power
+        assert trace.max_power > 0.120  # above the EA-SJF radio crossover

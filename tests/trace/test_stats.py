@@ -1,0 +1,64 @@
+"""Tests for trace summary statistics."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.solar import SolarTraceGenerator
+from repro.trace.stats import fraction_above, percentile_power, summarize
+from repro.trace.synthetic import constant_trace, square_wave_trace
+
+
+class TestFractionAbove:
+    def test_square_wave_duty_cycle(self):
+        trace = square_wave_trace(0.1, 0.02, 10.0)
+        assert fraction_above(trace, 0.05) == pytest.approx(0.5, abs=0.05)
+        assert fraction_above(trace, 0.01) == 1.0
+        assert fraction_above(trace, 0.2) == 0.0
+
+    def test_constant_trace_needs_duration(self):
+        with pytest.raises(TraceError):
+            fraction_above(constant_trace(0.1), 0.05)
+        assert fraction_above(constant_trace(0.1), 0.05, duration_s=10.0) == 1.0
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(TraceError):
+            fraction_above(square_wave_trace(1, 0, 5), -1.0)
+
+
+class TestPercentiles:
+    def test_square_wave_percentiles(self):
+        trace = square_wave_trace(0.1, 0.02, 10.0)
+        assert percentile_power(trace, 10) == pytest.approx(0.02)
+        assert percentile_power(trace, 90) == pytest.approx(0.1)
+
+    def test_bounds_validated(self):
+        with pytest.raises(TraceError):
+            percentile_power(square_wave_trace(1, 0, 5), 150)
+
+
+class TestSummary:
+    def test_square_wave_summary(self):
+        trace = square_wave_trace(0.1, 0.02, 10.0)
+        summary = summarize(trace)
+        assert summary.duration_s == pytest.approx(20.0)
+        assert summary.energy_j == pytest.approx(1.2)
+        assert summary.mean_power_w == pytest.approx(0.06)
+        assert summary.min_power_w == pytest.approx(0.02)
+        assert summary.max_power_w == pytest.approx(0.1)
+
+    def test_solar_summary_sane(self):
+        trace = SolarTraceGenerator(seed=1).generate()
+        summary = summarize(trace)
+        assert summary.min_power_w >= 0.006 - 1e-9  # night floor
+        assert summary.p10_power_w <= summary.median_power_w <= summary.p90_power_w
+        assert summary.energy_j == pytest.approx(
+            summary.mean_power_w * summary.duration_s
+        )
+
+    def test_render_contains_fields(self):
+        text = summarize(square_wave_trace(0.1, 0.02, 10.0)).render()
+        assert "mean power" in text and "mW" in text
+
+    def test_duration_override(self):
+        summary = summarize(constant_trace(0.05), duration_s=100.0)
+        assert summary.energy_j == pytest.approx(5.0)

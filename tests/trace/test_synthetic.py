@@ -1,0 +1,79 @@
+"""Tests for the deterministic synthetic traces."""
+
+import math
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.synthetic import (
+    constant_trace,
+    ramp_trace,
+    square_wave_trace,
+    two_level_trace,
+)
+
+
+class TestConstantTrace:
+    def test_power_everywhere(self):
+        trace = constant_trace(0.05)
+        for t in (0.0, 1.0, 1e6):
+            assert trace.power(t) == 0.05
+
+    def test_integrate(self):
+        assert constant_trace(0.05).integrate(0.0, 100.0) == pytest.approx(5.0)
+
+    def test_no_boundaries(self):
+        assert math.isinf(constant_trace(1.0).next_boundary(0.0))
+
+
+class TestSquareWave:
+    def test_alternation(self):
+        trace = square_wave_trace(0.1, 0.01, 5.0)
+        assert trace.power(0.0) == 0.1
+        assert trace.power(5.0) == 0.01
+        assert trace.power(10.0) == 0.1
+
+    def test_mean(self):
+        trace = square_wave_trace(0.1, 0.0, 5.0)
+        assert trace.mean_power == pytest.approx(0.05)
+
+    def test_rejects_bad_half_period(self):
+        with pytest.raises(TraceError):
+            square_wave_trace(1.0, 0.0, 0.0)
+
+
+class TestTwoLevel:
+    def test_switch(self):
+        trace = two_level_trace(0.2, 0.01, 30.0)
+        assert trace.power(29.9) == 0.2
+        assert trace.power(30.0) == 0.01
+        assert trace.power(1e5) == 0.01
+
+    def test_rejects_bad_switch_time(self):
+        with pytest.raises(TraceError):
+            two_level_trace(1.0, 0.5, -1.0)
+
+
+class TestRamp:
+    def test_monotone_increasing(self):
+        trace = ramp_trace(0.0, 1.0, 10.0, steps=10)
+        samples = [trace.power(t + 0.05) for t in range(10)]
+        assert samples == sorted(samples)
+
+    def test_mean_is_midpoint(self):
+        trace = ramp_trace(0.0, 1.0, 10.0, steps=100)
+        assert trace.integrate(0.0, 10.0) == pytest.approx(5.0, rel=1e-6)
+
+    def test_repeating_sawtooth(self):
+        trace = ramp_trace(0.0, 1.0, 10.0, steps=10, repeat=True)
+        assert trace.power(10.2) == trace.power(0.2)
+
+    def test_holds_final_level(self):
+        trace = ramp_trace(0.0, 1.0, 10.0, steps=10)
+        assert trace.power(50.0) == trace.power(9.95)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TraceError):
+            ramp_trace(0.0, 1.0, 0.0)
+        with pytest.raises(TraceError):
+            ramp_trace(0.0, 1.0, 1.0, steps=0)

@@ -1,0 +1,90 @@
+"""Tests for trace CSV I/O."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import load_trace_csv, save_trace_csv, trace_from_rows
+from repro.trace.synthetic import square_wave_trace
+
+
+class TestFromRows:
+    def test_basic(self):
+        trace = trace_from_rows([(0.0, 0.1), (10.0, 0.02)], repeat=False)
+        assert trace.power(5.0) == 0.1
+        assert trace.power(15.0) == 0.02
+
+    def test_repeat_with_explicit_period(self):
+        trace = trace_from_rows([(0.0, 0.1), (10.0, 0.02)], period=20.0)
+        assert trace.power(25.0) == 0.1
+
+    def test_repeat_extrapolates_period(self):
+        trace = trace_from_rows([(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)])
+        assert trace.period == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_rows([])
+
+    def test_single_sample_repeat_rejected(self):
+        with pytest.raises(TraceError):
+            trace_from_rows([(0.0, 1.0)], repeat=True)
+
+
+class TestCSVRoundTrip:
+    def test_load_from_stream(self):
+        csv_text = "time_s,power_w\n0.0,0.05\n1.0,0.08\n2.0,0.02\n"
+        trace = load_trace_csv(io.StringIO(csv_text), repeat=False)
+        assert trace.power(0.5) == 0.05
+        assert trace.power(1.5) == 0.08
+
+    def test_round_trip_preserves_power(self, tmp_path):
+        original = square_wave_trace(0.1, 0.02, 5.0)
+        path = tmp_path / "trace.csv"
+        save_trace_csv(original, path, sample_period_s=1.0)
+        loaded = load_trace_csv(path)
+        for t in (0.5, 3.5, 6.5, 9.5, 12.5):
+            assert loaded.power(t) == pytest.approx(original.power(t))
+
+    def test_loaded_trace_repeats(self, tmp_path):
+        original = square_wave_trace(0.1, 0.02, 5.0)
+        path = tmp_path / "trace.csv"
+        save_trace_csv(original, path)
+        loaded = load_trace_csv(path)
+        assert loaded.period == pytest.approx(10.0)
+        assert loaded.power(10.5) == pytest.approx(0.1)
+
+    def test_blank_lines_skipped(self):
+        csv_text = "time_s,power_w\n0.0,0.05\n\n1.0,0.08\n"
+        trace = load_trace_csv(io.StringIO(csv_text), repeat=False)
+        assert trace.power(1.5) == 0.08
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(TraceError):
+            load_trace_csv(io.StringIO("t,p\n0,1\n"))
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(TraceError):
+            load_trace_csv(io.StringIO(""))
+
+    def test_malformed_rows_rejected(self):
+        with pytest.raises(TraceError):
+            load_trace_csv(io.StringIO("time_s,power_w\n0.0,1.0,extra\n"))
+        with pytest.raises(TraceError):
+            load_trace_csv(io.StringIO("time_s,power_w\n0.0,banana\n"))
+
+    def test_save_non_repeating_needs_duration(self):
+        from repro.trace.synthetic import constant_trace
+
+        with pytest.raises(TraceError):
+            save_trace_csv(constant_trace(0.1), io.StringIO())
+
+    def test_save_with_duration(self):
+        from repro.trace.synthetic import constant_trace
+
+        buffer = io.StringIO()
+        save_trace_csv(constant_trace(0.1), buffer, duration_s=3.0)
+        lines = buffer.getvalue().strip().splitlines()
+        assert lines[0] == "time_s,power_w"
+        assert len(lines) == 4

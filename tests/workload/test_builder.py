@@ -1,0 +1,104 @@
+"""Tests for the custom-application builder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.builder import ApplicationBuilder
+from repro.workload.imaging import ImageFormat, JPEGModel
+from repro.workload.ml import MLModelProfile
+from repro.workload.radio import LoRaConfig, RadioModel
+from repro.workload.task import TaskCost
+
+
+def two_models(builder):
+    return (
+        builder.ml_option(
+            "big", TaskCost(1.5, 0.012), MLModelProfile("big", 0.04, 0.02)
+        ).ml_option(
+            "tiny", TaskCost(0.08, 0.008), MLModelProfile("tiny", 0.20, 0.06)
+        )
+    )
+
+
+class TestBuild:
+    def test_builds_valid_app(self):
+        app = two_models(ApplicationBuilder()).build()
+        detect = app.jobs.job("detect")
+        assert detect.spawns == "transmit"
+        assert [o.name for o in detect.degradable_task.options] == ["big", "tiny"]
+
+    def test_radio_costs_derived_from_payload(self):
+        builder = two_models(ApplicationBuilder())
+        app = builder.build()
+        radio = app.jobs.job("transmit").degradable_task
+        full, alert = radio.options
+        expected = RadioModel().message_airtime_s(builder.full_image_bytes)
+        assert full.cost.t_exe_s == pytest.approx(expected)
+        assert alert.cost.t_exe_s < full.cost.t_exe_s
+        assert full.metadata["quality"] == "high"
+        assert alert.metadata["quality"] == "low"
+
+    def test_bigger_sensor_costs_more_airtime(self):
+        small = two_models(ApplicationBuilder()).build()
+        big = (
+            two_models(ApplicationBuilder())
+            .image(ImageFormat(640, 480))
+            .build()
+        )
+        t_small = small.jobs.job("transmit").degradable_task.options[0].cost.t_exe_s
+        t_big = big.jobs.job("transmit").degradable_task.options[0].cost.t_exe_s
+        assert t_big > t_small
+
+    def test_slow_radio_config_costs_more(self):
+        slow_radio = RadioModel(LoRaConfig(spreading_factor=10, bandwidth_hz=125e3))
+        slow = two_models(ApplicationBuilder()).radio(slow_radio).build()
+        fast = two_models(ApplicationBuilder()).build()
+        assert (
+            slow.jobs.job("transmit").degradable_task.options[0].cost.t_exe_s
+            > fast.jobs.job("transmit").degradable_task.options[0].cost.t_exe_s
+        )
+
+    def test_requires_two_ml_options(self):
+        builder = ApplicationBuilder().ml_option(
+            "only", TaskCost(1.0, 0.01), MLModelProfile("m", 0.1, 0.1)
+        )
+        with pytest.raises(ConfigurationError):
+            builder.build()
+
+    def test_alert_bytes_validation(self):
+        with pytest.raises(ConfigurationError):
+            ApplicationBuilder().alert_bytes(0)
+
+    def test_prior_validation(self):
+        with pytest.raises(ConfigurationError):
+            ApplicationBuilder().spawn_probability_prior(1.5)
+
+
+class TestBuiltAppSimulates:
+    def test_end_to_end(self, steady_trace):
+        from repro.core.runtime import QuetzalRuntime
+        from repro.env.events import Event, EventSchedule
+        from repro.sim.engine import SimulationConfig, simulate
+
+        app = (
+            two_models(ApplicationBuilder())
+            .image(ImageFormat(96, 96), JPEGModel(compression_ratio=9.0))
+            .alert_bytes(4)
+            .build()
+        )
+        metrics = simulate(
+            app,
+            QuetzalRuntime(),
+            steady_trace,
+            EventSchedule([Event(2.0, 30.0, True)], diff_probability=0.6),
+            config=SimulationConfig(seed=1, drain_timeout_s=500.0),
+        )
+        assert metrics.jobs_completed > 0
+        accounted = (
+            metrics.ibo_drops_interesting
+            + metrics.false_negatives
+            + metrics.packets_interesting_high
+            + metrics.packets_interesting_low
+            + metrics.leftover_interesting
+        )
+        assert accounted == metrics.captures_interesting

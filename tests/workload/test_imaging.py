@@ -1,0 +1,63 @@
+"""Tests for the imaging / buffer-sizing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.imaging import (
+    QQVGA_GRAY,
+    ImageFormat,
+    JPEGModel,
+    buffer_capacity_images,
+)
+
+
+class TestImageFormat:
+    def test_qqvga_raw_size(self):
+        assert QQVGA_GRAY.raw_bytes == 160 * 120
+
+    def test_bit_packing(self):
+        binary = ImageFormat(width=100, height=10, bits_per_pixel=1)
+        assert binary.raw_bytes == 125
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ImageFormat(width=0, height=10)
+        with pytest.raises(ConfigurationError):
+            ImageFormat(width=10, height=10, bits_per_pixel=7)
+
+
+class TestJPEGModel:
+    def test_compression(self):
+        jpeg = JPEGModel(compression_ratio=10.0, header_bytes=100)
+        assert jpeg.compressed_bytes(QQVGA_GRAY) == 100 + 1920
+
+    def test_compressed_smaller_than_raw(self):
+        assert JPEGModel().compressed_bytes(QQVGA_GRAY) < QQVGA_GRAY.raw_bytes
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JPEGModel(compression_ratio=0.5)
+        with pytest.raises(ConfigurationError):
+            JPEGModel(header_bytes=-1)
+
+
+class TestBufferSizing:
+    def test_paper_buffer_capacity(self):
+        """~20 kB of buffer RAM holds Table 1's 10 compressed images."""
+        assert buffer_capacity_images(20_000) == 10
+
+    def test_camaroptera_range(self):
+        """Section 2.2: small memories hold 'a few (e.g., 5-10)' inputs."""
+        for memory in (12_000, 16_000, 20_000):
+            assert 5 <= buffer_capacity_images(memory) <= 10
+
+    def test_metadata_overhead_counted(self):
+        lean = buffer_capacity_images(20_000, metadata_bytes_per_entry=0)
+        padded = buffer_capacity_images(20_000, metadata_bytes_per_entry=512)
+        assert padded < lean
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            buffer_capacity_images(0)
+        with pytest.raises(ConfigurationError):
+            buffer_capacity_images(1000, metadata_bytes_per_entry=-1)

@@ -1,0 +1,108 @@
+"""Tests for jobs and job sets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.job import Job, JobSet, TaskRef
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+
+def opt(name, t=1.0):
+    return DegradationOption(name, TaskCost(t, 0.01))
+
+
+def degradable(name="ml"):
+    return Task(name, [opt(f"{name}-hq"), opt(f"{name}-lq", 0.1)])
+
+
+def simple(name="prep"):
+    return Task(name, [opt(name)])
+
+
+class TestJob:
+    def test_exactly_one_degradable_required(self):
+        Job("ok", [TaskRef(degradable()), TaskRef(simple())])
+        with pytest.raises(ConfigurationError):
+            Job("none", [TaskRef(simple())])
+        with pytest.raises(ConfigurationError):
+            Job("two", [TaskRef(degradable("a")), TaskRef(degradable("b"))])
+
+    def test_degradable_task_accessor(self):
+        ml = degradable()
+        job = Job("detect", [TaskRef(ml), TaskRef(simple())])
+        assert job.degradable_task is ml
+        assert job.degradable_ref.task is ml
+
+    def test_non_degradable_refs(self):
+        prep = simple()
+        job = Job("detect", [TaskRef(degradable()), TaskRef(prep)])
+        names = [r.task.name for r in job.non_degradable_refs]
+        assert names == ["prep"]
+
+    def test_task_order_preserved(self):
+        ml, prep = degradable(), simple()
+        job = Job("detect", [TaskRef(ml), TaskRef(prep)])
+        assert [t.name for t in job.tasks()] == ["ml", "prep"]
+
+    def test_rejects_duplicate_tasks(self):
+        ml = degradable()
+        with pytest.raises(ConfigurationError):
+            Job("dup", [TaskRef(ml), TaskRef(ml)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Job("empty", [])
+        with pytest.raises(ConfigurationError):
+            Job("", [TaskRef(degradable())])
+
+    def test_conditional_probability_validation(self):
+        with pytest.raises(ConfigurationError):
+            TaskRef(simple(), conditional=True, default_probability=1.5)
+
+
+class TestJobSet:
+    def make_jobs(self):
+        detect = Job(
+            "detect",
+            [TaskRef(degradable()), TaskRef(simple("prep"), conditional=True)],
+            spawns="transmit",
+        )
+        transmit = Job("transmit", [TaskRef(degradable("radio"))])
+        return detect, transmit
+
+    def test_lookup(self):
+        detect, transmit = self.make_jobs()
+        jobs = JobSet([detect, transmit])
+        assert jobs.job("detect") is detect
+        assert "transmit" in jobs
+        assert len(jobs) == 2
+
+    def test_unknown_job_raises(self):
+        jobs = JobSet([self.make_jobs()[1]])
+        with pytest.raises(ConfigurationError):
+            jobs.job("detect")
+
+    def test_spawn_target_must_exist(self):
+        detect, _ = self.make_jobs()
+        with pytest.raises(ConfigurationError):
+            JobSet([detect])  # spawns 'transmit' which is absent
+
+    def test_duplicate_names_rejected(self):
+        _, transmit = self.make_jobs()
+        other = Job("transmit", [TaskRef(degradable("radio2"))])
+        with pytest.raises(ConfigurationError):
+            JobSet([transmit, other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSet([])
+
+    def test_all_tasks_deduplicated(self):
+        detect, transmit = self.make_jobs()
+        jobs = JobSet([detect, transmit])
+        names = [t.name for t in jobs.all_tasks()]
+        assert names == ["ml", "prep", "radio"]
+
+    def test_max_options(self):
+        detect, transmit = self.make_jobs()
+        assert JobSet([detect, transmit]).max_options_per_task() == 2

@@ -1,0 +1,45 @@
+"""Tests for ML model profiles and misclassification draws."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.ml import LENET, LENET_INT8, LENET_INT16, MOBILENET_V2, MLModelProfile
+
+
+class TestProfiles:
+    def test_high_quality_more_accurate(self):
+        assert MOBILENET_V2.false_negative_rate < LENET.false_negative_rate
+        assert MOBILENET_V2.false_positive_rate < LENET.false_positive_rate
+
+    def test_msp430_quality_ordering(self):
+        assert LENET_INT16.false_negative_rate < LENET_INT8.false_negative_rate
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigurationError):
+            MLModelProfile("bad", 1.5, 0.1)
+        with pytest.raises(ConfigurationError):
+            MLModelProfile("bad", 0.1, -0.1)
+
+
+class TestClassification:
+    def test_statistics_match_rates(self):
+        model = MLModelProfile("m", false_negative_rate=0.2, false_positive_rate=0.05)
+        rng = np.random.default_rng(0)
+        n = 20000
+        fn = sum(not model.classify(True, rng) for _ in range(n)) / n
+        fp = sum(model.classify(False, rng) for _ in range(n)) / n
+        assert fn == pytest.approx(0.2, abs=0.01)
+        assert fp == pytest.approx(0.05, abs=0.01)
+
+    def test_perfect_model(self):
+        model = MLModelProfile("perfect", 0.0, 0.0)
+        rng = np.random.default_rng(1)
+        assert all(model.classify(True, rng) for _ in range(100))
+        assert not any(model.classify(False, rng) for _ in range(100))
+
+    def test_deterministic_under_seeded_rng(self):
+        model = LENET
+        a = [model.classify(True, np.random.default_rng(42)) for _ in range(1)]
+        b = [model.classify(True, np.random.default_rng(42)) for _ in range(1)]
+        assert a == b

@@ -1,0 +1,104 @@
+"""Tests for the LoRa airtime model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.imaging import QQVGA_GRAY, JPEGModel
+from repro.workload.radio import LoRaConfig, RadioModel
+
+
+class TestLoRaConfig:
+    def test_symbol_time(self):
+        cfg = LoRaConfig(spreading_factor=7, bandwidth_hz=125e3)
+        assert cfg.symbol_time_s == pytest.approx(128 / 125e3)
+
+    def test_higher_sf_slower(self):
+        fast = LoRaConfig(spreading_factor=7)
+        slow = LoRaConfig(spreading_factor=10)
+        assert slow.packet_airtime_s(50) > fast.packet_airtime_s(50)
+
+    def test_known_airtime_value(self):
+        """Cross-check against a by-hand evaluation of the Semtech formula.
+
+        SF7, 125 kHz, CR 4/5, 8-symbol preamble, explicit header, CRC on,
+        20-byte payload: n_payload = 8 + ceil((160-28+28+16)/28)*5 = 43
+        symbols; T_sym = 1.024 ms; ToA = (12.25 + 43) * 1.024 ms.
+        """
+        cfg = LoRaConfig(spreading_factor=7, bandwidth_hz=125e3)
+        assert cfg.payload_symbols(20) == 43
+        assert cfg.packet_airtime_s(20) == pytest.approx((12.25 + 43) * 1.024e-3)
+
+    def test_payload_symbols_monotone(self):
+        cfg = LoRaConfig()
+        previous = 0
+        for size in range(0, 255, 16):
+            symbols = cfg.payload_symbols(size)
+            assert symbols >= previous
+            previous = symbols
+
+    def test_coding_rate_adds_redundancy(self):
+        light = LoRaConfig(coding_rate_denominator=5)
+        heavy = LoRaConfig(coding_rate_denominator=8)
+        assert heavy.packet_airtime_s(100) > light.packet_airtime_s(100)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoRaConfig(spreading_factor=13)
+        with pytest.raises(ConfigurationError):
+            LoRaConfig(coding_rate_denominator=9)
+        with pytest.raises(ConfigurationError):
+            LoRaConfig(max_payload_bytes=0)
+        with pytest.raises(ConfigurationError):
+            LoRaConfig().payload_symbols(300)
+
+
+class TestRadioModel:
+    def test_fragmentation(self):
+        radio = RadioModel()
+        assert radio.packets_for(1) == 1
+        assert radio.packets_for(255) == 1
+        assert radio.packets_for(256) == 2
+        assert radio.packets_for(2459) == math.ceil(2459 / 255)
+
+    def test_message_airtime_additive(self):
+        radio = RadioModel()
+        one = radio.message_airtime_s(255)
+        two = radio.message_airtime_s(510)
+        assert two == pytest.approx(2 * one, rel=1e-9)
+
+    def test_task_cost_rendering(self):
+        radio = RadioModel(tx_power_w=0.3)
+        cost = radio.task_cost(100)
+        assert cost.p_exe_w == 0.3
+        assert cost.t_exe_s == pytest.approx(radio.message_airtime_s(100))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RadioModel(tx_power_w=0.0)
+        with pytest.raises(ConfigurationError):
+            RadioModel(packet_overhead_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RadioModel().packets_for(0)
+
+
+class TestPipelineAnchors:
+    """The derived costs must justify the pipeline's hard-coded constants."""
+
+    def test_full_image_near_anchor(self):
+        """A compressed QQVGA frame costs ~0.8 s on air (section 2.2)."""
+        image_bytes = JPEGModel().compressed_bytes(QQVGA_GRAY)
+        airtime = RadioModel().message_airtime_s(image_bytes)
+        assert airtime == pytest.approx(0.8, rel=0.15)
+
+    def test_single_byte_well_below_pipeline_budget(self):
+        """The pipeline budgets 30 ms for the alert; airtime is far less."""
+        airtime = RadioModel().message_airtime_s(1)
+        assert airtime < 0.030
+
+    def test_low_power_anchor(self):
+        """Full-image energy at a few mW exceeds 50 s end-to-end (sec 2.2)."""
+        image_bytes = JPEGModel().compressed_bytes(QQVGA_GRAY)
+        cost = RadioModel().task_cost(image_bytes)
+        assert cost.energy_j / 0.004 > 50.0

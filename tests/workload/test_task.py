@@ -1,0 +1,80 @@
+"""Tests for tasks, costs, and degradation options."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.task import DegradationOption, Task, TaskCost
+
+
+def opt(name, t=1.0, p=0.01, **meta):
+    return DegradationOption(name, TaskCost(t, p), meta)
+
+
+class TestTaskCost:
+    def test_energy(self):
+        assert TaskCost(0.8, 0.3).energy_j == pytest.approx(0.24)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            TaskCost(0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            TaskCost(1.0, 0.0)
+
+    def test_frozen(self):
+        cost = TaskCost(1.0, 1.0)
+        with pytest.raises(AttributeError):
+            cost.t_exe_s = 2.0  # type: ignore[misc]
+
+
+class TestDegradationOption:
+    def test_metadata_accessible(self):
+        option = opt("hq", quality="high")
+        assert option.metadata["quality"] == "high"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            DegradationOption("", TaskCost(1.0, 1.0))
+
+
+class TestTask:
+    def test_quality_order(self):
+        task = Task("ml", [opt("hq", 2.0), opt("lq", 0.1)])
+        assert task.highest_quality.name == "hq"
+        assert task.lowest_quality.name == "lq"
+        assert task.degradable
+
+    def test_single_option_not_degradable(self):
+        task = Task("prep", [opt("only")])
+        assert not task.degradable
+        assert task.highest_quality is task.lowest_quality
+
+    def test_option_named(self):
+        task = Task("ml", [opt("hq"), opt("lq")])
+        assert task.option_named("lq").name == "lq"
+        with pytest.raises(ConfigurationError):
+            task.option_named("nonexistent")
+
+    def test_quality_rank(self):
+        task = Task("ml", [opt("a"), opt("b"), opt("c")])
+        assert task.quality_rank(task.options[0]) == 0
+        assert task.quality_rank(task.options[2]) == 2
+
+    def test_quality_rank_foreign_option(self):
+        task = Task("ml", [opt("a")])
+        with pytest.raises(ConfigurationError):
+            task.quality_rank(opt("other"))
+
+    def test_fastest_option(self):
+        task = Task("radio", [opt("full", 0.8), opt("byte", 0.03)])
+        fastest = task.fastest_option(lambda o: o.cost.t_exe_s)
+        assert fastest.name == "byte"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Task("x", [])
+        with pytest.raises(ConfigurationError):
+            Task("", [opt("a")])
+
+    def test_rejects_duplicate_options(self):
+        with pytest.raises(ConfigurationError):
+            Task("x", [opt("a"), opt("a")])

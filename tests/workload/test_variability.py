@@ -1,0 +1,116 @@
+"""Tests for variable-cost task support (the section 5.2 future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload.task import TaskCost
+from repro.workload.variability import CostJitterModel, EWMACostTracker
+
+
+class TestCostJitter:
+    def test_zero_sigma_identity(self):
+        model = CostJitterModel(0.0, np.random.default_rng(0))
+        cost = TaskCost(1.0, 0.01)
+        assert model.jittered(cost) is cost
+
+    def test_mean_preserving(self):
+        model = CostJitterModel(0.4, np.random.default_rng(1))
+        cost = TaskCost(2.0, 0.01)
+        samples = [model.jittered(cost).t_exe_s for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_power_unchanged(self):
+        model = CostJitterModel(0.5, np.random.default_rng(2))
+        cost = TaskCost(1.0, 0.123)
+        assert model.jittered(cost).p_exe_w == 0.123
+
+    def test_energy_scales_with_latency(self):
+        model = CostJitterModel(0.5, np.random.default_rng(3))
+        cost = TaskCost(1.0, 0.1)
+        jittered = model.jittered(cost)
+        assert jittered.energy_j == pytest.approx(jittered.t_exe_s * 0.1)
+
+    def test_deterministic_per_seed(self):
+        a = CostJitterModel(0.3, np.random.default_rng(7))
+        b = CostJitterModel(0.3, np.random.default_rng(7))
+        cost = TaskCost(1.0, 0.01)
+        assert a.jittered(cost).t_exe_s == b.jittered(cost).t_exe_s
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigurationError):
+            CostJitterModel(-0.1, np.random.default_rng(0))
+
+
+class TestEWMATracker:
+    def test_defaults_to_profiled(self):
+        tracker = EWMACostTracker()
+        assert tracker.estimate("ml", "hq", 2.0) == 2.0
+
+    def test_first_observation_replaces(self):
+        tracker = EWMACostTracker(alpha=0.5)
+        tracker.observe("ml", "hq", 4.0)
+        assert tracker.estimate("ml", "hq", 2.0) == 4.0
+
+    def test_ewma_update(self):
+        tracker = EWMACostTracker(alpha=0.5)
+        tracker.observe("ml", "hq", 4.0)
+        tracker.observe("ml", "hq", 2.0)
+        assert tracker.estimate("ml", "hq", 0.0) == pytest.approx(3.0)
+
+    def test_per_option_isolation(self):
+        tracker = EWMACostTracker()
+        tracker.observe("ml", "hq", 10.0)
+        assert tracker.estimate("ml", "lq", 0.5) == 0.5
+        assert len(tracker) == 1
+
+    def test_converges_to_stationary_mean(self):
+        tracker = EWMACostTracker(alpha=0.2)
+        for _ in range(100):
+            tracker.observe("t", "o", 5.0)
+        assert tracker.estimate("t", "o", 0.0) == pytest.approx(5.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            EWMACostTracker(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EWMACostTracker().observe("t", "o", -1.0)
+
+
+class TestEngineIntegration:
+    def test_jitter_changes_outcomes_but_conserves(self):
+        from repro.env.events import Event, EventSchedule
+        from repro.policies.noadapt import NoAdaptPolicy
+        from repro.sim.engine import SimulationConfig, simulate
+        from repro.trace.synthetic import constant_trace
+        from repro.workload.pipelines import build_apollo_app
+
+        schedule = EventSchedule([Event(2.0, 60.0, True)], diff_probability=0.5)
+        base = simulate(
+            build_apollo_app(), NoAdaptPolicy(), constant_trace(0.02), schedule,
+            config=SimulationConfig(seed=3, drain_timeout_s=2000.0),
+        )
+        jittered = simulate(
+            build_apollo_app(), NoAdaptPolicy(), constant_trace(0.02), schedule,
+            config=SimulationConfig(
+                seed=3, drain_timeout_s=2000.0, cost_jitter_sigma=0.5
+            ),
+        )
+        # Same arrival stream; different timing.
+        assert jittered.captures_interesting == base.captures_interesting
+        assert jittered.sim_end_s != base.sim_end_s
+        # Conservation still holds under jitter.
+        accounted = (
+            jittered.ibo_drops_interesting
+            + jittered.false_negatives
+            + jittered.packets_interesting_high
+            + jittered.packets_interesting_low
+            + jittered.leftover_interesting
+        )
+        assert accounted == jittered.captures_interesting
+
+    def test_config_rejects_negative_sigma(self):
+        from repro.sim.engine import SimulationConfig
+
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(cost_jitter_sigma=-1.0)
