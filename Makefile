@@ -1,12 +1,16 @@
 # Convenience targets for the Quetzal reproduction.
 
-.PHONY: install test bench figures figures-paper-scale examples clean
+.PHONY: install test lint bench figures figures-paper-scale examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Style/bug lint (same invocation as CI; needs `pip install ruff`).
+lint:
+	ruff check src tests
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -9,7 +9,7 @@ DESIGN.md calls out three internal choices worth isolating:
   t_exe jitters around the profiled value (see repro.workload.variability).
 """
 
-from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+from conftest import BENCH_EVENTS, BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.core.runtime import QuetzalRuntime
 from repro.core.service_time import ExactServiceTimeEstimator
@@ -27,7 +27,7 @@ def run_ablation(n_events, seeds):
             estimator=ExactServiceTimeEstimator(), name="quetzal-exact"
         ),
     }
-    results = run_grid(cfg, grid, seeds)
+    results = run_grid(cfg, grid, seeds, jobs=BENCH_JOBS)
 
     # Variable-cost extension: break the consistent-t_exe assumption with
     # 30 % log-normal latency jitter and see how Quetzal holds up.

@@ -1,6 +1,6 @@
 """Figure 2b: capture-rate degradation still misses events."""
 
-from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+from conftest import BENCH_EVENTS, BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.experiments.figures import fig2b_capture_rate_sweep
 
@@ -10,7 +10,7 @@ def test_fig2b_capture_rate_sweep(benchmark, figure_printer):
         benchmark,
         fig2b_capture_rate_sweep,
         n_events=BENCH_EVENTS,
-        seeds=BENCH_SEEDS,
+        seeds=BENCH_SEEDS, jobs=BENCH_JOBS,
     )
     figure_printer(result)
     # Longer capture periods capture strictly less interesting data.

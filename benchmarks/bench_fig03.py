@@ -1,13 +1,13 @@
 """Figure 3: naive solutions are ineffective against IBOs."""
 
-from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+from conftest import BENCH_EVENTS, BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.experiments.figures import fig3_naive_solutions
 
 
 def test_fig3_naive_solutions(benchmark, figure_printer):
     result = run_once(
-        benchmark, fig3_naive_solutions, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+        benchmark, fig3_naive_solutions, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS, jobs=BENCH_JOBS
     )
     figure_printer(result)
     rows = {row["policy"]: row for row in result.rows}

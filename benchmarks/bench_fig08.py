@@ -1,13 +1,13 @@
 """Figure 8: the end-to-end (hardware-experiment-scale) comparison."""
 
-from conftest import BENCH_SEEDS, run_once
+from conftest import BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.experiments.figures import fig8_hardware_experiment
 
 
 def test_fig8_hardware_experiment(benchmark, figure_printer):
     # The paper's hardware rig ran 100 events; keep that scale.
-    result = run_once(benchmark, fig8_hardware_experiment, n_events=100, seeds=BENCH_SEEDS)
+    result = run_once(benchmark, fig8_hardware_experiment, n_events=100, seeds=BENCH_SEEDS, jobs=BENCH_JOBS)
     figure_printer(result)
     by_env = {}
     for row in result.rows:

@@ -1,13 +1,13 @@
 """Figure 9: Quetzal vs NoAdapt / AlwaysDegrade / Ideal, three environments."""
 
-from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+from conftest import BENCH_EVENTS, BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.experiments.figures import fig9_vs_nonadaptive
 
 
 def test_fig9_vs_nonadaptive(benchmark, figure_printer):
     result = run_once(
-        benchmark, fig9_vs_nonadaptive, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+        benchmark, fig9_vs_nonadaptive, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS, jobs=BENCH_JOBS
     )
     figure_printer(result)
     by_env = {}

@@ -1,13 +1,13 @@
 """Figure 10: Quetzal vs prior work (CatNap, Protean/Zygarde)."""
 
-from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+from conftest import BENCH_EVENTS, BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.experiments.figures import fig10_vs_prior_work
 
 
 def test_fig10_vs_prior_work(benchmark, figure_printer):
     result = run_once(
-        benchmark, fig10_vs_prior_work, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+        benchmark, fig10_vs_prior_work, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS, jobs=BENCH_JOBS
     )
     figure_printer(result)
     by_env = {}

@@ -1,6 +1,6 @@
 """Figure 11: Quetzal vs fixed buffer-occupancy thresholds (incl. sweep)."""
 
-from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+from conftest import BENCH_EVENTS, BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.experiments.figures import fig11_vs_fixed_thresholds
 
@@ -10,7 +10,7 @@ def test_fig11_vs_fixed_thresholds(benchmark, figure_printer):
         benchmark,
         fig11_vs_fixed_thresholds,
         n_events=BENCH_EVENTS,
-        seeds=BENCH_SEEDS,
+        seeds=BENCH_SEEDS, jobs=BENCH_JOBS,
     )
     figure_printer(highlighted)
     figure_printer(sweep)

@@ -1,13 +1,13 @@
 """Figure 12: scheduler/estimator ablation (EASJF vs Avg-S_e2e/FCFS/LCFS)."""
 
-from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+from conftest import BENCH_EVENTS, BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.experiments.figures import fig12_scheduler_ablation
 
 
 def test_fig12_scheduler_ablation(benchmark, figure_printer):
     result = run_once(
-        benchmark, fig12_scheduler_ablation, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+        benchmark, fig12_scheduler_ablation, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS, jobs=BENCH_JOBS
     )
     figure_printer(result)
     by_env = {}

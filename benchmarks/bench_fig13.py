@@ -1,13 +1,13 @@
 """Figure 13: Quetzal's versatility on the MSP430 microcontroller."""
 
-from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+from conftest import BENCH_EVENTS, BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.experiments.figures import fig13_msp430
 
 
 def test_fig13_msp430(benchmark, figure_printer):
     result = run_once(
-        benchmark, fig13_msp430, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+        benchmark, fig13_msp430, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS, jobs=BENCH_JOBS
     )
     figure_printer(result)
     rows = {row["policy"]: row for row in result.rows}

@@ -1,13 +1,13 @@
 """Figure 14: sensitivity to harvester cells and tracker window sizes."""
 
-from conftest import BENCH_EVENTS, BENCH_SEEDS, run_once
+from conftest import BENCH_EVENTS, BENCH_JOBS, BENCH_SEEDS, run_once
 
 from repro.experiments.figures import fig14_sensitivity
 
 
 def test_fig14_sensitivity(benchmark, figure_printer):
     result = run_once(
-        benchmark, fig14_sensitivity, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS
+        benchmark, fig14_sensitivity, n_events=BENCH_EVENTS, seeds=BENCH_SEEDS, jobs=BENCH_JOBS
     )
     figure_printer(result)
     cells = [row for row in result.rows if row["parameter"] == "harvester cells"]

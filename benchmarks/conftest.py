@@ -5,7 +5,8 @@ Each benchmark regenerates one of the paper's tables/figures through the
 ``pytest benchmarks/ --benchmark-only`` doubles as the full reproduction
 run.  Runs are scaled via ``BENCH_EVENTS``/``BENCH_SEEDS`` (environment
 variables) — the defaults keep the whole suite around several minutes; the
-paper-scale setting is 1000 events.
+paper-scale setting is 1000 events.  ``BENCH_JOBS`` fans each figure's
+runs over worker processes (results are identical at any setting).
 """
 
 from __future__ import annotations
@@ -19,6 +20,9 @@ BENCH_EVENTS = int(os.environ.get("BENCH_EVENTS", "80"))
 
 #: Seed replicas averaged per bar.
 BENCH_SEEDS = tuple(range(int(os.environ.get("BENCH_SEEDS", "2"))))
+
+#: Worker processes per figure grid (results are jobs-invariant).
+BENCH_JOBS = int(os.environ.get("BENCH_JOBS", "1"))
 
 
 @pytest.fixture

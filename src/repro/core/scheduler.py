@@ -21,6 +21,7 @@ same classes serve Quetzal, the Avg-S_e2e ablation, and the baselines.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -100,11 +101,20 @@ def expected_job_service_time(
         ``task -> option`` selecting which quality each task is scored at;
         defaults to every task's highest quality (the state before the IBO
         engine considers degradation).
+
+    Zero-probability terms are skipped outright: at ``P_in = 0`` an
+    estimator may legitimately return ``S_e2e = inf``, and IEEE's
+    ``0 * inf = NaN`` would otherwise corrupt the score (NaN compares
+    false against everything, silently breaking ``min()`` ordering in
+    :class:`EnergyAwareSJF`).  E[S] stays ``inf`` — not NaN — whenever any
+    term that can actually execute is unbounded.
     """
     total = 0.0
     for ref in job.task_refs:
-        option = option_fn(ref.task) if option_fn else ref.task.highest_quality
         prob = probability_fn(ref.task.name) if ref.conditional else 1.0
+        if prob <= 0:
+            continue
+        option = option_fn(ref.task) if option_fn else ref.task.highest_quality
         total += prob * service_time_fn(ref.task, option)
     return total
 
@@ -143,8 +153,21 @@ class EnergyAwareSJF(Scheduler):
         self, candidates: Sequence[JobCandidate], scorer: JobScorer
     ) -> Selection:
         self._require_candidates(candidates)
-        # Ties on E[S] break toward the older input (section 4.1).
-        best = min(candidates, key=lambda c: (scorer(c), c.oldest.capture_time))
+
+        def checked_score(candidate: JobCandidate) -> float:
+            score = scorer(candidate)
+            if math.isnan(score):
+                raise SchedulingError(
+                    f"E[S] score for job {candidate.job.name!r} is NaN"
+                )
+            return score
+
+        # Ties on E[S] break toward the older input (section 4.1).  inf
+        # scores are fine (a job that can't recharge simply loses); NaN is
+        # rejected because it would silently corrupt the min() ordering.
+        best = min(
+            candidates, key=lambda c: (checked_score(c), c.oldest.capture_time)
+        )
         return Selection(best, best.oldest)
 
 

@@ -23,6 +23,7 @@ Three estimator implementations mirror the systems in the evaluation:
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from collections import deque
 from typing import Iterable
@@ -51,13 +52,24 @@ DEFAULT_INPUT_POWER_FLOOR_W = 1e-6
 def end_to_end_service_time(t_exe_s: float, e_exe_j: float, p_in_w: float) -> float:
     """Eq. 1: ``S_e2e = max(t_exe, E_exe / P_in)``.
 
-    ``p_in_w`` must be positive; callers floor zero readings (see
-    :data:`DEFAULT_INPUT_POWER_FLOOR_W`).
+    At ``p_in_w == 0`` the recharge term is unbounded and the result is
+    ``inf`` (never a ``ZeroDivisionError``): a job that costs energy can
+    never recharge at zero input power.  Estimators that prefer a large
+    finite estimate floor the power first (see
+    :data:`DEFAULT_INPUT_POWER_FLOOR_W`).  NaN arguments are rejected so a
+    corrupt reading cannot poison the scheduler's ``min()`` ordering.
     """
+    if math.isnan(t_exe_s) or math.isnan(e_exe_j) or math.isnan(p_in_w):
+        raise ConfigurationError(
+            f"service-time inputs must not be NaN, got "
+            f"t_exe={t_exe_s} E_exe={e_exe_j} P_in={p_in_w}"
+        )
     if t_exe_s < 0 or e_exe_j < 0:
         raise ConfigurationError("t_exe and E_exe must be non-negative")
-    if p_in_w <= 0:
-        raise ConfigurationError(f"p_in_w must be positive, got {p_in_w}")
+    if p_in_w < 0:
+        raise ConfigurationError(f"p_in_w must be non-negative, got {p_in_w}")
+    if p_in_w == 0:
+        return math.inf if e_exe_j > 0 else t_exe_s
     return max(t_exe_s, e_exe_j / p_in_w)
 
 
@@ -100,8 +112,10 @@ class ExactServiceTimeEstimator(ServiceTimeEstimator):
         self._p_in = self._floor
 
     def begin_cycle(self, true_input_power_w: float) -> None:
-        if true_input_power_w < 0:
-            raise ConfigurationError("input power must be non-negative")
+        if math.isnan(true_input_power_w) or true_input_power_w < 0:
+            raise ConfigurationError(
+                f"input power must be non-negative, got {true_input_power_w}"
+            )
         self._p_in = max(true_input_power_w, self._floor)
 
     def service_time(self, task: Task, option: DegradationOption) -> float:
@@ -213,8 +227,10 @@ class EWMAServiceTimeEstimator(ServiceTimeEstimator):
         self._p_in = self._floor
 
     def begin_cycle(self, true_input_power_w: float) -> None:
-        if true_input_power_w < 0:
-            raise ConfigurationError("input power must be non-negative")
+        if math.isnan(true_input_power_w) or true_input_power_w < 0:
+            raise ConfigurationError(
+                f"input power must be non-negative, got {true_input_power_w}"
+            )
         self._p_in = max(true_input_power_w, self._floor)
 
     def service_time(self, task: Task, option: DegradationOption) -> float:

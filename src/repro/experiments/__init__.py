@@ -23,6 +23,12 @@ from repro.experiments.harness import (
     standard_policies,
 )
 from repro.experiments.reporting import FigureResult, format_table
+from repro.experiments.runner import (
+    ExperimentRunner,
+    GridResults,
+    RunFailure,
+    RunSpec,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -36,6 +42,10 @@ __all__ = [
     "run_grid",
     "standard_policies",
     "quetzal_factory",
+    "ExperimentRunner",
+    "GridResults",
+    "RunFailure",
+    "RunSpec",
     "FigureResult",
     "format_table",
 ]

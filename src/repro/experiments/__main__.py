@@ -2,11 +2,13 @@
 
 Usage::
 
-    python -m repro.experiments [--events N] [--seeds K] [--figure ID]
+    python -m repro.experiments [--events N] [--seeds K] [--jobs N] [--figure ID]
 
 ``--events`` scales the per-run event count (default 120; the paper uses
 1000) and ``--seeds`` the number of seed replicas averaged per bar.
-``--figure`` selects figures by substring of their id (e.g. ``9``,
+``--jobs`` fans the runs of each figure out over that many worker
+processes (``0`` = one per CPU); results are bit-identical to a serial
+run.  ``--figure`` selects figures by substring of their id (e.g. ``9``,
 ``11``, ``Table``); only the selected figures are computed.
 """
 
@@ -20,18 +22,20 @@ from repro.experiments import figures
 
 #: Figure id -> runner.  Runners returning multiple results are wrapped.
 RUNNERS = {
-    "Figure 2a": lambda n, s: [figures.fig2a_processing_rate_dynamics(min(n, 60))],
-    "Figure 2b": lambda n, s: [figures.fig2b_capture_rate_sweep(n, s)],
-    "Figure 3": lambda n, s: [figures.fig3_naive_solutions(n, s)],
-    "Figure 8": lambda n, s: [figures.fig8_hardware_experiment(min(n, 100), s)],
-    "Figure 9": lambda n, s: [figures.fig9_vs_nonadaptive(n, s)],
-    "Figure 10": lambda n, s: [figures.fig10_vs_prior_work(n, s)],
-    "Figure 11": lambda n, s: list(figures.fig11_vs_fixed_thresholds(n, s)),
-    "Figure 12": lambda n, s: [figures.fig12_scheduler_ablation(n, s)],
-    "Figure 13": lambda n, s: [figures.fig13_msp430(n, s)],
-    "Figure 14": lambda n, s: [figures.fig14_sensitivity(n, s)],
-    "Table 1": lambda n, s: [figures.table1_configurations()],
-    "Section 5.1": lambda n, s: [figures.section51_hardware_costs()],
+    "Figure 2a": lambda n, s, j: [figures.fig2a_processing_rate_dynamics(min(n, 60))],
+    "Figure 2b": lambda n, s, j: [figures.fig2b_capture_rate_sweep(n, s, jobs=j)],
+    "Figure 3": lambda n, s, j: [figures.fig3_naive_solutions(n, s, jobs=j)],
+    "Figure 8": lambda n, s, j: [
+        figures.fig8_hardware_experiment(min(n, 100), s, jobs=j)
+    ],
+    "Figure 9": lambda n, s, j: [figures.fig9_vs_nonadaptive(n, s, jobs=j)],
+    "Figure 10": lambda n, s, j: [figures.fig10_vs_prior_work(n, s, jobs=j)],
+    "Figure 11": lambda n, s, j: list(figures.fig11_vs_fixed_thresholds(n, s, jobs=j)),
+    "Figure 12": lambda n, s, j: [figures.fig12_scheduler_ablation(n, s, jobs=j)],
+    "Figure 13": lambda n, s, j: [figures.fig13_msp430(n, s, jobs=j)],
+    "Figure 14": lambda n, s, j: [figures.fig14_sensitivity(n, s, jobs=j)],
+    "Table 1": lambda n, s, j: [figures.table1_configurations()],
+    "Section 5.1": lambda n, s, j: [figures.section51_hardware_costs()],
 }
 
 
@@ -42,6 +46,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--events", type=int, default=figures.DEFAULT_EVENTS)
     parser.add_argument("--seeds", type=int, default=len(figures.DEFAULT_SEEDS))
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per figure (0 = one per CPU; default 1, serial)",
+    )
     parser.add_argument("--figure", type=str, default=None)
     parser.add_argument(
         "--json",
@@ -52,7 +63,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 0, got {args.jobs}")
     seeds = tuple(range(args.seeds))
+    jobs = None if args.jobs == 0 else args.jobs
     selected = {
         name: runner
         for name, runner in RUNNERS.items()
@@ -65,7 +79,7 @@ def main(argv: list[str] | None = None) -> int:
     start = time.time()
     collected = []
     for name, runner in selected.items():
-        for result in runner(args.events, seeds):
+        for result in runner(args.events, seeds, jobs):
             print(result.render())
             print()
             collected.append(result)

@@ -121,6 +121,20 @@ class ExperimentConfig:
             seed=self.sim_seed,
         )
 
+    # -- cache keys --------------------------------------------------------------
+    #
+    # The experiment runner builds traces and schedules once per distinct
+    # key and shares them across runs; each key must cover exactly the
+    # fields its builder reads.
+
+    def trace_key(self) -> tuple:
+        """Hashable identity of :meth:`build_trace`'s inputs."""
+        return (self.cells, self.trace_seed)
+
+    def schedule_key(self) -> tuple:
+        """Hashable identity of :meth:`build_schedule`'s inputs."""
+        return (self.environment, self.n_events, self.schedule_seed)
+
     # -- variants ---------------------------------------------------------------
 
     def with_seeds(self, offset: int) -> "ExperimentConfig":

@@ -9,6 +9,11 @@ section 6.4.
 
 Run ``python -m repro.experiments`` to regenerate everything at the
 default scale.  EXPERIMENTS.md records paper-vs-measured values.
+
+Every grid-shaped runner accepts ``jobs`` and fans its runs out over the
+parallel :mod:`repro.experiments.runner` (``jobs=1`` stays serial; results
+are bit-identical either way).  Runs that keep failing after a retry are
+reported as notes on the figure instead of aborting it.
 """
 
 from __future__ import annotations
@@ -25,11 +30,9 @@ from repro.experiments.configs import (
     msp430_simulation_config,
 )
 from repro.experiments.harness import (
-    PZ_DATASHEET_MAX_W,
     AggregateMetrics,
-    aggregate,
+    GridResults,
     quetzal_factory,
-    run_config,
     run_grid,
     standard_policies,
 )
@@ -92,6 +95,12 @@ def _ratio_note(
             f"{env_name}: QZ discards {other / qz:.2f}x fewer interesting "
             f"inputs than {baseline}"
         )
+
+
+def _note_failures(result: FigureResult, results: GridResults) -> None:
+    """Surface fault-tolerant-runner failures on the figure, if any."""
+    for failure in getattr(results, "failures", ()):
+        result.add_note(f"RUN FAILED: {failure}")
 
 
 # ---------------------------------------------------------------------------
@@ -172,6 +181,7 @@ def fig2b_capture_rate_sweep(
     n_events: int = DEFAULT_EVENTS,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     periods_s: Sequence[float] = (1, 2, 4, 6, 8, 10),
+    jobs: int | None = 1,
 ) -> FigureResult:
     """NoAdapt with capture-rate degradation (capture periods 1-10 s).
 
@@ -186,14 +196,13 @@ def fig2b_capture_rate_sweep(
     base_cfg = apollo_simulation_config("crowded", n_events)
     baseline_interesting: float | None = None
     for period in periods_s:
-        runs = []
-        for offset in seeds:
-            cfg = base_cfg.with_seeds(offset)
-            cfg = ExperimentConfig(
-                **{**cfg.__dict__, "capture_period_s": float(period)}
-            )
-            runs.append(run_config(cfg, NoAdaptPolicy()))
-        agg = aggregate(f"NA@{period}s", runs)
+        name = f"NA@{period}s"
+        cfg = ExperimentConfig(
+            **{**base_cfg.__dict__, "capture_period_s": float(period)}
+        )
+        results = run_grid(cfg, {name: NoAdaptPolicy}, seeds, jobs=jobs)
+        _note_failures(result, results)
+        agg = results[name]
         if baseline_interesting is None:
             baseline_interesting = agg.captures_interesting
         not_captured = max(0.0, baseline_interesting - agg.captures_interesting)
@@ -223,7 +232,9 @@ def fig2b_capture_rate_sweep(
 
 
 def fig3_naive_solutions(
-    n_events: int = DEFAULT_EVENTS, seeds: Sequence[int] = DEFAULT_SEEDS
+    n_events: int = DEFAULT_EVENTS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Ideal / NA / AD / CN / PZO vs Quetzal on the Crowded environment."""
     result = FigureResult(
@@ -232,13 +243,14 @@ def fig3_naive_solutions(
     )
     cfg = apollo_simulation_config("crowded", n_events)
     grid = _subset(["QZ", "NA", "AD", "CN", "PZO"])
-    results = run_grid(cfg, grid, seeds)
+    results = run_grid(cfg, grid, seeds, jobs=jobs)
     # The Ideal bar: NoAdapt on an infinite buffer.
-    ideal_runs = [
-        run_config(cfg.with_seeds(o).with_ideal_buffer(), NoAdaptPolicy())
-        for o in seeds
-    ]
-    results["Ideal"] = aggregate("Ideal", ideal_runs)
+    ideal = run_grid(
+        cfg.with_ideal_buffer(), {"Ideal": NoAdaptPolicy}, seeds, jobs=jobs
+    )
+    results["Ideal"] = ideal["Ideal"]
+    _note_failures(result, results)
+    _note_failures(result, ideal)
     result.rows = _grid_rows(results, "Crowded")
     for baseline in ("NA", "AD", "CN", "PZO"):
         _ratio_note(result, results, "Crowded", baseline)
@@ -251,7 +263,9 @@ def fig3_naive_solutions(
 
 
 def fig8_hardware_experiment(
-    n_events: int = 100, seeds: Sequence[int] = DEFAULT_SEEDS
+    n_events: int = 100,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Quetzal vs NoAdapt, two sensing environments, 100 events.
 
@@ -264,7 +278,8 @@ def fig8_hardware_experiment(
     )
     for env in HARDWARE_ENVIRONMENTS:
         cfg = hardware_experiment_config(env, n_events)
-        results = run_grid(cfg, _subset(["QZ", "NA"]), seeds)
+        results = run_grid(cfg, _subset(["QZ", "NA"]), seeds, jobs=jobs)
+        _note_failures(result, results)
         result.rows.extend(_grid_rows(results, env.name))
         _ratio_note(result, results, env.name, "NA")
         qz, na = results["QZ"], results["NA"]
@@ -282,7 +297,9 @@ def fig8_hardware_experiment(
 
 
 def fig9_vs_nonadaptive(
-    n_events: int = DEFAULT_EVENTS, seeds: Sequence[int] = DEFAULT_SEEDS
+    n_events: int = DEFAULT_EVENTS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """QZ vs NA / AD / Ideal across the three sensing environments."""
     result = FigureResult(
@@ -291,12 +308,13 @@ def fig9_vs_nonadaptive(
     )
     for env in APOLLO_ENVIRONMENTS:
         cfg = apollo_simulation_config(env, n_events)
-        results = run_grid(cfg, _subset(["QZ", "NA", "AD"]), seeds)
-        ideal_runs = [
-            run_config(cfg.with_seeds(o).with_ideal_buffer(), NoAdaptPolicy())
-            for o in seeds
-        ]
-        results["Ideal"] = aggregate("Ideal", ideal_runs)
+        results = run_grid(cfg, _subset(["QZ", "NA", "AD"]), seeds, jobs=jobs)
+        ideal = run_grid(
+            cfg.with_ideal_buffer(), {"Ideal": NoAdaptPolicy}, seeds, jobs=jobs
+        )
+        results["Ideal"] = ideal["Ideal"]
+        _note_failures(result, results)
+        _note_failures(result, ideal)
         rows = _grid_rows(results, env.name)
         ideal_reported = results["Ideal"].reported_interesting
         for row, agg in zip(rows, results.values()):
@@ -323,7 +341,9 @@ def fig9_vs_nonadaptive(
 
 
 def fig10_vs_prior_work(
-    n_events: int = DEFAULT_EVENTS, seeds: Sequence[int] = DEFAULT_SEEDS
+    n_events: int = DEFAULT_EVENTS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """QZ vs CN / PZO / PZI across the three environments."""
     result = FigureResult(
@@ -332,7 +352,8 @@ def fig10_vs_prior_work(
     )
     for env in APOLLO_ENVIRONMENTS:
         cfg = apollo_simulation_config(env, n_events)
-        results = run_grid(cfg, _subset(["QZ", "CN", "PZO", "PZI"]), seeds)
+        results = run_grid(cfg, _subset(["QZ", "CN", "PZO", "PZI"]), seeds, jobs=jobs)
+        _note_failures(result, results)
         result.rows.extend(_grid_rows(results, env.name))
         for baseline in ("CN", "PZI"):
             _ratio_note(result, results, env.name, baseline)
@@ -355,6 +376,7 @@ def fig11_vs_fixed_thresholds(
     n_events: int = DEFAULT_EVENTS,
     seeds: Sequence[int] = DEFAULT_SEEDS,
     sweep: Sequence[float] = (0.0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0),
+    jobs: int | None = 1,
 ) -> tuple[FigureResult, FigureResult]:
     """(a,b): QZ vs 25/50/75 % thresholds; (c): the full threshold sweep."""
     highlighted = FigureResult(
@@ -363,7 +385,8 @@ def fig11_vs_fixed_thresholds(
     )
     for env in APOLLO_ENVIRONMENTS:
         cfg = apollo_simulation_config(env, n_events)
-        results = run_grid(cfg, _subset(["QZ", "TH25", "TH50", "TH75"]), seeds)
+        results = run_grid(cfg, _subset(["QZ", "TH25", "TH50", "TH75"]), seeds, jobs=jobs)
+        _note_failures(highlighted, results)
         highlighted.rows.extend(_grid_rows(results, env.name))
         geo = 1.0
         for name in ("TH25", "TH50", "TH75"):
@@ -383,15 +406,17 @@ def fig11_vs_fixed_thresholds(
     )
     for env in APOLLO_ENVIRONMENTS:
         cfg = apollo_simulation_config(env, n_events)
-        qz = aggregate(
-            "QZ", [run_config(cfg.with_seeds(o), QuetzalRuntime()) for o in seeds]
-        )
+        grid = {"QZ": QuetzalRuntime}
+        names = []
         for threshold in sweep:
-            runs = [
-                run_config(cfg.with_seeds(o), BufferThresholdPolicy(threshold))
-                for o in seeds
-            ]
-            agg = aggregate(f"TH{int(100 * threshold)}", runs)
+            name = f"TH{int(100 * threshold)}"
+            names.append(name)
+            grid[name] = lambda t=threshold: BufferThresholdPolicy(t)
+        results = run_grid(cfg, grid, seeds, jobs=jobs)
+        _note_failures(sweep_result, results)
+        qz = results["QZ"]
+        for threshold, name in zip(sweep, names):
+            agg = results[name]
             sweep_result.rows.append(
                 {
                     "environment": env.name,
@@ -415,7 +440,9 @@ def fig11_vs_fixed_thresholds(
 
 
 def fig12_scheduler_ablation(
-    n_events: int = DEFAULT_EVENTS, seeds: Sequence[int] = DEFAULT_SEEDS
+    n_events: int = DEFAULT_EVENTS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Energy-aware SJF vs Avg-S_e2e / FCFS / LCFS (all with the IBO engine)."""
     result = FigureResult(
@@ -425,8 +452,9 @@ def fig12_scheduler_ablation(
     for env in APOLLO_ENVIRONMENTS:
         cfg = apollo_simulation_config(env, n_events)
         results = run_grid(
-            cfg, _subset(["QZ", "QZ-AVG", "QZ-FCFS", "QZ-LCFS"]), seeds
+            cfg, _subset(["QZ", "QZ-AVG", "QZ-FCFS", "QZ-LCFS"]), seeds, jobs=jobs
         )
+        _note_failures(result, results)
         result.rows.extend(_grid_rows(results, env.name))
         for baseline in ("QZ-AVG", "QZ-FCFS", "QZ-LCFS"):
             _ratio_note(result, results, env.name, baseline)
@@ -439,7 +467,9 @@ def fig12_scheduler_ablation(
 
 
 def fig13_msp430(
-    n_events: int = DEFAULT_EVENTS, seeds: Sequence[int] = DEFAULT_SEEDS
+    n_events: int = DEFAULT_EVENTS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int | None = 1,
 ) -> FigureResult:
     """The full policy grid on the MSP430FR5994 (int16/int8 LeNet app)."""
     result = FigureResult(
@@ -448,7 +478,8 @@ def fig13_msp430(
     )
     cfg = msp430_simulation_config(n_events)
     grid = _subset(["QZ", "NA", "AD", "CN", "PZO", "PZI", "TH25", "TH50", "TH75"])
-    results = run_grid(cfg, grid, seeds)
+    results = run_grid(cfg, grid, seeds, jobs=jobs)
+    _note_failures(result, results)
     rows = _grid_rows(results, "MSP430")
     for row, agg in zip(rows, results.values()):
         row["uninteresting pkts"] = agg.packets_uninteresting
@@ -479,6 +510,7 @@ def fig14_sensitivity(
     cells: Sequence[int] = (2, 4, 6, 8, 10),
     arrival_windows: Sequence[int] = (32, 64, 128, 256, 512, 1024),
     task_windows: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    jobs: int | None = 1,
 ) -> FigureResult:
     """Quetzal vs harvester cells, <arrival-window>, and <task-window>.
 
@@ -494,8 +526,10 @@ def fig14_sensitivity(
         cfg = base
         if parameter == "harvester cells":
             cfg = ExperimentConfig(**{**base.__dict__, "cells": int(value)})
-        runs = [run_config(cfg.with_seeds(o), factory()) for o in seeds]
-        agg = aggregate(f"{parameter}={value}", runs)
+        name = f"{parameter}={value}"
+        results = run_grid(cfg, {name: factory}, seeds, jobs=jobs)
+        _note_failures(result, results)
+        agg = results[name]
         result.rows.append(
             {
                 "parameter": parameter,
@@ -613,22 +647,24 @@ def section51_hardware_costs() -> FigureResult:
 
 
 def run_all(
-    n_events: int = DEFAULT_EVENTS, seeds: Sequence[int] = DEFAULT_SEEDS
+    n_events: int = DEFAULT_EVENTS,
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    jobs: int | None = 1,
 ) -> list[FigureResult]:
     """Regenerate every table and figure; returns results in paper order."""
-    fig11a, fig11c = fig11_vs_fixed_thresholds(n_events, seeds)
+    fig11a, fig11c = fig11_vs_fixed_thresholds(n_events, seeds, jobs=jobs)
     return [
         fig2a_processing_rate_dynamics(min(n_events, 60)),
-        fig2b_capture_rate_sweep(n_events, seeds),
-        fig3_naive_solutions(n_events, seeds),
-        fig8_hardware_experiment(min(n_events, 100), seeds),
-        fig9_vs_nonadaptive(n_events, seeds),
-        fig10_vs_prior_work(n_events, seeds),
+        fig2b_capture_rate_sweep(n_events, seeds, jobs=jobs),
+        fig3_naive_solutions(n_events, seeds, jobs=jobs),
+        fig8_hardware_experiment(min(n_events, 100), seeds, jobs=jobs),
+        fig9_vs_nonadaptive(n_events, seeds, jobs=jobs),
+        fig10_vs_prior_work(n_events, seeds, jobs=jobs),
         fig11a,
         fig11c,
-        fig12_scheduler_ablation(n_events, seeds),
-        fig13_msp430(n_events, seeds),
-        fig14_sensitivity(n_events, seeds),
+        fig12_scheduler_ablation(n_events, seeds, jobs=jobs),
+        fig13_msp430(n_events, seeds, jobs=jobs),
+        fig14_sensitivity(n_events, seeds, jobs=jobs),
         table1_configurations(),
         section51_hardware_costs(),
     ]

@@ -6,11 +6,17 @@ that reproducible and statistically honest the harness:
 * rebuilds every stateful object (policy, storage, engine) per run;
 * shares the solar trace and the arrival stream across policies at a given
   seed (the paper's secondary-MCU repeatability, section 6.2);
-* aggregates each metric over seed replicas as a mean.
+* aggregates each metric over seed replicas as a mean (with the replica
+  standard deviation alongside, so sweeps report statistical spread).
+
+Execution itself — parallel fan-out, input caching, per-run fault
+tolerance — lives in :mod:`repro.experiments.runner`; ``run_grid`` is the
+grid-shaped front end over it.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -19,6 +25,12 @@ from repro.core.scheduler import FCFSScheduler, LCFSScheduler
 from repro.core.service_time import AverageServiceTimeEstimator
 from repro.errors import ConfigurationError
 from repro.experiments.configs import ExperimentConfig
+from repro.experiments.runner import (
+    ExperimentRunner,
+    GridResults,
+    RunFailure,
+    grid_specs,
+)
 from repro.policies.always_degrade import AlwaysDegradePolicy
 from repro.policies.base import Policy
 from repro.policies.buffer_threshold import BufferThresholdPolicy, catnap_policy
@@ -31,6 +43,8 @@ __all__ = [
     "PolicyFactory",
     "PolicyGrid",
     "AggregateMetrics",
+    "GridResults",
+    "RunFailure",
     "aggregate",
     "run_config",
     "run_grid",
@@ -54,7 +68,12 @@ PZ_DATASHEET_MAX_W = 2.4
 
 @dataclass(frozen=True)
 class AggregateMetrics:
-    """Seed-averaged summary of one policy on one configuration."""
+    """Seed-averaged summary of one policy on one configuration.
+
+    ``*_std`` fields carry the population standard deviation over the seed
+    replicas of the corresponding mean, so sweeps report spread as well as
+    central tendency (0.0 for single-replica aggregates).
+    """
 
     policy: str
     runs: int
@@ -67,6 +86,11 @@ class AggregateMetrics:
     high_quality_fraction: float
     captures_interesting: float
     packets_uninteresting: float
+    discarded_fraction_std: float = 0.0
+    ibo_fraction_std: float = 0.0
+    false_negative_fraction_std: float = 0.0
+    reported_interesting_std: float = 0.0
+    high_quality_fraction_std: float = 0.0
 
     def as_row(self) -> dict:
         """Row dict for the reporting table helpers."""
@@ -82,13 +106,21 @@ class AggregateMetrics:
 
 
 def aggregate(policy: str, runs: Sequence[RunMetrics]) -> AggregateMetrics:
-    """Average the figure-of-merit metrics over seed replicas."""
+    """Average the figure-of-merit metrics over seed replicas.
+
+    Each key metric's mean comes with its population standard deviation
+    over the replicas (the spread parallel sweeps report).
+    """
     if not runs:
         raise ConfigurationError("aggregate() needs at least one run")
     n = len(runs)
 
     def mean(fn: Callable[[RunMetrics], float]) -> float:
         return sum(fn(m) for m in runs) / n
+
+    def std(fn: Callable[[RunMetrics], float]) -> float:
+        mu = mean(fn)
+        return math.sqrt(sum((fn(m) - mu) ** 2 for m in runs) / n)
 
     return AggregateMetrics(
         policy=policy,
@@ -104,6 +136,11 @@ def aggregate(policy: str, runs: Sequence[RunMetrics]) -> AggregateMetrics:
         packets_uninteresting=mean(
             lambda m: m.packets_uninteresting_high + m.packets_uninteresting_low
         ),
+        discarded_fraction_std=std(lambda m: m.interesting_discarded_fraction),
+        ibo_fraction_std=std(lambda m: m.ibo_discarded_fraction),
+        false_negative_fraction_std=std(lambda m: m.false_negative_fraction),
+        reported_interesting_std=std(lambda m: m.reported_interesting),
+        high_quality_fraction_std=std(lambda m: m.high_quality_fraction),
     )
 
 
@@ -125,17 +162,33 @@ def run_grid(
     config: ExperimentConfig,
     policies: PolicyGrid,
     seeds: Sequence[int] = (0, 1, 2),
-) -> dict[str, AggregateMetrics]:
+    jobs: int | None = 1,
+    runner: ExperimentRunner | None = None,
+) -> GridResults:
     """Run every policy over seed-shifted replicas of ``config``.
 
-    Returns a name → :class:`AggregateMetrics` mapping in grid order.
+    Returns a name → :class:`AggregateMetrics` mapping in grid order
+    (a :class:`~repro.experiments.runner.GridResults` dict).  ``jobs``
+    selects the worker-process count (``None`` = one per CPU); results
+    are bit-identical at any setting.  A run that keeps raising after its
+    retry is recorded on the result's ``failures`` list instead of
+    aborting the sweep; a policy whose every replica failed has no
+    aggregate entry.
     """
-    results: dict[str, AggregateMetrics] = {}
-    for name, factory in policies.items():
-        runs = [
-            run_config(config.with_seeds(offset), factory()) for offset in seeds
-        ]
-        results[name] = aggregate(name, runs)
+    runner = runner or ExperimentRunner(jobs=jobs)
+    specs = grid_specs(config, policies, seeds)
+    outcomes = runner.run_specs(specs, policies)
+    runs_by_policy: dict[str, list[RunMetrics]] = {name: [] for name in policies}
+    failures: list[RunFailure] = []
+    for spec, outcome in zip(specs, outcomes):
+        if isinstance(outcome, RunFailure):
+            failures.append(outcome)
+        else:
+            runs_by_policy[spec.policy].append(outcome)
+    results = GridResults(failures=failures)
+    for name, runs in runs_by_policy.items():
+        if runs:
+            results[name] = aggregate(name, runs)
     return results
 
 

@@ -1,0 +1,317 @@
+"""Parallel, fault-tolerant execution of experiment run grids.
+
+Every figure, benchmark, and ablation in the reproduction funnels through
+the same shape of work: a list of ``(policy, seed, config)`` run specs,
+each an independent, deterministic simulation.  This module executes such
+spec lists
+
+* **in parallel** — fanned out over a :class:`~concurrent.futures.
+  ProcessPoolExecutor` when ``jobs > 1``, with a serial fallback for
+  ``jobs=1`` and for platforms without the ``fork`` start method (policy
+  factories are arbitrary callables — often lambdas — so workers inherit
+  them by forking rather than by pickling);
+* **without re-synthesizing inputs** — solar traces and event schedules
+  are built once per distinct :meth:`~repro.experiments.configs.
+  ExperimentConfig.trace_key` / ``schedule_key`` and shared by every run
+  (they are immutable after construction, so sharing is safe);
+* **fault-tolerantly** — a run that raises is retried once and, if it
+  raises again, recorded as a structured :class:`RunFailure` in the
+  result list instead of killing the whole sweep.
+
+Results are returned in spec order regardless of worker count, and each
+run's randomness derives only from its config's seeds, so a sweep is
+bit-identical at any ``jobs`` setting (``tests/experiments/
+test_runner.py`` checks this).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.env.events import EventSchedule
+from repro.errors import ConfigurationError
+from repro.experiments.configs import ExperimentConfig
+from repro.policies.base import Policy
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import RunMetrics
+from repro.trace.power_trace import PowerTrace
+
+__all__ = [
+    "RunSpec",
+    "RunFailure",
+    "GridResults",
+    "ExperimentRunner",
+    "grid_specs",
+    "default_jobs",
+]
+
+#: A factory producing a *fresh* policy instance per run attempt.
+PolicyFactory = Callable[[], Policy]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run: a named policy on a seed-shifted config.
+
+    Attributes
+    ----------
+    policy:
+        Grid name of the policy (the key into the factory mapping).
+    seed:
+        Seed offset applied via :meth:`ExperimentConfig.with_seeds`.
+    config:
+        The *base* (unshifted) experiment configuration.
+    """
+
+    policy: str
+    seed: int
+    config: ExperimentConfig
+
+    def seeded_config(self) -> ExperimentConfig:
+        return self.config.with_seeds(self.seed)
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A run that raised on its initial attempt and its retry.
+
+    Attributes
+    ----------
+    policy / seed:
+        Identify the failed spec within the sweep.
+    error:
+        ``repr`` of the final exception.
+    traceback:
+        Full formatted traceback of the final attempt.
+    """
+
+    policy: str
+    seed: int
+    error: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"run ({self.policy!r}, seed {self.seed}) failed: {self.error}"
+
+
+class GridResults(dict):
+    """``name -> AggregateMetrics`` mapping plus structured failures.
+
+    Behaves exactly like the plain dict :func:`~repro.experiments.harness.
+    run_grid` used to return; sweeps with failed runs expose them on
+    :attr:`failures` (a policy whose every replica failed has no
+    aggregate entry).
+    """
+
+    def __init__(self, results=(), failures: Sequence[RunFailure] = ()) -> None:
+        super().__init__(results)
+        self.failures: list[RunFailure] = list(failures)
+
+    @property
+    def ok(self) -> bool:
+        """True when every run in the sweep completed."""
+        return not self.failures
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=None``: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def grid_specs(
+    config: ExperimentConfig,
+    policies: Mapping[str, PolicyFactory],
+    seeds: Sequence[int],
+) -> list[RunSpec]:
+    """The spec list for a policy grid, in grid order (policy-major)."""
+    return [
+        RunSpec(policy=name, seed=offset, config=config)
+        for name in policies
+        for offset in seeds
+    ]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution.
+#
+# Parallel workers are forked *after* the parent installs the shared state
+# below, so arbitrary (unpicklable) policy factories and the prebuilt
+# trace/schedule caches are inherited by memory image; submissions only
+# cross the pipe as spec indices and results come back as picklable
+# RunMetrics/RunFailure values.
+# ---------------------------------------------------------------------------
+
+_shared_state: dict | None = None
+
+
+def _execute_spec(
+    spec: RunSpec,
+    factory: PolicyFactory,
+    trace: PowerTrace,
+    schedule: EventSchedule,
+) -> RunMetrics:
+    """Run one spec once with prebuilt inputs (fresh engine and policy)."""
+    cfg = spec.seeded_config()
+    engine = SimulationEngine(
+        app=cfg.build_app(),
+        policy=factory(),
+        trace=trace,
+        schedule=schedule,
+        mcu=cfg.mcu,
+        storage=cfg.build_storage(),
+        config=cfg.build_sim_config(),
+    )
+    return engine.run()
+
+
+def _attempt_spec(
+    spec: RunSpec,
+    factory: PolicyFactory,
+    trace: PowerTrace,
+    schedule: EventSchedule,
+    retries: int,
+) -> RunMetrics | RunFailure:
+    """Run one spec, retrying ``retries`` times before recording failure."""
+    for attempt in range(retries + 1):
+        try:
+            return _execute_spec(spec, factory, trace, schedule)
+        except Exception as exc:  # noqa: BLE001 - failures become data
+            if attempt >= retries:
+                return RunFailure(
+                    policy=spec.policy,
+                    seed=spec.seed,
+                    error=repr(exc),
+                    traceback=traceback.format_exc(),
+                )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _worker_run(index: int) -> tuple[int, RunMetrics | RunFailure]:
+    state = _shared_state
+    assert state is not None, "worker forked without shared state"
+    spec: RunSpec = state["specs"][index]
+    seeded = spec.seeded_config()
+    return index, _attempt_spec(
+        spec,
+        state["factories"][spec.policy],
+        state["traces"][seeded.trace_key()],
+        state["schedules"][seeded.schedule_key()],
+        state["retries"],
+    )
+
+
+class ExperimentRunner:
+    """Executes run-spec lists, optionally across worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``1`` (the default) runs serially in-process and
+        ``None`` uses one worker per CPU.  Platforms without the ``fork``
+        start method always run serially (factories need not be
+        picklable).
+    retries:
+        How many times a raising run is re-attempted (fresh policy and
+        engine each time) before it is recorded as a :class:`RunFailure`.
+    """
+
+    def __init__(self, jobs: int | None = 1, retries: int = 1) -> None:
+        if jobs is None:
+            jobs = default_jobs()
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.retries = retries
+
+    # -- input caching -----------------------------------------------------------
+
+    @staticmethod
+    def build_caches(specs: Sequence[RunSpec]) -> tuple[dict, dict]:
+        """Build each distinct trace/schedule exactly once.
+
+        Replicas of the same config share the trace (seed offsets shift
+        only the schedule and classification streams), so a grid of P
+        policies x S seeds builds 1 trace and S schedules instead of
+        P x S of each.
+        """
+        traces: dict = {}
+        schedules: dict = {}
+        for spec in specs:
+            cfg = spec.seeded_config()
+            t_key = cfg.trace_key()
+            if t_key not in traces:
+                traces[t_key] = cfg.build_trace()
+            s_key = cfg.schedule_key()
+            if s_key not in schedules:
+                schedules[s_key] = cfg.build_schedule()
+        return traces, schedules
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_specs(
+        self,
+        specs: Sequence[RunSpec],
+        factories: Mapping[str, PolicyFactory],
+    ) -> list[RunMetrics | RunFailure]:
+        """Run every spec; results are returned in spec order.
+
+        Raises :class:`ConfigurationError` if a spec names a policy absent
+        from ``factories`` (a wiring bug, not a run failure).
+        """
+        specs = list(specs)
+        for spec in specs:
+            if spec.policy not in factories:
+                raise ConfigurationError(
+                    f"spec names unknown policy {spec.policy!r}"
+                )
+        traces, schedules = self.build_caches(specs)
+        if self.jobs > 1 and len(specs) > 1 and _fork_available():
+            return self._run_parallel(specs, factories, traces, schedules)
+        return self._run_serial(specs, factories, traces, schedules)
+
+    def _run_serial(self, specs, factories, traces, schedules):
+        results = []
+        for spec in specs:
+            seeded = spec.seeded_config()
+            results.append(
+                _attempt_spec(
+                    spec,
+                    factories[spec.policy],
+                    traces[seeded.trace_key()],
+                    schedules[seeded.schedule_key()],
+                    self.retries,
+                )
+            )
+        return results
+
+    def _run_parallel(self, specs, factories, traces, schedules):
+        global _shared_state
+        results: list = [None] * len(specs)
+        _shared_state = {
+            "specs": specs,
+            "factories": dict(factories),
+            "traces": traces,
+            "schedules": schedules,
+            "retries": self.retries,
+        }
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(specs)), mp_context=context
+            ) as pool:
+                for index, outcome in pool.map(_worker_run, range(len(specs))):
+                    results[index] = outcome
+        finally:
+            _shared_state = None
+        return results

@@ -272,12 +272,27 @@ class SimulationEngine:
         )
 
     def _pay_overhead(self, time_s: float, energy_j: float) -> None:
-        """Charge a fixed time+energy overhead (checkpoint save/restore)."""
+        """Charge a fixed time+energy overhead (checkpoint save/restore).
+
+        Zero-duration overheads draw straight from the store, and the
+        consumed metric counts exactly what was drawn (so the energy books
+        balance).  If the store cannot cover the full amount, the device
+        browns out mid-overhead: that is a power failure, after which it
+        recharges to the restart level and pays the remainder.
+        """
         if time_s > 0:
             self._advance_to(self.now + time_s, energy_j / time_s)
-        elif energy_j > 0:
-            self.storage.draw(min(energy_j, self.storage.energy_j))
-            self.metrics.energy_consumed_j += energy_j
+            return
+        remaining = energy_j
+        while remaining > _ENERGY_EPS:
+            step = min(remaining, self.storage.energy_j)
+            if step > 0:
+                self.storage.draw(step)
+                self.metrics.energy_consumed_j += step
+                remaining -= step
+            if remaining > _ENERGY_EPS:
+                self.metrics.power_failures += 1
+                self._recharge_to_restart()
 
     def _idle_until(self, target_s: float) -> None:
         """Sleep (harvesting) until ``target_s``; ride through brownouts."""

@@ -12,7 +12,7 @@ as parallel lists cheap enough to leave enabled for paper-scale runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 

@@ -14,7 +14,6 @@ spacing as the tail segment's length.
 from __future__ import annotations
 
 import csv
-import io
 from pathlib import Path
 from typing import Iterable, TextIO
 

@@ -22,7 +22,7 @@ energy-aware scheduling matters (paper sections 2.2 and 3.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,7 +9,7 @@ from repro.device.buffer import BufferedInput
 from repro.device.mcu import APOLLO4, MSP430FR5994
 from repro.errors import ConfigurationError
 from repro.policies.base import CompletionRecord, SchedulingContext
-from repro.workload.pipelines import DETECT_JOB, TRANSMIT_JOB, JobOutcome, build_apollo_app
+from repro.workload.pipelines import DETECT_JOB, TRANSMIT_JOB, JobOutcome
 
 
 def entry(t, job=DETECT_JOB):

@@ -1,5 +1,7 @@
 """Tests for the scheduling policies (Alg. 1's selection rule and baselines)."""
 
+import math
+
 import pytest
 
 from repro.core.scheduler import (
@@ -75,6 +77,29 @@ class TestExpectedJobServiceTime:
         )
         assert e_s == pytest.approx(0.2)
 
+    def test_zero_probability_skips_infinite_term(self):
+        # At P_in = 0 the conditional term's S_e2e may be inf; with
+        # probability 0 it must drop out (0 * inf = NaN otherwise).
+        job = make_job("a", t_exe=2.0, conditional_t=4.0)
+
+        def service(task, opt):
+            return math.inf if task.name == "a-cond" else opt.cost.t_exe_s
+
+        e_s = expected_job_service_time(
+            job, service_time_fn=service, probability_fn=lambda name: 0.0
+        )
+        assert e_s == pytest.approx(2.0)
+        assert not math.isnan(e_s)
+
+    def test_certain_infinite_term_keeps_score_inf(self):
+        job = make_job("a", t_exe=2.0, conditional_t=4.0)
+        e_s = expected_job_service_time(
+            job,
+            service_time_fn=lambda task, opt: math.inf,
+            probability_fn=lambda name: 0.5,
+        )
+        assert math.isinf(e_s)
+
 
 class TestEnergyAwareSJF:
     def test_selects_minimum_score(self):
@@ -94,6 +119,24 @@ class TestEnergyAwareSJF:
     def test_empty_candidates_rejected(self):
         with pytest.raises(SchedulingError):
             EnergyAwareSJF().select([], lambda c: 0.0)
+
+    def test_inf_score_loses_to_finite(self):
+        a, b = make_job("a", 1.0), make_job("b", 1.0)
+        scores = {"a": math.inf, "b": 50.0}
+        sel = EnergyAwareSJF().select(
+            [candidate(a, 0.0), candidate(b, 10.0)],
+            lambda c: scores[c.job.name],
+        )
+        assert sel.job.name == "b"
+
+    def test_nan_score_rejected(self):
+        a, b = make_job("a", 1.0), make_job("b", 1.0)
+        scores = {"a": math.nan, "b": 1.0}
+        with pytest.raises(SchedulingError):
+            EnergyAwareSJF().select(
+                [candidate(a, 0.0), candidate(b, 10.0)],
+                lambda c: scores[c.job.name],
+            )
 
 
 class TestFCFS:

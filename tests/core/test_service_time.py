@@ -1,5 +1,7 @@
 """Tests for Eq. 1 and the three service-time estimators."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -44,7 +46,22 @@ class TestEquationOne:
         with pytest.raises(ConfigurationError):
             end_to_end_service_time(-1.0, 0.1, 0.1)
         with pytest.raises(ConfigurationError):
-            end_to_end_service_time(1.0, 0.1, 0.0)
+            end_to_end_service_time(1.0, 0.1, -0.1)
+
+    def test_zero_power_is_inf_not_an_error(self):
+        # P_in = 0 means the recharge term is unbounded: inf, not a
+        # ZeroDivisionError (and not NaN, which would corrupt min()).
+        s = end_to_end_service_time(1.0, 0.1, 0.0)
+        assert math.isinf(s) and s > 0
+
+    def test_zero_power_zero_energy_is_execution_time(self):
+        # A free task needs no recharge even in the dark.
+        assert end_to_end_service_time(0.8, 0.0, 0.0) == pytest.approx(0.8)
+
+    def test_rejects_nan(self):
+        for args in [(math.nan, 0.1, 0.1), (1.0, math.nan, 0.1), (1.0, 0.1, math.nan)]:
+            with pytest.raises(ConfigurationError):
+                end_to_end_service_time(*args)
 
     @given(
         t=st.floats(1e-3, 100.0),
@@ -75,6 +92,10 @@ class TestExactEstimator:
     def test_rejects_negative_power(self):
         with pytest.raises(ConfigurationError):
             ExactServiceTimeEstimator().begin_cycle(-1.0)
+
+    def test_rejects_nan_power(self):
+        with pytest.raises(ConfigurationError):
+            ExactServiceTimeEstimator().begin_cycle(math.nan)
 
     def test_rejects_bad_floor(self):
         with pytest.raises(ConfigurationError):

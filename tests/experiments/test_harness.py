@@ -45,6 +45,19 @@ class TestAggregate:
         assert row["policy"] == "p"
         assert "discarded %" in row and "hq share %" in row
 
+    def test_std_over_replicas(self):
+        # ibo fractions 0.1 and 0.3: mean 0.2, population std 0.1.
+        agg = aggregate("p", [fake_metrics(ibo=10), fake_metrics(ibo=30)])
+        assert agg.ibo_fraction_std == pytest.approx(0.1)
+        # Identical replicas on every other metric: zero spread.
+        assert agg.false_negative_fraction_std == pytest.approx(0.0)
+        assert agg.reported_interesting_std == pytest.approx(0.0)
+
+    def test_std_zero_for_single_run(self):
+        agg = aggregate("p", [fake_metrics()])
+        assert agg.discarded_fraction_std == 0.0
+        assert agg.high_quality_fraction_std == 0.0
+
 
 class TestRunConfig:
     def test_returns_metrics(self):

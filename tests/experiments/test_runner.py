@@ -1,0 +1,157 @@
+"""Tests for the parallel, fault-tolerant experiment runner.
+
+The acceptance properties of the runner:
+
+* a parallel sweep is bit-identical to a serial one (every run's
+  randomness derives only from its config's seeds, and results come back
+  in spec order);
+* a run that raises is retried and, failing again, recorded as a
+  structured :class:`RunFailure` without aborting the sweep;
+* traces and schedules are built once per distinct key and shared.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.configs import apollo_simulation_config
+from repro.experiments.harness import quetzal_factory, run_grid
+from repro.experiments.runner import (
+    ExperimentRunner,
+    GridResults,
+    RunFailure,
+    RunSpec,
+    grid_specs,
+)
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.sim.metrics import RunMetrics
+
+
+TINY = apollo_simulation_config("less crowded", 6)
+
+
+class ExplodingPolicy(NoAdaptPolicy):
+    """A policy that dies on preparation, on every attempt."""
+
+    def prepare(self, jobs, capture_period_s):
+        raise RuntimeError("boom")
+
+
+def flaky_factory(failures=1):
+    """A factory whose first ``failures`` instances explode, then recover.
+
+    Models a transient per-run fault; the counter lives in the enclosing
+    scope, so the retry (same process, fresh instance) sees the recovery.
+    """
+    state = {"remaining": failures}
+
+    def build():
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            return ExplodingPolicy()
+        return NoAdaptPolicy()
+
+    return build
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        grid = {"NA": NoAdaptPolicy, "QZ": quetzal_factory()}
+        serial = run_grid(TINY, grid, seeds=(0, 1, 2), jobs=1)
+        parallel = run_grid(TINY, grid, seeds=(0, 1, 2), jobs=4)
+        assert serial.ok and parallel.ok
+        assert list(serial) == list(parallel)
+        # AggregateMetrics is a frozen dataclass of floats: == here means
+        # every metric (means and stds) is bit-identical, not approximate.
+        assert serial == parallel
+
+    def test_results_come_back_in_spec_order(self):
+        specs = grid_specs(TINY, {"NA": None, "QZ": None}, seeds=(0, 1))
+        factories = {"NA": NoAdaptPolicy, "QZ": quetzal_factory()}
+        serial = ExperimentRunner(jobs=1).run_specs(specs, factories)
+        parallel = ExperimentRunner(jobs=4).run_specs(specs, factories)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert isinstance(a, RunMetrics) and isinstance(b, RunMetrics)
+            assert a.captures_total == b.captures_total
+            assert a.packets_total == b.packets_total
+
+
+class TestFaultTolerance:
+    def test_failure_is_recorded_not_raised(self):
+        grid = {"NA": NoAdaptPolicy, "BAD": ExplodingPolicy}
+        results = run_grid(TINY, grid, seeds=(0, 1), jobs=1)
+        # The healthy policy's sweep completed untouched.
+        assert results["NA"].runs == 2
+        # The broken policy has no aggregate, only structured failures.
+        assert "BAD" not in results
+        assert not results.ok
+        assert len(results.failures) == 2
+        failure = results.failures[0]
+        assert failure.policy == "BAD"
+        assert failure.seed == 0
+        assert "boom" in failure.error
+        assert "boom" in failure.traceback
+        assert "BAD" in str(failure)
+
+    def test_failure_recorded_in_parallel_too(self):
+        grid = {"NA": NoAdaptPolicy, "BAD": ExplodingPolicy}
+        results = run_grid(TINY, grid, seeds=(0, 1), jobs=4)
+        assert results["NA"].runs == 2
+        assert {(f.policy, f.seed) for f in results.failures} == {
+            ("BAD", 0),
+            ("BAD", 1),
+        }
+
+    def test_transient_failure_retried_to_success(self):
+        runner = ExperimentRunner(jobs=1, retries=1)
+        specs = [RunSpec(policy="FLAKY", seed=0, config=TINY)]
+        [outcome] = runner.run_specs(specs, {"FLAKY": flaky_factory(failures=1)})
+        assert isinstance(outcome, RunMetrics)
+
+    def test_retries_zero_fails_fast(self):
+        runner = ExperimentRunner(jobs=1, retries=0)
+        specs = [RunSpec(policy="FLAKY", seed=0, config=TINY)]
+        [outcome] = runner.run_specs(specs, {"FLAKY": flaky_factory(failures=1)})
+        assert isinstance(outcome, RunFailure)
+
+    def test_unknown_policy_is_a_wiring_error(self):
+        specs = [RunSpec(policy="NOPE", seed=0, config=TINY)]
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner().run_specs(specs, {"NA": NoAdaptPolicy})
+
+
+class TestCaching:
+    def test_trace_shared_across_grid(self):
+        specs = grid_specs(TINY, {"A": None, "B": None}, seeds=(0, 1, 2))
+        traces, schedules = ExperimentRunner.build_caches(specs)
+        # Seed offsets shift only the schedule and classification streams:
+        # one trace for the whole grid, one schedule per seed.
+        assert len(traces) == 1
+        assert len(schedules) == 3
+
+    def test_distinct_configs_get_distinct_traces(self):
+        other = apollo_simulation_config("crowded", 6)
+        specs = grid_specs(TINY, {"A": None}, seeds=(0,)) + grid_specs(
+            other, {"A": None}, seeds=(0,)
+        )
+        traces, schedules = ExperimentRunner.build_caches(specs)
+        assert len(traces) == 1  # same cells + trace seed: still shared
+        assert len(schedules) == 2  # different environments
+
+
+class TestConstruction:
+    def test_jobs_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(jobs=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(retries=-1)
+
+    def test_jobs_none_means_cpu_count(self):
+        assert ExperimentRunner(jobs=None).jobs >= 1
+
+    def test_grid_results_behaves_like_dict(self):
+        results = GridResults({"a": 1}, failures=[])
+        assert results["a"] == 1
+        assert results.ok
+        results.failures.append("x")
+        assert not results.ok

@@ -6,7 +6,6 @@ deviates from the exact diode-law coefficient by at most ~5.5 % over the
 paper's 25-50 degC band.
 """
 
-import math
 
 import pytest
 from hypothesis import given, settings

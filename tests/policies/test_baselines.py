@@ -11,7 +11,7 @@ from repro.policies.base import SchedulingContext
 from repro.policies.buffer_threshold import BufferThresholdPolicy, catnap_policy
 from repro.policies.noadapt import NoAdaptPolicy
 from repro.policies.power_threshold import PowerThresholdPolicy
-from repro.workload.pipelines import DETECT_JOB, TRANSMIT_JOB, build_apollo_app
+from repro.workload.pipelines import DETECT_JOB, TRANSMIT_JOB
 
 
 def entry(t, job=DETECT_JOB):

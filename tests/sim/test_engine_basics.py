@@ -8,7 +8,6 @@ from repro.policies.noadapt import NoAdaptPolicy
 from repro.policies.always_degrade import AlwaysDegradePolicy
 from repro.core.runtime import QuetzalRuntime
 from repro.sim.engine import SimulationConfig, SimulationEngine, simulate
-from repro.trace.synthetic import constant_trace
 from repro.errors import ConfigurationError
 
 

@@ -9,7 +9,6 @@ from repro.errors import SchedulingError
 from repro.policies.base import Decision, Policy, SchedulingContext
 from repro.policies.noadapt import NoAdaptPolicy
 from repro.sim.engine import SimulationConfig, SimulationEngine, simulate
-from repro.trace.synthetic import constant_trace
 from repro.workload.pipelines import build_apollo_app
 
 

@@ -37,6 +37,61 @@ class TestEnergyConservation:
             delta, abs=1e-6
         )
 
+    def test_books_balance_with_zero_time_checkpoints(self, apollo_app, small_storage):
+        """Zero-duration checkpoint overheads must not break conservation.
+
+        Regression test: the instantaneous-overhead path used to debit
+        ``min(energy, stored)`` from the store while booking the *full*
+        energy as consumed, so any shortfall leaked out of the ledger.
+        """
+        storage = small_storage
+        start_energy = storage.energy_j
+        from repro.sim.engine import SimulationEngine
+
+        engine = SimulationEngine(
+            apollo_app, NoAdaptPolicy(), constant_trace(0.010),
+            one_capture_schedule(),
+            storage=storage,
+            checkpoint=CheckpointModel(0.0, 2e-6, 0.0, 2e-6),
+            config=SimulationConfig(seed=0, drain_timeout_s=4000.0),
+        )
+        metrics = engine.run()
+        assert metrics.power_failures > 0  # the 240 mJ transmit can't fit
+        delta = storage.energy_j - start_energy
+        assert metrics.energy_harvested_j - metrics.energy_consumed_j == pytest.approx(
+            delta, abs=1e-6
+        )
+
+    def test_zero_time_overhead_shortfall_is_a_power_failure(self, apollo_app):
+        """An instantaneous overhead the store can't cover browns out.
+
+        The consumed metric must count exactly what was drawn, and the
+        shortfall must surface as a power failure + recharge rather than a
+        silent clamp.
+        """
+        from repro.sim.engine import SimulationEngine
+
+        storage = Supercapacitor(capacitance_f=3.3e-3)
+        engine = SimulationEngine(
+            apollo_app, NoAdaptPolicy(), constant_trace(0.010),
+            one_capture_schedule(),
+            storage=storage,
+            config=SimulationConfig(seed=0, drain_timeout_s=4000.0),
+        )
+        engine.policy.prepare(engine.app.jobs, engine.config.capture_period_s)
+        # Leave only 1 mJ in the store, then demand a 5 mJ instantaneous
+        # overhead: the remainder must be paid after a recharge.
+        storage.draw(storage.energy_j - 1e-3)
+        start_energy = storage.energy_j
+        engine._pay_overhead(0.0, 5e-3)
+        assert engine.metrics.power_failures >= 1
+        assert engine.metrics.energy_consumed_j == pytest.approx(5e-3, abs=1e-9)
+        delta = storage.energy_j - start_energy
+        assert (
+            engine.metrics.energy_harvested_j - engine.metrics.energy_consumed_j
+            == pytest.approx(delta, abs=1e-9)
+        )
+
     def test_energy_consumed_matches_task_costs(self, apollo_app):
         """With ample power and no failures, consumption = job energy."""
         metrics = simulate(

@@ -7,7 +7,6 @@ stalls into buffer pressure — the central mechanism of the IBO problem —
 so it gets its own focused tests.
 """
 
-import pytest
 
 from repro.device.storage import Supercapacitor
 from repro.env.events import Event, EventSchedule

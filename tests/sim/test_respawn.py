@@ -1,0 +1,134 @@
+"""The job-respawn path: detect-positive inputs become transmit jobs.
+
+When a job's outcome carries ``respawn_job`` (Apollo's detect pipeline on a
+positive classification), the engine mutates the buffered entry in place:
+``job_name`` flips to the spawned job and ``enqueue_time`` resets, while
+``capture_time`` and ``interesting`` — the identity of the captured input —
+must survive.  The respawned entry must then be schedulable like any other
+pending input, and counted as a leftover if the run ends before it drains.
+"""
+
+import pytest
+
+from repro.device.buffer import BufferedInput
+from repro.env.events import Event, EventSchedule
+from repro.policies.base import Decision
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.sim.engine import SimulationConfig, SimulationEngine, simulate
+from repro.trace.synthetic import constant_trace, two_level_trace
+from repro.workload.pipelines import build_apollo_app
+
+
+def one_capture_schedule():
+    """Exactly one 'different', interesting capture (at t=1 s)."""
+    return EventSchedule([Event(0.5, 1.0, True)], diff_probability=1.0)
+
+
+def make_engine(trace, schedule, **config_kwargs):
+    engine = SimulationEngine(
+        build_apollo_app(),
+        NoAdaptPolicy(),
+        trace,
+        schedule,
+        config=SimulationConfig(**config_kwargs),
+    )
+    engine.policy.prepare(engine.app.jobs, engine.config.capture_period_s)
+    return engine
+
+
+def run_detect_until_positive(max_seeds=20):
+    """Drive _execute_job on a detect entry until a seed classifies positive.
+
+    Returns the engine and the (mutated) entry.
+    """
+    for seed in range(max_seeds):
+        engine = make_engine(
+            constant_trace(0.5), one_capture_schedule(), seed=seed
+        )
+        entry = BufferedInput(
+            capture_time=1.0, interesting=True, job_name="detect", enqueue_time=1.0
+        )
+        assert engine.buffer.try_insert(entry)
+        engine.now = 1.0
+        engine._capture_index = 10_000  # keep captures out of the way
+        engine._execute_job(Decision(job_name="detect", entry=entry))
+        if entry in engine.buffer.entries():
+            return engine, entry
+    pytest.fail(f"no positive classification in {max_seeds} seeds")
+
+
+class TestRespawnMutation:
+    def test_respawned_entry_keeps_identity(self):
+        engine, entry = run_detect_until_positive()
+        # The entry was respawned in place, not removed and re-created.
+        assert entry.job_name == "transmit"
+        assert entry.capture_time == 1.0
+        assert entry.interesting is True
+        assert entry.enqueue_time == engine.now > 1.0
+
+    def test_respawned_entry_is_schedulable(self):
+        engine, entry = run_detect_until_positive()
+        assert "transmit" in engine.buffer.pending_job_names()
+        assert engine.buffer.oldest_for_job("transmit") is entry
+        # Running the transmit job drains the entry and reports a packet.
+        engine._execute_job(Decision(job_name="transmit", entry=entry))
+        assert entry not in engine.buffer.entries()
+        assert engine.metrics.packets_interesting_high == 1
+
+    def test_negative_classification_removes_entry(self):
+        # The complement path: a negative detect removes the input outright.
+        removed = 0
+        for seed in range(20):
+            engine = make_engine(
+                constant_trace(0.5), one_capture_schedule(), seed=seed
+            )
+            entry = BufferedInput(
+                capture_time=1.0, interesting=False, job_name="detect",
+                enqueue_time=1.0,
+            )
+            assert engine.buffer.try_insert(entry)
+            engine.now = 1.0
+            engine._capture_index = 10_000
+            engine._execute_job(Decision(job_name="detect", entry=entry))
+            if entry not in engine.buffer.entries():
+                removed += 1
+                assert engine.metrics.true_negatives == 1
+        assert removed > 0
+
+
+class TestRespawnEndToEnd:
+    def test_interesting_flag_flows_to_packet_quality_metrics(self):
+        # Full run with ample power: the single interesting capture must be
+        # reported as an *interesting* packet, which requires the respawned
+        # transmit entry to have kept capture identity.
+        for seed in range(10):
+            metrics = simulate(
+                build_apollo_app(),
+                NoAdaptPolicy(),
+                constant_trace(0.5),
+                one_capture_schedule(),
+                config=SimulationConfig(seed=seed, drain_timeout_s=100.0),
+            )
+            if metrics.packets_total > 0:
+                assert metrics.packets_interesting_high == 1
+                assert metrics.leftover_total == 0
+                return
+        pytest.fail("no positive classification in 10 seeds")
+
+    def test_respawned_entry_counts_as_leftover(self):
+        # Power dies right after the detect job can complete but long before
+        # the 240 mJ transmit could: the respawned entry must show up in the
+        # leftover counts at _finalize.
+        for seed in range(10):
+            metrics = simulate(
+                build_apollo_app(),
+                NoAdaptPolicy(),
+                two_level_trace(0.5, 0.0, switch_at_s=2.0),
+                one_capture_schedule(),
+                config=SimulationConfig(seed=seed, drain_timeout_s=30.0),
+            )
+            if metrics.false_negatives == 0 and metrics.packets_total == 0:
+                assert metrics.leftover_total == 1
+                assert metrics.leftover_interesting == 1
+                return
+        pytest.fail("no run left a respawned transmit stranded in 10 seeds")

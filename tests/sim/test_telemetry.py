@@ -8,7 +8,7 @@ from repro.policies.noadapt import NoAdaptPolicy
 from repro.core.runtime import QuetzalRuntime
 from repro.sim.engine import SimulationConfig, SimulationEngine
 from repro.sim.telemetry import TelemetryRecorder
-from repro.trace.synthetic import constant_trace, two_level_trace
+from repro.trace.synthetic import two_level_trace
 from repro.workload.pipelines import build_apollo_app
 
 

@@ -100,3 +100,15 @@ def test_section7_figures():
 
     text = fig9_vs_nonadaptive(n_events=6, seeds=(0,)).render()
     assert "Figure 9" in text
+
+
+def test_section8_parallel_grids():
+    from repro.experiments import apollo_simulation_config, run_grid
+    from repro.experiments.harness import quetzal_factory
+
+    cfg = apollo_simulation_config("crowded", n_events=6)
+    grid = {"QZ": quetzal_factory(), "NA": NoAdaptPolicy}
+    results = run_grid(cfg, grid, seeds=(0, 1), jobs=2)
+    assert results == run_grid(cfg, grid, seeds=(0, 1), jobs=1)
+    assert results.ok and not results.failures
+    assert results["QZ"].ibo_fraction_std >= 0.0

@@ -1,6 +1,5 @@
 """Tests for unit helpers and physical constants."""
 
-import math
 
 import pytest
 from hypothesis import given

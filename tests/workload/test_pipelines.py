@@ -5,16 +5,12 @@ import pytest
 
 from repro.device.mcu import APOLLO4, MSP430FR5994, MCUProfile
 from repro.errors import ConfigurationError
-from repro.workload.ml import MLModelProfile
 from repro.workload.pipelines import (
     DETECT_JOB,
     ML_TASK,
     RADIO_TASK,
     TRANSMIT_JOB,
-    TX_PREP_TASK,
     app_for_mcu,
-    build_apollo_app,
-    build_msp430_app,
 )
 
 
