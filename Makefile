@@ -1,6 +1,6 @@
 # Convenience targets for the Quetzal reproduction.
 
-.PHONY: install test lint bench figures figures-paper-scale examples clean
+.PHONY: install test lint bench bench-record bench-figures figures figures-paper-scale examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -12,7 +12,18 @@ test:
 lint:
 	ruff check src tests
 
+# Engine perf-regression gate: times the paper-scale cases and fails if
+# any is slower than the committed BENCH_engine.json baseline by more
+# than BENCH_TOLERANCE (default 2x; generous so only real regressions trip).
 bench:
+	PYTHONPATH=src python benchmarks/bench_engine.py --check
+
+# Append a new trajectory entry to BENCH_engine.json (run after perf work).
+bench-record:
+	PYTHONPATH=src python benchmarks/bench_engine.py --record --repeats 5 --label "$(LABEL)"
+
+# Full pytest-benchmark suite (figure benches + engine micro-benches).
+bench-figures:
 	pytest benchmarks/ --benchmark-only
 
 # Regenerate every table and figure at the default (fast) scale.

@@ -1,37 +1,263 @@
-"""Simulator throughput micro-benchmarks (not a paper figure).
+"""Engine hot-path benchmarks and the perf-regression harness.
 
-Tracks how fast the breakpoint engine simulates a standard workload —
-useful for catching performance regressions that would make the paper-scale
-(1000-event) reproductions impractical.
+Two ways to run this module:
+
+1. As pytest benchmarks (micro + paper-scale cases)::
+
+       PYTHONPATH=src python -m pytest benchmarks/bench_engine.py --benchmark-only
+
+2. As the standalone regression harness (what ``make bench`` and CI run)::
+
+       PYTHONPATH=src python benchmarks/bench_engine.py --check
+       PYTHONPATH=src python benchmarks/bench_engine.py --record --label "my change"
+
+The harness times the named cases below (best-of-``--repeats`` wall clock)
+and compares against the latest entry committed in ``BENCH_engine.json``
+at the repository root.  The JSON file is a *trajectory*: each ``--record``
+appends an entry, so the history of engine throughput (simulated seconds
+per wall second, jobs per second) rides along with the code.  ``--check``
+fails when any case regresses past ``--tolerance`` (default 2.0 — generous
+on purpose, so only real regressions trip CI, not machine noise).
+
+Case sizes honour ``BENCH_ENGINE_EVENTS`` / ``BENCH_ENGINE_DENSE_EVENTS``
+so smoke runs can shrink them; recorded entries carry the sizes used.
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
 
 from repro.core.runtime import QuetzalRuntime
 from repro.env.activity import CROWDED
 from repro.policies.noadapt import NoAdaptPolicy
 from repro.sim.engine import SimulationConfig, simulate
-from repro.trace.solar import SolarTraceGenerator
+from repro.trace.solar import SolarTraceConfig, SolarTraceGenerator
 from repro.workload.pipelines import build_apollo_app
 
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
-def _run(policy_factory):
-    trace = SolarTraceGenerator(seed=1).generate()
-    schedule = CROWDED.schedule(30, seed=2)
-    return simulate(
-        build_apollo_app(),
-        policy_factory(),
-        trace,
-        schedule,
-        config=SimulationConfig(seed=3),
-    )
+#: Paper-scale event count (the acceptance workload) and dense-trace count.
+PAPER_EVENTS = int(os.environ.get("BENCH_ENGINE_EVENTS", "1000"))
+DENSE_EVENTS = int(os.environ.get("BENCH_ENGINE_DENSE_EVENTS", "200"))
+
+
+def _solar_trace():
+    return SolarTraceGenerator(seed=1).generate()
+
+
+def _dense_trace():
+    # 50 ms samples: ~20x the segment density of the default solar trace,
+    # stressing the fused multi-segment span integration.
+    return SolarTraceGenerator(SolarTraceConfig(sample_period_s=0.05), seed=1).generate()
+
+
+#: name -> (trace factory, schedule events, policy factory)
+CASES = {
+    "paper_scale_noadapt": (_solar_trace, PAPER_EVENTS, NoAdaptPolicy),
+    "paper_scale_quetzal": (_solar_trace, PAPER_EVENTS, QuetzalRuntime),
+    "dense_trace_noadapt": (_dense_trace, DENSE_EVENTS, NoAdaptPolicy),
+}
+
+
+def build_case(name):
+    """(trace, schedule, policy factory) for a named case."""
+    trace_factory, n_events, policy_factory = CASES[name]
+    return trace_factory(), CROWDED.schedule(n_events, seed=2), policy_factory
+
+
+def run_case(name: str, repeats: int = 3) -> dict:
+    """Time one case: best-of-``repeats`` wall clock plus throughput rates."""
+    trace, schedule, policy_factory = build_case(name)
+    best = None
+    metrics = None
+    for _ in range(repeats):
+        policy = policy_factory()
+        start = time.perf_counter()
+        metrics = simulate(
+            build_apollo_app(), policy, trace, schedule, config=SimulationConfig(seed=3)
+        )
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return {
+        "events": len(schedule.events),
+        "wall_s": round(best, 4),
+        "sim_end_s": metrics.sim_end_s,
+        "jobs_completed": metrics.jobs_completed,
+        "sim_seconds_per_wall_second": round(metrics.sim_end_s / best, 1),
+        "jobs_per_second": round(metrics.jobs_completed / best, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def _bench(benchmark, trace, schedule, policy_factory, rounds=3):
+    app = build_apollo_app()
+    config = SimulationConfig(seed=3)
+
+    def _run():
+        return simulate(app, policy_factory(), trace, schedule, config=config)
+
+    metrics = benchmark.pedantic(_run, rounds=rounds, iterations=1)
+    assert metrics.jobs_completed > 0
 
 
 def test_engine_throughput_noadapt(benchmark):
-    metrics = benchmark.pedantic(_run, args=(NoAdaptPolicy,), rounds=3, iterations=1)
-    assert metrics.jobs_completed > 0
-    # Simulated-seconds per run should dwarf the wall time (sanity only).
-    assert metrics.sim_end_s > 100
+    _bench(benchmark, _solar_trace(), CROWDED.schedule(30, seed=2), NoAdaptPolicy)
 
 
 def test_engine_throughput_quetzal(benchmark):
-    metrics = benchmark.pedantic(_run, args=(QuetzalRuntime,), rounds=3, iterations=1)
-    assert metrics.jobs_completed > 0
+    _bench(benchmark, _solar_trace(), CROWDED.schedule(30, seed=2), QuetzalRuntime)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_engine_paper_scale(benchmark, case):
+    trace, schedule, policy_factory = build_case(case)
+    _bench(benchmark, trace, schedule, policy_factory, rounds=2)
+
+
+# ---------------------------------------------------------------------------
+# Standalone regression harness
+# ---------------------------------------------------------------------------
+
+
+def _load_trajectory(path: Path) -> dict:
+    if path.exists():
+        with open(path) as fh:
+            return json.load(fh)
+    return {
+        "schema": 1,
+        "workload": "CROWDED.schedule(seed=2) + solar trace seed=1, SimulationConfig(seed=3)",
+        "entries": [],
+    }
+
+
+def _latest_baseline(trajectory: dict) -> dict | None:
+    entries = trajectory.get("entries", [])
+    return entries[-1] if entries else None
+
+
+def cmd_record(args) -> int:
+    trajectory = _load_trajectory(BASELINE_PATH)
+    results = {name: run_case(name, repeats=args.repeats) for name in CASES}
+    entry = {
+        "label": args.label,
+        "date": time.strftime("%Y-%m-%d"),
+        "results": results,
+    }
+    first = trajectory["entries"][0] if trajectory["entries"] else None
+    trajectory["entries"].append(entry)
+    with open(BASELINE_PATH, "w") as fh:
+        json.dump(trajectory, fh, indent=2)
+        fh.write("\n")
+    print(f"recorded entry {len(trajectory['entries']) - 1} -> {BASELINE_PATH}")
+    for name, res in results.items():
+        line = (
+            f"  {name:24s} {res['wall_s']:8.4f}s  "
+            f"{res['sim_seconds_per_wall_second']:>9.1f} sim-s/s  "
+            f"{res['jobs_per_second']:>8.1f} jobs/s"
+        )
+        if first and name in first["results"]:
+            line += f"  ({first['results'][name]['wall_s'] / res['wall_s']:.2f}x vs entry 0)"
+        print(line)
+    return 0
+
+
+def cmd_check(args) -> int:
+    trajectory = _load_trajectory(BASELINE_PATH)
+    baseline = _latest_baseline(trajectory)
+    if baseline is None:
+        print(f"no baseline entries in {BASELINE_PATH}; run --record first", file=sys.stderr)
+        return 2
+    print(
+        f"checking against baseline {baseline['label']!r} ({baseline['date']}), "
+        f"tolerance {args.tolerance}x"
+    )
+    results = {}
+    failed = []
+    for name in CASES:
+        res = run_case(name, repeats=args.repeats)
+        results[name] = res
+        base = baseline["results"].get(name)
+        if base is None:
+            print(f"  {name:24s} {res['wall_s']:8.4f}s  (no baseline; informational)")
+            continue
+        ratio = res["wall_s"] / base["wall_s"]
+        ok = ratio <= args.tolerance
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"  {name:24s} {res['wall_s']:8.4f}s vs {base['wall_s']:.4f}s "
+            f"baseline ({ratio:.2f}x)  {status}"
+        )
+        if not ok:
+            failed.append(name)
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(
+                {
+                    "baseline": baseline["label"],
+                    "tolerance": args.tolerance,
+                    "results": results,
+                    "regressions": failed,
+                },
+                fh,
+                indent=2,
+            )
+            fh.write("\n")
+        print(f"wrote results -> {args.output}")
+    if failed:
+        print(
+            f"FAILED: {', '.join(failed)} regressed past {args.tolerance}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("all cases within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--record",
+        action="store_true",
+        help="append a trajectory entry to BENCH_engine.json",
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the latest committed entry",
+    )
+    parser.add_argument(
+        "--label", default="unlabelled", help="label stored with --record entries"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats per case (best is kept)"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_TOLERANCE", "2.0")),
+        help="max allowed wall_s ratio vs baseline (default 2.0)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write --check results to this JSON file (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+    return cmd_record(args) if args.record else cmd_check(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,6 +80,27 @@ class Selection:
 JobScorer = Callable[[JobCandidate], float]
 
 
+def _oldest_capture_time(candidate: JobCandidate) -> float:
+    return candidate.oldest.capture_time
+
+
+def _newest_capture_time(candidate: JobCandidate) -> float:
+    return candidate.newest.capture_time
+
+
+_SELECTION_NEW = object.__new__
+
+
+def _make_selection(candidate: JobCandidate, entry: BufferedInput) -> Selection:
+    # Selection is a frozen dataclass; schedulers run once per job, so
+    # bypass the generated __init__'s object.__setattr__ round-trips.
+    selection = _SELECTION_NEW(Selection)
+    d = selection.__dict__
+    d["candidate"] = candidate
+    d["entry"] = entry
+    return selection
+
+
 def expected_job_service_time(
     job: Job,
     service_time_fn: Callable,
@@ -165,10 +186,14 @@ class EnergyAwareSJF(Scheduler):
         # Ties on E[S] break toward the older input (section 4.1).  inf
         # scores are fine (a job that can't recharge simply loses); NaN is
         # rejected because it would silently corrupt the min() ordering.
-        best = min(
-            candidates, key=lambda c: (checked_score(c), c.oldest.capture_time)
-        )
-        return Selection(best, best.oldest)
+        if len(candidates) == 1:
+            best = candidates[0]
+            checked_score(best)  # still reject NaN scores
+        else:
+            best = min(
+                candidates, key=lambda c: (checked_score(c), c.oldest.capture_time)
+            )
+        return _make_selection(best, best.oldest)
 
 
 class FCFSScheduler(Scheduler):
@@ -180,8 +205,11 @@ class FCFSScheduler(Scheduler):
         self, candidates: Sequence[JobCandidate], scorer: JobScorer
     ) -> Selection:
         self._require_candidates(candidates)
-        best = min(candidates, key=lambda c: c.oldest.capture_time)
-        return Selection(best, best.oldest)
+        if len(candidates) == 1:
+            best = candidates[0]
+        else:
+            best = min(candidates, key=_oldest_capture_time)
+        return _make_selection(best, best.oldest)
 
 
 class LCFSScheduler(Scheduler):
@@ -193,5 +221,8 @@ class LCFSScheduler(Scheduler):
         self, candidates: Sequence[JobCandidate], scorer: JobScorer
     ) -> Selection:
         self._require_candidates(candidates)
-        best = max(candidates, key=lambda c: c.newest.capture_time)
-        return Selection(best, best.newest)
+        if len(candidates) == 1:
+            best = candidates[0]
+        else:
+            best = max(candidates, key=_newest_capture_time)
+        return _make_selection(best, best.newest)

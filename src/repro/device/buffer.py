@@ -12,12 +12,22 @@ The buffer exposes read-only views to scheduling policies: occupancy,
 capacity, and the pending entries grouped by the job that must process
 them.  Policies never mutate the buffer directly; the simulation engine
 owns insertion and removal so that metrics stay consistent.
+
+Internally the buffer is *indexed* rather than a scanned list: an
+``input_id``-keyed entry map gives O(1) membership/removal, a per-job index
+gives O(jobs) candidate building, and per-job oldest/newest/first-position
+aggregates are cached and recomputed only after a mutation touches that
+job.  Entries are identity-keyed — two distinct :class:`BufferedInput`
+objects are never conflated even if every field matches — and re-tagging an
+entry for a follow-on job (``entry.job_name = ...`` or
+:meth:`InputBuffer.retag`) keeps its buffer position, exactly like the
+seed's list implementation (``tests/device/test_buffer_indexed.py`` pins
+the equivalence on randomized operation sequences).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import ConfigurationError, SimulationError
@@ -27,9 +37,13 @@ __all__ = ["BufferedInput", "InputBuffer"]
 _input_ids = itertools.count()
 
 
-@dataclass
 class BufferedInput:
     """One buffered input awaiting processing.
+
+    Equality and hashing are by object identity: each captured image is a
+    distinct physical input even when two captures coincide in every field,
+    so same-valued entries must never be conflated by buffer membership or
+    removal.
 
     Attributes
     ----------
@@ -43,16 +57,56 @@ class BufferedInput:
     interesting:
         Ground truth from the environment (the paper's second I/O pin).
     job_name:
-        Name of the job that must process this input next.
+        Name of the job that must process this input next.  Assigning it
+        while the entry is buffered re-indexes the entry under the new job
+        (the paper's job-spawning mechanism); the entry keeps its position.
     enqueue_time:
         Time (s) at which the input (re-)entered the buffer.
     """
 
-    capture_time: float
-    interesting: bool
-    job_name: str
-    enqueue_time: float
-    input_id: int = field(default_factory=lambda: next(_input_ids))
+    __slots__ = (
+        "capture_time",
+        "interesting",
+        "enqueue_time",
+        "input_id",
+        "_job_name",
+        "_buffer",
+        "_seq",
+    )
+
+    def __init__(
+        self,
+        capture_time: float,
+        interesting: bool,
+        job_name: str,
+        enqueue_time: float,
+        input_id: int | None = None,
+    ) -> None:
+        self.capture_time = capture_time
+        self.interesting = interesting
+        self._job_name = job_name
+        self.enqueue_time = enqueue_time
+        self.input_id = next(_input_ids) if input_id is None else input_id
+        self._buffer: InputBuffer | None = None
+        self._seq = -1  # buffer position rank; assigned on insertion
+
+    @property
+    def job_name(self) -> str:
+        return self._job_name
+
+    @job_name.setter
+    def job_name(self, value: str) -> None:
+        buffer = self._buffer
+        if buffer is not None and value != self._job_name:
+            buffer._reindex_job(self, self._job_name, value)
+        self._job_name = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferedInput(capture_time={self.capture_time!r}, "
+            f"interesting={self.interesting!r}, job_name={self._job_name!r}, "
+            f"enqueue_time={self.enqueue_time!r}, input_id={self.input_id!r})"
+        )
 
 
 class InputBuffer:
@@ -67,7 +121,13 @@ class InputBuffer:
         if capacity is not None and capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1 or None, got {capacity}")
         self._capacity = capacity
-        self._entries: list[BufferedInput] = []
+        #: input_id -> entry, in insertion order (== ascending ``_seq``).
+        self._entries: dict[int, BufferedInput] = {}
+        #: job name -> {input_id -> entry} for entries pending that job.
+        self._by_job: dict[str, dict[int, BufferedInput]] = {}
+        #: job name -> (oldest, newest, min_seq); invalidated on mutation.
+        self._stats: dict[str, tuple[BufferedInput, BufferedInput, int]] = {}
+        self._next_seq = 0
 
     # -- read-only views -------------------------------------------------------
 
@@ -106,38 +166,95 @@ class InputBuffer:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[BufferedInput]:
-        return iter(self._entries)
+        return iter(self._entries.values())
+
+    def __contains__(self, entry: BufferedInput) -> bool:
+        """Identity membership test, O(1)."""
+        return self._entries.get(entry.input_id) is entry
 
     def entries(self) -> tuple[BufferedInput, ...]:
         """Snapshot of all entries in insertion order."""
-        return tuple(self._entries)
+        return tuple(self._entries.values())
 
     def pending_job_names(self) -> tuple[str, ...]:
-        """Distinct job names with at least one pending input, oldest first."""
-        seen: dict[str, None] = {}
-        for e in self._entries:
-            seen.setdefault(e.job_name, None)
-        return tuple(seen)
+        """Distinct job names with at least one pending input, oldest first.
+
+        "Oldest first" means ordered by the buffer position of each job's
+        first pending entry, matching a front-to-back scan of the queue.
+        """
+        by_job = self._by_job
+        if len(by_job) <= 1:
+            return tuple(by_job)
+        stats = self._job_stats
+        return tuple(sorted(by_job, key=lambda job: stats(job)[2]))
 
     def oldest_for_job(self, job_name: str) -> BufferedInput | None:
         """Oldest entry (by capture time, then insertion) for ``job_name``."""
-        best: BufferedInput | None = None
-        for e in self._entries:
-            if e.job_name != job_name:
-                continue
-            if best is None or e.capture_time < best.capture_time:
-                best = e
-        return best
+        if job_name not in self._by_job:
+            return None
+        return self._job_stats(job_name)[0]
 
     def newest_for_job(self, job_name: str) -> BufferedInput | None:
         """Newest entry (by capture time) for ``job_name``."""
-        best: BufferedInput | None = None
-        for e in self._entries:
-            if e.job_name != job_name:
-                continue
-            if best is None or e.capture_time >= best.capture_time:
-                best = e
-        return best
+        if job_name not in self._by_job:
+            return None
+        return self._job_stats(job_name)[1]
+
+    def pending_summary(
+        self,
+    ) -> list[tuple[str, BufferedInput, BufferedInput, int]]:
+        """``(job_name, oldest, newest, count)`` per pending job.
+
+        Rows come in :meth:`pending_job_names` order; the engine's
+        candidate builder uses this to pay one aggregate lookup per job
+        instead of four.
+        """
+        by_job = self._by_job
+        stats = self._job_stats
+        if len(by_job) > 1:
+            names = sorted(by_job, key=lambda job: stats(job)[2])
+        else:
+            names = by_job
+        out = []
+        for job in names:
+            oldest, newest, _ = stats(job)
+            out.append((job, oldest, newest, len(by_job[job])))
+        return out
+
+    def count_for_job(self, job_name: str) -> int:
+        """Number of buffered entries pending ``job_name``, O(1)."""
+        pending = self._by_job.get(job_name)
+        return len(pending) if pending else 0
+
+    def _job_stats(self, job_name: str) -> tuple[BufferedInput, BufferedInput, int]:
+        """(oldest, newest, min_seq) for a job, cached between mutations.
+
+        Oldest resolves capture-time ties toward the earlier buffer
+        position, newest toward the later one — the same winners a
+        front-to-back scan with ``<`` / ``>=`` comparisons picks.
+        """
+        stats = self._stats.get(job_name)
+        if stats is None:
+            # One manual pass instead of min/max with tuple keys: (capture
+            # time, _seq) keys are unique (_seq is), so the strict/lexicographic
+            # comparisons below pick exactly the same winners.
+            it = iter(self._by_job[job_name].values())
+            first = next(it)
+            oldest = newest = first
+            o_ct = n_ct = first.capture_time
+            o_seq = n_seq = min_seq = first._seq
+            for e in it:
+                ct = e.capture_time
+                seq = e._seq
+                if ct < o_ct or (ct == o_ct and seq < o_seq):
+                    oldest, o_ct, o_seq = e, ct, seq
+                if ct > n_ct or (ct == n_ct and seq > n_seq):
+                    newest, n_ct, n_seq = e, ct, seq
+                if seq < min_seq:
+                    min_seq = seq
+            stats = (oldest, newest, min_seq)
+            self._stats[job_name] = stats
+        return stats
 
     # -- mutation (engine only) --------------------------------------------------
 
@@ -145,20 +262,74 @@ class InputBuffer:
         """Insert ``entry``; returns False (an IBO) if the buffer is full."""
         if self.is_full:
             return False
-        self._entries.append(entry)
+        if entry._buffer is not None or entry.input_id in self._entries:
+            raise SimulationError(
+                f"input {entry.input_id} is already buffered"
+            )
+        entry._buffer = self
+        entry._seq = self._next_seq
+        self._next_seq += 1
+        self._entries[entry.input_id] = entry
+        job = entry._job_name
+        pending = self._by_job.get(job)
+        if pending is None:
+            pending = self._by_job[job] = {}
+        pending[entry.input_id] = entry
+        self._stats.pop(job, None)
         return True
 
     def remove(self, entry: BufferedInput) -> None:
-        """Remove a specific entry (the input a job just finished)."""
-        try:
-            self._entries.remove(entry)
-        except ValueError:
+        """Remove a specific entry (the input a job just finished), O(1)."""
+        if self._entries.get(entry.input_id) is not entry:
             raise SimulationError(
                 f"input {entry.input_id} not present in buffer"
-            ) from None
+            )
+        del self._entries[entry.input_id]
+        job = entry._job_name
+        pending = self._by_job[job]
+        del pending[entry.input_id]
+        if not pending:
+            del self._by_job[job]
+        self._stats.pop(job, None)
+        entry._buffer = None
+
+    def retag(
+        self, entry: BufferedInput, job_name: str, enqueue_time: float | None = None
+    ) -> None:
+        """Re-tag a buffered entry for a follow-on job, keeping its position.
+
+        This is the paper's job-spawning mechanism ("one job can spawn
+        another job by inserting its input into the device's input buffer"):
+        the input never leaves the buffer, it is re-indexed under the new
+        job.  Equivalent to assigning ``entry.job_name`` directly.
+        """
+        if self._entries.get(entry.input_id) is not entry:
+            raise SimulationError(
+                f"input {entry.input_id} not present in buffer"
+            )
+        entry.job_name = job_name  # property setter re-indexes
+        if enqueue_time is not None:
+            entry.enqueue_time = enqueue_time
+
+    def _reindex_job(self, entry: BufferedInput, old_job: str, new_job: str) -> None:
+        """Move an entry between per-job indices (job_name setter hook)."""
+        pending = self._by_job[old_job]
+        del pending[entry.input_id]
+        if not pending:
+            del self._by_job[old_job]
+        self._stats.pop(old_job, None)
+        target = self._by_job.get(new_job)
+        if target is None:
+            target = self._by_job[new_job] = {}
+        target[entry.input_id] = entry
+        self._stats.pop(new_job, None)
 
     def clear(self) -> list[BufferedInput]:
         """Drop and return all entries (end-of-run accounting)."""
-        dropped = self._entries
-        self._entries = []
+        dropped = list(self._entries.values())
+        for entry in dropped:
+            entry._buffer = None
+        self._entries = {}
+        self._by_job = {}
+        self._stats = {}
         return dropped

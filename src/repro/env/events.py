@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Event", "EventSchedule", "EventScheduleGenerator"]
+__all__ = ["Event", "EventSchedule", "EventCursor", "EventScheduleGenerator"]
 
 
 @dataclass(frozen=True)
@@ -153,6 +153,68 @@ class EventSchedule:
     def total_interesting_seconds(self) -> float:
         """Total duration (s) covered by interesting events."""
         return sum(e.duration for e in self._events if e.interesting)
+
+    def cursor(self) -> "EventCursor":
+        """An :class:`EventCursor` for O(1) amortized monotone point queries."""
+        return EventCursor(self)
+
+
+class EventCursor:
+    """Stateful monotone-access view of an :class:`EventSchedule`.
+
+    The capture process queries the schedule at strictly increasing times
+    (one query per capture tick), so the active event index only ever moves
+    forward, usually by zero or one.  The cursor caches that index and
+    re-validates it with two comparisons; queries that jump backward (or far
+    ahead) fall back to ``bisect`` and re-seed the cache.  Results are
+    always identical to the stateless ``EventSchedule`` queries.
+    """
+
+    __slots__ = ("schedule", "_events", "_starts", "_ends", "_n", "_idx")
+
+    def __init__(self, schedule: EventSchedule) -> None:
+        self.schedule = schedule
+        self._events = schedule._events
+        self._starts = schedule._starts
+        # Pre-resolved end times: Event.end is a computed property, and the
+        # capture loop asks "still active?" once per tick, so paying the
+        # start+duration addition once here keeps the per-query cost at two
+        # float compares.
+        self._ends = [e.start + e.duration for e in self._events]
+        self._n = len(self._starts)
+        self._idx = 0
+
+    def event_at(self, t: float) -> Event | None:
+        """Return the event active at time ``t``, or ``None``."""
+        n = self._n
+        if n == 0:
+            return None
+        starts = self._starts
+        idx = self._idx
+        if starts[idx] <= t:
+            nxt = idx + 1
+            if nxt < n and starts[nxt] <= t:
+                idx += 1
+                nxt += 1
+                if nxt < n and starts[nxt] <= t:
+                    idx = bisect.bisect_right(starts, t) - 1
+                self._idx = idx
+        else:
+            idx = bisect.bisect_right(starts, t) - 1
+            self._idx = idx if idx >= 0 else 0
+            if idx < 0:
+                return None
+        # Here starts[idx] <= t, so active_at reduces to t < end.
+        return self._events[idx] if t < self._ends[idx] else None
+
+    def active_at(self, t: float) -> bool:
+        """'Different' pin: is any event in progress at ``t``?"""
+        return self.event_at(t) is not None
+
+    def interesting_at(self, t: float) -> bool:
+        """'Interesting' pin: is an interesting event in progress at ``t``?"""
+        ev = self.event_at(t)
+        return ev is not None and ev.interesting
 
 
 @dataclass(frozen=True)

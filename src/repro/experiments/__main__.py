@@ -10,6 +10,12 @@ Usage::
 processes (``0`` = one per CPU); results are bit-identical to a serial
 run.  ``--figure`` selects figures by substring of their id (e.g. ``9``,
 ``11``, ``Table``); only the selected figures are computed.
+
+``--profile`` wraps each figure in :mod:`cProfile` and prints its top
+hotspots (by total time) after the figure renders — the quickest way to
+see where simulation wall-clock goes before reaching for
+``benchmarks/bench_engine.py``.  Profiling forces ``--jobs 1``: child
+processes would escape the profiler.
 """
 
 from __future__ import annotations
@@ -61,12 +67,19 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also dump the results as a JSON file",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile each figure and print its top hotspots (forces --jobs 1)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 0:
         parser.error(f"--jobs must be >= 0, got {args.jobs}")
     seeds = tuple(range(args.seeds))
     jobs = None if args.jobs == 0 else args.jobs
+    if args.profile:
+        jobs = 1  # keep all simulation work in the profiled process
     selected = {
         name: runner
         for name, runner in RUNNERS.items()
@@ -79,10 +92,24 @@ def main(argv: list[str] | None = None) -> int:
     start = time.time()
     collected = []
     for name, runner in selected.items():
-        for result in runner(args.events, seeds, jobs):
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            results = runner(args.events, seeds, jobs)
+            profiler.disable()
+        else:
+            results = runner(args.events, seeds, jobs)
+        for result in results:
             print(result.render())
             print()
             collected.append(result)
+        if args.profile:
+            print(f"[profile] {name}: top hotspots by total time")
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("tottime").print_stats(15)
     if args.json is not None:
         import json
 

@@ -14,9 +14,14 @@ interesting inputs to ML misclassification.
 from __future__ import annotations
 
 from repro.core.scheduler import FCFSScheduler, Scheduler
-from repro.policies.base import Decision, Policy, SchedulingContext
+from repro.policies.base import Decision, Policy, SchedulingContext, _make_decision
 
 __all__ = ["NoAdaptPolicy"]
+
+
+def _zero_score(candidate) -> float:
+    """Constant scorer: NoAdapt never ranks jobs by cost."""
+    return 0.0
 
 
 class NoAdaptPolicy(Policy):
@@ -27,9 +32,9 @@ class NoAdaptPolicy(Policy):
         self.scheduler = scheduler or FCFSScheduler()
 
     def select(self, context: SchedulingContext) -> Decision:
-        selection = self.scheduler.select(context.candidates, scorer=lambda c: 0.0)
-        return Decision(
-            job_name=selection.job.name,
+        selection = self.scheduler.select(context.candidates, scorer=_zero_score)
+        return _make_decision(
+            job_name=selection.candidate.job.name,
             entry=selection.entry,
             chosen_options={},  # empty mapping = highest quality everywhere
         )

@@ -33,7 +33,7 @@ from repro.errors import ConfigurationError, SchedulingError, SimulationError
 from repro.core.scheduler import JobCandidate
 from repro.policies.base import CompletionRecord, Decision, Policy, SchedulingContext
 from repro.sim.metrics import RunMetrics
-from repro.trace.power_trace import PowerTrace
+from repro.trace.power_trace import PiecewiseConstantTrace, PowerTrace, TraceCursor
 from repro.units import TIME_EPSILON
 from repro.workload.pipelines import PersonDetectionApp
 from repro.workload.task import TaskCost
@@ -41,6 +41,11 @@ from repro.workload.task import TaskCost
 __all__ = ["SimulationConfig", "SimulationEngine", "simulate"]
 
 _ENERGY_EPS = 1e-12
+
+# Frozen-dataclass bypass for the two context objects built once per policy
+# invocation: identical fields, no generated-__init__ object.__setattr__
+# round-trips (see repro.policies.base._make_decision for the same idiom).
+_OBJ_NEW = object.__new__
 
 
 class _RunEnded(Exception):
@@ -71,6 +76,12 @@ class SimulationConfig:
         matching the paper's consistent-cost assumption; section 5.2 names
         variable costs as future work — see
         :mod:`repro.workload.variability`).
+    fast_paths:
+        Use the constant-amortized hot paths (monotone trace/event cursors
+        and the fused span-integration loop).  Results are bit-identical to
+        the reference paths (``tests/sim/test_fast_paths.py`` pins this);
+        ``False`` keeps the original stateless implementations and exists
+        for that equivalence test and for debugging.
     """
 
     capture_period_s: float = 1.0
@@ -79,6 +90,7 @@ class SimulationConfig:
     charge_policy_overhead: bool = True
     seed: int = 0
     cost_jitter_sigma: float = 0.0
+    fast_paths: bool = True
 
     def __post_init__(self) -> None:
         if self.capture_period_s <= 0:
@@ -134,6 +146,48 @@ class SimulationEngine:
         self.now = 0.0
         self.hard_end = self.schedule.end_time + self.config.drain_timeout_s
         self._capture_index = 1  # first capture at one full period
+        # Hot-path query objects: stateful monotone cursors when fast paths
+        # are enabled, else the stateless trace/schedule themselves (the
+        # cursor API is a superset, so both modes share one code path
+        # everywhere except the fused _advance_to loop).
+        self._fast = self.config.fast_paths
+        self._tq = trace.cursor() if self._fast else trace
+        self._sq = schedule.cursor() if self._fast else schedule
+        # The fused recharge loop skips `time_to_harvest` on ticks where the
+        # restart level is unreachable; that shortcut needs the guarantee
+        # that the trace can always eventually refill the store (periodic
+        # with positive energy per period), otherwise the reference loop's
+        # starvation detection must run verbatim.
+        self._recharge_fast = (
+            self._fast
+            and isinstance(trace, PiecewiseConstantTrace)
+            and isinstance(self._tq, TraceCursor)
+            and trace.period is not None
+            and trace._energy_per_period > 0
+        )
+        # Differencing-filter draws are consumed in stream order but fetched
+        # in chunks (Generator.random(n) yields the identical sequence to n
+        # scalar draws).
+        self._rng_chunk: list[float] = []
+        self._rng_pos = 0
+        self._diff_p = schedule.diff_probability
+        self._bg_diff_p = schedule.background_diff_probability
+        self._entry_job = app.entry_job
+        self._charge_overhead = self.config.charge_policy_overhead
+        # Policies that keep the base class's no-op observers (on_capture /
+        # on_job_complete are documentation-only `pass` bodies on Policy)
+        # skip the per-capture / per-job call entirely; state is unchanged
+        # either way, so this is behavior-preserving for both code paths.
+        self._on_capture_hook = (
+            policy.on_capture
+            if type(policy).on_capture is not Policy.on_capture
+            else None
+        )
+        self._on_complete_hook = (
+            policy.on_job_complete
+            if type(policy).on_job_complete is not Policy.on_job_complete
+            else None
+        )
         try:
             self._max_trace_power = trace.max_power  # type: ignore[attr-defined]
         except AttributeError:
@@ -148,16 +202,20 @@ class SimulationEngine:
             raise SimulationError("SimulationEngine instances are single-use")
         self._ran = True
         self.policy.prepare(self.app.jobs, self.config.capture_period_s)
+        hard_end_eps = self.hard_end - TIME_EPSILON
+        sched_end = self.schedule.end_time
+        cap_period = self.config.capture_period_s
+        entries = self.buffer._entries
         try:
             while True:
-                if self.now >= self.hard_end - TIME_EPSILON:
+                if self.now >= hard_end_eps:
                     break
-                if not self.buffer.is_empty:
+                if entries:
                     decision = self._invoke_policy()
                     self._execute_job(decision)
                 else:
-                    next_capture = self._next_capture_time()
-                    if next_capture > self.schedule.end_time:
+                    next_capture = self._capture_index * cap_period
+                    if next_capture > sched_end:
                         break  # nothing left to capture or process
                     self._idle_until(next_capture)
         except _RunEnded:
@@ -188,9 +246,14 @@ class SimulationEngine:
             self.metrics.energy_harvested_j += draw_w * dt + stored
 
     def _fire_due_captures(self) -> None:
-        while self._next_capture_time() <= self.now + TIME_EPSILON:
-            self._do_capture(self._next_capture_time())
-            self._capture_index += 1
+        cap_period = self.config.capture_period_s
+        limit = self.now + TIME_EPSILON
+        idx = self._capture_index
+        t = idx * cap_period
+        while t <= limit:
+            self._do_capture(t)
+            idx = self._capture_index = idx + 1
+            t = idx * cap_period
 
     def _advance_to(
         self, target_s: float, draw_w: float, stop_energy_j: float | None = None
@@ -202,6 +265,123 @@ class SimulationEngine:
         returns True (depleted).  Returns False when ``target_s`` was
         reached.  Raises :class:`_RunEnded` at the hard end.
         """
+        if not self._fast:
+            return self._advance_to_reference(target_s, draw_w, stop_energy_j)
+        # Fused multi-segment step: one flat loop walks every trace boundary
+        # up to the target with a single cursor query per span and the span
+        # accounting — including the storage draw/harvest arithmetic —
+        # inlined.  Every float operation below reproduces
+        # _advance_to_reference / _account_span / Supercapacitor.draw /
+        # Supercapacitor.harvest in the same order, so the results are
+        # bit-identical; the two energy metrics fold through locals in the
+        # same left-to-right order and are flushed before any call-out.
+        now = self.now
+        target_eps = target_s - TIME_EPSILON
+        if now >= target_eps:
+            return False
+        span_at = self._tq.span_at
+        storage = self.storage
+        metrics = self.metrics
+        e_consumed = metrics.energy_consumed_j
+        e_harvested = metrics.energy_harvested_j
+        capacity = storage._capacity
+        overdraw_floor = -1e-9 * (capacity if capacity > 1.0 else 1.0)
+        energy = storage._energy
+        target = target_s
+        hard_end = self.hard_end
+        hard_end_eps = hard_end - TIME_EPSILON
+        cap_period = self.config.capture_period_s
+        has_stop = stop_energy_j is not None
+        # _capture_index only moves inside _fire_due_captures, so the next
+        # capture time is loop-invariant between firings.
+        next_cap = self._capture_index * cap_period
+        while now < target_eps:
+            if now >= hard_end_eps:
+                self.now = now
+                metrics.energy_consumed_j = e_consumed
+                metrics.energy_harvested_j = e_harvested
+                raise _RunEnded
+            boundary = next_cap
+            if target < boundary:
+                boundary = target
+            p_in, nb = span_at(now)
+            if nb < boundary:
+                boundary = nb
+            if hard_end < boundary:
+                boundary = hard_end
+            net = draw_w - p_in
+            if has_stop and net > 0:
+                margin = energy - stop_energy_j
+                if margin <= _ENERGY_EPS:
+                    self.now = now
+                    metrics.energy_consumed_j = e_consumed
+                    metrics.energy_harvested_j = e_harvested
+                    return True
+                t_depleted = now + margin / net
+                if t_depleted < boundary - TIME_EPSILON:
+                    dt = t_depleted - now
+                    if dt > 0:
+                        e_consumed += draw_w * dt
+                        remaining = energy - net * dt
+                        if remaining < overdraw_floor:
+                            metrics.energy_consumed_j = e_consumed
+                            metrics.energy_harvested_j = e_harvested
+                            raise SimulationError(
+                                f"energy overdraw: drew {net * dt} J with only "
+                                f"{energy} J stored"
+                            )
+                        storage._energy = energy = (
+                            remaining if remaining > 0.0 else 0.0
+                        )
+                        e_harvested += p_in * dt
+                    self.now = now = t_depleted
+                    metrics.energy_consumed_j = e_consumed
+                    metrics.energy_harvested_j = e_harvested
+                    if next_cap <= now + TIME_EPSILON:
+                        self._fire_due_captures()
+                    return True
+            dt = boundary - now
+            if dt > 0:
+                e_consumed += draw_w * dt
+                if net >= 0:
+                    remaining = energy - net * dt
+                    if remaining < overdraw_floor:
+                        metrics.energy_consumed_j = e_consumed
+                        metrics.energy_harvested_j = e_harvested
+                        raise SimulationError(
+                            f"energy overdraw: drew {net * dt} J with only "
+                            f"{energy} J stored"
+                        )
+                    storage._energy = energy = (
+                        remaining if remaining > 0.0 else 0.0
+                    )
+                    e_harvested += p_in * dt
+                else:
+                    amount = -net * dt
+                    headroom = capacity - energy
+                    stored = amount if amount < headroom else headroom
+                    storage._energy = energy = energy + stored
+                    e_harvested += draw_w * dt + stored
+            now = boundary
+            if next_cap <= now + TIME_EPSILON:
+                self.now = now
+                metrics.energy_consumed_j = e_consumed
+                metrics.energy_harvested_j = e_harvested
+                self._fire_due_captures()
+                e_consumed = metrics.energy_consumed_j
+                e_harvested = metrics.energy_harvested_j
+                energy = storage._energy
+                next_cap = self._capture_index * cap_period
+        self.now = now
+        metrics.energy_consumed_j = e_consumed
+        metrics.energy_harvested_j = e_harvested
+        return False
+
+    def _advance_to_reference(
+        self, target_s: float, draw_w: float, stop_energy_j: float | None = None
+    ) -> bool:
+        """Pre-optimization `_advance_to`, kept verbatim as the reference
+        implementation that the fused fast loop is pinned against."""
         while self.now < target_s - TIME_EPSILON:
             self._check_hard_end()
             boundary = min(
@@ -229,20 +409,119 @@ class SimulationEngine:
 
     def _recharge_to_restart(self) -> None:
         """Dead device: harvest (drawing nothing) until the restart level."""
+        if not self._recharge_fast:
+            return self._recharge_to_restart_reference()
+        # Fused recharge loop.  Two observations beat down the reference's
+        # per-tick cost:
+        #
+        # * `time_to_harvest`'s result only matters on the tick where the
+        #   recharge actually completes — on every earlier tick the boundary
+        #   clamps to the next capture time regardless of the wait.  So
+        #   integrate up to the tick first (that value is the harvest to
+        #   book anyway) and only fall back to `time_to_harvest` — and the
+        #   reference's exact boundary arithmetic — when the deficit is
+        #   reachable within the tick.
+        # * consecutive ticks share an integration endpoint: this tick's cap
+        #   is the next tick's `now`, so its fold and cumulative-energy
+        #   lookup are cached and reused, leaving one segment resolution per
+        #   tick.  The inlined storage/metrics updates replicate
+        #   `Supercapacitor.harvest` / `deficit_to_restart_j` and the
+        #   cursor's `integrate` float-for-float, in the same order.
+        #
+        # Guarded by `_recharge_fast`: the trace is a periodic TraceCursor
+        # with positive energy per period, so starvation (the isinf branch
+        # of the reference loop) is impossible here.
+        start = now = self.now
+        storage = self.storage
+        metrics = self.metrics
+        tq = self._tq
+        fold = tq._fold
+        efz = tq._energy_from_zero
+        epp = tq._epp
+        integrate = tq.integrate
+        hard_end = self.hard_end
+        hard_end_eps = hard_end - TIME_EPSILON
+        cap_period = self.config.capture_period_s
+        capacity = storage._capacity
+        restart = storage._restart_energy
+        energy = storage._energy
+        e_harvested = metrics.energy_harvested_j
+        cache_t = -1.0  # endpoint whose (whole periods, E) fold is cached
+        cache_k = 0
+        cache_e = 0.0
+        nc = self._capture_index * cap_period
+        while True:
+            deficit = restart - energy  # <= eps ⟺ max(0.0, ·) <= eps
+            if deficit <= _ENERGY_EPS:
+                break
+            if now >= hard_end_eps:
+                self.now = now
+                storage._energy = energy
+                metrics.energy_harvested_j = e_harvested
+                raise _RunEnded
+            cap = nc if nc < hard_end else hard_end
+            if now == cache_t:
+                k0 = cache_k
+                e0 = cache_e
+            else:
+                local0, k0 = fold(now)
+                e0 = efz(local0)
+            local1, k1 = fold(cap)
+            e1 = efz(local1)
+            e_cap = (k1 - k0) * epp + e1 - e0
+            if e_cap < deficit:
+                boundary = cap
+                harvested = e_cap
+                cache_t, cache_k, cache_e = cap, k1, e1
+            else:
+                # Completes within this tick: reproduce the reference
+                # boundary computation exactly.
+                wait = tq.time_to_harvest(now, deficit)
+                boundary = now + wait
+                if nc < boundary:
+                    boundary = nc
+                if hard_end < boundary:
+                    boundary = hard_end
+                harvested = integrate(now, boundary)
+                cache_t = -1.0
+            if harvested < 0:
+                storage._energy = energy
+                metrics.energy_harvested_j = e_harvested
+                raise SimulationError(
+                    f"cannot harvest negative energy {harvested}"
+                )
+            headroom = capacity - energy
+            stored = harvested if harvested < headroom else headroom
+            energy += stored
+            e_harvested += stored
+            self.now = now = boundary
+            if nc <= now + TIME_EPSILON:
+                storage._energy = energy
+                metrics.energy_harvested_j = e_harvested
+                self._fire_due_captures()
+                energy = storage._energy
+                e_harvested = metrics.energy_harvested_j
+                nc = self._capture_index * cap_period
+        storage._energy = energy
+        metrics.energy_harvested_j = e_harvested
+        metrics.recharge_time_s += now - start
+
+    def _recharge_to_restart_reference(self) -> None:
+        """Pre-optimization recharge loop (see `_recharge_to_restart`)."""
         start = self.now
         while True:
             deficit = self.storage.deficit_to_restart_j()
             if deficit <= _ENERGY_EPS:
                 break
             self._check_hard_end()
-            wait = self.trace.time_to_harvest(self.now, deficit)
+            wait = self._tq.time_to_harvest(self.now, deficit)
             if math.isinf(wait):
                 # The trace can never refill the store: starve to run end.
                 self.metrics.recharge_time_s += self.hard_end - self.now
                 self.now = self.hard_end
                 raise _RunEnded
             boundary = min(self.now + wait, self._next_capture_time(), self.hard_end)
-            harvested = self.trace.integrate(self.now, boundary)
+            harvested = self._tq.integrate(self.now, boundary)
             self.metrics.energy_harvested_j += self.storage.harvest(harvested)
             self.now = boundary
             self._fire_due_captures()
@@ -252,8 +531,10 @@ class SimulationEngine:
         """Run a compute block intermittently, checkpointing across failures."""
         remaining = duration_s
         reserve = self.checkpoint.save_energy_j
+        threshold = reserve + _ENERGY_EPS
+        storage = self.storage
         while remaining > TIME_EPSILON:
-            if self.storage.energy_j <= reserve + _ENERGY_EPS:
+            if storage._energy <= threshold:
                 # Not enough headroom to make progress: recharge first.
                 self._recharge_to_restart()
             start = self.now
@@ -310,32 +591,44 @@ class SimulationEngine:
     def _do_capture(self, t: float) -> None:
         metrics = self.metrics
         metrics.captures_total += 1
+        # One event lookup answers the 'different' and 'interesting' pins
+        # (active_at / interesting_at are both derived from event_at).
+        ev = self._sq.event_at(t)
         if self.telemetry is not None:
             self.telemetry.on_capture(
                 t,
                 occupancy=self.buffer.occupancy,
                 stored_energy_j=self.storage.energy_j,
-                input_power_w=self.trace.power(t),
-                event_active=self.schedule.active_at(t),
+                input_power_w=self._tq.power(t),
+                event_active=ev is not None,
             )
         # One draw per capture keeps the arrival stream identical across
         # policies at a given seed, whether or not an event is in progress.
-        diff_draw = self._capture_rng.random()
-        if self.schedule.active_at(t):
-            active = diff_draw < self.schedule.diff_probability
+        # Draws are prefetched in chunks from the same stream.
+        pos = self._rng_pos
+        chunk = self._rng_chunk
+        if pos == len(chunk):
+            chunk = self._rng_chunk = self._capture_rng.random(1024).tolist()
+            pos = 0
+        diff_draw = chunk[pos]
+        self._rng_pos = pos + 1
+        if ev is not None:
+            active = diff_draw < self._diff_p
         else:
-            active = diff_draw < self.schedule.background_diff_probability
-        interesting = active and self.schedule.interesting_at(t)
+            active = diff_draw < self._bg_diff_p
+        interesting = active and ev is not None and ev.interesting
         if interesting:
             metrics.captures_interesting += 1
-        self.policy.on_capture(t, stored=active)
+        hook = self._on_capture_hook
+        if hook is not None:
+            hook(t, stored=active)
         if not active:
             return
         metrics.captures_active += 1
         entry = BufferedInput(
             capture_time=t,
             interesting=interesting,
-            job_name=self.app.entry_job,
+            job_name=self._entry_job,
             enqueue_time=t,
         )
         if self.buffer.try_insert(entry):
@@ -348,31 +641,28 @@ class SimulationEngine:
     # ----------------------------------------------------------------- policy --
 
     def _build_candidates(self) -> list[JobCandidate]:
+        job_of = self.app.jobs.job
         candidates = []
-        for job_name in self.buffer.pending_job_names():
-            oldest = self.buffer.oldest_for_job(job_name)
-            newest = self.buffer.newest_for_job(job_name)
-            count = sum(1 for e in self.buffer if e.job_name == job_name)
-            assert oldest is not None and newest is not None
-            candidates.append(
-                JobCandidate(
-                    job=self.app.jobs.job(job_name),
-                    oldest=oldest,
-                    newest=newest,
-                    pending_count=count,
-                )
-            )
+        for job_name, oldest, newest, count in self.buffer.pending_summary():
+            candidate = _OBJ_NEW(JobCandidate)
+            d = candidate.__dict__
+            d["job"] = job_of(job_name)
+            d["oldest"] = oldest
+            d["newest"] = newest
+            d["pending_count"] = count
+            candidates.append(candidate)
         return candidates
 
     def _invoke_policy(self) -> Decision:
-        context = SchedulingContext(
-            now_s=self.now,
-            candidates=self._build_candidates(),
-            buffer_occupancy=self.buffer.occupancy,
-            buffer_limit=self.buffer.capacity,
-            true_input_power_w=self.trace.power(self.now),
-            max_trace_power_w=self._max_trace_power,
-        )
+        buffer = self.buffer
+        context = _OBJ_NEW(SchedulingContext)
+        d = context.__dict__
+        d["now_s"] = self.now
+        d["candidates"] = self._build_candidates()
+        d["buffer_occupancy"] = len(buffer._entries)
+        d["buffer_limit"] = buffer._capacity
+        d["true_input_power_w"] = self._tq.power(self.now)
+        d["max_trace_power_w"] = self._max_trace_power
         decision = self.policy.select(context)
         self._validate_decision(decision)
         if self.telemetry is not None:
@@ -387,21 +677,22 @@ class SimulationEngine:
                 ibo_predicted=decision.ibo_predicted,
                 predicted_service_s=decision.predicted_service_s,
             )
-        self.metrics.policy_invocations += 1
+        metrics = self.metrics
+        metrics.policy_invocations += 1
         if decision.ibo_predicted:
-            self.metrics.ibo_predictions += 1
-        if self.config.charge_policy_overhead:
+            metrics.ibo_predictions += 1
+        if self._charge_overhead:
             time_s, energy_j = self.policy.invocation_cost(self.mcu)
             if time_s > 0:
-                self.metrics.policy_time_s += time_s
-                self.metrics.policy_energy_j += energy_j
+                metrics.policy_time_s += time_s
+                metrics.policy_energy_j += energy_j
                 self._run_block(time_s, energy_j / time_s)
         return decision
 
     def _validate_decision(self, decision: Decision) -> None:
         if decision.job_name not in self.app.jobs:
             raise SchedulingError(f"policy selected unknown job {decision.job_name!r}")
-        if decision.entry not in self.buffer.entries():
+        if decision.entry not in self.buffer:
             raise SchedulingError(
                 f"policy selected input {decision.entry.input_id} not in buffer"
             )
@@ -419,6 +710,7 @@ class SimulationEngine:
             decision.job_name, entry.interesting, decision.chosen_options, self.rng
         )
         started = self.now
+        complete_hook = self._on_complete_hook
         task_spans: dict[str, float] = {}
         try:
             for planned in plan.planned:
@@ -429,7 +721,8 @@ class SimulationEngine:
                     cost = self._cost_jitter.jittered(cost)
                 t0 = self.now
                 self._run_block(cost.t_exe_s, cost.p_exe_w)
-                task_spans[planned.ref.task.name] = self.now - t0
+                if complete_hook is not None:
+                    task_spans[planned.ref.task.name] = self.now - t0
         except _RunEnded:
             # Job cut off by the end of the run; its input stays buffered
             # and is counted as leftover by _finalize.
@@ -439,8 +732,9 @@ class SimulationEngine:
         if outcome.remove_input:
             self.buffer.remove(entry)
         elif outcome.respawn_job is not None:
-            entry.job_name = outcome.respawn_job
-            entry.enqueue_time = self.now
+            # Job spawning (paper section 5.2): the input stays buffered in
+            # place, re-indexed under the follow-on job.
+            self.buffer.retag(entry, outcome.respawn_job, enqueue_time=self.now)
 
         metrics = self.metrics
         metrics.jobs_completed += 1
@@ -462,17 +756,18 @@ class SimulationEngine:
             metrics.prediction_error_s += error
             metrics.prediction_abs_error_s += abs(error)
 
-        record = CompletionRecord(
-            decision=decision,
-            started_s=started,
-            finished_s=self.now,
-            executed_by_task={
-                p.ref.task.name: p.executes for p in plan.planned
-            },
-            outcome=outcome,
-            task_spans=task_spans,
-        )
-        self.policy.on_job_complete(record)
+        if complete_hook is not None:
+            record = CompletionRecord(
+                decision=decision,
+                started_s=started,
+                finished_s=self.now,
+                executed_by_task={
+                    p.ref.task.name: p.executes for p in plan.planned
+                },
+                outcome=outcome,
+                task_spans=task_spans,
+            )
+            complete_hook(record)
 
     def _record_packet(self, interesting: bool, quality: str) -> None:
         metrics = self.metrics

@@ -125,6 +125,14 @@ class PersonDetectionApp:
         if entry_job not in jobs:
             raise ConfigurationError(f"entry job {entry_job!r} not in job set")
         self.entry_job = entry_job
+        # Plans are pure functions of (chosen options, classification
+        # result, ground truth): every field of the JobPlan / PlannedTask /
+        # JobOutcome tree is determined by that key, and all three are
+        # frozen.  The engine plans once per executed job, so memoizing the
+        # handful of distinct plans removes an object-tree construction
+        # from the per-job hot path.  RNG draws (classify) stay outside the
+        # cache — only the post-draw construction is shared.
+        self._plan_cache: dict[tuple, JobPlan] = {}
 
     # -- engine-facing API -------------------------------------------------------
 
@@ -167,37 +175,46 @@ class PersonDetectionApp:
         ml_ref = job.task_refs[0]
         prep_ref = job.task_refs[1]
         ml_option = self._option_for(ml_ref, chosen)
+        prep_option = self._option_for(prep_ref, chosen)
         model: MLModelProfile = ml_option.metadata["ml"]
         positive = model.classify(interesting, rng)
-        planned = (
-            PlannedTask(ml_ref, ml_option, executes=True),
-            PlannedTask(prep_ref, self._option_for(prep_ref, chosen), executes=positive),
-        )
-        if positive:
-            outcome = JobOutcome(
-                remove_input=False,
-                respawn_job=job.spawns,
-                classified_positive=True,
+        key = (job.name, id(ml_option), id(prep_option), positive, interesting)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            planned = (
+                PlannedTask(ml_ref, ml_option, executes=True),
+                PlannedTask(prep_ref, prep_option, executes=positive),
             )
-        else:
-            outcome = JobOutcome(
-                remove_input=True,
-                classified_positive=False,
-                false_negative=interesting,
-            )
-        return JobPlan(job, planned, outcome)
+            if positive:
+                outcome = JobOutcome(
+                    remove_input=False,
+                    respawn_job=job.spawns,
+                    classified_positive=True,
+                )
+            else:
+                outcome = JobOutcome(
+                    remove_input=True,
+                    classified_positive=False,
+                    false_negative=interesting,
+                )
+            plan = self._plan_cache[key] = JobPlan(job, planned, outcome)
+        return plan
 
     def _plan_transmit(
         self, job: Job, chosen: Mapping[str, DegradationOption]
     ) -> JobPlan:
         radio_ref = job.task_refs[0]
         option = self._option_for(radio_ref, chosen)
-        planned = (PlannedTask(radio_ref, option, executes=True),)
-        outcome = JobOutcome(
-            remove_input=True,
-            packet_quality=option.metadata["quality"],
-        )
-        return JobPlan(job, planned, outcome)
+        key = (job.name, id(option))
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            planned = (PlannedTask(radio_ref, option, executes=True),)
+            outcome = JobOutcome(
+                remove_input=True,
+                packet_quality=option.metadata["quality"],
+            )
+            plan = self._plan_cache[key] = JobPlan(job, planned, outcome)
+        return plan
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,180 @@
+"""Randomized equivalence tests for the indexed :class:`InputBuffer`.
+
+The buffer was rebuilt from a scanned list into an indexed structure
+(entry map + per-job index + cached aggregates).  These tests drive the
+indexed buffer and a deliberately naive list implementation — the seed's
+semantics, re-stated here in a dozen lines — through the same randomized
+operation sequences (insert, remove, retag, direct ``job_name``
+assignment, clear) and require every observable view to match after every
+step.  Also pins the identity-equality contract: two same-valued entries
+are never conflated.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.buffer import BufferedInput, InputBuffer
+from repro.errors import SimulationError
+
+JOBS = ("detect", "transmit", "audit")
+
+
+class ListBuffer:
+    """The seed's list-scan buffer semantics, kept as an oracle."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.items = []
+
+    def try_insert(self, entry):
+        if self.capacity is not None and len(self.items) >= self.capacity:
+            return False
+        self.items.append(entry)
+        return True
+
+    def remove(self, entry):
+        for i, e in enumerate(self.items):
+            if e is entry:
+                del self.items[i]
+                return
+        raise AssertionError("not present")
+
+    def entries(self):
+        return tuple(self.items)
+
+    def pending_job_names(self):
+        seen = []
+        for e in self.items:
+            if e.job_name not in seen:
+                seen.append(e.job_name)
+        return tuple(seen)
+
+    def oldest_for_job(self, job):
+        best = None
+        for e in self.items:  # front-to-back scan; '<' keeps the earlier one
+            if e.job_name == job and (best is None or e.capture_time < best.capture_time):
+                best = e
+        return best
+
+    def newest_for_job(self, job):
+        best = None
+        for e in self.items:  # '>=' moves ties to the later buffer position
+            if e.job_name == job and (best is None or e.capture_time >= best.capture_time):
+                best = e
+        return best
+
+    def count_for_job(self, job):
+        return sum(1 for e in self.items if e.job_name == job)
+
+
+def entry(t=0.0, interesting=False, job="detect"):
+    return BufferedInput(
+        capture_time=t, interesting=interesting, job_name=job, enqueue_time=t
+    )
+
+
+def assert_equivalent(buf: InputBuffer, ref: ListBuffer) -> None:
+    assert buf.entries() == ref.entries()
+    assert buf.occupancy == len(ref.items)
+    assert buf.pending_job_names() == ref.pending_job_names()
+    summary = {row[0]: row[1:] for row in buf.pending_summary()}
+    assert tuple(summary) == ref.pending_job_names()
+    for job in JOBS:
+        oldest = ref.oldest_for_job(job)
+        newest = ref.newest_for_job(job)
+        assert buf.oldest_for_job(job) is oldest
+        assert buf.newest_for_job(job) is newest
+        assert buf.count_for_job(job) == ref.count_for_job(job)
+        if oldest is not None:
+            assert summary[job] == (oldest, newest, ref.count_for_job(job))
+    for e in ref.items:
+        assert e in buf
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    capacity=st.sampled_from([1, 2, 4, 7, None]),
+    n_ops=st.integers(1, 60),
+)
+@settings(max_examples=120, deadline=None)
+def test_indexed_buffer_matches_list_reference(seed, capacity, n_ops):
+    rng = random.Random(seed)
+    buf = InputBuffer(capacity=capacity)
+    ref = ListBuffer(capacity=capacity)
+    for step in range(n_ops):
+        op = rng.random()
+        if op < 0.45 or not ref.items:
+            # Duplicate capture times on purpose: tie-breaking is the
+            # subtle part of oldest/newest selection.
+            e = entry(
+                t=float(rng.randrange(8)),
+                interesting=rng.random() < 0.5,
+                job=rng.choice(JOBS),
+            )
+            assert buf.try_insert(e) == ref.try_insert(e)
+        elif op < 0.65:
+            victim = rng.choice(ref.items)
+            ref.remove(victim)
+            buf.remove(victim)
+        elif op < 0.85:
+            # Respawn: re-tag in place, keeping the buffer position.
+            target = rng.choice(ref.items)
+            new_job = rng.choice(JOBS)
+            if rng.random() < 0.5:
+                buf.retag(target, new_job, enqueue_time=float(step))
+            else:
+                target.job_name = new_job  # direct assignment re-indexes too
+        else:
+            dropped = buf.clear()
+            assert dropped == ref.items
+            ref.items = []
+        assert_equivalent(buf, ref)
+
+
+class TestIdentitySemantics:
+    def test_same_valued_entries_never_conflated(self):
+        """Regression: two captures with identical fields stay distinct."""
+        a = entry(t=5.0, interesting=True, job="detect")
+        b = entry(t=5.0, interesting=True, job="detect")
+        assert a == a and a != b
+        assert hash(a) != hash(b) or a is b  # identity hash, not value hash
+        buf = InputBuffer(capacity=4)
+        assert buf.try_insert(a) and buf.try_insert(b)
+        assert a in buf and b in buf
+        buf.remove(a)
+        assert a not in buf
+        assert b in buf  # removing a must not take the same-valued b with it
+        assert buf.entries() == (b,)
+        assert buf.oldest_for_job("detect") is b
+
+    def test_membership_is_identity_based(self):
+        a = entry(t=1.0)
+        twin = entry(t=1.0)
+        buf = InputBuffer(capacity=2)
+        buf.try_insert(a)
+        assert twin not in buf
+
+    def test_double_insert_rejected(self):
+        buf = InputBuffer(capacity=4)
+        e = entry()
+        buf.try_insert(e)
+        with pytest.raises(SimulationError):
+            buf.try_insert(e)
+
+    def test_remove_foreign_entry_rejected(self):
+        buf = InputBuffer(capacity=4)
+        buf.try_insert(entry(t=1.0))
+        with pytest.raises(SimulationError):
+            buf.remove(entry(t=1.0))
+
+    def test_reinsert_after_clear(self):
+        buf = InputBuffer(capacity=2)
+        e = entry()
+        buf.try_insert(e)
+        (dropped,) = buf.clear()
+        assert dropped is e
+        assert buf.try_insert(e)  # clear detaches entries for reuse
+        assert e in buf

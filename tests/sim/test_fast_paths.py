@@ -1,0 +1,96 @@
+"""Fast paths vs reference paths: bit-identical results, by construction.
+
+``SimulationConfig(fast_paths=...)`` selects between the engine's
+constant-amortized hot paths (monotone :class:`TraceCursor` /
+:class:`EventCursor`, the fused span-integration loop in ``_advance_to``,
+the cached-fold recharge loop) and the original stateless reference
+implementations.  The optimization contract is *exact* floating-point
+equality — every metric, counter, and telemetry-visible quantity must come
+out bit-identical, not merely close.  This suite runs both engines over
+every policy family, with and without cost jitter, on bounded and
+unbounded buffers and on a dense sub-second trace, and compares the full
+:class:`RunMetrics` dataclass trees with ``==`` (no ``approx``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.runtime import QuetzalRuntime
+from repro.env.activity import CROWDED
+from repro.policies.always_degrade import AlwaysDegradePolicy
+from repro.policies.buffer_threshold import BufferThresholdPolicy, catnap_policy
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.policies.power_threshold import PowerThresholdPolicy
+from repro.sim.engine import SimulationConfig, simulate
+from repro.trace.solar import SolarTraceConfig, SolarTraceGenerator
+from repro.workload.pipelines import build_apollo_app
+
+
+@pytest.fixture(scope="module")
+def solar_trace():
+    return SolarTraceGenerator(seed=1).generate()
+
+
+@pytest.fixture(scope="module")
+def dense_trace():
+    return SolarTraceGenerator(SolarTraceConfig(sample_period_s=0.05), seed=1).generate()
+
+
+@pytest.fixture(scope="module")
+def schedule():
+    return CROWDED.schedule(40, seed=2)
+
+
+POLICIES = {
+    "noadapt": NoAdaptPolicy,
+    "quetzal": QuetzalRuntime,
+    "catnap": catnap_policy,
+    "buffer-threshold": lambda: BufferThresholdPolicy(0.5),
+    "power-threshold": lambda: PowerThresholdPolicy(0.05),
+    "always-degrade": AlwaysDegradePolicy,
+}
+
+
+def run_both(policy_factory, trace, schedule, **config_kwargs):
+    """One run per path; returns the two RunMetrics as plain dict trees."""
+    out = []
+    for fast in (True, False):
+        config = SimulationConfig(seed=5, fast_paths=fast, **config_kwargs)
+        metrics = simulate(build_apollo_app(), policy_factory(), trace, schedule, config=config)
+        out.append(dataclasses.asdict(metrics))
+    return out
+
+
+@pytest.mark.parametrize("policy_name", sorted(POLICIES))
+def test_bit_identical_metrics(policy_name, solar_trace, schedule):
+    fast, reference = run_both(POLICIES[policy_name], solar_trace, schedule)
+    assert fast == reference
+
+
+@pytest.mark.parametrize("policy_name", ["noadapt", "quetzal"])
+@pytest.mark.parametrize("sigma", [0.2, 0.7])
+def test_bit_identical_with_cost_jitter(policy_name, sigma, solar_trace, schedule):
+    """Jitter draws extra RNG per task; the streams must stay aligned."""
+    fast, reference = run_both(
+        POLICIES[policy_name], solar_trace, schedule, cost_jitter_sigma=sigma
+    )
+    assert fast == reference
+
+
+def test_bit_identical_unbounded_buffer(solar_trace, schedule):
+    """The Ideal baseline: capacity=None exercises the no-IBO branches."""
+    fast, reference = run_both(
+        QuetzalRuntime, solar_trace, schedule, buffer_capacity=None
+    )
+    assert fast == reference
+
+
+def test_bit_identical_dense_trace(dense_trace, schedule):
+    """Sub-second segments: many fused multi-segment steps per job."""
+    fast, reference = run_both(NoAdaptPolicy, dense_trace, schedule)
+    assert fast == reference
+
+
+def test_fast_paths_default_on():
+    assert SimulationConfig().fast_paths is True

@@ -1,0 +1,181 @@
+"""Property tests for :class:`TraceCursor` against the stateless trace API.
+
+The engine's fast paths route every trace query through a stateful cursor
+(`repro/trace/power_trace.py`); bit-identical results therefore rest on the
+cursor returning *exactly* the same floats as the stateless
+:class:`PiecewiseConstantTrace` methods for any query sequence — monotone
+(the common case its cache is built for), backwards (bisect fallback), and
+straddling period wraps.  These tests pin that equivalence, plus the
+fast-path constructors (``from_samples``, ``scaled``) that skip
+re-validation.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.power_trace import PiecewiseConstantTrace
+from repro.trace.solar import SolarTraceGenerator
+
+
+# -- trace strategies -------------------------------------------------------
+
+durations = st.lists(
+    st.floats(1e-3, 50.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+levels = st.floats(0.0, 2.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def traces(draw, periodic=None):
+    durs = draw(durations)
+    times = [0.0]
+    for d in durs[:-1]:
+        times.append(times[-1] + d)
+    powers = [draw(levels) for _ in times]
+    repeat = draw(st.booleans()) if periodic is None else periodic
+    period = times[-1] + durs[-1] if repeat else None
+    return PiecewiseConstantTrace(times, powers, period=period)
+
+
+@st.composite
+def query_times(draw, trace):
+    """A time inside [0, ~4 periods], biased toward segment boundaries."""
+    span = (trace.period or trace._times_list[-1] + 1.0) * 4.0 + 1.0
+    base = draw(st.floats(0.0, span, allow_nan=False))
+    if draw(st.booleans()):
+        # Land on or just around a (period-shifted) boundary to stress the
+        # float edges where folding and bisection disagree most easily.
+        k = draw(st.integers(0, 3))
+        i = draw(st.integers(0, len(trace._times_list) - 1))
+        edge = trace._times_list[i] + k * (trace.period or 0.0)
+        base = draw(
+            st.sampled_from(
+                [edge, math.nextafter(edge, math.inf), math.nextafter(edge, 0.0)]
+            )
+        )
+    return max(0.0, base)
+
+
+# -- cursor vs stateless equivalence ----------------------------------------
+
+
+class TestCursorMatchesStatelessAPI:
+    @given(data=st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_randomized_query_sequence(self, data):
+        trace = data.draw(traces())
+        cursor = trace.cursor()
+        for _ in range(data.draw(st.integers(1, 12))):
+            t = data.draw(query_times(trace))
+            op = data.draw(st.sampled_from(["power", "boundary", "span", "integrate"]))
+            if op == "power":
+                assert cursor.power(t) == trace.power(t)
+            elif op == "boundary":
+                assert cursor.next_boundary(t) == trace.next_boundary(t)
+            elif op == "span":
+                # span_at must equal the two calls it fuses.
+                assert cursor.span_at(t) == (trace.power(t), trace.next_boundary(t))
+            else:
+                t1 = data.draw(query_times(trace))
+                lo, hi = (t, t1) if t <= t1 else (t1, t)
+                assert cursor.integrate(lo, hi) == trace.integrate(lo, hi)
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_time_to_harvest(self, data):
+        trace = data.draw(traces(periodic=True))
+        cursor = trace.cursor()
+        for _ in range(data.draw(st.integers(1, 6))):
+            t = data.draw(query_times(trace))
+            energy = data.draw(st.floats(0.0, 5.0, allow_nan=False))
+            assert cursor.time_to_harvest(t, energy) == trace.time_to_harvest(
+                t, energy
+            )
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_backwards_queries_hit_bisect_fallback(self, data):
+        """Non-monotone sequences must agree too (cache goes stale)."""
+        trace = data.draw(traces())
+        cursor = trace.cursor()
+        ts = sorted(data.draw(st.lists(query_times(trace), min_size=2, max_size=8)))
+        for t in reversed(ts):  # strictly anti-monotone drive
+            assert cursor.power(t) == trace.power(t)
+            assert cursor.next_boundary(t) == trace.next_boundary(t)
+
+    @given(t=st.floats(0.0, 1e6, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_period_wrap_far_out(self, t):
+        trace = PiecewiseConstantTrace([0.0, 3.0, 7.0], [0.1, 0.0, 0.5], period=11.0)
+        cursor = trace.cursor()
+        assert cursor.power(t) == trace.power(t)
+        assert cursor.span_at(t) == (trace.power(t), trace.next_boundary(t))
+
+    @given(data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_next_boundary_strict_progress(self, data):
+        """next_boundary(t) > t even exactly on a boundary float."""
+        trace = data.draw(traces())
+        cursor = trace.cursor()
+        t = data.draw(query_times(trace))
+        for _ in range(4):
+            nb = cursor.next_boundary(t)
+            assert nb > t
+            assert nb == trace.next_boundary(t)
+            if math.isinf(nb):
+                break
+            t = nb
+
+    def test_cursor_on_solar_trace(self):
+        """The real workload trace: a long interleaved walk stays exact."""
+        trace = SolarTraceGenerator(seed=1).generate()
+        cursor = trace.cursor()
+        t = 0.0
+        for i in range(500):
+            assert cursor.span_at(t) == (trace.power(t), trace.next_boundary(t))
+            assert cursor.integrate(t, t + 37.5) == trace.integrate(t, t + 37.5)
+            t += 113.0 if i % 7 else 13337.25  # mix small steps and big jumps
+
+
+# -- fast-path constructors --------------------------------------------------
+
+
+class TestFastConstructors:
+    @given(
+        powers=st.lists(levels, min_size=1, max_size=30),
+        sample_period=st.floats(1e-3, 100.0, allow_nan=False),
+        repeat=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_from_samples_matches_explicit_construction(
+        self, powers, sample_period, repeat
+    ):
+        fast = PiecewiseConstantTrace.from_samples(powers, sample_period, repeat=repeat)
+        times = [i * sample_period for i in range(len(powers))]
+        period = len(powers) * sample_period if repeat else None
+        reference = PiecewiseConstantTrace(times, powers, period=period)
+        assert fast._times_list == reference._times_list
+        assert fast._powers_list == reference._powers_list
+        assert fast._cum_energy_list == reference._cum_energy_list
+        assert fast.period == reference.period
+        assert fast._energy_per_period == reference._energy_per_period
+
+    @given(data=st.data(), factor=st.floats(0.0, 10.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_scaled_matches_explicit_construction(self, data, factor):
+        trace = data.draw(traces())
+        fast = trace.scaled(factor)
+        reference = PiecewiseConstantTrace(
+            trace._times_list,
+            [p * factor for p in trace._powers_list],
+            period=trace.period,
+        )
+        assert fast._powers_list == reference._powers_list
+        assert fast._cum_energy_list == reference._cum_energy_list
+        assert fast._energy_per_period == reference._energy_per_period
+        t = data.draw(query_times(trace))
+        assert fast.power(t) == reference.power(t)
