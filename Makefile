@@ -12,11 +12,18 @@ test:
 lint:
 	ruff check src tests
 
-# Engine perf-regression gate: times the paper-scale cases and fails if
-# any is slower than the committed BENCH_engine.json baseline by more
-# than BENCH_TOLERANCE (default 2x; generous so only real regressions trip).
+# Engine perf-regression gate: times the paper-scale cases (including the
+# quetzal decision-path cases) and fails if any is slower than the
+# committed BENCH_engine.json baseline by more than BENCH_TOLERANCE
+# (default 2x; generous so only real regressions trip).  Extra harness
+# flags ride in BENCH_ARGS, e.g. `make bench BENCH_ARGS="--repeats 5"`.
 bench:
-	PYTHONPATH=src python benchmarks/bench_engine.py --check
+	PYTHONPATH=src python benchmarks/bench_engine.py --check $(BENCH_ARGS)
+
+# Per-figure cProfile dumps (one .pstats per figure; CI uploads these).
+profile-figures:
+	PYTHONPATH=src python -m repro.experiments --events 30 --seeds 1 \
+		--profile --profile-dir profiles
 
 # Append a new trajectory entry to BENCH_engine.json (run after perf work).
 bench-record:

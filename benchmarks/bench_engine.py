@@ -63,6 +63,12 @@ CASES = {
     "paper_scale_noadapt": (_solar_trace, PAPER_EVENTS, NoAdaptPolicy),
     "paper_scale_quetzal": (_solar_trace, PAPER_EVENTS, QuetzalRuntime),
     "dense_trace_noadapt": (_dense_trace, DENSE_EVENTS, NoAdaptPolicy),
+    # Dense segments *and* the full decision path: the policy is invoked
+    # with the same frequency as paper_scale_quetzal but every
+    # true_input_power_w read lands on a different 50 ms trace segment,
+    # so the estimator cache token churns and the score tables rebuild
+    # far more often — the worst case for the cached decision path.
+    "dense_trace_quetzal": (_dense_trace, DENSE_EVENTS, QuetzalRuntime),
 }
 
 

@@ -175,24 +175,32 @@ class EnergyAwareSJF(Scheduler):
     ) -> Selection:
         self._require_candidates(candidates)
 
-        def checked_score(candidate: JobCandidate) -> float:
+        # One flat pass, scoring each candidate EXACTLY once: scorers may
+        # be expensive (a full Alg.-2 evaluation per job) or counted (the
+        # decision-path telemetry divides scored candidates by decisions),
+        # so no re-invocation during tie-breaking is allowed —
+        # tests/core/test_scheduler.py pins the call count.  Ties on E[S]
+        # break toward the older input (section 4.1); only strictly better
+        # (score, capture_time) pairs displace the incumbent, which picks
+        # the same winner as ``min()`` over key tuples (first minimum
+        # wins).  inf scores are fine (a job that can't recharge simply
+        # loses); NaN is rejected because it compares false against
+        # everything and would silently corrupt the ordering.
+        best: JobCandidate | None = None
+        best_score = 0.0
+        best_age = 0.0
+        for candidate in candidates:
             score = scorer(candidate)
             if math.isnan(score):
                 raise SchedulingError(
                     f"E[S] score for job {candidate.job.name!r} is NaN"
                 )
-            return score
-
-        # Ties on E[S] break toward the older input (section 4.1).  inf
-        # scores are fine (a job that can't recharge simply loses); NaN is
-        # rejected because it would silently corrupt the min() ordering.
-        if len(candidates) == 1:
-            best = candidates[0]
-            checked_score(best)  # still reject NaN scores
-        else:
-            best = min(
-                candidates, key=lambda c: (checked_score(c), c.oldest.capture_time)
-            )
+            if best is None or score < best_score or (
+                score == best_score and candidate.oldest.capture_time < best_age
+            ):
+                best = candidate
+                best_score = score
+                best_age = candidate.oldest.capture_time
         return _make_selection(best, best.oldest)
 
 

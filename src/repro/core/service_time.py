@@ -96,6 +96,28 @@ class ServiceTimeEstimator(ABC):
     def service_time(self, task: Task, option: DegradationOption) -> float:
         """Estimated S_e2e (seconds) of ``task`` at ``option`` right now."""
 
+    def cache_token(self) -> object | None:
+        """Hashable identity of the estimator's current prediction state.
+
+        Two cycles with equal tokens are guaranteed to return bit-identical
+        :meth:`service_time` values for every (task, option); a score cache
+        may therefore reuse results across them.  ``None`` (the default)
+        means "uncacheable — predictions may differ even between identical
+        cycles", which disables caching rather than risking stale scores.
+        """
+        return None
+
+    def service_time_vector(self, task: Task) -> tuple[float, ...]:
+        """S_e2e of every option of ``task`` at the current cycle.
+
+        Quality-ordered to match ``task.options``; each element is
+        bit-identical to the corresponding :meth:`service_time` call, so
+        the IBO engine's degradation-option walk can run over a flat array
+        instead of repeated dictionary-keyed queries.  Subclasses override
+        this with table-driven versions built at :meth:`profile` time.
+        """
+        return tuple(self.service_time(task, option) for option in task.options)
+
     def observe(
         self, task: Task, option: DegradationOption, observed_s: float
     ) -> None:
@@ -110,6 +132,15 @@ class ExactServiceTimeEstimator(ServiceTimeEstimator):
             raise ConfigurationError("input_power_floor_w must be positive")
         self._floor = input_power_floor_w
         self._p_in = self._floor
+        #: task name -> ((t_exe, ...), (E_exe, ...)) in option-quality order.
+        self._tables: dict[str, tuple[tuple[float, ...], tuple[float, ...]]] = {}
+
+    def profile(self, tasks: Iterable[Task]) -> None:
+        for task in tasks:
+            self._tables[task.name] = (
+                tuple(o.cost.t_exe_s for o in task.options),
+                tuple(o.cost.energy_j for o in task.options),
+            )
 
     def begin_cycle(self, true_input_power_w: float) -> None:
         if math.isnan(true_input_power_w) or true_input_power_w < 0:
@@ -118,9 +149,27 @@ class ExactServiceTimeEstimator(ServiceTimeEstimator):
             )
         self._p_in = max(true_input_power_w, self._floor)
 
+    def cache_token(self) -> object:
+        # Predictions depend only on the floored input power; the Eq.-1
+        # constants are fixed after construction.
+        return self._p_in
+
     def service_time(self, task: Task, option: DegradationOption) -> float:
         cost = option.cost
         return end_to_end_service_time(cost.t_exe_s, cost.energy_j, self._p_in)
+
+    def service_time_vector(self, task: Task) -> tuple[float, ...]:
+        # Flat Eq.-1 walk over the profiled (t_exe, E_exe) arrays.  The
+        # floor guarantees p_in > 0, and TaskCost validation guarantees
+        # finite positive inputs, so this is exactly the p_in > 0 branch of
+        # end_to_end_service_time — same `E_exe / P_in` division (NOT a
+        # shared-reciprocal multiply, which would not be bit-identical).
+        table = self._tables.get(task.name)
+        if table is None:
+            return super().service_time_vector(task)
+        t_exe, e_exe = table
+        p_in = self._p_in
+        return tuple(max(t, e / p_in) for t, e in zip(t_exe, e_exe))
 
 
 class HardwareServiceTimeEstimator(ServiceTimeEstimator):
@@ -137,18 +186,38 @@ class HardwareServiceTimeEstimator(ServiceTimeEstimator):
     def __init__(self, monitor: PowerMonitor | None = None) -> None:
         self.monitor = monitor or PowerMonitor()
         self._firmware: dict[tuple[str, str], DivisionFreeServiceTime] = {}
+        #: task name -> option-quality-ordered firmware rows (the flat
+        #: array the Alg.-2 option walk indexes by position, no dict keys).
+        self._rows: dict[str, tuple[DivisionFreeServiceTime, ...]] = {}
         self._v_d1_code = 0
+        self._last_power_w = -1.0
 
     def profile(self, tasks: Iterable[Task]) -> None:
         for task in tasks:
+            row = []
             for option in task.options:
                 v_d2 = self.monitor.profile_execution_power(option.cost.p_exe_w)
-                self._firmware[(task.name, option.name)] = DivisionFreeServiceTime(
-                    option.cost.t_exe_s, v_d2
-                )
+                fw = DivisionFreeServiceTime(option.cost.t_exe_s, v_d2)
+                self._firmware[(task.name, option.name)] = fw
+                row.append(fw)
+            self._rows[task.name] = tuple(row)
 
     def begin_cycle(self, true_input_power_w: float) -> None:
-        self._v_d1_code = self.monitor.measure_input_power(true_input_power_w)
+        # code_for_power is a pure function of the power (fixed diode, ADC,
+        # and temperature), and piecewise-constant traces feed many
+        # consecutive decisions the same power — skip re-quantising when
+        # the power literally has not changed.  (-1.0 is an impossible
+        # power, so the first cycle always measures.)
+        if true_input_power_w != self._last_power_w:
+            self._v_d1_code = self.monitor.measure_input_power(true_input_power_w)
+            self._last_power_w = true_input_power_w
+
+    def cache_token(self) -> object:
+        # The 8-bit input-power diode code is the *only* run-time input to
+        # Algorithm 3 — the per-option V_D2 codes and pre-multiplied t_exe
+        # tables are frozen at profile time.  At most 256 distinct tokens,
+        # so paper-scale runs hit the score cache almost every decision.
+        return self._v_d1_code
 
     def service_time(self, task: Task, option: DegradationOption) -> float:
         key = (task.name, option.name)
@@ -157,6 +226,15 @@ class HardwareServiceTimeEstimator(ServiceTimeEstimator):
                 f"task {task.name!r} option {option.name!r} was never profiled"
             )
         return self._firmware[key].service_time(self._v_d1_code)
+
+    def service_time_vector(self, task: Task) -> tuple[float, ...]:
+        row = self._rows.get(task.name)
+        if row is None:
+            raise ConfigurationError(
+                f"task {task.name!r} was never profiled"
+            )
+        code = self._v_d1_code
+        return tuple(fw.service_time(code) for fw in row)
 
 
 class AverageServiceTimeEstimator(ServiceTimeEstimator):
@@ -173,10 +251,16 @@ class AverageServiceTimeEstimator(ServiceTimeEstimator):
             raise ConfigurationError(f"history must be >= 1, got {history}")
         self._history = history
         self._observations: dict[tuple[str, str], deque[float]] = {}
+        self._epoch = 0
 
     def begin_cycle(self, true_input_power_w: float) -> None:
         # Deliberately ignores input power — that is the point of the baseline.
         pass
+
+    def cache_token(self) -> object:
+        # Predictions ignore input power entirely; they change only when a
+        # new observation lands, so the observe-epoch is the whole state.
+        return self._epoch
 
     def service_time(self, task: Task, option: DegradationOption) -> float:
         window = self._observations.get((task.name, option.name))
@@ -195,6 +279,7 @@ class AverageServiceTimeEstimator(ServiceTimeEstimator):
             window = deque(maxlen=self._history)
             self._observations[key] = window
         window.append(observed_s)
+        self._epoch += 1
 
 
 class EWMAServiceTimeEstimator(ServiceTimeEstimator):
@@ -225,6 +310,7 @@ class EWMAServiceTimeEstimator(ServiceTimeEstimator):
         self._tracker = EWMACostTracker(alpha=alpha)
         self._floor = input_power_floor_w
         self._p_in = self._floor
+        self._epoch = 0
 
     def begin_cycle(self, true_input_power_w: float) -> None:
         if math.isnan(true_input_power_w) or true_input_power_w < 0:
@@ -232,6 +318,11 @@ class EWMAServiceTimeEstimator(ServiceTimeEstimator):
                 f"input power must be non-negative, got {true_input_power_w}"
             )
         self._p_in = max(true_input_power_w, self._floor)
+
+    def cache_token(self) -> object:
+        # Eq. 1 at the floored power, with latencies that re-learn online:
+        # both the power and the observe-epoch identify the state.
+        return (self._p_in, self._epoch)
 
     def service_time(self, task: Task, option: DegradationOption) -> float:
         t_hat = self._tracker.estimate(
@@ -249,3 +340,4 @@ class EWMAServiceTimeEstimator(ServiceTimeEstimator):
         # Only execution-dominated observations update the latency model.
         if self._p_in >= option.cost.p_exe_w:
             self._tracker.observe(task.name, option.name, observed_s)
+            self._epoch += 1

@@ -56,15 +56,31 @@ class BitVectorWindow:
         """Current one-counter value."""
         return self._ones
 
-    def append(self, bit: bool) -> None:
-        """Record one observation, evicting the oldest if full."""
-        if len(self._bits) == self._size:
+    def append(self, bit: bool) -> bool:
+        """Record one observation, evicting the oldest if full.
+
+        Returns True when the append changed :meth:`fraction` — the O(1)
+        change signal score caches key their invalidation on.  A full
+        window absorbing a bit equal to the one it evicts, or a uniform
+        window growing by another copy of its only value, leaves the
+        fraction untouched (``ones/filled`` is unchanged in exactly those
+        cases); the very first bit always counts as a change because it
+        replaces the empty-window default.
+        """
+        bit = bool(bit)
+        filled = len(self._bits)
+        if filled == self._size:
             evicted = self._bits[0]
+            changed = bit != evicted
             if evicted:
                 self._ones -= 1
-        self._bits.append(bool(bit))
+        else:
+            # ones/filled == (ones+bit)/(filled+1)  ⟺  ones == bit*filled.
+            changed = filled == 0 or self._ones != (filled if bit else 0)
+        self._bits.append(bit)
         if bit:
             self._ones += 1
+        return changed
 
     def fraction(self, default: float = 0.0) -> float:
         """Fraction of 1s among recorded bits (``default`` if empty)."""
@@ -94,10 +110,17 @@ class ArrivalRateTracker:
             )
         self.window = BitVectorWindow(window_size)
         self.capture_period_s = capture_period_s
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Rate-change counter: bumped only when :meth:`rate` moves (O(1))."""
+        return self._epoch
 
     def record_capture(self, stored: bool) -> None:
         """Record one capture and whether it entered (or aimed for) the buffer."""
-        self.window.append(stored)
+        if self.window.append(stored):
+            self._epoch += 1
 
     def rate(self) -> float:
         """Current λ estimate in inputs per second.
@@ -122,10 +145,19 @@ class ExecutionProbabilityTracker:
             raise ConfigurationError(f"window_size must be >= 1, got {window_size}")
         self._window_size = window_size
         self._windows: dict[str, BitVectorWindow] = {}
+        self._epoch = 0
 
     @property
     def window_size(self) -> int:
         return self._window_size
+
+    @property
+    def epoch(self) -> int:
+        """Probability-change counter: bumped only when some task's
+        :meth:`probability` moves (O(1) per recorded bit).  Score caches
+        keyed on this epoch are invalidated exactly when a cached E[S]
+        could have gone stale."""
+        return self._epoch
 
     def record(self, task_name: str, executed: bool) -> None:
         """Append one observation for ``task_name``."""
@@ -133,12 +165,19 @@ class ExecutionProbabilityTracker:
         if window is None:
             window = BitVectorWindow(self._window_size)
             self._windows[task_name] = window
-        window.append(executed)
+        if window.append(executed):
+            self._epoch += 1
 
     def record_job(self, executed_by_task: dict[str, bool]) -> None:
         """Atomically record a completed job's per-task execution bits."""
+        # `self.record` inlined: this runs once per completed job.
+        windows = self._windows
         for task_name, executed in executed_by_task.items():
-            self.record(task_name, executed)
+            window = windows.get(task_name)
+            if window is None:
+                window = windows[task_name] = BitVectorWindow(self._window_size)
+            if window.append(executed):
+                self._epoch += 1
 
     def probability(self, task_name: str, default: float = 1.0) -> float:
         """Execution-probability estimate for ``task_name``."""

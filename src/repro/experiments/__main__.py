@@ -15,7 +15,8 @@ run.  ``--figure`` selects figures by substring of their id (e.g. ``9``,
 hotspots (by total time) after the figure renders — the quickest way to
 see where simulation wall-clock goes before reaching for
 ``benchmarks/bench_engine.py``.  Profiling forces ``--jobs 1``: child
-processes would escape the profiler.
+processes would escape the profiler.  ``--profile-dir DIR`` additionally
+dumps one ``.pstats`` file per figure (CI uploads these as artifacts).
 """
 
 from __future__ import annotations
@@ -72,6 +73,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="cProfile each figure and print its top hotspots (forces --jobs 1)",
     )
+    parser.add_argument(
+        "--profile-dir",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="with --profile, also dump one pstats file per figure into DIR "
+        "(CI uploads these as artifacts; inspect with `python -m pstats`)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 0:
@@ -110,6 +119,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[profile] {name}: top hotspots by total time")
             stats = pstats.Stats(profiler, stream=sys.stdout)
             stats.sort_stats("tottime").print_stats(15)
+            if args.profile_dir is not None:
+                import os
+                import re
+
+                os.makedirs(args.profile_dir, exist_ok=True)
+                slug = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+                out = os.path.join(args.profile_dir, f"{slug}.pstats")
+                profiler.dump_stats(out)
+                print(f"[profile] wrote {out}")
     if args.json is not None:
         import json
 

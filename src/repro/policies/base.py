@@ -38,6 +38,11 @@ __all__ = ["SchedulingContext", "Decision", "CompletionRecord", "Policy"]
 class SchedulingContext:
     """Everything a policy may observe when making a decision.
 
+    A context is only valid for the duration of the :meth:`Policy.select`
+    call it is passed to — the engine may reuse the object for the next
+    decision, so a policy that wants to keep any of it must copy the
+    values out.
+
     Attributes
     ----------
     now_s:
@@ -166,6 +171,26 @@ class Policy(ABC):
     #: Whether this policy's ratio math uses Quetzal's hardware module
     #: (affects the invocation cost charged by the engine).
     uses_hardware_module: bool = True
+
+    #: Whether :attr:`CompletionRecord.task_spans` must be populated for
+    #: this policy.  Policies whose completion hook never reads realised
+    #: per-task spans (e.g. estimators with a no-op ``observe``) may set
+    #: this False in :meth:`prepare`; the engine then skips timing every
+    #: executed task.  Purely a work-avoidance hint — simulation results
+    #: are identical either way.
+    needs_task_spans: bool = True
+
+    #: Whether the policy may use its constant-amortized decision path
+    #: (score caches, precomputed plans).  Mirrors
+    #: ``SimulationConfig(fast_paths=...)`` — the engine calls
+    #: :meth:`configure_decision_path` before :meth:`prepare` — and is part
+    #: of the same contract: both settings must produce bit-identical
+    #: results, differing only in work counted by decision-path telemetry.
+    fast_decision_path: bool = True
+
+    def configure_decision_path(self, enabled: bool) -> None:
+        """Enable/disable the cached decision path (engine hook)."""
+        self.fast_decision_path = enabled
 
     def prepare(self, jobs, capture_period_s: float) -> None:
         """One-time setup before a run (profiling phase, tracker sizing).

@@ -20,11 +20,12 @@ literal fixed-increment stepper).
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.device.buffer import BufferedInput, InputBuffer
+from repro.device.buffer import BufferedInput, InputBuffer, _input_ids
 from repro.device.checkpoint import CheckpointModel
 from repro.device.mcu import APOLLO4, MCUProfile
 from repro.device.storage import Supercapacitor
@@ -46,6 +47,11 @@ _ENERGY_EPS = 1e-12
 # invocation: identical fields, no generated-__init__ object.__setattr__
 # round-trips (see repro.policies.base._make_decision for the same idiom).
 _OBJ_NEW = object.__new__
+
+#: Shared CompletionRecord.task_spans for policies that never read spans
+#: (Policy.needs_task_spans is False) — saves one dict per completed job.
+#: Module-level and deliberately never written to.
+_NO_SPANS: dict = {}
 
 
 class _RunEnded(Exception):
@@ -192,6 +198,80 @@ class SimulationEngine:
             self._max_trace_power = trace.max_power  # type: ignore[attr-defined]
         except AttributeError:
             self._max_trace_power = trace.power(0.0)
+        # Candidate reuse (fast paths): pending_summary() rows change only
+        # when the buffer does, so the JobCandidate built for a row is
+        # reused while its (oldest, newest, count) triple is unchanged.
+        self._candidate_cache: dict[str, JobCandidate] = {}
+        # Reused SchedulingContext (fast paths; see _invoke_policy).
+        self._ctx: SchedulingContext | None = None
+        # Conservative default; run() refines it after policy.prepare(),
+        # when the policy knows whether its estimator consumes spans.
+        self._want_spans = self._on_complete_hook is not None
+        # Last span seen by the fused _advance_to loop: power is constant on
+        # a trace segment, and time only moves forward, so `power(self.now)`
+        # equals the cached value while `self.now < _span_until`.  Stays at
+        # the sentinel (never valid) when fast paths are off.
+        self._span_power = 0.0
+        self._span_until = -1.0
+        self._policy_cost: tuple[float, float, float] | None = None
+        # Bound once: _execute_job calls the planner once per job.
+        self._app_plan = app.plan
+        # Checkpoint reserve, resolved once for the _run_block loop and its
+        # inlined copies (the checkpoint model is per-run constant).
+        self._ckpt_reserve = self.checkpoint.save_energy_j
+        self._ckpt_threshold = self._ckpt_reserve + _ENERGY_EPS
+        # Known job names as a frozenset: the per-decision validation probe
+        # stays at C speed instead of JobSet.__contains__'s call frame.
+        self._job_names = frozenset(app.jobs._by_name)
+        # Loop-invariant _advance_to preamble, packed so the hot path pays
+        # one attribute load + tuple unpack instead of a dozen lookups.
+        # The trailing TraceCursor internals feed the inlined span query
+        # (None placeholders when fast paths are off and the tuple is
+        # never read).
+        capacity = self.storage._capacity
+        tq = self._tq
+        self._adv_consts = (
+            tq.span_at if self._fast else None,
+            self.storage,
+            self.metrics,
+            capacity,
+            -1e-9 * (capacity if capacity > 1.0 else 1.0),
+            self.hard_end,
+            self.hard_end - TIME_EPSILON,
+            self.config.capture_period_s,
+            tq,
+            tq._times if self._fast else None,
+            tq._powers if self._fast else None,
+            tq._n if self._fast else 0,
+            tq._period if self._fast else None,
+        )
+        # Loop-invariant capture-firing state for the inlined capture loops
+        # (_advance_to's boundary firing and _fire_due_captures' fast
+        # body), including the EventCursor internals so the per-capture
+        # event lookup runs without a call frame.  The dicts are the
+        # buffer's internals by identity; the buffer only replaces them in
+        # clear(), after the last capture of the run.
+        if self._fast:
+            sq = self._sq  # EventCursor (fast paths are on)
+            self._cap_consts = (
+                self.telemetry is None,
+                sq,
+                sq._starts,
+                sq._ends,
+                sq._events,
+                sq._n,
+                self._diff_p,
+                self._bg_diff_p,
+                self._on_capture_hook,
+                self.buffer,
+                self.buffer._entries,
+                self.buffer._by_job,
+                self.buffer._stats,
+                self.buffer._capacity,
+                self._entry_job,
+            )
+        else:
+            self._cap_consts = None
         self._ran = False
 
     # ------------------------------------------------------------------ run --
@@ -201,7 +281,19 @@ class SimulationEngine:
         if self._ran:
             raise SimulationError("SimulationEngine instances are single-use")
         self._ran = True
+        # The policy's cached decision path mirrors the engine's fast_paths
+        # switch: one knob governs the whole bit-identical-fast contract.
+        configure = getattr(self.policy, "configure_decision_path", None)
+        if configure is not None:
+            configure(self._fast)
         self.policy.prepare(self.app.jobs, self.config.capture_period_s)
+        # Read after prepare(): policies may only then know whether their
+        # estimator consumes realised task spans.  Skipping span timing is
+        # behaviour-preserving on both paths — the spans feed only the
+        # policy's observe loop, which such policies never run.
+        self._want_spans = self._on_complete_hook is not None and getattr(
+            self.policy, "needs_task_spans", True
+        )
         hard_end_eps = self.hard_end - TIME_EPSILON
         sched_end = self.schedule.end_time
         cap_period = self.config.capture_period_s
@@ -250,10 +342,115 @@ class SimulationEngine:
         limit = self.now + TIME_EPSILON
         idx = self._capture_index
         t = idx * cap_period
+        if t > limit:
+            return
+        if not self._fast or self.telemetry is not None:
+            while t <= limit:
+                self._do_capture(t)
+                idx = self._capture_index = idx + 1
+                t = idx * cap_period
+            return
+        # _do_capture + InputBuffer.try_insert inlined with the
+        # loop-invariant state hoisted — captures are the highest-frequency
+        # event in a run (~3x decisions), and each reference call re-loads
+        # a dozen attributes.  Same draws from the same RNG stream, same
+        # metric increments (captures_total is batched: integer adds
+        # commute and nothing reads it mid-loop), same insert state
+        # transitions; the telemetry path above keeps the readable
+        # reference body.
+        metrics = self.metrics
+        (
+            _,
+            ev_cur,
+            ev_starts,
+            ev_ends,
+            ev_events,
+            ev_n,
+            diff_p,
+            bg_diff_p,
+            hook,
+            buffer,
+            entries,
+            by_job,
+            stats_map,
+            cap,
+            entry_job,
+        ) = self._cap_consts
+        chunk = self._rng_chunk
+        pos = self._rng_pos
+        fired = 0
         while t <= limit:
-            self._do_capture(t)
-            idx = self._capture_index = idx + 1
+            fired += 1
+            # EventCursor.event_at inlined (same index cache discipline and
+            # the same bisect fallback — identical results, no call frame).
+            if ev_n:
+                eidx = ev_cur._idx
+                if ev_starts[eidx] <= t:
+                    nxt = eidx + 1
+                    if nxt < ev_n and ev_starts[nxt] <= t:
+                        eidx += 1
+                        nxt += 1
+                        if nxt < ev_n and ev_starts[nxt] <= t:
+                            eidx = bisect_right(ev_starts, t) - 1
+                        ev_cur._idx = eidx
+                    ev = ev_events[eidx] if t < ev_ends[eidx] else None
+                else:
+                    eidx = bisect_right(ev_starts, t) - 1
+                    ev_cur._idx = eidx if eidx >= 0 else 0
+                    ev = (
+                        ev_events[eidx]
+                        if eidx >= 0 and t < ev_ends[eidx]
+                        else None
+                    )
+            else:
+                ev = None
+            if pos == len(chunk):
+                chunk = self._rng_chunk = self._capture_rng.random(1024).tolist()
+                pos = 0
+            diff_draw = chunk[pos]
+            pos += 1
+            if ev is not None:
+                active = diff_draw < diff_p
+                interesting = active and ev.interesting
+            else:
+                active = diff_draw < bg_diff_p
+                interesting = False
+            if interesting:
+                metrics.captures_interesting += 1
+            if hook is not None:
+                hook(t, active)
+            if active:
+                metrics.captures_active += 1
+                if cap is not None and len(entries) >= cap:
+                    metrics.ibo_drops += 1
+                    if interesting:
+                        metrics.ibo_drops_interesting += 1
+                else:
+                    # try_insert minus the guards a freshly constructed
+                    # entry cannot trip (not-buffered, unique input_id);
+                    # BufferedInput.__init__ bypassed slot-for-slot, with
+                    # the same id drawn from the same shared counter.
+                    entry = _OBJ_NEW(BufferedInput)
+                    entry.capture_time = t
+                    entry.interesting = interesting
+                    entry._job_name = entry_job
+                    entry.enqueue_time = t
+                    entry.input_id = next(_input_ids)
+                    entry._buffer = buffer
+                    entry._seq = buffer._next_seq
+                    buffer._next_seq += 1
+                    entries[entry.input_id] = entry
+                    pending = by_job.get(entry_job)
+                    if pending is None:
+                        pending = by_job[entry_job] = {}
+                    pending[entry.input_id] = entry
+                    stats_map.pop(entry_job, None)
+                    metrics.stored += 1
+            idx += 1
             t = idx * cap_period
+        metrics.captures_total += fired
+        self._rng_pos = pos
+        self._capture_index = idx
 
     def _advance_to(
         self, target_s: float, draw_w: float, stop_energy_j: float | None = None
@@ -279,22 +476,35 @@ class SimulationEngine:
         target_eps = target_s - TIME_EPSILON
         if now >= target_eps:
             return False
-        span_at = self._tq.span_at
-        storage = self.storage
-        metrics = self.metrics
+        (
+            span_at,
+            storage,
+            metrics,
+            capacity,
+            overdraw_floor,
+            hard_end,
+            hard_end_eps,
+            cap_period,
+            tr_cur,
+            tr_times,
+            tr_powers,
+            tr_n,
+            tr_period,
+        ) = self._adv_consts
         e_consumed = metrics.energy_consumed_j
         e_harvested = metrics.energy_harvested_j
-        capacity = storage._capacity
-        overdraw_floor = -1e-9 * (capacity if capacity > 1.0 else 1.0)
         energy = storage._energy
         target = target_s
-        hard_end = self.hard_end
-        hard_end_eps = hard_end - TIME_EPSILON
-        cap_period = self.config.capture_period_s
         has_stop = stop_energy_j is not None
         # _capture_index only moves inside _fire_due_captures, so the next
         # capture time is loop-invariant between firings.
         next_cap = self._capture_index * cap_period
+        # Span reuse: power is constant on [query time, nb), and time only
+        # moves forward, so the last span answers every query until `now`
+        # crosses its boundary — including spans cached by a previous
+        # _advance_to call.
+        sp_power = self._span_power
+        sp_until = self._span_until
         while now < target_eps:
             if now >= hard_end_eps:
                 self.now = now
@@ -304,7 +514,51 @@ class SimulationEngine:
             boundary = next_cap
             if target < boundary:
                 boundary = target
-            p_in, nb = span_at(now)
+            if now < sp_until:
+                p_in = sp_power
+                nb = sp_until
+            else:
+                if tr_period is not None and now >= 0:
+                    # TraceCursor.span_at inlined for the periodic trace
+                    # (the benchmark shape): same fold, the same cached
+                    # segment-index discipline with the same bisect
+                    # fallback, and the same boundary arithmetic —
+                    # identical floats, no call frame.
+                    k = math.floor(now / tr_period)
+                    local = now - k * tr_period
+                    if local >= tr_period:
+                        local -= tr_period
+                        k += 1
+                    seg = tr_cur._idx
+                    if tr_times[seg] <= local:
+                        nxt_seg = seg + 1
+                        if not (nxt_seg == tr_n or local < tr_times[nxt_seg]):
+                            if (
+                                nxt_seg + 1 == tr_n
+                                or local < tr_times[nxt_seg + 1]
+                            ):
+                                if tr_times[nxt_seg] <= local:
+                                    seg = tr_cur._idx = nxt_seg
+                                else:
+                                    seg = bisect_right(tr_times, local) - 1
+                                    tr_cur._idx = seg if seg >= 0 else 0
+                            else:
+                                seg = bisect_right(tr_times, local) - 1
+                                tr_cur._idx = seg if seg >= 0 else 0
+                    else:
+                        seg = bisect_right(tr_times, local) - 1
+                        tr_cur._idx = seg if seg >= 0 else 0
+                    p_in = tr_powers[seg]
+                    if seg + 1 < tr_n:
+                        nb = k * tr_period + tr_times[seg + 1]
+                    else:
+                        nb = k * tr_period + tr_period
+                    if nb <= now:
+                        nb = math.nextafter(now, math.inf)
+                else:
+                    p_in, nb = span_at(now)
+                self._span_power = sp_power = p_in
+                self._span_until = sp_until = nb
             if nb < boundary:
                 boundary = nb
             if hard_end < boundary:
@@ -365,13 +619,123 @@ class SimulationEngine:
             now = boundary
             if next_cap <= now + TIME_EPSILON:
                 self.now = now
-                metrics.energy_consumed_j = e_consumed
-                metrics.energy_harvested_j = e_harvested
-                self._fire_due_captures()
-                e_consumed = metrics.energy_consumed_j
-                e_harvested = metrics.energy_harvested_j
-                energy = storage._energy
-                next_cap = self._capture_index * cap_period
+                (
+                    cap_inline,
+                    ev_cur,
+                    ev_starts,
+                    ev_ends,
+                    ev_events,
+                    ev_n,
+                    diff_p,
+                    bg_diff_p,
+                    hook,
+                    buffer_obj,
+                    entries,
+                    by_job,
+                    stats_map,
+                    buf_cap,
+                    entry_job,
+                ) = self._cap_consts
+                if cap_inline:
+                    # _fire_due_captures' fast body inlined at its hottest
+                    # call site: a boundary crossing almost always fires
+                    # exactly one capture, so the function's per-call
+                    # prologue dominated.  Same draws from the same RNG
+                    # stream, same metric increments and insert state
+                    # transitions; captures never touch the storage or the
+                    # two energy metrics folded through locals here, so
+                    # those need no flush/reload around the firing.
+                    idx = self._capture_index
+                    t = idx * cap_period
+                    limit = now + TIME_EPSILON
+                    chunk = self._rng_chunk
+                    pos = self._rng_pos
+                    fired = 0
+                    while t <= limit:
+                        fired += 1
+                        # EventCursor.event_at inlined (see the identical
+                        # block in _fire_due_captures).
+                        if ev_n:
+                            eidx = ev_cur._idx
+                            if ev_starts[eidx] <= t:
+                                nxt = eidx + 1
+                                if nxt < ev_n and ev_starts[nxt] <= t:
+                                    eidx += 1
+                                    nxt += 1
+                                    if nxt < ev_n and ev_starts[nxt] <= t:
+                                        eidx = bisect_right(ev_starts, t) - 1
+                                    ev_cur._idx = eidx
+                                ev = (
+                                    ev_events[eidx]
+                                    if t < ev_ends[eidx]
+                                    else None
+                                )
+                            else:
+                                eidx = bisect_right(ev_starts, t) - 1
+                                ev_cur._idx = eidx if eidx >= 0 else 0
+                                ev = (
+                                    ev_events[eidx]
+                                    if eidx >= 0 and t < ev_ends[eidx]
+                                    else None
+                                )
+                        else:
+                            ev = None
+                        if pos == len(chunk):
+                            chunk = self._rng_chunk = (
+                                self._capture_rng.random(1024).tolist()
+                            )
+                            pos = 0
+                        diff_draw = chunk[pos]
+                        pos += 1
+                        if ev is not None:
+                            active = diff_draw < diff_p
+                            interesting = active and ev.interesting
+                        else:
+                            active = diff_draw < bg_diff_p
+                            interesting = False
+                        if interesting:
+                            metrics.captures_interesting += 1
+                        if hook is not None:
+                            hook(t, active)
+                        if active:
+                            metrics.captures_active += 1
+                            if buf_cap is not None and len(entries) >= buf_cap:
+                                metrics.ibo_drops += 1
+                                if interesting:
+                                    metrics.ibo_drops_interesting += 1
+                            else:
+                                # BufferedInput.__init__ bypassed (see the
+                                # identical block in _fire_due_captures).
+                                entry = _OBJ_NEW(BufferedInput)
+                                entry.capture_time = t
+                                entry.interesting = interesting
+                                entry._job_name = entry_job
+                                entry.enqueue_time = t
+                                entry.input_id = next(_input_ids)
+                                entry._buffer = buffer_obj
+                                entry._seq = buffer_obj._next_seq
+                                buffer_obj._next_seq += 1
+                                entries[entry.input_id] = entry
+                                pending = by_job.get(entry_job)
+                                if pending is None:
+                                    pending = by_job[entry_job] = {}
+                                pending[entry.input_id] = entry
+                                stats_map.pop(entry_job, None)
+                                metrics.stored += 1
+                        idx += 1
+                        t = idx * cap_period
+                    metrics.captures_total += fired
+                    self._rng_pos = pos
+                    self._capture_index = idx
+                    next_cap = t
+                else:
+                    metrics.energy_consumed_j = e_consumed
+                    metrics.energy_harvested_j = e_harvested
+                    self._fire_due_captures()
+                    e_consumed = metrics.energy_consumed_j
+                    e_harvested = metrics.energy_harvested_j
+                    energy = storage._energy
+                    next_cap = self._capture_index * cap_period
         self.now = now
         metrics.energy_consumed_j = e_consumed
         metrics.energy_harvested_j = e_harvested
@@ -528,10 +892,15 @@ class SimulationEngine:
         self.metrics.recharge_time_s += self.now - start
 
     def _run_block(self, duration_s: float, power_w: float) -> None:
-        """Run a compute block intermittently, checkpointing across failures."""
+        """Run a compute block intermittently, checkpointing across failures.
+
+        The body is inlined verbatim at the two hottest call sites
+        (_invoke_policy's invocation-cost charge and _execute_job's task
+        loop); keep all three in sync.
+        """
         remaining = duration_s
-        reserve = self.checkpoint.save_energy_j
-        threshold = reserve + _ENERGY_EPS
+        reserve = self._ckpt_reserve
+        threshold = self._ckpt_threshold
         storage = self.storage
         while remaining > TIME_EPSILON:
             if storage._energy <= threshold:
@@ -621,19 +990,29 @@ class SimulationEngine:
             metrics.captures_interesting += 1
         hook = self._on_capture_hook
         if hook is not None:
-            hook(t, stored=active)
+            hook(t, active)  # positional: ~55k calls/run, kwargs cost real time
         if not active:
             return
         metrics.captures_active += 1
+        buffer = self.buffer
+        cap = buffer._capacity
+        # buffer.is_full, property call elided (one check per active capture).
+        if cap is not None and len(buffer._entries) >= cap:
+            # Overflow: the input is dropped before an entry is even built
+            # (same observable outcome as a failed try_insert).
+            metrics.ibo_drops += 1
+            if interesting:
+                metrics.ibo_drops_interesting += 1
+            return
         entry = BufferedInput(
             capture_time=t,
             interesting=interesting,
             job_name=self._entry_job,
             enqueue_time=t,
         )
-        if self.buffer.try_insert(entry):
+        if buffer.try_insert(entry):
             metrics.stored += 1
-        else:
+        else:  # pragma: no cover - is_full was checked just above
             metrics.ibo_drops += 1
             if interesting:
                 metrics.ibo_drops_interesting += 1
@@ -641,6 +1020,8 @@ class SimulationEngine:
     # ----------------------------------------------------------------- policy --
 
     def _build_candidates(self) -> list[JobCandidate]:
+        # Reference path only; the fast path builds its candidates inline
+        # in _invoke_policy.
         job_of = self.app.jobs.job
         candidates = []
         for job_name, oldest, newest, count in self.buffer.pending_summary():
@@ -655,16 +1036,106 @@ class SimulationEngine:
 
     def _invoke_policy(self) -> Decision:
         buffer = self.buffer
-        context = _OBJ_NEW(SchedulingContext)
+        if self._fast:
+            # One context object per run, re-populated per decision: the
+            # SchedulingContext contract says it is only valid for the
+            # duration of select() (policies must copy what they keep), so
+            # reuse is invisible to a conforming policy and saves an
+            # allocation on every decision.
+            context = self._ctx
+            if context is None:
+                context = self._ctx = _OBJ_NEW(SchedulingContext)
+            # Incremental candidate state, inlined (one policy invocation
+            # per executed job makes this the hottest buffer read).
+            # Between decisions the buffer usually changes by one entry
+            # (the processed input leaves, a few captures arrive), so most
+            # per-job stats rows are unchanged and their frozen
+            # JobCandidate can be reused as-is.  Field-for-field the
+            # reused object is what a rebuild would produce (identity on
+            # oldest/newest, equal count), so both paths hand the policy
+            # equal candidates; pending_summary()'s per-job (oldest,
+            # newest, min_seq) stats and oldest-first order are preserved.
+            by_job = buffer._by_job
+            stats_map = buffer._stats
+            stats = buffer._job_stats
+            n_jobs = len(by_job)
+            if n_jobs == 2:
+                # The overwhelmingly common non-trivial shape (detect +
+                # transmit pending): order the pair by min_seq directly —
+                # seqs are unique, so the `>` swap reproduces sorted()'s
+                # oldest-first order — and keep the fetched stats rows for
+                # the candidate loop below.
+                it = iter(by_job)
+                job_a = next(it)
+                job_b = next(it)
+                row_a = stats_map.get(job_a)
+                if row_a is None:
+                    row_a = stats(job_a)
+                row_b = stats_map.get(job_b)
+                if row_b is None:
+                    row_b = stats(job_b)
+                if row_a[2] > row_b[2]:
+                    ordered = ((job_b, row_b), (job_a, row_a))
+                else:
+                    ordered = ((job_a, row_a), (job_b, row_b))
+            elif n_jobs == 1:
+                for job_a in by_job:
+                    row_a = stats_map.get(job_a)
+                    if row_a is None:
+                        row_a = stats(job_a)
+                ordered = ((job_a, row_a),)
+            else:
+                names = sorted(
+                    by_job,
+                    key=lambda job: (stats_map.get(job) or stats(job))[2],
+                )
+                ordered = tuple(
+                    (job, stats_map.get(job) or stats(job)) for job in names
+                )
+            cache = self._candidate_cache
+            candidates = []
+            for job_name, row in ordered:
+                oldest, newest, _ = row
+                count = len(by_job[job_name])
+                candidate = cache.get(job_name)
+                if (
+                    candidate is None
+                    or candidate.oldest is not oldest
+                    or candidate.newest is not newest
+                    or candidate.pending_count != count
+                ):
+                    candidate = _OBJ_NEW(JobCandidate)
+                    cd = candidate.__dict__
+                    cd["job"] = self.app.jobs.job(job_name)
+                    cd["oldest"] = oldest
+                    cd["newest"] = newest
+                    cd["pending_count"] = count
+                    cache[job_name] = candidate
+                candidates.append(candidate)
+        else:
+            context = _OBJ_NEW(SchedulingContext)
+            candidates = self._build_candidates()
         d = context.__dict__
-        d["now_s"] = self.now
-        d["candidates"] = self._build_candidates()
+        now = self.now
+        d["now_s"] = now
+        d["candidates"] = candidates
         d["buffer_occupancy"] = len(buffer._entries)
         d["buffer_limit"] = buffer._capacity
-        d["true_input_power_w"] = self._tq.power(self.now)
+        d["true_input_power_w"] = (
+            self._span_power if now < self._span_until else self._tq.power(now)
+        )
         d["max_trace_power_w"] = self._max_trace_power
         decision = self.policy.select(context)
-        self._validate_decision(decision)
+        # _validate_decision inlined (runs once per decision): cheap guard
+        # checks first — a frozenset probe and the slot read behind the
+        # job_name property — the error formatting stays in the cold helper.
+        entry = decision.entry
+        if (
+            decision.job_name not in self._job_names
+            or buffer._entries.get(entry.input_id) is not entry
+            or entry._job_name != decision.job_name
+        ):
+            self._validate_decision(decision)
         if self.telemetry is not None:
             job = self.app.jobs.job(decision.job_name)
             deg_task = job.degradable_task
@@ -682,11 +1153,42 @@ class SimulationEngine:
         if decision.ibo_predicted:
             metrics.ibo_predictions += 1
         if self._charge_overhead:
-            time_s, energy_j = self.policy.invocation_cost(self.mcu)
-            if time_s > 0:
-                metrics.policy_time_s += time_s
-                metrics.policy_energy_j += energy_j
-                self._run_block(time_s, energy_j / time_s)
+            if self._fast:
+                # The policy's invocation cost is constant across a run
+                # (it depends only on the prepared job set), so the cost
+                # pair and its power quotient are resolved once.
+                cost = self._policy_cost
+                if cost is None:
+                    time_s, energy_j = self.policy.invocation_cost(self.mcu)
+                    cost = self._policy_cost = (
+                        time_s,
+                        energy_j,
+                        energy_j / time_s if time_s > 0 else 0.0,
+                    )
+                time_s, energy_j, power_w = cost
+                if time_s > 0:
+                    metrics.policy_time_s += time_s
+                    metrics.policy_energy_j += energy_j
+                    # _run_block inlined (identical loop; once per decision).
+                    remaining = time_s
+                    reserve = self._ckpt_reserve
+                    storage = self.storage
+                    while remaining > TIME_EPSILON:
+                        if storage._energy <= self._ckpt_threshold:
+                            self._recharge_to_restart()
+                        start = self.now
+                        depleted = self._advance_to(
+                            start + remaining, power_w, stop_energy_j=reserve
+                        )
+                        remaining -= self.now - start
+                        if depleted and remaining > TIME_EPSILON:
+                            self._power_failure()
+            else:
+                time_s, energy_j = self.policy.invocation_cost(self.mcu)
+                if time_s > 0:
+                    metrics.policy_time_s += time_s
+                    metrics.policy_energy_j += energy_j
+                    self._run_block(time_s, energy_j / time_s)
         return decision
 
     def _validate_decision(self, decision: Decision) -> None:
@@ -706,22 +1208,39 @@ class SimulationEngine:
 
     def _execute_job(self, decision: Decision) -> None:
         entry = decision.entry
-        plan = self.app.plan(
+        plan = self._app_plan(
             decision.job_name, entry.interesting, decision.chosen_options, self.rng
         )
         started = self.now
         complete_hook = self._on_complete_hook
-        task_spans: dict[str, float] = {}
+        jitter = self._cost_jitter
+        want_spans = self._want_spans
+        task_spans: dict[str, float] = {} if want_spans else _NO_SPANS
+        reserve = self._ckpt_reserve
+        threshold = self._ckpt_threshold
+        storage = self.storage
         try:
             for planned in plan.planned:
                 if not planned.executes:
                     continue
                 cost: TaskCost = planned.option.cost
-                if self._cost_jitter is not None:
-                    cost = self._cost_jitter.jittered(cost)
+                if jitter is not None:
+                    cost = jitter.jittered(cost)
                 t0 = self.now
-                self._run_block(cost.t_exe_s, cost.p_exe_w)
-                if complete_hook is not None:
+                # _run_block inlined (identical loop; 1-2 tasks per job).
+                remaining = cost.t_exe_s
+                power_w = cost.p_exe_w
+                while remaining > TIME_EPSILON:
+                    if storage._energy <= threshold:
+                        self._recharge_to_restart()
+                    start = self.now
+                    depleted = self._advance_to(
+                        start + remaining, power_w, stop_energy_j=reserve
+                    )
+                    remaining -= self.now - start
+                    if depleted and remaining > TIME_EPSILON:
+                        self._power_failure()
+                if want_spans:
                     task_spans[planned.ref.task.name] = self.now - t0
         except _RunEnded:
             # Job cut off by the end of the run; its input stays buffered
@@ -730,7 +1249,22 @@ class SimulationEngine:
 
         outcome = plan.outcome
         if outcome.remove_input:
-            self.buffer.remove(entry)
+            if self._fast:
+                # InputBuffer.remove inlined, minus its membership guard:
+                # the decision was validated against the buffer and task
+                # execution only *inserts* captures, so the entry is still
+                # present by construction.
+                buffer = self.buffer
+                del buffer._entries[entry.input_id]
+                job_name = entry._job_name
+                pending = buffer._by_job[job_name]
+                del pending[entry.input_id]
+                if not pending:
+                    del buffer._by_job[job_name]
+                buffer._stats.pop(job_name, None)
+                entry._buffer = None
+            else:
+                self.buffer.remove(entry)
         elif outcome.respawn_job is not None:
             # Job spawning (paper section 5.2): the input stays buffered in
             # place, re-indexed under the follow-on job.
@@ -740,9 +1274,15 @@ class SimulationEngine:
         metrics.jobs_completed += 1
         if decision.degraded:
             metrics.jobs_degraded += 1
-        deg_task = plan.job.degradable_task
-        chosen = decision.chosen_options.get(deg_task.name, deg_task.highest_quality)
-        metrics.record_option_use(deg_task.name, chosen.name)
+        deg_task = plan.job._degradable_ref.task  # degradable_task, sans property
+        deg_name = deg_task.name
+        chosen = decision.chosen_options.get(deg_name, deg_task.highest_quality)
+        # metrics.record_option_use inlined (once per completed job).
+        per_task = metrics.option_use.get(deg_name)
+        if per_task is None:
+            per_task = metrics.option_use[deg_name] = {}
+        chosen_name = chosen.name
+        per_task[chosen_name] = per_task.get(chosen_name, 0) + 1
         if outcome.false_negative:
             metrics.false_negatives += 1
         elif outcome.classified_positive is False:
@@ -757,16 +1297,18 @@ class SimulationEngine:
             metrics.prediction_abs_error_s += abs(error)
 
         if complete_hook is not None:
-            record = CompletionRecord(
-                decision=decision,
-                started_s=started,
-                finished_s=self.now,
-                executed_by_task={
-                    p.ref.task.name: p.executes for p in plan.planned
-                },
-                outcome=outcome,
-                task_spans=task_spans,
-            )
+            # Frozen-dataclass bypass (same trick as SchedulingContext /
+            # JobCandidate): __init__ costs an object.__setattr__ per field.
+            record = _OBJ_NEW(CompletionRecord)
+            d = record.__dict__
+            d["decision"] = decision
+            d["started_s"] = started
+            d["finished_s"] = self.now
+            # Shared with every record built from this cached plan (the
+            # mapping is a pure function of the plan; read-only downstream).
+            d["executed_by_task"] = plan.executed_by_task
+            d["outcome"] = outcome
+            d["task_spans"] = task_spans
             complete_hook(record)
 
     def _record_packet(self, interesting: bool, quality: str) -> None:
@@ -790,6 +1332,19 @@ class SimulationEngine:
         leftovers = self.buffer.clear()
         self.metrics.leftover_total = len(leftovers)
         self.metrics.leftover_interesting = sum(1 for e in leftovers if e.interesting)
+        # Decision-path work counters (policies without a cached decision
+        # path leave the RunMetrics fields at their zero defaults).  These
+        # describe implementation effort and are excluded from the
+        # fast-vs-reference bit-identical contract.
+        stats = getattr(self.policy, "decision_stats", None)
+        if stats is not None:
+            self.metrics.decision_cache_hits = stats.cache_hits
+            self.metrics.decision_cache_misses = stats.cache_misses
+            self.metrics.decision_scored_candidates = stats.scored_candidates
+            self.metrics.degradation_walks = stats.degradation_walks
+            self.metrics.degradation_walk_steps = stats.degradation_walk_steps
+        if self.telemetry is not None:
+            self.telemetry.on_run_end(stats)
 
 
 def simulate(
@@ -801,10 +1356,11 @@ def simulate(
     storage: Supercapacitor | None = None,
     checkpoint: CheckpointModel | None = None,
     config: SimulationConfig | None = None,
+    telemetry=None,
 ) -> RunMetrics:
     """Convenience wrapper: build an engine, run it, return the metrics."""
     engine = SimulationEngine(
         app, policy, trace, schedule, mcu=mcu, storage=storage,
-        checkpoint=checkpoint, config=config,
+        checkpoint=checkpoint, config=config, telemetry=telemetry,
     )
     return engine.run()

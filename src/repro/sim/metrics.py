@@ -74,6 +74,20 @@ class RunMetrics:
     prediction_abs_error_s: float = 0.0
     prediction_error_s: float = 0.0
 
+    # -- decision-path observability -----------------------------------------------------
+    # Work counters from the policy's cached decision path (see
+    # repro.sim.telemetry.DecisionPathStats).  These measure implementation
+    # effort, not simulated behaviour: they are the one part of RunMetrics
+    # deliberately EXCLUDED from the fast-vs-reference bit-identical
+    # contract (tests/sim/test_fast_paths.py strips them), and they stay
+    # zero whenever the cached path is disabled (fast_paths=False) or the
+    # policy has no decision cache.
+    decision_cache_hits: int = 0
+    decision_cache_misses: int = 0
+    decision_scored_candidates: int = 0
+    degradation_walks: int = 0
+    degradation_walk_steps: int = 0
+
     # -- per-option degradation counts (task -> option -> jobs) -------------------------
     option_use: dict = field(default_factory=dict)
 

@@ -12,11 +12,91 @@ as parallel lists cheap enough to leave enabled for paper-scale runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError
 
-__all__ = ["BufferSample", "DecisionSample", "TelemetryRecorder"]
+__all__ = [
+    "BufferSample",
+    "DecisionSample",
+    "DecisionPathStats",
+    "TelemetryRecorder",
+]
+
+
+@dataclass
+class DecisionPathStats:
+    """Work counters for the scheduler's cached decision path.
+
+    Maintained by :class:`~repro.core.runtime.QuetzalRuntime` when its fast
+    decision path is enabled (mirroring ``SimulationConfig(fast_paths=...)``)
+    and surfaced through :class:`TelemetryRecorder` and
+    :class:`~repro.sim.metrics.RunMetrics`.  These count *implementation
+    work*, not simulated behaviour: a run with a 99% cache-hit rate and one
+    with caching disabled produce bit-identical simulation results — these
+    counters are how the difference in decision cost is observed.
+
+    Attributes
+    ----------
+    decisions:
+        Scheduling decisions made (Alg. 1 invocations on the fast path).
+    scored_candidates:
+        Candidate jobs scored across all decisions; each candidate is
+        scored exactly once per decision, so this is the Σ of per-decision
+        candidate counts.
+    cache_hits / cache_misses:
+        Outcomes of the per-job decision memo, keyed on (estimator state,
+        probability epoch, λ, free buffer space, PID correction).  A hit
+        reuses a complete Alg.-2 evaluation (Eq.-1 scoring + IBO detection
+        + degradation walk) without recomputing anything.
+    score_table_rebuilds:
+        Times a job's Eq.-1 score table (per-option S_e2e vector + the
+        non-degradable E[S] sum + execution probabilities) had to be
+        recomputed because the estimator state or a probability window
+        changed.  Decision-memo misses whose score table was still valid
+        (e.g. only the PID correction moved) skip this cost — the gap
+        between ``cache_misses`` and ``score_table_rebuilds`` is work the
+        Eq.-1 table cache saved.
+    degradation_walks:
+        Cache misses whose IBO detection fired, requiring a reaction walk.
+    degradation_walk_steps:
+        Total degradation options stepped across those walks (Alg. 2's
+        option-list traversal length, summed).
+    """
+
+    decisions: int = 0
+    scored_candidates: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    score_table_rebuilds: int = 0
+    degradation_walks: int = 0
+    degradation_walk_steps: int = 0
+
+    def hit_rate(self) -> float:
+        """Cache hits as a fraction of lookups (0 when never consulted)."""
+        lookups = self.cache_hits + self.cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.cache_hits / lookups
+
+    def mean_walk_length(self) -> float:
+        """Mean degradation-walk length over walks taken (0 if none)."""
+        if self.degradation_walks == 0:
+            return 0.0
+        return self.degradation_walk_steps / self.degradation_walks
+
+    def as_dict(self) -> dict:
+        return {
+            "decisions": self.decisions,
+            "scored_candidates": self.scored_candidates,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.hit_rate(),
+            "score_table_rebuilds": self.score_table_rebuilds,
+            "degradation_walks": self.degradation_walks,
+            "degradation_walk_steps": self.degradation_walk_steps,
+            "mean_walk_length": self.mean_walk_length(),
+        }
 
 
 @dataclass(frozen=True)
@@ -58,6 +138,9 @@ class TelemetryRecorder:
         self.sample_every = sample_every
         self.buffer_samples: list[BufferSample] = []
         self.decisions: list[DecisionSample] = []
+        #: End-of-run decision-path work counters (None until the engine
+        #: finalizes a run with a policy that exposes them).
+        self.decision_path: DecisionPathStats | None = None
         self._capture_count = 0
 
     # -- engine hooks -----------------------------------------------------------
@@ -90,6 +173,16 @@ class TelemetryRecorder:
             DecisionSample(
                 t, job_name, option_name, degraded, ibo_predicted, predicted_service_s
             )
+        )
+
+    def on_run_end(self, decision_path: DecisionPathStats | None) -> None:
+        """Snapshot the policy's decision-path counters at finalize time.
+
+        A *copy* is stored: the policy object may be reused for another
+        run, and a recorder must keep the counters of the run it watched.
+        """
+        self.decision_path = (
+            replace(decision_path) if decision_path is not None else None
         )
 
     # -- analysis helpers ----------------------------------------------------------

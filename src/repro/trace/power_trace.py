@@ -36,6 +36,13 @@ from repro.errors import TraceError
 
 __all__ = ["PowerTrace", "PiecewiseConstantTrace", "TraceCursor"]
 
+#: Whole-period counts at or beyond this are treated as "never": the skip
+#: arithmetic in ``time_to_harvest`` (``n_whole * period``) would overflow
+#: float range long before, and a wait this long exceeds any simulated
+#: horizon by hundreds of orders of magnitude.  Reached only for denormal
+#: per-period energies (~1e-300 W traces).
+_MAX_HARVEST_PERIODS = 1e300
+
 
 class PowerTrace:
     """Interface for harvested input-power traces.
@@ -334,8 +341,17 @@ class PiecewiseConstantTrace(PowerTrace):
             if e_to_boundary < remaining:
                 remaining -= e_to_boundary
                 t = (k + 1) * self._period
-                n_whole = math.floor(remaining / self._energy_per_period)
-                t += n_whole * self._period
+                periods = remaining / self._energy_per_period
+                # A denormal per-period energy can push the whole-period
+                # count (or the skipped time) past float range; the wait is
+                # then beyond any representable horizon.
+                if periods >= _MAX_HARVEST_PERIODS:
+                    return math.inf
+                n_whole = math.floor(periods)
+                skip = n_whole * self._period
+                if math.isinf(skip):
+                    return math.inf
+                t += skip
                 remaining -= n_whole * self._energy_per_period
                 if remaining <= 0:
                     return t - t0
@@ -577,8 +593,16 @@ class TraceCursor:
             if e_to_boundary < remaining:
                 remaining -= e_to_boundary
                 t = (k + 1) * period
-                n_whole = math.floor(remaining / self._epp)
-                t += n_whole * period
+                periods = remaining / self._epp
+                # Same overflow guard as the stateless path: a denormal
+                # per-period energy makes the wait unrepresentable.
+                if periods >= _MAX_HARVEST_PERIODS:
+                    return math.inf
+                n_whole = math.floor(periods)
+                skip = n_whole * period
+                if math.isinf(skip):
+                    return math.inf
+                t += skip
                 remaining -= n_whole * self._epp
                 if remaining <= 0:
                     return t - t0

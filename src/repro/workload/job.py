@@ -92,6 +92,11 @@ class Job:
         self.task_refs = task_refs
         self.spawns = spawns
         self._degradable_ref = degradable[0]
+        # Computed once: non_degradable_refs sits on the per-decision hot
+        # path (Alg. 2 sums it every IBO pass) and task_refs is immutable.
+        self._non_degradable_refs = tuple(
+            ref for ref in task_refs if ref.task is not self._degradable_ref.task
+        )
 
     @property
     def degradable_task(self) -> Task:
@@ -106,7 +111,7 @@ class Job:
     @property
     def non_degradable_refs(self) -> tuple[TaskRef, ...]:
         """Task refs other than the degradable one, in execution order."""
-        return tuple(ref for ref in self.task_refs if ref.task is not self._degradable_ref.task)
+        return self._non_degradable_refs
 
     def tasks(self) -> Iterator[Task]:
         """Iterate the job's tasks in execution order."""

@@ -21,6 +21,7 @@ end-to-end time spans 0.8 s at high input power to >50 s at low power
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Mapping
 
 import numpy as np
@@ -108,6 +109,17 @@ class JobPlan:
         """Only the tasks that actually run."""
         return tuple(p for p in self.planned if p.executes)
 
+    @cached_property
+    def executed_by_task(self) -> dict[str, bool]:
+        """task name -> executes, computed once per (cached) plan.
+
+        Shared by every :class:`~repro.policies.base.CompletionRecord`
+        built from this plan, so consumers must treat it as read-only.
+        (``cached_property`` writes straight to ``__dict__``, which a
+        frozen dataclass permits.)
+        """
+        return {p.ref.task.name: p.executes for p in self.planned}
+
 
 class PersonDetectionApp:
     """The person-detection application model.
@@ -133,6 +145,14 @@ class PersonDetectionApp:
         # from the per-job hot path.  RNG draws (classify) stay outside the
         # cache — only the post-draw construction is shared.
         self._plan_cache: dict[tuple, JobPlan] = {}
+        # (task id, option id) pairs that already passed quality_rank
+        # validation — tasks and options are immutable and live as long as
+        # the app, so a pair validated once never needs re-checking.
+        self._validated_options: set[tuple[int, int]] = set()
+        # Job objects resolved once: plan() runs once per executed job,
+        # so the name -> Job lookup is hoisted out of the hot path.
+        self._detect_job = jobs.job(DETECT_JOB) if DETECT_JOB in jobs else None
+        self._transmit_job = jobs.job(TRANSMIT_JOB) if TRANSMIT_JOB in jobs else None
 
     # -- engine-facing API -------------------------------------------------------
 
@@ -149,20 +169,27 @@ class PersonDetectionApp:
         policy selected; tasks absent from the mapping run at highest
         quality.
         """
-        job = self.jobs.job(job_name)
-        if job_name == DETECT_JOB:
-            return self._plan_detect(job, interesting, chosen_options, rng)
-        if job_name == TRANSMIT_JOB:
-            return self._plan_transmit(job, chosen_options)
+        if job_name == DETECT_JOB and self._detect_job is not None:
+            return self._plan_detect(self._detect_job, interesting, chosen_options, rng)
+        if job_name == TRANSMIT_JOB and self._transmit_job is not None:
+            return self._plan_transmit(self._transmit_job, chosen_options)
+        # Unknown name (or a job set missing the standard jobs): let the
+        # job-set lookup raise its descriptive error.
+        self.jobs.job(job_name)
         raise ConfigurationError(f"unknown job {job_name!r}")
 
     # -- internals ---------------------------------------------------------------
 
-    @staticmethod
-    def _option_for(ref: TaskRef, chosen: Mapping[str, DegradationOption]) -> DegradationOption:
+    def _option_for(
+        self, ref: TaskRef, chosen: Mapping[str, DegradationOption]
+    ) -> DegradationOption:
         option = chosen.get(ref.task.name, ref.task.highest_quality)
-        # Validate the policy handed back an option of the right task.
-        ref.task.quality_rank(option)
+        # Validate the policy handed back an option of the right task —
+        # once per (task, option) pair; both objects are immutable.
+        key = (id(ref.task), id(option))
+        if key not in self._validated_options:
+            ref.task.quality_rank(option)
+            self._validated_options.add(key)
         return option
 
     def _plan_detect(
@@ -174,8 +201,27 @@ class PersonDetectionApp:
     ) -> JobPlan:
         ml_ref = job.task_refs[0]
         prep_ref = job.task_refs[1]
-        ml_option = self._option_for(ml_ref, chosen)
-        prep_option = self._option_for(prep_ref, chosen)
+        # _option_for inlined twice (this runs once per detect job): a
+        # highest-quality default never needs the foreign-option guard.
+        validated = self._validated_options
+        ml_task = ml_ref.task
+        ml_option = chosen.get(ml_task.name)
+        if ml_option is None:
+            ml_option = ml_task.highest_quality
+        else:
+            key = (id(ml_task), id(ml_option))
+            if key not in validated:
+                ml_task.quality_rank(ml_option)
+                validated.add(key)
+        prep_task = prep_ref.task
+        prep_option = chosen.get(prep_task.name)
+        if prep_option is None:
+            prep_option = prep_task.highest_quality
+        else:
+            key = (id(prep_task), id(prep_option))
+            if key not in validated:
+                prep_task.quality_rank(prep_option)
+                validated.add(key)
         model: MLModelProfile = ml_option.metadata["ml"]
         positive = model.classify(interesting, rng)
         key = (job.name, id(ml_option), id(prep_option), positive, interesting)

@@ -138,6 +138,26 @@ class TestEnergyAwareSJF:
                 lambda c: scores[c.job.name],
             )
 
+    def test_scores_each_candidate_exactly_once(self):
+        """Scorers are expensive (a full Alg.-2 pass) and counted (the
+        decision-path telemetry divides scored candidates by decisions), so
+        select() must invoke the scorer exactly once per candidate — ties
+        and argmin bookkeeping may not re-score."""
+        jobs = [make_job(name, 1.0) for name in ("a", "b", "c", "d")]
+        # Ties everywhere: a/b tie at 2.0, c/d tie at 1.0 — the worst case
+        # for a naive tie-break that re-evaluates scores.
+        scores = {"a": 2.0, "b": 2.0, "c": 1.0, "d": 1.0}
+        calls: dict[str, int] = {}
+
+        def scorer(c):
+            calls[c.job.name] = calls.get(c.job.name, 0) + 1
+            return scores[c.job.name]
+
+        cands = [candidate(job, 10.0 - i) for i, job in enumerate(jobs)]
+        sel = EnergyAwareSJF().select(cands, scorer)
+        assert sel.job.name == "d"  # tie at 1.0 broken toward older input
+        assert calls == {"a": 1, "b": 1, "c": 1, "d": 1}
+
 
 class TestFCFS:
     def test_oldest_capture_wins(self):

@@ -95,6 +95,29 @@ def test_section6_telemetry(tutorial_world):
     assert rates
 
 
+def test_profiling_section_decision_counters(tutorial_world):
+    """The 'Profiling a figure' walkthrough's telemetry-counter snippet."""
+    app, trace, schedule = tutorial_world
+    recorder = TelemetryRecorder()
+    metrics = simulate(
+        build_apollo_app(), QuetzalRuntime(), trace, schedule,
+        config=SimulationConfig(seed=5), telemetry=recorder,
+    )
+    assert (
+        metrics.decision_scored_candidates
+        == metrics.decision_cache_hits + metrics.decision_cache_misses
+        > 0
+    )
+    stats = recorder.decision_path
+    assert stats is not None
+    assert 0.0 <= stats.as_dict()["cache_hit_rate"] <= 1.0
+    reference = simulate(
+        build_apollo_app(), QuetzalRuntime(), trace, schedule,
+        config=SimulationConfig(seed=5, fast_paths=False),
+    )
+    assert reference.decision_scored_candidates == 0
+
+
 def test_section7_figures():
     from repro.experiments.figures import fig9_vs_nonadaptive
 
