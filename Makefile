@@ -1,6 +1,6 @@
 # Convenience targets for the Quetzal reproduction.
 
-.PHONY: install test lint bench bench-record bench-figures figures figures-paper-scale examples clean
+.PHONY: install test lint bench bench-record bench-figures fleet-smoke figures figures-paper-scale examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -32,6 +32,13 @@ bench-record:
 # Full pytest-benchmark suite (figure benches + engine micro-benches).
 bench-figures:
 	pytest benchmarks/ --benchmark-only
+
+# Fleet kill/resume gate: runs an 8-device 2-shard fleet through the CLI,
+# kills it after one shard, resumes, and fails unless the resumed rollup
+# is byte-identical to an uninterrupted run.  Scale with
+# FLEET_SMOKE_DEVICES / FLEET_SMOKE_SHARDS.
+fleet-smoke:
+	PYTHONPATH=src python benchmarks/fleet_smoke.py
 
 # Regenerate every table and figure at the default (fast) scale.
 figures:

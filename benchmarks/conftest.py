@@ -6,7 +6,8 @@ Each benchmark regenerates one of the paper's tables/figures through the
 run.  Runs are scaled via ``BENCH_EVENTS``/``BENCH_SEEDS`` (environment
 variables) — the defaults keep the whole suite around several minutes; the
 paper-scale setting is 1000 events.  ``BENCH_JOBS`` fans each figure's
-runs over worker processes (results are identical at any setting).
+runs over worker processes (``0`` = one per CPU, like ``--jobs 0``;
+results are identical at any setting).
 """
 
 from __future__ import annotations
@@ -15,14 +16,16 @@ import os
 
 import pytest
 
+from repro.experiments.runner import resolve_jobs
+
 #: Events per run (paper: 1000 for simulations, 100 for the hardware rig).
 BENCH_EVENTS = int(os.environ.get("BENCH_EVENTS", "80"))
 
 #: Seed replicas averaged per bar.
 BENCH_SEEDS = tuple(range(int(os.environ.get("BENCH_SEEDS", "2"))))
 
-#: Worker processes per figure grid (results are jobs-invariant).
-BENCH_JOBS = int(os.environ.get("BENCH_JOBS", "1"))
+#: Worker processes per figure grid (0 = one per CPU; jobs-invariant results).
+BENCH_JOBS = resolve_jobs(int(os.environ.get("BENCH_JOBS", "1")))
 
 
 @pytest.fixture

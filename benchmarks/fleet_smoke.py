@@ -1,0 +1,58 @@
+"""Fleet kill/resume smoke test (the `make fleet-smoke` / CI gate).
+
+Drives the real CLI end to end on a small fleet:
+
+1. run the fleet uninterrupted and keep its exact rollup JSON;
+2. run it again with ``--stop-after 1`` — the CLI must journal one shard
+   and exit 3 (incomplete);
+3. ``--resume`` the killed run and require its rollup JSON to be
+   *byte-identical* to the uninterrupted one.
+
+Exits non-zero (with a diagnostic) on any deviation.  Scale via
+``FLEET_SMOKE_DEVICES`` / ``FLEET_SMOKE_SHARDS`` (defaults: 8 devices,
+2 shards — a few seconds).
+"""
+
+import os
+import sys
+import tempfile
+
+from repro.fleet.__main__ import main
+
+
+def run(args: list[str], expect: int) -> None:
+    print(f"$ python -m repro.fleet {' '.join(args)}")
+    code = main(args)
+    if code != expect:
+        print(f"FAIL: exit code {code}, expected {expect}", file=sys.stderr)
+        sys.exit(1)
+
+
+def read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def main_smoke() -> int:
+    devices = os.environ.get("FLEET_SMOKE_DEVICES", "8")
+    shards = os.environ.get("FLEET_SMOKE_SHARDS", "2")
+    base = ["--devices", devices, "--seed", "3", "--events", "5", "--quiet"]
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as tmp:
+        straight_json = os.path.join(tmp, "straight.json")
+        resumed_json = os.path.join(tmp, "resumed.json")
+        checkpoint = ["--shards", shards, "--checkpoint", os.path.join(tmp, "journal")]
+
+        run(base + ["--json", straight_json], expect=0)
+        run(base + checkpoint + ["--stop-after", "1"], expect=3)
+        run(base + checkpoint + ["--resume", "--json", resumed_json], expect=0)
+
+        if read(straight_json) != read(resumed_json):
+            print("FAIL: resumed rollup differs from uninterrupted run",
+                  file=sys.stderr)
+            return 1
+    print("fleet-smoke OK: kill/resume rollup byte-identical to uninterrupted run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_smoke())

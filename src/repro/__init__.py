@@ -8,9 +8,11 @@ mitigation, and the division-free power-measurement circuit), every
 baseline the paper compares against, and the full simulation substrate its
 evaluation runs on.
 
-Quickstart::
+**The supported import surface is** :mod:`repro.api` — one curated module
+re-exporting everything documented, including the experiment grids and
+the fleet batch-simulation service::
 
-    from repro import (
+    from repro.api import (
         QuetzalRuntime, NoAdaptPolicy, build_apollo_app, simulate,
         SolarTraceGenerator, environment_by_name, SimulationConfig,
     )
@@ -21,26 +23,27 @@ Quickstart::
     metrics = simulate(app, QuetzalRuntime(), trace, schedule)
     print(f"{metrics.interesting_discarded_fraction:.1%} interesting inputs lost")
 
+Importing the same names from ``repro`` keeps working.  A handful of
+internal names historically re-exported here (engine and circuit
+internals such as ``IBOEngine`` or ``PowerMonitor``) are slated to leave
+the top level: they still resolve, but emit a :class:`DeprecationWarning`
+pointing at their home module.
+
 See DESIGN.md for the architecture and EXPERIMENTS.md for the paper-vs-
 measured record of every figure.
 """
 
+import warnings as _warnings
+
 from repro.core import (
-    AverageServiceTimeEstimator,
     EnergyAwareSJF,
-    ExactServiceTimeEstimator,
     FCFSScheduler,
-    HardwareServiceTimeEstimator,
-    IBOEngine,
     LCFSScheduler,
-    PIDController,
     QuetzalRuntime,
-    end_to_end_service_time,
 )
 from repro.device import (
     APOLLO4,
     MSP430FR5994,
-    CheckpointModel,
     InputBuffer,
     MCUProfile,
     Supercapacitor,
@@ -54,7 +57,6 @@ from repro.env import (
     SensingEnvironment,
     environment_by_name,
 )
-from repro.hardware import ADC, Diode, PowerMonitor
 from repro.policies import (
     AlwaysDegradePolicy,
     BufferThresholdPolicy,
@@ -90,6 +92,47 @@ from repro.workload import (
 )
 
 __version__ = "1.0.0"
+
+# Internal names kept importable from the top level for compatibility.
+# Accessing one emits a DeprecationWarning naming its home module; the
+# curated surface is repro.api.
+_DEPRECATED = {
+    "IBOEngine": ("repro.core.ibo", "IBOEngine"),
+    "PIDController": ("repro.core.pid", "PIDController"),
+    "end_to_end_service_time": ("repro.core.service_time", "end_to_end_service_time"),
+    "ExactServiceTimeEstimator": ("repro.core.service_time", "ExactServiceTimeEstimator"),
+    "HardwareServiceTimeEstimator": ("repro.core.service_time", "HardwareServiceTimeEstimator"),
+    "AverageServiceTimeEstimator": ("repro.core.service_time", "AverageServiceTimeEstimator"),
+    "ADC": ("repro.hardware.adc", "ADC"),
+    "Diode": ("repro.hardware.diode", "Diode"),
+    "PowerMonitor": ("repro.hardware.circuit", "PowerMonitor"),
+    "CheckpointModel": ("repro.device.checkpoint", "CheckpointModel"),
+}
+
+
+def __getattr__(name):
+    if name in _DEPRECATED:
+        module_name, attr = _DEPRECATED[name]
+        _warnings.warn(
+            f"importing {name!r} from 'repro' is deprecated; it is internal "
+            f"and will leave the top level — import it from "
+            f"{module_name!r} (the supported surface is 'repro.api')",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    if name in ("api", "fleet", "experiments"):
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))
+
 
 __all__ = [
     # core

@@ -1,0 +1,98 @@
+"""The supported public API of the Quetzal reproduction.
+
+One curated import surface::
+
+    from repro.api import (
+        simulate, SimulationConfig, QuetzalRuntime, build_apollo_app,
+        run_grid, run_fleet, FleetSpec,
+    )
+
+Everything exported here — and exactly this list, pinned by
+``tests/test_api_surface.py`` — is the stable, documented contract:
+
+* **single runs** — ``simulate`` / ``SimulationConfig`` / ``RunMetrics``
+  with a ``TelemetryRecorder`` for trajectories;
+* **the systems under test** — ``QuetzalRuntime`` and every paper
+  baseline behind the common ``Policy`` interface;
+* **workloads and worlds** — ``build_apollo_app`` / ``build_msp430_app``,
+  solar traces, and the named sensing environments;
+* **grids** — ``ExperimentConfig`` / ``run_grid`` /
+  ``standard_policies`` / ``ExperimentRunner`` for policy × seed sweeps;
+* **fleets** — ``run_fleet`` over a ``FleetSpec`` for batch populations
+  of devices, with ``FleetRecorder`` shard telemetry.
+
+Anything importable from deeper modules but absent here (engine
+internals, hardware circuit models, estimator classes, cursors, ...) is
+considered internal: usable, but subject to change without a deprecation
+cycle.  Top-level ``repro`` re-exports remain for compatibility; names
+slated to move now warn there and should be imported from their home
+modules instead.
+"""
+
+from repro import __version__
+from repro.core.runtime import QuetzalRuntime
+from repro.env.activity import environment_by_name
+from repro.env.events import EventSchedule, EventScheduleGenerator
+from repro.experiments.configs import (
+    ExperimentConfig,
+    apollo_simulation_config,
+    hardware_experiment_config,
+    msp430_simulation_config,
+)
+from repro.experiments.harness import run_grid, standard_policies
+from repro.experiments.runner import ExperimentRunner, GridResults, RunFailure
+from repro.fleet import FleetResult, FleetRollup, FleetSpec, run_fleet
+from repro.policies.always_degrade import AlwaysDegradePolicy
+from repro.policies.base import Policy
+from repro.policies.buffer_threshold import BufferThresholdPolicy, catnap_policy
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.policies.power_threshold import PowerThresholdPolicy
+from repro.sim.engine import SimulationConfig, SimulationEngine, simulate
+from repro.sim.metrics import MetricsRollup, RunMetrics
+from repro.sim.telemetry import FleetRecorder, TelemetryRecorder
+from repro.trace.solar import SolarTraceConfig, SolarTraceGenerator
+from repro.workload.pipelines import build_apollo_app, build_msp430_app
+
+__all__ = [
+    # single runs
+    "simulate",
+    "SimulationConfig",
+    "SimulationEngine",
+    "RunMetrics",
+    "TelemetryRecorder",
+    # systems under test
+    "QuetzalRuntime",
+    "Policy",
+    "NoAdaptPolicy",
+    "AlwaysDegradePolicy",
+    "BufferThresholdPolicy",
+    "PowerThresholdPolicy",
+    "catnap_policy",
+    # workloads and worlds
+    "build_apollo_app",
+    "build_msp430_app",
+    "SolarTraceGenerator",
+    "SolarTraceConfig",
+    "environment_by_name",
+    "EventSchedule",
+    "EventScheduleGenerator",
+    # experiment grids
+    "ExperimentConfig",
+    "apollo_simulation_config",
+    "hardware_experiment_config",
+    "msp430_simulation_config",
+    "run_grid",
+    "standard_policies",
+    "ExperimentRunner",
+    "GridResults",
+    "RunFailure",
+    # fleets
+    "run_fleet",
+    "FleetSpec",
+    "FleetResult",
+    "FleetRollup",
+    "MetricsRollup",
+    "FleetRecorder",
+    # meta
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Compatibility helpers for evolving the public API without breaking it.
+
+The fleet subsystem builds thousands of per-device config variants by
+keyword override, which only stays safe if config constructors are
+keyword-only — positional construction silently reshuffles meaning when a
+field is added.  :func:`keyword_only` turns a dataclass's positional
+construction into a :class:`DeprecationWarning` (one release of grace
+instead of an immediate break) and adds a ``replace(**overrides)`` helper,
+the supported way to derive config variants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import warnings
+
+__all__ = ["keyword_only"]
+
+
+def keyword_only(cls):
+    """Class decorator: deprecate (don't break) positional dataclass construction.
+
+    Apply *outside* ``@dataclass``.  Positional arguments are remapped to
+    their field names in declaration order and a :class:`DeprecationWarning`
+    is emitted; keyword construction is unchanged.  Also adds a
+    ``replace(**overrides)`` method (a bound `dataclasses.replace`) unless
+    the class already defines one.
+    """
+    generated_init = cls.__init__
+    field_names = [f.name for f in dataclasses.fields(cls)]
+
+    @functools.wraps(generated_init)
+    def __init__(self, *args, **kwargs):
+        if args:
+            warnings.warn(
+                f"positional {cls.__name__}(...) construction is deprecated; "
+                "pass keyword arguments (or derive variants with "
+                f"{cls.__name__}.replace(**overrides))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > len(field_names):
+                raise TypeError(
+                    f"{cls.__name__}() takes at most {len(field_names)} "
+                    f"arguments ({len(args)} given)"
+                )
+            for name, value in zip(field_names, args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"{cls.__name__}() got multiple values for argument {name!r}"
+                    )
+                kwargs[name] = value
+        generated_init(self, **kwargs)
+
+    cls.__init__ = __init__
+
+    if "replace" not in cls.__dict__:
+
+        def replace(self, **overrides):
+            """A copy with the given fields overridden (keyword-only)."""
+            return dataclasses.replace(self, **overrides)
+
+        cls.replace = replace
+    return cls

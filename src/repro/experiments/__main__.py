@@ -7,9 +7,10 @@ Usage::
 ``--events`` scales the per-run event count (default 120; the paper uses
 1000) and ``--seeds`` the number of seed replicas averaged per bar.
 ``--jobs`` fans the runs of each figure out over that many worker
-processes (``0`` = one per CPU); results are bit-identical to a serial
-run.  ``--figure`` selects figures by substring of their id (e.g. ``9``,
-``11``, ``Table``); only the selected figures are computed.
+processes (``0`` = one per CPU; defaults to ``BENCH_JOBS`` when set);
+results are bit-identical to a serial run.  ``--figure`` selects figures
+by substring of their id (e.g. ``9``, ``11``, ``Table``); only the
+selected figures are computed.
 
 ``--profile`` wraps each figure in :mod:`cProfile` and prints its top
 hotspots (by total time) after the figure renders — the quickest way to
@@ -17,6 +18,9 @@ see where simulation wall-clock goes before reaching for
 ``benchmarks/bench_engine.py``.  Profiling forces ``--jobs 1``: child
 processes would escape the profiler.  ``--profile-dir DIR`` additionally
 dumps one ``.pstats`` file per figure (CI uploads these as artifacts).
+
+The ``--jobs``/``--profile``/``--profile-dir`` flags are shared with
+``python -m repro.fleet`` through :mod:`repro.experiments.cli`.
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ import sys
 import time
 
 from repro.experiments import figures
+from repro.experiments.cli import add_execution_flags, jobs_from_args, profiled
 
 #: Figure id -> runner.  Runners returning multiple results are wrapped.
 RUNNERS = {
@@ -53,13 +58,6 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--events", type=int, default=figures.DEFAULT_EVENTS)
     parser.add_argument("--seeds", type=int, default=len(figures.DEFAULT_SEEDS))
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="worker processes per figure (0 = one per CPU; default 1, serial)",
-    )
     parser.add_argument("--figure", type=str, default=None)
     parser.add_argument(
         "--json",
@@ -68,27 +66,11 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also dump the results as a JSON file",
     )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="cProfile each figure and print its top hotspots (forces --jobs 1)",
-    )
-    parser.add_argument(
-        "--profile-dir",
-        type=str,
-        default=None,
-        metavar="DIR",
-        help="with --profile, also dump one pstats file per figure into DIR "
-        "(CI uploads these as artifacts; inspect with `python -m pstats`)",
-    )
+    add_execution_flags(parser)
     args = parser.parse_args(argv)
 
-    if args.jobs < 0:
-        parser.error(f"--jobs must be >= 0, got {args.jobs}")
     seeds = tuple(range(args.seeds))
-    jobs = None if args.jobs == 0 else args.jobs
-    if args.profile:
-        jobs = 1  # keep all simulation work in the profiled process
+    jobs = jobs_from_args(args, parser)
     selected = {
         name: runner
         for name, runner in RUNNERS.items()
@@ -101,33 +83,13 @@ def main(argv: list[str] | None = None) -> int:
     start = time.time()
     collected = []
     for name, runner in selected.items():
-        if args.profile:
-            import cProfile
-            import pstats
-
-            profiler = cProfile.Profile()
-            profiler.enable()
+        results: list = []
+        with profiled(args.profile, name, args.profile_dir):
             results = runner(args.events, seeds, jobs)
-            profiler.disable()
-        else:
-            results = runner(args.events, seeds, jobs)
-        for result in results:
-            print(result.render())
-            print()
-            collected.append(result)
-        if args.profile:
-            print(f"[profile] {name}: top hotspots by total time")
-            stats = pstats.Stats(profiler, stream=sys.stdout)
-            stats.sort_stats("tottime").print_stats(15)
-            if args.profile_dir is not None:
-                import os
-                import re
-
-                os.makedirs(args.profile_dir, exist_ok=True)
-                slug = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
-                out = os.path.join(args.profile_dir, f"{slug}.pstats")
-                profiler.dump_stats(out)
-                print(f"[profile] wrote {out}")
+            for result in results:
+                print(result.render())
+                print()
+                collected.append(result)
     if args.json is not None:
         import json
 

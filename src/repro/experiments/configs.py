@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.compat import keyword_only
 from repro.device.mcu import APOLLO4, MSP430FR5994, MCUProfile
 from repro.device.storage import Supercapacitor
 from repro.env.activity import MSP430_ENVIRONMENT, SensingEnvironment, environment_by_name
@@ -49,9 +50,14 @@ DEFAULT_SIM_EVENTS = 1000
 DEFAULT_HW_EVENTS = 100
 
 
+@keyword_only
 @dataclass(frozen=True)
 class ExperimentConfig:
     """One fully resolved experiment setup.
+
+    Construct with keyword arguments (positional construction is
+    deprecated) and derive variants with ``replace(**overrides)``, so
+    per-device fleet overrides never depend on field order.
 
     Attributes
     ----------

@@ -48,6 +48,8 @@ __all__ = [
     "ExperimentRunner",
     "grid_specs",
     "default_jobs",
+    "resolve_jobs",
+    "map_indexed",
 ]
 
 #: A factory producing a *fresh* policy instance per run attempt.
@@ -119,8 +121,23 @@ class GridResults(dict):
 
 
 def default_jobs() -> int:
-    """Worker count for ``jobs=None``: one per CPU."""
+    """Worker count for ``jobs=None`` / ``jobs=0``: one per CPU."""
     return os.cpu_count() or 1
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a jobs setting: ``None``/``0`` mean one worker per CPU.
+
+    Every parallelism knob in the repo (``--jobs``, ``BENCH_JOBS``,
+    :class:`ExperimentRunner`, :func:`repro.fleet.run_fleet`) funnels
+    through this, so ``0`` is "one per CPU" everywhere rather than only
+    on the ``repro.experiments`` CLI.
+    """
+    if jobs is None or jobs == 0:
+        return default_jobs()
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
+    return jobs
 
 
 def grid_specs(
@@ -143,14 +160,65 @@ def _fork_available() -> bool:
 # ---------------------------------------------------------------------------
 # Worker-side execution.
 #
-# Parallel workers are forked *after* the parent installs the shared state
-# below, so arbitrary (unpicklable) policy factories and the prebuilt
-# trace/schedule caches are inherited by memory image; submissions only
-# cross the pipe as spec indices and results come back as picklable
-# RunMetrics/RunFailure values.
+# Parallel workers are forked *after* the parent installs the shared worker
+# below, so arbitrary (unpicklable) state — policy factories, prebuilt
+# trace/schedule caches, whole fleet shards — is inherited by memory image;
+# submissions only cross the pipe as indices and results come back as
+# picklable values.
 # ---------------------------------------------------------------------------
 
-_shared_state: dict | None = None
+_shared_worker: Callable[[int], object] | None = None
+
+
+def _indexed_call(index: int) -> tuple[int, object]:
+    worker = _shared_worker
+    assert worker is not None, "worker process forked without shared worker"
+    return index, worker(index)
+
+
+def map_indexed(
+    worker: Callable[[int], object],
+    count: int,
+    jobs: int | None = 1,
+    on_result: Callable[[int, object], None] | None = None,
+) -> list:
+    """Run ``worker(0) .. worker(count-1)``, fanned over forked processes.
+
+    The reusable fan-out under both the experiment grid and the fleet
+    shard executor.  ``worker`` may close over arbitrary unpicklable state
+    (inherited by fork); its *results* must be picklable.  Results are
+    returned in index order regardless of worker count, and ``on_result``
+    (if given) is invoked in index order as results arrive — fleet
+    checkpointing journals each shard from it.  Platforms without the
+    ``fork`` start method, ``jobs=1``, and single-item maps all run
+    serially in-process.
+    """
+    jobs = resolve_jobs(jobs)
+    results: list = [None] * count
+    if jobs > 1 and count > 1 and _fork_available():
+        global _shared_worker
+        if _shared_worker is not None:
+            raise ConfigurationError(
+                "map_indexed does not support nested parallel maps"
+            )
+        _shared_worker = worker
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, count), mp_context=context
+            ) as pool:
+                for index, outcome in pool.map(_indexed_call, range(count)):
+                    results[index] = outcome
+                    if on_result is not None:
+                        on_result(index, outcome)
+        finally:
+            _shared_worker = None
+        return results
+    for index in range(count):
+        results[index] = worker(index)
+        if on_result is not None:
+            on_result(index, results[index])
+    return results
 
 
 def _execute_spec(
@@ -195,20 +263,6 @@ def _attempt_spec(
     raise AssertionError("unreachable")  # pragma: no cover
 
 
-def _worker_run(index: int) -> tuple[int, RunMetrics | RunFailure]:
-    state = _shared_state
-    assert state is not None, "worker forked without shared state"
-    spec: RunSpec = state["specs"][index]
-    seeded = spec.seeded_config()
-    return index, _attempt_spec(
-        spec,
-        state["factories"][spec.policy],
-        state["traces"][seeded.trace_key()],
-        state["schedules"][seeded.schedule_key()],
-        state["retries"],
-    )
-
-
 class ExperimentRunner:
     """Executes run-spec lists, optionally across worker processes.
 
@@ -216,8 +270,8 @@ class ExperimentRunner:
     ----------
     jobs:
         Worker processes; ``1`` (the default) runs serially in-process and
-        ``None`` uses one worker per CPU.  Platforms without the ``fork``
-        start method always run serially (factories need not be
+        ``None`` or ``0`` use one worker per CPU.  Platforms without the
+        ``fork`` start method always run serially (factories need not be
         picklable).
     retries:
         How many times a raising run is re-attempted (fresh policy and
@@ -225,13 +279,9 @@ class ExperimentRunner:
     """
 
     def __init__(self, jobs: int | None = 1, retries: int = 1) -> None:
-        if jobs is None:
-            jobs = default_jobs()
-        if jobs < 1:
-            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = resolve_jobs(jobs)
         if retries < 0:
             raise ConfigurationError(f"retries must be >= 0, got {retries}")
-        self.jobs = jobs
         self.retries = retries
 
     # -- input caching -----------------------------------------------------------
@@ -276,42 +326,31 @@ class ExperimentRunner:
                     f"spec names unknown policy {spec.policy!r}"
                 )
         traces, schedules = self.build_caches(specs)
-        if self.jobs > 1 and len(specs) > 1 and _fork_available():
-            return self._run_parallel(specs, factories, traces, schedules)
-        return self._run_serial(specs, factories, traces, schedules)
+        retries = self.retries
 
-    def _run_serial(self, specs, factories, traces, schedules):
-        results = []
-        for spec in specs:
+        def run_one(index: int) -> RunMetrics | RunFailure:
+            spec = specs[index]
             seeded = spec.seeded_config()
-            results.append(
-                _attempt_spec(
-                    spec,
-                    factories[spec.policy],
-                    traces[seeded.trace_key()],
-                    schedules[seeded.schedule_key()],
-                    self.retries,
-                )
+            return _attempt_spec(
+                spec,
+                factories[spec.policy],
+                traces[seeded.trace_key()],
+                schedules[seeded.schedule_key()],
+                retries,
             )
-        return results
 
-    def _run_parallel(self, specs, factories, traces, schedules):
-        global _shared_state
-        results: list = [None] * len(specs)
-        _shared_state = {
-            "specs": specs,
-            "factories": dict(factories),
-            "traces": traces,
-            "schedules": schedules,
-            "retries": self.retries,
-        }
-        try:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(specs)), mp_context=context
-            ) as pool:
-                for index, outcome in pool.map(_worker_run, range(len(specs))):
-                    results[index] = outcome
-        finally:
-            _shared_state = None
-        return results
+        return map_indexed(run_one, len(specs), self.jobs)
+
+    def map_shards(
+        self,
+        worker: Callable[[int], object],
+        count: int,
+        on_result: Callable[[int, object], None] | None = None,
+    ) -> list:
+        """Fan ``worker`` over ``count`` shard indices with this runner's jobs.
+
+        The fleet service's entry into the fan-out: ``worker`` closes over
+        the fleet spec (inherited by fork) and returns one picklable shard
+        rollup; ``on_result`` journals completed shards in index order.
+        """
+        return map_indexed(worker, count, self.jobs, on_result=on_result)

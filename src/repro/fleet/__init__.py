@@ -1,0 +1,37 @@
+"""Fleet-scale batch simulation: many devices, bounded memory, resumable.
+
+The deployment shape the paper targets is not one device but a *fleet* of
+periodic energy-harvesting sensors.  This package simulates N
+heterogeneous devices — mixed apps, policies, per-device solar traces and
+event schedules, all derived deterministically from one fleet seed —
+sharded across worker processes, with stream-aggregated rollups
+(:class:`FleetRollup`; never an O(devices) metrics list) and
+checkpoint/resume journals that make a killed run resumable
+bit-identically.
+
+Three entry points:
+
+* Python API — :func:`run_fleet` over a :class:`FleetSpec`, returning a
+  :class:`FleetResult` (re-exported from :mod:`repro.api`);
+* CLI — ``python -m repro.fleet --devices N --shards K --jobs 0
+  [--checkpoint DIR] [--resume]``;
+* telemetry — attach a :class:`repro.sim.telemetry.FleetRecorder` to
+  observe per-shard rollups as they complete.
+"""
+
+from repro.fleet.checkpoint import FleetCheckpoint
+from repro.fleet.rollup import MAX_RECORDED_FAILURES, DeviceFailure, FleetRollup
+from repro.fleet.service import FleetResult, run_fleet, run_shard
+from repro.fleet.spec import FleetSpec, shard_ranges
+
+__all__ = [
+    "FleetSpec",
+    "FleetResult",
+    "FleetRollup",
+    "DeviceFailure",
+    "FleetCheckpoint",
+    "run_fleet",
+    "run_shard",
+    "shard_ranges",
+    "MAX_RECORDED_FAILURES",
+]

@@ -1,0 +1,183 @@
+"""Fleet-level rollups: constant-size aggregation over device runs.
+
+A fleet run never holds per-device :class:`~repro.sim.metrics.RunMetrics`
+in memory.  Each shard folds its devices into a :class:`FleetRollup` as
+they complete — one overall :class:`~repro.sim.metrics.MetricsRollup`,
+one per policy, plus a capped sample of device failures — and the service
+merges shard rollups in shard order.  Because all rollup state is exact
+(integers and rationals; see :mod:`repro.sim.metrics`), the merged result
+is bit-identical however the same devices were grouped into shards, which
+is what makes serial, sharded, and checkpoint-resumed runs agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.reporting import format_table
+from repro.sim.metrics import MetricsRollup, RunMetrics
+
+__all__ = ["DeviceFailure", "FleetRollup", "MAX_RECORDED_FAILURES"]
+
+#: Failure *records* retained per rollup (the count is always exact).
+MAX_RECORDED_FAILURES = 20
+
+
+@dataclass(frozen=True)
+class DeviceFailure:
+    """One device whose run exhausted its retries."""
+
+    device: int
+    policy: str
+    error: str
+
+
+class FleetRollup:
+    """Mergeable aggregate over a set of fleet devices.
+
+    Attributes
+    ----------
+    devices:
+        Devices folded in (completed and failed).
+    overall:
+        Fleet-wide :class:`MetricsRollup` over completed device runs.
+    by_policy:
+        Per-policy rollups (bounded by the policy mix, not fleet size).
+    failures / failure_count:
+        First :data:`MAX_RECORDED_FAILURES` failure records (in device
+        order) and the exact failure count.
+    """
+
+    __slots__ = ("devices", "overall", "by_policy", "failures", "failure_count")
+
+    def __init__(self) -> None:
+        self.devices = 0
+        self.overall = MetricsRollup()
+        self.by_policy: dict[str, MetricsRollup] = {}
+        self.failures: list[DeviceFailure] = []
+        self.failure_count = 0
+
+    # -- accumulation ------------------------------------------------------------
+
+    def observe_metrics(self, device: int, policy: str, metrics: RunMetrics) -> None:
+        """Fold one completed device run (the metrics are not retained)."""
+        self.devices += 1
+        self.overall.observe(metrics)
+        per_policy = self.by_policy.get(policy)
+        if per_policy is None:
+            per_policy = self.by_policy[policy] = MetricsRollup()
+        per_policy.observe(metrics)
+
+    def observe_failure(self, device: int, policy: str, error: str) -> None:
+        """Record one device whose run kept raising after its retries."""
+        self.devices += 1
+        self.failure_count += 1
+        if len(self.failures) < MAX_RECORDED_FAILURES:
+            self.failures.append(DeviceFailure(device=device, policy=policy, error=error))
+
+    def merge(self, other: "FleetRollup") -> None:
+        """Fold another rollup in (exact; call in shard order)."""
+        self.devices += other.devices
+        self.overall.merge(other.overall)
+        for policy, rollup in other.by_policy.items():
+            mine = self.by_policy.get(policy)
+            if mine is None:
+                self.by_policy[policy] = rollup_copy = MetricsRollup()
+                rollup_copy.merge(rollup)
+            else:
+                mine.merge(rollup)
+        self.failure_count += other.failure_count
+        room = MAX_RECORDED_FAILURES - len(self.failures)
+        if room > 0:
+            self.failures.extend(other.failures[:room])
+
+    @property
+    def ok(self) -> bool:
+        """True when every observed device completed."""
+        return self.failure_count == 0
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Flat float summary of the fleet-wide rollup."""
+        out = self.overall.summary()
+        out["devices"] = self.devices
+        out["failures"] = self.failure_count
+        return out
+
+    def render(self) -> str:
+        """Per-policy ASCII table (the fleet counterpart of a figure table)."""
+        rows = []
+        for policy in sorted(self.by_policy):
+            rollup = self.by_policy[policy]
+            dist = rollup.dists["discarded_fraction"]
+            hq = rollup.dists["hq_fraction"]
+            rows.append(
+                {
+                    "policy": policy,
+                    "devices": rollup.runs,
+                    "discarded %": 100 * dist.mean(),
+                    "std %": 100 * dist.std(),
+                    "p90 %": 100 * dist.percentile(90.0),
+                    "ibo %": 100 * rollup.dists["ibo_fraction"].mean(),
+                    "fn %": 100 * rollup.dists["false_negative_fraction"].mean(),
+                    "hq share %": 100 * hq.mean(),
+                    "power fails": rollup.counters["power_failures"],
+                }
+            )
+        table = format_table(rows)
+        footer = (
+            f"{self.devices} devices"
+            f" | {self.failure_count} failed"
+            f" | fleet discard mean "
+            f"{100 * self.overall.dists['discarded_fraction'].mean():.2f}%"
+            f" p99 {100 * self.overall.dists['discarded_fraction'].percentile(99.0):.2f}%"
+        )
+        return f"{table}\n{footer}"
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Exact JSON-safe state; policy keys sorted so dumps are canonical."""
+        return {
+            "devices": self.devices,
+            "overall": self.overall.to_dict(),
+            "by_policy": {
+                policy: self.by_policy[policy].to_dict()
+                for policy in sorted(self.by_policy)
+            },
+            "failures": [
+                {"device": f.device, "policy": f.policy, "error": f.error}
+                for f in self.failures
+            ],
+            "failure_count": self.failure_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetRollup":
+        rollup = cls()
+        rollup.devices = int(data["devices"])
+        rollup.overall = MetricsRollup.from_dict(data["overall"])
+        rollup.by_policy = {
+            policy: MetricsRollup.from_dict(entry)
+            for policy, entry in data["by_policy"].items()
+        }
+        rollup.failures = [
+            DeviceFailure(
+                device=int(f["device"]), policy=f["policy"], error=f["error"]
+            )
+            for f in data["failures"]
+        ]
+        rollup.failure_count = int(data["failure_count"])
+        return rollup
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FleetRollup):
+            return NotImplemented
+        return (
+            self.devices == other.devices
+            and self.overall == other.overall
+            and self.by_policy == other.by_policy
+            and self.failures == other.failures
+            and self.failure_count == other.failure_count
+        )

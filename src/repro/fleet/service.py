@@ -1,0 +1,211 @@
+"""The fleet batch-simulation service.
+
+:func:`run_fleet` simulates every device of a :class:`FleetSpec`, sharded
+across worker processes on the experiment runner's fork fan-out
+(:func:`repro.experiments.runner.map_indexed`), and stream-aggregates the
+results: each shard folds its devices into one constant-size
+:class:`~repro.fleet.rollup.FleetRollup` as they complete, shard rollups
+are journaled to the optional checkpoint directory the moment they
+arrive, and the fleet total is the shard-order merge.  No per-device
+metrics list ever exists — memory is O(shards + policies), not
+O(devices).
+
+Determinism contract (pinned by ``tests/fleet/``): for a given spec the
+final rollup is bit-identical for any ``shards``/``jobs`` setting, and a
+killed run resumed from its checkpoint equals an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import standard_policies
+from repro.experiments.runner import RunFailure, RunSpec, _attempt_spec, map_indexed
+from repro.fleet.checkpoint import FleetCheckpoint
+from repro.fleet.rollup import FleetRollup
+from repro.fleet.spec import FleetSpec, shard_ranges
+
+__all__ = ["FleetResult", "run_fleet", "run_shard"]
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one :func:`run_fleet` call.
+
+    Attributes
+    ----------
+    spec / shards:
+        The fleet recipe and the shard count it ran under.
+    rollup:
+        Fleet-total :class:`FleetRollup` (over every completed shard).
+    computed_shards / resumed_shards:
+        How many shards were simulated by this call vs restored from the
+        checkpoint journal.
+    complete:
+        False when ``stop_after`` cut the run short (the checkpoint holds
+        the completed shards; resume to finish).
+    """
+
+    spec: FleetSpec
+    shards: int
+    rollup: FleetRollup
+    computed_shards: int = 0
+    resumed_shards: int = 0
+    complete: bool = True
+    pending_shards: list = field(default_factory=list)
+
+    def summary(self) -> dict:
+        return self.rollup.summary()
+
+    def render(self) -> str:
+        header = (
+            f"=== Fleet '{self.spec.name}': {self.spec.devices} devices, "
+            f"{self.shards} shard(s) "
+            f"({self.resumed_shards} resumed, {self.computed_shards} computed) ==="
+        )
+        body = self.rollup.render()
+        if self.complete:
+            return f"{header}\n{body}"
+        return (
+            f"{header}\n{body}\n"
+            f"INCOMPLETE: shards {self.pending_shards} not yet run "
+            f"(resume with --resume)"
+        )
+
+
+def run_shard(spec: FleetSpec, shards: int, shard: int, retries: int = 1) -> FleetRollup:
+    """Simulate one shard's devices serially, folding as they complete.
+
+    Pure function of ``(spec, shards, shard)`` — the unit of recomputation
+    for checkpoint resume.  Each device is built from scratch (derived
+    config, fresh policy/trace/schedule/engine), retried like any grid
+    run, and immediately folded into the shard rollup; failures become
+    rollup failure records, never raised.
+    """
+    device_range = shard_ranges(spec.devices, shards)[shard]
+    factories = standard_policies()
+    rollup = FleetRollup()
+    for device in device_range:
+        policy_name, config = spec.device_config(device)
+        outcome = _attempt_spec(
+            RunSpec(policy=policy_name, seed=0, config=config),
+            factories[policy_name],
+            config.build_trace(),
+            config.build_schedule(),
+            retries,
+        )
+        if isinstance(outcome, RunFailure):
+            rollup.observe_failure(device, policy_name, outcome.error)
+        else:
+            rollup.observe_metrics(device, policy_name, outcome)
+    return rollup
+
+
+def run_fleet(
+    spec: FleetSpec,
+    *,
+    shards: int = 1,
+    jobs: int | None = 1,
+    checkpoint: str | None = None,
+    resume: bool = False,
+    retries: int = 1,
+    recorder=None,
+    stop_after: int | None = None,
+    progress=None,
+) -> FleetResult:
+    """Run a whole fleet, sharded, stream-aggregated, and resumable.
+
+    Parameters
+    ----------
+    spec:
+        The fleet recipe (see :class:`FleetSpec`).
+    shards:
+        Work units the device range is split into (clamped to the fleet
+        size).  More shards = finer checkpoint granularity and better
+        fan-out; the result is bit-identical at any setting.
+    jobs:
+        Worker processes shards fan out over (``0``/``None`` = one per
+        CPU, ``1`` = serial in-process), exactly like ``run_grid``.
+    checkpoint:
+        Directory to journal completed shards into (created if needed).
+    resume:
+        Load previously journaled shards from ``checkpoint`` instead of
+        recomputing them (requires a matching manifest).
+    retries:
+        Per-device retry count before a run becomes a failure record.
+    recorder:
+        Optional :class:`repro.sim.telemetry.FleetRecorder`; receives one
+        ``on_shard`` call per shard (in shard order) and ``on_fleet_end``
+        with the total rollup.
+    stop_after:
+        Simulate a kill: journal only this many not-yet-done shards, then
+        return an incomplete result (requires ``checkpoint``).  This is
+        what ``make fleet-smoke`` and the resume tests drive.
+    progress:
+        Optional ``callable(str)`` for human-readable progress lines.
+    """
+    shards = min(max(1, shards), spec.devices)
+    if stop_after is not None:
+        if checkpoint is None:
+            raise ConfigurationError("stop_after requires a checkpoint directory")
+        if stop_after < 0:
+            raise ConfigurationError(f"stop_after must be >= 0, got {stop_after}")
+
+    journal = None
+    done: dict[int, FleetRollup] = {}
+    if checkpoint is not None:
+        journal = FleetCheckpoint(checkpoint, spec, shards)
+        done = journal.initialize(resume)
+    elif resume:
+        raise ConfigurationError("resume requires a checkpoint directory")
+    if progress is not None and done:
+        progress(f"[fleet] resumed {len(done)} of {shards} shard(s) from journal")
+
+    pending = [shard for shard in range(shards) if shard not in done]
+    cut = pending[stop_after:] if stop_after is not None else []
+    if cut:
+        pending = pending[:stop_after]
+
+    def worker(position: int) -> dict:
+        return run_shard(spec, shards, pending[position], retries).to_dict()
+
+    def journal_result(position: int, payload: dict) -> None:
+        shard = pending[position]
+        if journal is not None:
+            journal.write_shard(shard, FleetRollup.from_dict(payload))
+        if progress is not None:
+            progress(f"[fleet] shard {shard} done ({payload['devices']} devices)")
+
+    payloads = map_indexed(worker, len(pending), jobs, on_result=journal_result)
+    computed = {
+        shard: FleetRollup.from_dict(payload)
+        for shard, payload in zip(pending, payloads)
+    }
+
+    total = FleetRollup()
+    for shard in range(shards):
+        rollup = done.get(shard, computed.get(shard))
+        if rollup is None:
+            continue
+        if recorder is not None:
+            recorder.on_shard(shard, rollup, resumed=shard in done)
+        total.merge(rollup)
+
+    result = FleetResult(
+        spec=spec,
+        shards=shards,
+        rollup=total,
+        computed_shards=len(computed),
+        resumed_shards=len(done),
+        complete=not cut,
+        pending_shards=cut,
+    )
+    if recorder is not None:
+        recorder.on_fleet_end(total)
+    if progress is not None:
+        progress(
+            f"[fleet] {total.devices} devices folded; "
+            f"{total.failure_count} failed"
+        )
+    return result

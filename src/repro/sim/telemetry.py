@@ -21,6 +21,8 @@ __all__ = [
     "DecisionSample",
     "DecisionPathStats",
     "TelemetryRecorder",
+    "ShardSample",
+    "FleetRecorder",
 ]
 
 
@@ -84,6 +86,16 @@ class DecisionPathStats:
         if self.degradation_walks == 0:
             return 0.0
         return self.degradation_walk_steps / self.degradation_walks
+
+    def accumulate(self, other: "DecisionPathStats") -> None:
+        """Add another run's counters in (used by fleet-level rollups)."""
+        self.decisions += other.decisions
+        self.scored_candidates += other.scored_candidates
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.score_table_rebuilds += other.score_table_rebuilds
+        self.degradation_walks += other.degradation_walks
+        self.degradation_walk_steps += other.degradation_walk_steps
 
     def as_dict(self) -> dict:
         return {
@@ -245,3 +257,75 @@ class TelemetryRecorder:
             rates.append(count / window_s)
             t += window_s
         return times, rates
+
+
+@dataclass(frozen=True)
+class ShardSample:
+    """One completed fleet shard, as observed by a :class:`FleetRecorder`.
+
+    Attributes
+    ----------
+    shard:
+        Shard index within the fleet partition.
+    devices:
+        Devices simulated by the shard.
+    failures:
+        Device runs that exhausted their retries in the shard.
+    resumed:
+        True when the shard was restored from a checkpoint journal rather
+        than recomputed.
+    """
+
+    shard: int
+    devices: int
+    failures: int
+    resumed: bool
+
+
+class FleetRecorder:
+    """Fleet-level counterpart of :class:`TelemetryRecorder`.
+
+    :func:`repro.fleet.run_fleet` calls it once per completed shard (in
+    shard order, whether recomputed or restored from the checkpoint
+    journal) and once at the end with the final fleet rollup.  Only
+    constant-size :class:`ShardSample` rows are retained per shard — the
+    recorder never holds per-device metrics, so it is safe to leave
+    attached to arbitrarily large fleets.
+    """
+
+    def __init__(self) -> None:
+        self.shard_samples: list[ShardSample] = []
+        #: Final fleet rollup (a :class:`repro.fleet.FleetRollup`); None
+        #: until the run completes.
+        self.rollup = None
+
+    # -- fleet-service hooks -----------------------------------------------------
+
+    def on_shard(self, shard: int, rollup, resumed: bool) -> None:
+        """Record one completed shard's rollup (not retained, only sampled)."""
+        self.shard_samples.append(
+            ShardSample(
+                shard=shard,
+                devices=rollup.devices,
+                failures=rollup.failure_count,
+                resumed=resumed,
+            )
+        )
+
+    def on_fleet_end(self, rollup) -> None:
+        self.rollup = rollup
+
+    # -- analysis helpers ----------------------------------------------------------
+
+    def devices_observed(self) -> int:
+        return sum(s.devices for s in self.shard_samples)
+
+    def resumed_shards(self) -> list[int]:
+        """Shard ids restored from the checkpoint journal, in shard order."""
+        return [s.shard for s in self.shard_samples if s.resumed]
+
+    def decision_path_totals(self):
+        """Fleet-total decision-path counters from the final rollup."""
+        if self.rollup is None:
+            return None
+        return self.rollup.overall.decision_path_totals()

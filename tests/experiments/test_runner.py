@@ -142,12 +142,13 @@ class TestCaching:
 class TestConstruction:
     def test_jobs_validation(self):
         with pytest.raises(ConfigurationError):
-            ExperimentRunner(jobs=0)
+            ExperimentRunner(jobs=-1)
         with pytest.raises(ConfigurationError):
             ExperimentRunner(retries=-1)
 
-    def test_jobs_none_means_cpu_count(self):
+    def test_jobs_none_or_zero_means_cpu_count(self):
         assert ExperimentRunner(jobs=None).jobs >= 1
+        assert ExperimentRunner(jobs=0).jobs == ExperimentRunner(jobs=None).jobs
 
     def test_grid_results_behaves_like_dict(self):
         results = GridResults({"a": 1}, failures=[])

@@ -1,0 +1,53 @@
+"""python -m repro.fleet: flags, exit codes, kill/resume round trip."""
+
+import json
+
+from repro.fleet.__main__ import main
+
+BASE = ["--devices", "4", "--seed", "5", "--events", "3",
+        "--policies", "NA,TH50", "--quiet"]
+
+
+class TestCli:
+    def test_basic_run(self, capsys):
+        rc = main(BASE)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 devices" in out
+
+    def test_json_dump_is_exact_rollup(self, tmp_path, capsys):
+        path = str(tmp_path / "rollup.json")
+        rc = main(BASE + ["--json", path])
+        assert rc == 0
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["devices"] == 4
+
+    def test_bad_policy_exits_2(self, capsys):
+        rc = main(["--devices", "2", "--policies", "NOPE", "--quiet"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_kill_resume_round_trip(self, tmp_path, capsys):
+        straight_json = str(tmp_path / "straight.json")
+        resumed_json = str(tmp_path / "resumed.json")
+        ckpt = str(tmp_path / "journal")
+        shard_flags = ["--shards", "2", "--checkpoint", ckpt]
+
+        assert main(BASE + ["--json", straight_json]) == 0
+        # Kill after one shard: exit 3 signals "incomplete, resume me".
+        assert main(BASE + shard_flags + ["--stop-after", "1"]) == 3
+        assert "INCOMPLETE" in capsys.readouterr().out
+        assert main(BASE + shard_flags + ["--resume", "--json", resumed_json]) == 0
+
+        with open(straight_json) as handle:
+            straight = handle.read()
+        with open(resumed_json) as handle:
+            resumed = handle.read()
+        assert straight == resumed
+
+    def test_negative_jobs_rejected(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(BASE + ["--jobs", "-2"])

@@ -1,0 +1,59 @@
+"""FleetRollup: exact stream aggregation, mergeable under any grouping."""
+
+from repro.fleet.rollup import MAX_RECORDED_FAILURES, FleetRollup
+from repro.sim.metrics import RunMetrics
+
+
+def sample(discards: int) -> RunMetrics:
+    m = RunMetrics()
+    m.captures_interesting = 10
+    m.ibo_drops_interesting = discards
+    m.packets_interesting_high = 10 - discards
+    m.energy_consumed_j = 0.1 * discards  # float noise for exactness checks
+    return m
+
+
+class TestFold:
+    def test_observe_counts_devices_per_policy(self):
+        r = FleetRollup()
+        r.observe_metrics(0, "QZ", sample(1))
+        r.observe_metrics(1, "QZ", sample(2))
+        r.observe_metrics(2, "NA", sample(3))
+        assert r.devices == 3
+        assert r.overall.runs == 3
+        assert r.by_policy["QZ"].runs == 2
+        assert r.by_policy["NA"].runs == 1
+
+    def test_failures_recorded_and_capped(self):
+        r = FleetRollup()
+        for device in range(MAX_RECORDED_FAILURES + 5):
+            r.observe_failure(device, "QZ", "boom")
+        assert r.failure_count == MAX_RECORDED_FAILURES + 5
+        assert len(r.failures) == MAX_RECORDED_FAILURES
+        assert not r.ok
+
+    def test_merge_matches_serial_fold_exactly(self):
+        discards = [1, 2, 3, 4, 5, 6, 7]
+        serial = FleetRollup()
+        for device, d in enumerate(discards):
+            serial.observe_metrics(device, "QZ" if d % 2 else "NA", sample(d))
+        left, right = FleetRollup(), FleetRollup()
+        for device, d in enumerate(discards):
+            target = left if device < 3 else right
+            target.observe_metrics(device, "QZ" if d % 2 else "NA", sample(d))
+        left.merge(right)
+        assert left == serial
+        assert left.to_dict() == serial.to_dict()
+
+    def test_round_trips_through_dict(self):
+        r = FleetRollup()
+        r.observe_metrics(0, "QZ", sample(2))
+        r.observe_failure(1, "NA", "power fail")
+        assert FleetRollup.from_dict(r.to_dict()) == r
+
+    def test_render_mentions_policies(self):
+        r = FleetRollup()
+        r.observe_metrics(0, "QZ", sample(2))
+        text = r.render()
+        assert "QZ" in text
+        assert "devices" in text

@@ -1,0 +1,123 @@
+"""The fleet determinism contract: shard-invariant, kill-resume-identical."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet import FleetSpec, run_fleet
+from repro.sim.telemetry import FleetRecorder
+
+
+def small_spec(**overrides) -> FleetSpec:
+    base = dict(devices=6, seed=11, name="test-fleet", n_events=3,
+                policies=("QZ", "NA", "TH50"))
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+class TestShardInvariance:
+    def test_serial_and_sharded_are_bit_identical(self):
+        spec = small_spec()
+        serial = run_fleet(spec, shards=1, jobs=1)
+        sharded = run_fleet(spec, shards=3, jobs=2)
+        assert serial.rollup == sharded.rollup
+        assert (
+            json.dumps(serial.rollup.to_dict(), sort_keys=True)
+            == json.dumps(sharded.rollup.to_dict(), sort_keys=True)
+        )
+
+    def test_shards_clamped_to_fleet_size(self):
+        result = run_fleet(small_spec(devices=2), shards=64, jobs=1)
+        assert result.shards == 2
+        assert result.rollup.devices == 2
+
+    def test_recorder_sees_every_shard_in_order(self):
+        recorder = FleetRecorder()
+        result = run_fleet(small_spec(), shards=3, jobs=1, recorder=recorder)
+        assert [s.shard for s in recorder.shard_samples] == [0, 1, 2]
+        assert recorder.devices_observed() == 6
+        assert recorder.resumed_shards() == []
+        assert recorder.rollup == result.rollup
+        assert recorder.decision_path_totals() is not None
+
+
+class TestCheckpointResume:
+    def test_kill_then_resume_matches_uninterrupted(self, tmp_path):
+        spec = small_spec()
+        straight = run_fleet(spec, shards=3, jobs=1)
+
+        ckpt = str(tmp_path / "journal")
+        killed = run_fleet(spec, shards=3, jobs=1, checkpoint=ckpt, stop_after=1)
+        assert not killed.complete
+        assert killed.pending_shards == [1, 2]
+
+        recorder = FleetRecorder()
+        resumed = run_fleet(spec, shards=3, jobs=1, checkpoint=ckpt,
+                            resume=True, recorder=recorder)
+        assert resumed.complete
+        assert resumed.resumed_shards == 1
+        assert resumed.computed_shards == 2
+        assert recorder.resumed_shards() == [0]
+        assert resumed.rollup == straight.rollup
+        assert resumed.rollup.to_dict() == straight.rollup.to_dict()
+
+    def test_truncated_shard_entry_is_recomputed(self, tmp_path):
+        spec = small_spec()
+        ckpt = str(tmp_path / "journal")
+        straight = run_fleet(spec, shards=3, jobs=1, checkpoint=ckpt)
+
+        # Simulate a crash mid-write: leave a half-written journal entry.
+        victim = os.path.join(ckpt, "shard-000001.json")
+        with open(victim) as handle:
+            text = handle.read()
+        with open(victim, "w") as handle:
+            handle.write(text[: len(text) // 2])
+
+        resumed = run_fleet(spec, shards=3, jobs=1, checkpoint=ckpt, resume=True)
+        assert resumed.resumed_shards == 2
+        assert resumed.computed_shards == 1
+        assert resumed.rollup == straight.rollup
+
+    def test_resume_rejects_different_spec(self, tmp_path):
+        ckpt = str(tmp_path / "journal")
+        run_fleet(small_spec(), shards=2, jobs=1, checkpoint=ckpt, stop_after=1)
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            run_fleet(small_spec(seed=99), shards=2, jobs=1,
+                      checkpoint=ckpt, resume=True)
+
+    def test_resume_rejects_different_shard_count(self, tmp_path):
+        ckpt = str(tmp_path / "journal")
+        run_fleet(small_spec(), shards=2, jobs=1, checkpoint=ckpt, stop_after=1)
+        with pytest.raises(ConfigurationError, match="shards"):
+            run_fleet(small_spec(), shards=3, jobs=1, checkpoint=ckpt, resume=True)
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ConfigurationError, match="resume"):
+            run_fleet(small_spec(), resume=True)
+        with pytest.raises(ConfigurationError, match="stop_after"):
+            run_fleet(small_spec(), stop_after=1)
+
+    def test_fresh_run_drops_stale_entries(self, tmp_path):
+        spec = small_spec()
+        ckpt = str(tmp_path / "journal")
+        run_fleet(spec, shards=3, jobs=1, checkpoint=ckpt)
+        # A fresh (non-resume) run must not trust old entries.
+        fresh = run_fleet(spec, shards=3, jobs=1, checkpoint=ckpt)
+        assert fresh.resumed_shards == 0
+        assert fresh.computed_shards == 3
+
+
+class TestResultRendering:
+    def test_render_flags_incomplete(self, tmp_path):
+        ckpt = str(tmp_path / "journal")
+        result = run_fleet(small_spec(), shards=3, jobs=1,
+                           checkpoint=ckpt, stop_after=1)
+        assert "INCOMPLETE" in result.render()
+        assert "test-fleet" in result.render()
+
+    def test_summary_is_plain_floats(self):
+        summary = run_fleet(small_spec(devices=2), jobs=1).summary()
+        assert isinstance(summary, dict)
+        assert all(isinstance(v, (int, float, dict, str)) for v in summary.values())

@@ -1,0 +1,79 @@
+"""FleetSpec: deterministic device derivation and sharding geometry."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.spec import FleetSpec, shard_ranges
+
+
+class TestShardRanges:
+    def test_covers_every_device_exactly_once(self):
+        ranges = shard_ranges(17, 5)
+        devices = [d for r in ranges for d in r]
+        assert devices == list(range(17))
+
+    def test_balanced_within_one(self):
+        sizes = [len(r) for r in shard_ranges(17, 5)]
+        assert max(sizes) - min(sizes) <= 1
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_single_shard_is_whole_fleet(self):
+        assert list(shard_ranges(4, 1)[0]) == [0, 1, 2, 3]
+
+    def test_contiguous(self):
+        ranges = shard_ranges(10, 3)
+        for left, right in zip(ranges, ranges[1:]):
+            assert left.stop == right.start
+
+
+class TestDeviceDerivation:
+    def spec(self, **overrides) -> FleetSpec:
+        base = dict(devices=8, seed=7, n_events=5)
+        base.update(overrides)
+        return FleetSpec(**base)
+
+    def test_derivation_is_deterministic(self):
+        a = self.spec().device_config(3)
+        b = self.spec().device_config(3)
+        assert a == b
+
+    def test_devices_differ(self):
+        spec = self.spec(devices=40)
+        configs = [spec.device_config(i) for i in range(40)]
+        assert len({config.trace_seed for _, config in configs}) > 1
+        assert len({policy for policy, _ in configs}) > 1
+
+    def test_seed_changes_population(self):
+        a = [self.spec(seed=1).device_config(i) for i in range(8)]
+        b = [self.spec(seed=2).device_config(i) for i in range(8)]
+        assert a != b
+
+    def test_policy_mix_respected(self):
+        spec = self.spec(policies=("NA",))
+        for i in range(8):
+            policy, _ = spec.device_config(i)
+            assert policy == "NA"
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            self.spec().device_config(8)
+
+    def test_round_trips_through_dict(self):
+        spec = self.spec(policies=("QZ", "NA"), cells=(6,))
+        assert FleetSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fingerprint_tracks_spec(self):
+        assert self.spec().fingerprint() == self.spec().fingerprint()
+        assert self.spec().fingerprint() != self.spec(seed=8).fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(devices=0)
+        with pytest.raises(ConfigurationError):
+            self.spec(policies=("NOPE",))
+        with pytest.raises(ConfigurationError):
+            self.spec(environments=("mars",))
+        with pytest.raises(ConfigurationError):
+            self.spec(mcus=("z80",))
+        with pytest.raises(ConfigurationError):
+            self.spec(cells=())

@@ -64,3 +64,104 @@ class TestDerived:
     def test_to_dict_keys_stable(self):
         keys = set(RunMetrics().to_dict())
         assert {"discarded_fraction", "reported_hq", "ibo_drops", "jobs_completed"} <= keys
+
+
+class TestStreamingDistribution:
+    def test_mean_and_std_are_exact(self):
+        from repro.sim.metrics import StreamingDistribution
+
+        d = StreamingDistribution()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            d.observe(value)
+        assert d.mean() == pytest.approx(0.25)
+        assert d.std() == pytest.approx((0.0125) ** 0.5)
+
+    def test_merge_is_associative_and_exact(self):
+        from repro.sim.metrics import StreamingDistribution
+
+        # Floating-point folding of these values is grouping-dependent;
+        # the distribution must not be.
+        values = [0.1, 0.7, 1e-9, 0.3333333333333333, 0.9999999, 0.2]
+        whole = StreamingDistribution()
+        for v in values:
+            whole.observe(v)
+        left, right = StreamingDistribution(), StreamingDistribution()
+        for v in values[:2]:
+            left.observe(v)
+        for v in values[2:]:
+            right.observe(v)
+        left.merge(right)
+        assert left == whole
+        assert left.to_dict() == whole.to_dict()
+
+    def test_percentiles_nearest_rank(self):
+        from repro.sim.metrics import StreamingDistribution
+
+        d = StreamingDistribution()
+        for i in range(100):
+            d.observe(i / 100.0)
+        # Bin edges quantize upward: p50 lands in the bin holding 0.49.
+        assert 0.45 <= d.percentile(50.0) <= 0.55
+        assert d.percentile(99.0) >= 0.95
+        assert StreamingDistribution().percentile(50.0) == 0.0
+
+    def test_round_trips_through_dict(self):
+        from repro.sim.metrics import StreamingDistribution
+
+        d = StreamingDistribution()
+        for v in (0.25, 0.5, 0.5):
+            d.observe(v)
+        assert StreamingDistribution.from_dict(d.to_dict()) == d
+
+
+class TestMetricsRollup:
+    def sample(self, discards: int) -> RunMetrics:
+        m = RunMetrics()
+        m.captures_interesting = 10
+        m.ibo_drops_interesting = discards
+        m.packets_interesting_high = 10 - discards
+        m.energy_consumed_j = 0.125 * discards
+        return m
+
+    def test_observe_then_mean(self):
+        from repro.sim.metrics import MetricsRollup
+
+        r = MetricsRollup()
+        r.observe(self.sample(2))
+        r.observe(self.sample(4))
+        assert r.runs == 2
+        assert r.mean("energy_consumed_j") == pytest.approx(0.375)
+        assert r.counters["captures_interesting"] == 20
+
+    def test_merge_matches_serial_fold_exactly(self):
+        from repro.sim.metrics import MetricsRollup
+
+        samples = [self.sample(k) for k in (1, 2, 3, 4, 5)]
+        serial = MetricsRollup()
+        for s in samples:
+            serial.observe(s)
+        a, b = MetricsRollup(), MetricsRollup()
+        for s in samples[:2]:
+            a.observe(s)
+        for s in samples[2:]:
+            b.observe(s)
+        a.merge(b)
+        assert a == serial
+        assert a.to_dict() == serial.to_dict()
+
+    def test_round_trips_through_dict(self):
+        from repro.sim.metrics import MetricsRollup
+
+        r = MetricsRollup()
+        r.observe(self.sample(3))
+        assert MetricsRollup.from_dict(r.to_dict()) == r
+
+    def test_summary_has_distribution_stats(self):
+        from repro.sim.metrics import MetricsRollup
+
+        r = MetricsRollup()
+        r.observe(self.sample(2))
+        summary = r.summary()
+        assert summary["runs"] == 1
+        assert "discarded_fraction_mean" in summary
+        assert "discarded_fraction_p99" in summary

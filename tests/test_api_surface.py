@@ -1,0 +1,140 @@
+"""The curated ``repro.api`` surface and the top-level deprecation shims.
+
+``repro.api.__all__`` is the supported contract — this snapshot pins it
+so any addition or removal is a deliberate, reviewed change.  The old
+top-level re-exports of internal names must keep resolving, but through
+``DeprecationWarning`` shims.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+
+# The supported surface, pinned.  Editing this list is an API change:
+# update docs (DESIGN.md "Supported API") in the same commit.
+API_SNAPSHOT = sorted([
+    # single runs
+    "simulate",
+    "SimulationConfig",
+    "SimulationEngine",
+    "RunMetrics",
+    "TelemetryRecorder",
+    # systems under test
+    "QuetzalRuntime",
+    "Policy",
+    "NoAdaptPolicy",
+    "AlwaysDegradePolicy",
+    "BufferThresholdPolicy",
+    "PowerThresholdPolicy",
+    "catnap_policy",
+    # workloads and worlds
+    "build_apollo_app",
+    "build_msp430_app",
+    "SolarTraceGenerator",
+    "SolarTraceConfig",
+    "environment_by_name",
+    "EventSchedule",
+    "EventScheduleGenerator",
+    # experiment grids
+    "ExperimentConfig",
+    "apollo_simulation_config",
+    "hardware_experiment_config",
+    "msp430_simulation_config",
+    "run_grid",
+    "standard_policies",
+    "ExperimentRunner",
+    "GridResults",
+    "RunFailure",
+    # fleets
+    "run_fleet",
+    "FleetSpec",
+    "FleetResult",
+    "FleetRollup",
+    "MetricsRollup",
+    "FleetRecorder",
+    # meta
+    "__version__",
+])
+
+DEPRECATED_TOP_LEVEL = {
+    "IBOEngine": "repro.core.ibo",
+    "PIDController": "repro.core.pid",
+    "end_to_end_service_time": "repro.core.service_time",
+    "ExactServiceTimeEstimator": "repro.core.service_time",
+    "HardwareServiceTimeEstimator": "repro.core.service_time",
+    "AverageServiceTimeEstimator": "repro.core.service_time",
+    "ADC": "repro.hardware.adc",
+    "Diode": "repro.hardware.diode",
+    "PowerMonitor": "repro.hardware.circuit",
+    "CheckpointModel": "repro.device.checkpoint",
+}
+
+
+class TestApiFacade:
+    def test_all_is_exactly_the_snapshot(self):
+        assert sorted(api.__all__) == API_SNAPSHOT
+
+    def test_every_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_names_are_the_same_objects_as_their_homes(self):
+        from repro.fleet import FleetSpec, run_fleet
+        from repro.sim.engine import simulate
+
+        assert api.simulate is simulate
+        assert api.run_fleet is run_fleet
+        assert api.FleetSpec is FleetSpec
+        assert api.QuetzalRuntime is repro.QuetzalRuntime
+        assert api.__version__ == repro.__version__
+
+    def test_facade_import_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for name in api.__all__:
+                getattr(api, name)
+        assert caught == []
+
+
+class TestTopLevelShims:
+    @pytest.mark.parametrize("name", sorted(DEPRECATED_TOP_LEVEL))
+    def test_deprecated_name_warns_but_resolves(self, name):
+        with pytest.warns(DeprecationWarning, match=DEPRECATED_TOP_LEVEL[name]):
+            obj = getattr(repro, name)
+        # The shim hands back the real object, not a copy.
+        import importlib
+
+        home = importlib.import_module(DEPRECATED_TOP_LEVEL[name])
+        assert obj is getattr(home, name)
+
+    def test_deprecated_names_stay_in_all(self):
+        for name in DEPRECATED_TOP_LEVEL:
+            assert name in repro.__all__, name
+
+    def test_supported_names_do_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            repro.simulate
+            repro.QuetzalRuntime
+            repro.build_apollo_app
+            repro.SimulationConfig
+        assert caught == []
+
+    def test_lazy_submodule_access(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert repro.api is api
+            assert repro.fleet.FleetSpec is api.FleetSpec
+        assert caught == []
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_name  # noqa: B018
+
+    def test_dir_covers_shimmed_names(self):
+        listing = dir(repro)
+        assert "IBOEngine" in listing
+        assert "simulate" in listing

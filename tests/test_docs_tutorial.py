@@ -125,6 +125,23 @@ def test_section7_figures():
     assert "Figure 9" in text
 
 
+def test_section10_fleet():
+    from repro.api import FleetRecorder, FleetSpec, run_fleet
+
+    spec = FleetSpec(
+        devices=6, seed=7, n_events=3,
+        policies=("QZ", "NA", "TH50"),
+        environments=("crowded", "less crowded"),
+    )
+    recorder = FleetRecorder()
+    result = run_fleet(spec, shards=2, jobs=1, recorder=recorder)
+    assert result.complete
+    assert "devices" in result.render()
+    assert "discarded_fraction_p99" in result.summary()
+    assert recorder.devices_observed() == 6
+    assert result.rollup == run_fleet(spec, shards=1, jobs=1).rollup
+
+
 def test_section8_parallel_grids():
     from repro.experiments import apollo_simulation_config, run_grid
     from repro.experiments.harness import quetzal_factory
