@@ -33,10 +33,10 @@ bench-record:
 bench-figures:
 	pytest benchmarks/ --benchmark-only
 
-# Fleet kill/resume gate: runs an 8-device 2-shard fleet through the CLI,
-# kills it after one shard, resumes, and fails unless the resumed rollup
-# is byte-identical to an uninterrupted run.  Scale with
-# FLEET_SMOKE_DEVICES / FLEET_SMOKE_SHARDS.
+# Fleet kill/resume + vector-kernel gate: runs an 8-device 2-shard fleet
+# through the CLI, kills it after one shard, resumes, and fails unless the
+# resumed rollup — and a --kernel vector rerun — are byte-identical to an
+# uninterrupted run.  Scale with FLEET_SMOKE_DEVICES / FLEET_SMOKE_SHARDS.
 fleet-smoke:
 	PYTHONPATH=src python benchmarks/fleet_smoke.py
 

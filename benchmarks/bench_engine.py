@@ -72,10 +72,139 @@ CASES = {
 }
 
 
+#: Fleet-scale case sizes.  The vector kernel's fixed per-iteration cost
+#: amortizes over the batch, so ``BENCH_FLEET_DEVICES`` must be in the
+#: thousands for the recorded speedup to be representative; the scalar
+#: and reference baselines are timed on leading subsets (their cost is
+#: linear in devices) and normalized per device.
+FLEET_DEVICES = int(os.environ.get("BENCH_FLEET_DEVICES", "8192"))
+FLEET_SCALAR_DEVICES = int(os.environ.get("BENCH_FLEET_SCALAR_DEVICES", "192"))
+FLEET_REFERENCE_DEVICES = int(os.environ.get("BENCH_FLEET_REFERENCE_DEVICES", "48"))
+
+
 def build_case(name):
     """(trace, schedule, policy factory) for a named case."""
     trace_factory, n_events, policy_factory = CASES[name]
     return trace_factory(), CROWDED.schedule(n_events, seed=2), policy_factory
+
+
+def run_fleet_scale_case(repeats: int = 2) -> dict:
+    """Shard throughput: the vector fleet kernel vs the per-device engine.
+
+    Methodology matches the engine cases above — inputs (traces,
+    schedules, apps) are prebuilt outside the timed region — so the
+    numbers isolate simulation throughput.  Three measurements:
+
+    * ``vector``: one lockstep :class:`~repro.fleet.kernel._VectorBatch`
+      pass over all ``FLEET_DEVICES`` baseline-policy devices, *including*
+      the scalar rerun of any lane the kernel hands back (tail cutoff or
+      anomaly), i.e. exactly the work ``run_shard(kernel="vector")`` does
+      after input setup;
+    * ``scalar``: the default per-device engine (fast paths on) over a
+      leading subset, normalized per device;
+    * ``reference``: the engine's pre-optimization reference paths
+      (``fast_paths=False``) over a smaller subset — the original
+      per-device cost before the hot-path PRs.
+    """
+    import dataclasses as _dc
+
+    from repro.experiments.harness import standard_policies
+    from repro.experiments.runner import RunSpec, _attempt_spec
+    from repro.fleet import kernel
+    from repro.fleet.spec import FleetSpec
+    from repro.sim.engine import SimulationEngine
+
+    spec = FleetSpec(
+        name="bench-fleet", devices=FLEET_DEVICES, seed=3, n_events=50,
+        policies=("NA", "AD", "TH50", "CN", "PZO", "PZI"), cells=(4, 6, 8),
+    )
+    factories = standard_policies()
+    kinds = kernel._vector_kernel_policies(factories)
+    import gc as _gc
+
+    _gc.disable()
+    try:
+        lanes = []
+        for device in range(spec.devices):
+            policy_name, config = spec.device_config(device)
+            lane = kernel._Lane(device, policy_name, config)
+            if not kernel._lane_eligible(lane, kinds):
+                raise RuntimeError(f"bench spec produced ineligible lane {device}")
+            lanes.append(lane)
+    finally:
+        _gc.enable()
+
+    def rerun_scalar(lane, fast_paths=True):
+        config = lane.config
+        run_spec = RunSpec(policy=lane.policy_name, seed=0, config=config)
+        if fast_paths:
+            return _attempt_spec(
+                run_spec, factories[lane.policy_name], lane.trace, lane.schedule, 0
+            )
+        cfg = run_spec.seeded_config()
+        engine = SimulationEngine(
+            app=cfg.build_app(), policy=factories[lane.policy_name](),
+            trace=lane.trace, schedule=lane.schedule, mcu=cfg.mcu,
+            storage=cfg.build_storage(),
+            config=_dc.replace(cfg.build_sim_config(), fast_paths=False),
+        )
+        return engine.run()
+
+    best_vector = None
+    fallbacks = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        groups: dict[tuple, list] = {}
+        for lane in lanes:
+            key = (
+                len(lane.trace._times_list),
+                lane.sim.buffer_capacity,
+                lane.sim.capture_period_s,
+            )
+            groups.setdefault(key, []).append(lane)
+        fallbacks = 0
+        for group in groups.values():
+            batch = kernel._VectorBatch(group)
+            for lane, metrics in zip(group, batch.run()):
+                if metrics is None:
+                    fallbacks += 1
+                    rerun_scalar(lane)
+        elapsed = time.perf_counter() - start
+        if best_vector is None or elapsed < best_vector:
+            best_vector = elapsed
+
+    start = time.perf_counter()
+    for lane in lanes[:FLEET_SCALAR_DEVICES]:
+        rerun_scalar(lane)
+    scalar_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for lane in lanes[:FLEET_REFERENCE_DEVICES]:
+        rerun_scalar(lane, fast_paths=False)
+    reference_s = time.perf_counter() - start
+
+    vector_ms = 1000 * best_vector / FLEET_DEVICES
+    scalar_ms = 1000 * scalar_s / FLEET_SCALAR_DEVICES
+    reference_ms = 1000 * reference_s / FLEET_REFERENCE_DEVICES
+    return {
+        "devices": FLEET_DEVICES,
+        "scalar_devices_timed": FLEET_SCALAR_DEVICES,
+        "reference_devices_timed": FLEET_REFERENCE_DEVICES,
+        "fallback_lanes": fallbacks,
+        "wall_s": round(best_vector, 4),
+        "ms_per_device_vector": round(vector_ms, 3),
+        "ms_per_device_scalar": round(scalar_ms, 3),
+        "ms_per_device_reference": round(reference_ms, 3),
+        "speedup_vs_scalar": round(scalar_ms / vector_ms, 2),
+        "speedup_vs_reference": round(reference_ms / vector_ms, 2),
+    }
+
+
+#: Extra harness-only cases (not in the pytest-benchmark parametrization:
+#: they time cross-engine comparisons, not a single simulate() call).
+EXTRA_CASES = {
+    "fleet_scale": run_fleet_scale_case,
+}
 
 
 def run_case(name: str, repeats: int = 3) -> dict:
@@ -156,6 +285,8 @@ def _latest_baseline(trajectory: dict) -> dict | None:
 def cmd_record(args) -> int:
     trajectory = _load_trajectory(BASELINE_PATH)
     results = {name: run_case(name, repeats=args.repeats) for name in CASES}
+    # Extra cases run once: each repeat is a whole fleet-vs-engine sweep.
+    results.update({name: fn() for name, fn in EXTRA_CASES.items()})
     entry = {
         "label": args.label,
         "date": time.strftime("%Y-%m-%d"),
@@ -168,6 +299,14 @@ def cmd_record(args) -> int:
         fh.write("\n")
     print(f"recorded entry {len(trajectory['entries']) - 1} -> {BASELINE_PATH}")
     for name, res in results.items():
+        if "speedup_vs_scalar" in res:
+            print(
+                f"  {name:24s} {res['wall_s']:8.4f}s  "
+                f"{res['ms_per_device_vector']:>7.3f} ms/dev  "
+                f"{res['speedup_vs_scalar']:.2f}x vs scalar, "
+                f"{res['speedup_vs_reference']:.2f}x vs reference"
+            )
+            continue
         line = (
             f"  {name:24s} {res['wall_s']:8.4f}s  "
             f"{res['sim_seconds_per_wall_second']:>9.1f} sim-s/s  "
@@ -191,8 +330,11 @@ def cmd_check(args) -> int:
     )
     results = {}
     failed = []
-    for name in CASES:
-        res = run_case(name, repeats=args.repeats)
+    for name in list(CASES) + list(EXTRA_CASES):
+        if name in EXTRA_CASES:
+            res = EXTRA_CASES[name]()
+        else:
+            res = run_case(name, repeats=args.repeats)
         results[name] = res
         base = baseline["results"].get(name)
         if base is None:

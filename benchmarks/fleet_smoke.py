@@ -6,7 +6,10 @@ Drives the real CLI end to end on a small fleet:
 2. run it again with ``--stop-after 1`` — the CLI must journal one shard
    and exit 3 (incomplete);
 3. ``--resume`` the killed run and require its rollup JSON to be
-   *byte-identical* to the uninterrupted one.
+   *byte-identical* to the uninterrupted one;
+4. run the same fleet with ``--kernel vector`` and require its rollup
+   JSON to be byte-identical too (the lockstep numpy kernel is only ever
+   a faster spelling of the scalar engine).
 
 Exits non-zero (with a diagnostic) on any deviation.  Scale via
 ``FLEET_SMOKE_DEVICES`` / ``FLEET_SMOKE_SHARDS`` (defaults: 8 devices,
@@ -42,15 +45,23 @@ def main_smoke() -> int:
         resumed_json = os.path.join(tmp, "resumed.json")
         checkpoint = ["--shards", shards, "--checkpoint", os.path.join(tmp, "journal")]
 
+        vector_json = os.path.join(tmp, "vector.json")
+
         run(base + ["--json", straight_json], expect=0)
         run(base + checkpoint + ["--stop-after", "1"], expect=3)
         run(base + checkpoint + ["--resume", "--json", resumed_json], expect=0)
+        run(base + ["--kernel", "vector", "--json", vector_json], expect=0)
 
         if read(straight_json) != read(resumed_json):
             print("FAIL: resumed rollup differs from uninterrupted run",
                   file=sys.stderr)
             return 1
-    print("fleet-smoke OK: kill/resume rollup byte-identical to uninterrupted run")
+        if read(straight_json) != read(vector_json):
+            print("FAIL: vector-kernel rollup differs from scalar run",
+                  file=sys.stderr)
+            return 1
+    print("fleet-smoke OK: kill/resume and vector-kernel rollups "
+          "byte-identical to the uninterrupted scalar run")
     return 0
 
 

@@ -19,7 +19,9 @@ Everything exported here — and exactly this list, pinned by
 * **grids** — ``ExperimentConfig`` / ``run_grid`` /
   ``standard_policies`` / ``ExperimentRunner`` for policy × seed sweeps;
 * **fleets** — ``run_fleet`` over a ``FleetSpec`` for batch populations
-  of devices, with ``FleetRecorder`` shard telemetry.
+  of devices, with ``FleetRecorder`` shard telemetry and an opt-in
+  ``kernel="vector"`` lockstep numpy kernel (bit-identical rollups,
+  scalar fallback for uncovered devices).
 
 Anything importable from deeper modules but absent here (engine
 internals, hardware circuit models, estimator classes, cursors, ...) is

@@ -29,7 +29,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
@@ -188,8 +188,11 @@ def map_indexed(
     shard executor.  ``worker`` may close over arbitrary unpicklable state
     (inherited by fork); its *results* must be picklable.  Results are
     returned in index order regardless of worker count, and ``on_result``
-    (if given) is invoked in index order as results arrive — fleet
-    checkpointing journals each shard from it.  Platforms without the
+    (if given) is invoked *as each result arrives*, in completion order —
+    fleet checkpointing journals each shard from it, so a finished shard
+    is durable even while earlier-indexed shards are still running.
+    Callers needing a deterministic fold must do it over the returned
+    (index-ordered) list, not from ``on_result``.  Platforms without the
     ``fork`` start method, ``jobs=1``, and single-item maps all run
     serially in-process.
     """
@@ -207,7 +210,9 @@ def map_indexed(
             with ProcessPoolExecutor(
                 max_workers=min(jobs, count), mp_context=context
             ) as pool:
-                for index, outcome in pool.map(_indexed_call, range(count)):
+                futures = [pool.submit(_indexed_call, index) for index in range(count)]
+                for future in as_completed(futures):
+                    index, outcome = future.result()
                     results[index] = outcome
                     if on_result is not None:
                         on_result(index, outcome)
@@ -351,6 +356,7 @@ class ExperimentRunner:
 
         The fleet service's entry into the fan-out: ``worker`` closes over
         the fleet spec (inherited by fork) and returns one picklable shard
-        rollup; ``on_result`` journals completed shards in index order.
+        rollup; ``on_result`` journals each shard the moment it completes
+        (in completion order, not index order).
         """
         return map_indexed(worker, count, self.jobs, on_result=on_result)

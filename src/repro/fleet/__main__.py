@@ -64,6 +64,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="harvester cell-count mix, e.g. 4,6,8")
     parser.add_argument("--buffer", type=int, default=10, metavar="N",
                         help="input-buffer capacity (0 = unbounded Ideal buffer)")
+    parser.add_argument("--kernel", choices=("scalar", "vector"), default="scalar",
+                        help="shard simulation kernel: 'scalar' runs one engine "
+                        "per device, 'vector' advances baseline-policy devices "
+                        "in numpy lockstep (bit-identical rollup; uncovered "
+                        "devices fall back to scalar)")
     parser.add_argument("--checkpoint", type=str, default=None, metavar="DIR",
                         help="journal completed shards into DIR")
     parser.add_argument("--resume", action="store_true",
@@ -106,6 +111,7 @@ def main(argv: list[str] | None = None) -> int:
                 jobs=jobs,
                 checkpoint=args.checkpoint,
                 resume=args.resume,
+                kernel=args.kernel,
                 stop_after=args.stop_after,
                 progress=progress,
             )

@@ -18,6 +18,7 @@ uninterrupted run's.
 
 from __future__ import annotations
 
+import glob
 import json
 import os
 
@@ -28,7 +29,8 @@ from repro.fleet.spec import FleetSpec
 __all__ = ["FleetCheckpoint"]
 
 _MANIFEST = "manifest.json"
-_VERSION = 1
+#: Version 2: rollup distributions carry exact min/max state.
+_VERSION = 2
 
 
 class FleetCheckpoint:
@@ -54,8 +56,11 @@ class FleetCheckpoint:
     def initialize(self, resume: bool) -> dict[int, FleetRollup]:
         """Prepare the journal; return the shards already completed.
 
-        Fresh runs (``resume=False``) write the manifest and drop any
-        stale shard entries.  Resumed runs require a manifest for the
+        Fresh runs (``resume=False``) write the manifest and drop *every*
+        stale shard entry in the directory — including files left behind
+        by a previous run with a larger shard count, which would
+        otherwise linger forever (and resurface if a later run matched
+        their count again).  Resumed runs require a manifest for the
         same spec fingerprint and shard count, then load every intact
         shard entry (damaged or missing entries are recomputed by the
         caller).
@@ -85,9 +90,9 @@ class FleetCheckpoint:
             "devices": self.spec.devices,
             "spec": self.spec.to_dict(),
         })
-        for shard in range(self.shards):
+        for path in glob.glob(os.path.join(self.directory, "shard-*.json")):
             try:
-                os.remove(self.shard_path(shard))
+                os.remove(path)
             except FileNotFoundError:
                 pass
         return {}

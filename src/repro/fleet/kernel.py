@@ -1,0 +1,1193 @@
+"""Vectorized fleet kernel: a lockstep struct-of-arrays engine for shards.
+
+``run_fleet`` advances one scalar :class:`~repro.sim.engine.SimulationEngine`
+per device, so fleet cost scales as devices x simulated seconds of pure
+Python.  This module advances a whole shard of *baseline-policy* devices in
+lockstep instead: every piece of per-device state lives in a numpy array
+over devices (stored energy, simulation clock, capture index, buffer slots,
+metric counters), and each kernel iteration moves every live device across
+one breakpoint span — per-device divergence (power failure, recharge,
+depletion, policy decisions) is handled by masked sub-stepping over compact
+index arrays.
+
+The contract is the same one ``tests/sim/test_fast_paths.py`` pins for the
+scalar engine's fast paths: **bit-identical** :class:`RunMetrics`, not
+approximately equal.  Three facts make that reachable:
+
+* elementwise numpy float64 arithmetic is IEEE-identical to the equivalent
+  Python-float expression, so replaying the scalar engine's per-span
+  operations (same operands, same order) in arrays reproduces its floats;
+* fleet traces are sampled on an integer grid (``times[i] == float(i)``,
+  ``period == float(n)``), where the engine's ``bisect``-based segment
+  lookup reduces to a clipped ``floor`` — a gather, not a search;
+* ``numpy.random.Generator.random(n)`` consumes the identical stream as
+  ``n`` scalar ``random()`` calls, so the capture and classification draws
+  can be chunked per device without perturbing either stream (the scalar
+  engine already relies on this for its capture chunks).
+
+Devices whose policy has no vector path (the Quetzal variants), whose
+configuration falls outside the vector kernel's envelope, or that hit an
+anomalous condition mid-flight (energy overdraw, negative harvest, the
+iteration backstop) are re-run on the scalar engine via the same
+``_attempt_spec`` helper the scalar shard path uses, so every device's
+outcome — including :class:`RunFailure` — is exactly what the scalar path
+would have produced.  The scalar engine stays the oracle; this kernel is
+only ever a faster spelling of it (``tests/fleet/test_kernel.py``).
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+
+import numpy as np
+
+from repro.core.scheduler import FCFSScheduler
+from repro.device.checkpoint import CheckpointModel
+from repro.device.storage import Supercapacitor
+from repro.env.events import EventSchedule
+from repro.experiments.runner import RunFailure, RunSpec, _attempt_spec
+from repro.policies.always_degrade import AlwaysDegradePolicy
+from repro.policies.base import Policy
+from repro.policies.buffer_threshold import BufferThresholdPolicy
+from repro.policies.noadapt import NoAdaptPolicy
+from repro.policies.power_threshold import PowerThresholdPolicy
+from repro.sim.engine import _ENERGY_EPS
+from repro.sim.metrics import RunMetrics
+from repro.trace.power_trace import _MAX_HARVEST_PERIODS, PiecewiseConstantTrace
+from repro.units import TIME_EPSILON
+from repro.workload.ml import MLModelProfile
+from repro.workload.pipelines import DETECT_JOB, TRANSMIT_JOB, PersonDetectionApp
+
+__all__ = ["vector_shard_outcomes", "VECTOR_KERNEL_POLICIES"]
+
+#: Devices per lockstep batch.  Bounds the kernel's working set (the trace
+#: power/cumulative-energy matrices are [devices, samples] float64) while
+#: keeping batches wide enough to amortize per-iteration numpy overhead.
+_MAX_BATCH = 8192
+
+# Device states.
+_CTRL, _ADV, _RECHG, _DONE = 0, 1, 2, 3
+# What an _ADV lane returns to when its span target is reached/depleted.
+_C_IDLE, _C_TASK, _C_SAVE, _C_RESTORE = 0, 1, 2, 3
+# What a _RECHG lane returns to once the restart level is reached.
+_R_BLOCK, _R_FAILURE, _R_IDLE = 0, 1, 2
+
+# Policy families with a vector decision path.
+_K_NOADAPT, _K_ALWAYS, _K_BUFFER, _K_POWER = 0, 1, 2, 3
+
+#: Classification draws fetched per device per refill.  Any size yields the
+#: same stream (Generator.random(n) == n scalar draws); capture draws are
+#: chunked at 1024 to mirror the scalar engine's own chunking exactly.
+_CLS_CHUNK = 256
+_CAP_CHUNK = 1024
+
+
+def _policy_kind(factory) -> tuple[int, float | None] | None:
+    """Classify a policy factory into a vector family, or None.
+
+    Inspects a throwaway instance instead of pattern-matching grid names,
+    so the mapping stays correct if the harness grid changes.  A policy
+    qualifies only when it is *exactly* one of the known baseline classes
+    (a subclass may override ``select``), keeps the base class's no-op
+    hooks and zero invocation cost, and schedules FCFS.
+    """
+    try:
+        policy = factory()
+    except Exception:  # pragma: no cover - defensive: factories may be exotic
+        return None
+    cls = type(policy)
+    base = Policy
+    if (
+        cls.prepare is not base.prepare
+        or cls.on_capture is not base.on_capture
+        or cls.on_job_complete is not base.on_job_complete
+        or cls.invocation_cost is not base.invocation_cost
+        or cls.configure_decision_path is not base.configure_decision_path
+        or hasattr(policy, "decision_stats")
+    ):
+        return None
+    if type(getattr(policy, "scheduler", None)) is not FCFSScheduler:
+        return None
+    if cls is NoAdaptPolicy:
+        return (_K_NOADAPT, None)
+    if cls is AlwaysDegradePolicy:
+        return (_K_ALWAYS, None)
+    if cls is BufferThresholdPolicy:
+        return (_K_BUFFER, float(policy.threshold))
+    if cls is PowerThresholdPolicy:
+        # The per-decision threshold is fraction * reference with a
+        # constant reference (datasheet value, or the trace's max power);
+        # reproducing the same single multiply per device is exact.
+        ref = policy.datasheet_max_w  # may be None -> use trace max power
+        return (_K_POWER, (float(policy.threshold_fraction), ref))
+    return None
+
+
+def _vector_kernel_policies(factories) -> dict[str, tuple]:
+    """Grid names in ``factories`` that have a vector decision path."""
+    kinds = {}
+    for name, factory in factories.items():
+        kind = _policy_kind(factory)
+        if kind is not None:
+            kinds[name] = kind
+    return kinds
+
+
+def VECTOR_KERNEL_POLICIES(factories) -> frozenset[str]:
+    """Public view of which grid policies the vector kernel covers."""
+    return frozenset(_vector_kernel_policies(factories))
+
+
+def _integer_grid(trace) -> bool:
+    """True when the trace's segment grid makes lookup a clipped floor."""
+    if type(trace) is not PiecewiseConstantTrace:
+        return False
+    if trace._period is None or trace._energy_per_period <= 0:
+        return False
+    times = np.asarray(trace._times_list, dtype=np.float64)
+    n = times.shape[0]
+    if n == 0 or trace._period != float(n):
+        return False
+    return bool(np.array_equal(times, np.arange(n, dtype=np.float64)))
+
+
+def _app_shape(app) -> tuple | None:
+    """Extract the (detect, transmit) task/option tables, or None.
+
+    The planner is positional (``task_refs[0]`` is the classifier,
+    ``task_refs[1]`` the conditional prep; transmit is single-task), so the
+    kernel requires exactly that shape and reads the same option objects
+    the scalar planner would choose (``options[0]`` highest, ``options[-1]``
+    lowest).
+    """
+    if type(app) is not PersonDetectionApp or app.entry_job != DETECT_JOB:
+        return None
+    jobs = app.jobs
+    if DETECT_JOB not in jobs or TRANSMIT_JOB not in jobs:
+        return None
+    detect = jobs.job(DETECT_JOB)
+    transmit = jobs.job(TRANSMIT_JOB)
+    if len(detect.task_refs) != 2 or len(transmit.task_refs) != 1:
+        return None
+    if detect.spawns != TRANSMIT_JOB or transmit.spawns is not None:
+        return None
+    ml_ref, prep_ref = detect.task_refs
+    radio_ref = transmit.task_refs[0]
+    if not ml_ref.task.degradable or prep_ref.task.degradable:
+        return None
+    if not radio_ref.task.degradable:
+        return None
+    ml_hi = ml_ref.task.options[0]
+    ml_lo = ml_ref.task.options[-1]
+    radio_hi = radio_ref.task.options[0]
+    radio_lo = radio_ref.task.options[-1]
+    for opt in (ml_hi, ml_lo):
+        model = opt.metadata.get("ml")
+        if type(model) is not MLModelProfile:
+            return None
+    for opt in (radio_hi, radio_lo):
+        if opt.metadata.get("quality") not in ("high", "low"):
+            return None
+    prep_opt = prep_ref.task.highest_quality
+    # The kernel chains a finished job's next decision into the same
+    # lockstep round; sub-epsilon task durations would make that chain
+    # unbounded, so leave them to the scalar engine.
+    for opt in (ml_hi, ml_lo, prep_opt, radio_hi, radio_lo):
+        if opt.cost.t_exe_s <= TIME_EPSILON:
+            return None
+    return (ml_ref, ml_hi, ml_lo, prep_ref, prep_opt, radio_ref, radio_hi, radio_lo)
+
+
+class _Lane:
+    """One device prepared for the kernel (inputs shared with any fallback)."""
+
+    __slots__ = (
+        "device", "policy_name", "config", "trace", "schedule", "app",
+        "sim", "shape", "kind",
+    )
+
+    def __init__(self, device, policy_name, config):
+        self.device = device
+        self.policy_name = policy_name
+        self.config = config
+        self.trace = config.build_trace()
+        self.schedule = config.build_schedule()
+        self.app = None
+        self.sim = None
+        self.shape = None
+        self.kind = None
+
+
+def _lane_eligible(lane: _Lane, kinds) -> bool:
+    """Config-level envelope of the vector kernel (trace, app, storage, sim)."""
+    kind = kinds.get(lane.policy_name)
+    if kind is None:
+        return False
+    sim = lane.config.build_sim_config()
+    if (
+        sim.cost_jitter_sigma != 0.0
+        or sim.buffer_capacity is None
+        or sim.buffer_capacity < 1
+        or sim.capture_period_s <= 0
+    ):
+        return False
+    storage = lane.config.build_storage()
+    if type(storage) is not Supercapacitor:
+        return False
+    ckpt = CheckpointModel()
+    if ckpt.save_time_s <= 0 or ckpt.restore_time_s <= 0:
+        return False
+    if type(lane.schedule) is not EventSchedule:
+        return False
+    if not _integer_grid(lane.trace):
+        return False
+    app = lane.config.build_app()
+    shape = _app_shape(app)
+    if shape is None:
+        return False
+    lane.app = app
+    lane.sim = sim
+    lane.shape = shape
+    lane.kind = kind
+    return True
+
+
+def vector_shard_outcomes(spec, device_range, retries: int = 1, factories=None):
+    """Simulate ``device_range`` of ``spec``; return ``{device: outcome}``.
+
+    Outcomes are :class:`RunMetrics` or :class:`RunFailure`, bit-identical
+    to what the scalar per-device loop produces.  Devices outside the
+    vector envelope (and any lane the kernel flags as anomalous) fall back
+    to the scalar engine via ``_attempt_spec``.
+    """
+    if factories is None:
+        from repro.experiments.harness import standard_policies
+
+        factories = standard_policies()
+    kinds = _vector_kernel_policies(factories)
+    outcomes = {}
+    devices = list(device_range)
+    for start in range(0, len(devices), _MAX_BATCH):
+        chunk = devices[start : start + _MAX_BATCH]
+        lanes = []
+        # Building thousands of lanes allocates millions of long-lived
+        # boxed floats (trace sample lists); cyclic GC passes over them
+        # are pure overhead, so pause collection for the build.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            for device in chunk:
+                policy_name, config = spec.device_config(device)
+                lanes.append(_Lane(device, policy_name, config))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        vector_lanes = [lane for lane in lanes if _lane_eligible(lane, kinds)]
+        scalar_lanes = [lane for lane in lanes if lane.kind is None]
+        # Group vector lanes by array geometry (trace samples, buffer width)
+        # and capture period, which the batch hoists to a scalar.
+        groups: dict[tuple, list[_Lane]] = {}
+        for lane in vector_lanes:
+            key = (
+                len(lane.trace._times_list),
+                lane.sim.buffer_capacity,
+                lane.sim.capture_period_s,
+            )
+            groups.setdefault(key, []).append(lane)
+        for group in groups.values():
+            batch = _VectorBatch(group)
+            for lane, metrics in zip(group, batch.run()):
+                if metrics is None:
+                    scalar_lanes.append(lane)
+                else:
+                    outcomes[lane.device] = metrics
+        for lane in scalar_lanes:
+            outcomes[lane.device] = _attempt_spec(
+                RunSpec(policy=lane.policy_name, seed=0, config=lane.config),
+                factories[lane.policy_name],
+                lane.trace,
+                lane.schedule,
+                retries,
+            )
+    return outcomes
+
+
+class _VectorBatch:
+    """Lockstep SoA simulation of one homogeneous-geometry device batch.
+
+    Every method replays the scalar engine's floating-point operations on
+    gathered per-lane operands in the scalar op order; comments name the
+    engine code being mirrored.  ``run()`` returns one ``RunMetrics`` per
+    lane, or ``None`` where the lane must be re-run on the scalar engine.
+    """
+
+    def __init__(self, lanes: list[_Lane]) -> None:
+        self.lanes = lanes
+        D = self.D = len(lanes)
+        self.N = N = len(lanes[0].trace._times_list)
+        self.C = C = int(lanes[0].sim.buffer_capacity)
+        f8, i8 = np.float64, np.int64
+
+        # -- per-batch scalars (engine __init__ / CheckpointModel defaults) --
+        ckpt = CheckpointModel()
+        self.SAVE_T = ckpt.save_time_s
+        self.SAVE_P = ckpt.save_energy_j / ckpt.save_time_s
+        self.REST_T = ckpt.restore_time_s
+        self.REST_P = ckpt.restore_energy_j / ckpt.restore_time_s
+        self.RESERVE = ckpt.save_energy_j
+        self.THRESHOLD = self.RESERVE + _ENERGY_EPS
+        self.PERIOD = float(N)
+        # Uniform within a batch by group key; int64 * float and int64 /
+        # float reproduce the engine's int * float / int / int arithmetic.
+        self.CAPP = float(lanes[0].sim.capture_period_s)
+        self.BUFL = float(C)
+        # Trace grid: times[i] == float(i); padded with the period so the
+        # next-boundary gather (seg + 1) never branches on the last segment.
+        self.times1d = np.arange(N, dtype=f8)
+        self.times_ext = np.arange(N + 1, dtype=f8)
+
+        # -- per-lane trace / schedule / storage / policy tables --
+        self.powers = np.empty((D, N), dtype=f8)
+        self.cum = np.empty((D, N), dtype=f8)
+        self.epp = np.empty(D, dtype=f8)
+        E = max((len(lane.schedule.events) for lane in lanes), default=0)
+        self.E = E
+        self.ev_starts = np.full((D, max(E, 1) + 1), np.inf, dtype=f8)
+        self.ev_ends = np.full((D, max(E, 1)), -np.inf, dtype=f8)
+        self.ev_int = np.zeros((D, max(E, 1)), dtype=bool)
+        self.diff_p = np.empty(D, dtype=f8)
+        self.bg_diff_p = np.empty(D, dtype=f8)
+        self.sched_end = np.empty(D, dtype=f8)
+        self.hard_end = np.empty(D, dtype=f8)
+        self.sleep_p = np.empty(D, dtype=f8)
+        self.capacity = np.empty(D, dtype=f8)
+        self.restart = np.empty(D, dtype=f8)
+        self.overdraw_floor = np.empty(D, dtype=f8)
+        self.kind = np.empty(D, dtype=np.int8)
+        self.th_thresh = np.zeros(D, dtype=f8)
+        self.pz_thresh = np.zeros(D, dtype=f8)
+        # Task cost tables: column 0 = highest quality, 1 = lowest.
+        self.ml_t = np.empty((D, 2), dtype=f8)
+        self.ml_p = np.empty((D, 2), dtype=f8)
+        self.fnr = np.empty((D, 2), dtype=f8)
+        self.fpr = np.empty((D, 2), dtype=f8)
+        self.prep_t = np.empty(D, dtype=f8)
+        self.prep_p = np.empty(D, dtype=f8)
+        self.radio_t = np.empty((D, 2), dtype=f8)
+        self.radio_p = np.empty((D, 2), dtype=f8)
+        self.radio_hiq = np.empty((D, 2), dtype=bool)
+        self.opt_names = []
+        self.cap_rngs = []
+        self.cls_rngs = []
+
+        for i, lane in enumerate(lanes):
+            trace = lane.trace
+            # _powers_list is _powers.tolist(): copying the float64 arrays
+            # directly is bit-identical and skips 2N box/unbox conversions.
+            self.powers[i] = trace._powers
+            self.cum[i] = trace._cum_energy
+            self.epp[i] = trace._energy_per_period
+            sched = lane.schedule
+            events = sched.events
+            for j, ev in enumerate(events):
+                self.ev_starts[i, j] = ev.start
+                self.ev_ends[i, j] = ev.end
+                self.ev_int[i, j] = ev.interesting
+            self.diff_p[i] = sched.diff_probability
+            self.bg_diff_p[i] = sched.background_diff_probability
+            self.sched_end[i] = sched.end_time
+            sim = lane.sim
+            self.hard_end[i] = sched.end_time + sim.drain_timeout_s
+            self.sleep_p[i] = lane.config.mcu.sleep_power_w
+            storage = lane.config.build_storage()
+            self.capacity[i] = storage._capacity
+            self.restart[i] = storage._restart_energy
+            cap = storage._capacity
+            self.overdraw_floor[i] = -1e-9 * (cap if cap > 1.0 else 1.0)
+            kind, param = lane.kind
+            self.kind[i] = kind
+            if kind == _K_BUFFER:
+                self.th_thresh[i] = param
+            elif kind == _K_POWER:
+                fraction, datasheet = param
+                reference = datasheet if datasheet is not None else trace.max_power
+                self.pz_thresh[i] = fraction * reference
+            ml_ref, ml_hi, ml_lo, prep_ref, prep_opt, radio_ref, radio_hi, radio_lo = lane.shape
+            for col, opt in ((0, ml_hi), (1, ml_lo)):
+                self.ml_t[i, col] = opt.cost.t_exe_s
+                self.ml_p[i, col] = opt.cost.p_exe_w
+                model = opt.metadata["ml"]
+                self.fnr[i, col] = model.false_negative_rate
+                self.fpr[i, col] = model.false_positive_rate
+            self.prep_t[i] = prep_opt.cost.t_exe_s
+            self.prep_p[i] = prep_opt.cost.p_exe_w
+            for col, opt in ((0, radio_hi), (1, radio_lo)):
+                self.radio_t[i, col] = opt.cost.t_exe_s
+                self.radio_p[i, col] = opt.cost.p_exe_w
+                self.radio_hiq[i, col] = opt.metadata["quality"] == "high"
+            self.opt_names.append((
+                ml_ref.task.name, ml_hi.name, ml_lo.name,
+                radio_ref.task.name, radio_hi.name, radio_lo.name,
+            ))
+            seed = sim.seed
+            self.cls_rngs.append(np.random.default_rng(seed))
+            self.cap_rngs.append(np.random.default_rng((seed, 0xD1FF)))
+        # Storage is full at t=0 for the fleet configs; an arbitrary
+        # initial fraction is still handled exactly (we copy the value).
+        self.energy = np.array(
+            [lane.config.build_storage()._energy for lane in lanes], dtype=f8
+        )
+        self.hard_end_eps = self.hard_end - TIME_EPSILON
+
+        # -- dynamic state --
+        self.now = np.zeros(D, dtype=f8)
+        self.cap_idx = np.ones(D, dtype=i8)
+        self.state = np.full(D, _CTRL, dtype=np.int8)
+        self.anomaly = np.zeros(D, dtype=bool)
+        self.adv_cont = np.zeros(D, dtype=np.int8)
+        self.adv_target = np.zeros(D, dtype=f8)
+        self.adv_draw = np.zeros(D, dtype=f8)
+        self.adv_stop = np.zeros(D, dtype=f8)
+        self.adv_has_stop = np.zeros(D, dtype=bool)
+        self.rech_cont = np.zeros(D, dtype=np.int8)
+        self.rech_start = np.zeros(D, dtype=f8)
+        self.blk_rem = np.zeros(D, dtype=f8)
+        self.blk_start = np.zeros(D, dtype=f8)
+        self.task_t2 = np.zeros((D, 2), dtype=f8)
+        self.task_p2 = np.zeros((D, 2), dtype=f8)
+        self.n_tasks = np.zeros(D, dtype=np.int8)
+        self.cur_task = np.zeros(D, dtype=np.int8)
+        self.exec_slot = np.zeros(D, dtype=np.intp)
+        self.exec_job = np.zeros(D, dtype=np.int8)  # 0 detect, 1 transmit
+        self.exec_pos = np.zeros(D, dtype=bool)
+        self.exec_deg = np.zeros(D, dtype=bool)
+        self.exec_int = np.zeros(D, dtype=bool)
+        self.exec_lo = np.zeros(D, dtype=bool)
+        # Buffer SoA: +inf capture time marks a free slot, so FCFS selection
+        # and free-slot search are both argmins.
+        self.buf_t = np.full((D, C), np.inf, dtype=f8)
+        self.buf_int = np.zeros((D, C), dtype=bool)
+        self.buf_job = np.zeros((D, C), dtype=np.int8)
+        self.buf_used = np.zeros((D, C), dtype=bool)
+        self.occ = np.zeros(D, dtype=i8)
+        # Chunked RNG draws (positions start exhausted -> refill on first use).
+        self.cap_chunk = np.zeros((D, _CAP_CHUNK), dtype=f8)
+        self.cap_pos = np.full(D, _CAP_CHUNK, dtype=i8)
+        self.cls_chunk = np.zeros((D, _CLS_CHUNK), dtype=f8)
+        self.cls_pos = np.full(D, _CLS_CHUNK, dtype=i8)
+        self.ev_idx = np.full(D, -1, dtype=i8)
+
+        # -- metric accumulators (RunMetrics fields) --
+        for name in (
+            "m_captures_total", "m_captures_active", "m_captures_interesting",
+            "m_stored", "m_ibo_drops", "m_ibo_drops_interesting",
+            "m_jobs_completed", "m_jobs_degraded", "m_false_negatives",
+            "m_true_negatives", "m_packets_ih", "m_packets_il",
+            "m_packets_uh", "m_packets_ul", "m_power_failures",
+            "m_policy_invocations",
+        ):
+            setattr(self, name, np.zeros(D, dtype=i8))
+        self.m_energy_harvested = np.zeros(D, dtype=f8)
+        self.m_energy_consumed = np.zeros(D, dtype=f8)
+        self.m_recharge_time = np.zeros(D, dtype=f8)
+        self.m_sim_end = np.zeros(D, dtype=f8)
+        self.m_leftover_total = np.zeros(D, dtype=i8)
+        self.m_leftover_interesting = np.zeros(D, dtype=i8)
+        # Option-use counters: ml hi/lo, radio hi/lo.
+        self.optc = np.zeros((D, 4), dtype=i8)
+
+    # ------------------------------------------------------------- helpers --
+
+    def _anomalize(self, lanes) -> None:
+        self.anomaly[lanes] = True
+        self.state[lanes] = _DONE
+
+    def _finish(self, lanes) -> None:
+        """Engine ``_finalize``: freeze sim_end and count leftovers."""
+        self.m_sim_end[lanes] = self.now[lanes]
+        self.m_leftover_total[lanes] = self.occ[lanes]
+        self.m_leftover_interesting[lanes] = (
+            (self.buf_int[lanes] & self.buf_used[lanes]).sum(axis=1)
+        )
+        self.state[lanes] = _DONE
+
+    def _span(self, lanes, t):
+        """TraceCursor.span_at on the integer grid: (p_in, next boundary).
+
+        Same fold as ``_fold``; the bisect-based segment lookup reduces to
+        ``floor(local)`` clipped to [-1, n-1] (the -1 wrap resolves to the
+        last segment for both list and ndarray indexing, exactly like the
+        scalar path), and the ``nb <= t`` nextafter guard is kept verbatim.
+        """
+        k = np.floor(t / self.PERIOD)
+        local = t - k * self.PERIOD
+        adjust = local >= self.PERIOD
+        if adjust.any():
+            local = np.where(adjust, local - self.PERIOD, local)
+            k = np.where(adjust, k + 1.0, k)
+        # local is in [0, PERIOD), so truncation equals the clipped floor
+        # (the scalar path's -1 wrap only exists for negative times).
+        seg = local.astype(np.intp)
+        p_in = self.powers[lanes, seg]
+        nb = k * self.PERIOD + self.times_ext[seg + 1]
+        low = nb <= t
+        if low.any():
+            nb = np.where(low, np.nextafter(t, np.inf), nb)
+        return p_in, nb
+
+    def _fold(self, t):
+        """PiecewiseConstantTrace._fold, vectorized (k kept as float64)."""
+        k = np.floor(t / self.PERIOD)
+        local = t - k * self.PERIOD
+        adjust = local >= self.PERIOD
+        if adjust.any():
+            local = np.where(adjust, local - self.PERIOD, local)
+            k = np.where(adjust, k + 1.0, k)
+        return local, k
+
+    def _efz(self, lanes, local):
+        """TraceCursor._energy_from_zero: cum[idx] + p[idx]*(local-times[idx]).
+
+        ``local`` is a folded offset in [0, PERIOD), so truncation equals
+        the scalar path's clipped floor.
+        """
+        seg = local.astype(np.intp)
+        return self.cum[lanes, seg] + self.powers[lanes, seg] * (
+            local - self.times1d[seg]
+        )
+
+    def _draw_caps(self, lanes):
+        """One differencing-filter draw per lane (chunked like the engine)."""
+        need = lanes[self.cap_pos[lanes] == _CAP_CHUNK]
+        for d in need:
+            self.cap_chunk[d] = self.cap_rngs[d].random(_CAP_CHUNK)
+            self.cap_pos[d] = 0
+        draws = self.cap_chunk[lanes, self.cap_pos[lanes]]
+        self.cap_pos[lanes] += 1
+        return draws
+
+    def _draw_cls(self, lanes):
+        """One classification draw per lane (engine draws these singly)."""
+        need = lanes[self.cls_pos[lanes] == _CLS_CHUNK]
+        for d in need:
+            self.cls_chunk[d] = self.cls_rngs[d].random(_CLS_CHUNK)
+            self.cls_pos[d] = 0
+        draws = self.cls_chunk[lanes, self.cls_pos[lanes]]
+        self.cls_pos[lanes] += 1
+        return draws
+
+    # ------------------------------------------------------------- captures --
+
+    def _fire_due_captures(self, lanes, t) -> None:
+        """Engine ``_fire_due_captures`` fast body, one tick per pass.
+
+        Callers pass ``t = cap_idx * CAPP`` for lanes they already proved
+        due (the boundary reached the next capture tick); later passes
+        re-derive dueness for the rare multi-tick catch-up.
+        """
+        while True:
+            self.m_captures_total[lanes] += 1
+            # EventCursor.event_at: monotone advance over start times.
+            ei = self.ev_idx[lanes]
+            while True:
+                step = self.ev_starts[lanes, ei + 1] <= t
+                if not step.any():
+                    break
+                ei = ei + step
+            self.ev_idx[lanes] = ei
+            in_event = (ei >= 0) & (t < self.ev_ends[lanes, ei])
+            ev_interesting = in_event & self.ev_int[lanes, ei]
+            draws = self._draw_caps(lanes)
+            active = np.where(
+                in_event, draws < self.diff_p[lanes], draws < self.bg_diff_p[lanes]
+            )
+            interesting = active & ev_interesting
+            self.m_captures_interesting[lanes] += interesting.astype(np.int64)
+            act = active.nonzero()[0]
+            if act.size:
+                a_lanes = lanes[act]
+                a_int = interesting[act]
+                a_t = t[act]
+                self.m_captures_active[a_lanes] += 1
+                full = self.occ[a_lanes] >= self.C
+                fl = full.nonzero()[0]
+                if fl.size:
+                    f_lanes = a_lanes[fl]
+                    self.m_ibo_drops[f_lanes] += 1
+                    self.m_ibo_drops_interesting[f_lanes] += a_int[fl].astype(np.int64)
+                ins = (~full).nonzero()[0]
+                if ins.size:
+                    i_lanes = a_lanes[ins]
+                    slot = np.argmin(self.buf_used[i_lanes], axis=1)
+                    self.buf_used[i_lanes, slot] = True
+                    self.buf_t[i_lanes, slot] = a_t[ins]
+                    self.buf_int[i_lanes, slot] = a_int[ins]
+                    self.buf_job[i_lanes, slot] = 0
+                    self.occ[i_lanes] += 1
+                    self.m_stored[i_lanes] += 1
+            self.cap_idx[lanes] += 1
+            t = self.cap_idx[lanes] * self.CAPP
+            due = (t <= self.now[lanes] + TIME_EPSILON).nonzero()[0]
+            if not due.size:
+                return
+            lanes = lanes[due]
+            t = t[due]
+
+    # ---------------------------------------------------------------- control --
+
+    def _ctrl(self, lanes) -> None:
+        """The engine ``run()`` loop head: end / decide / idle."""
+        at_end = self.now[lanes] >= self.hard_end_eps[lanes]
+        if at_end.any():
+            self._finish(lanes[at_end])
+            lanes = lanes[~at_end]
+        if not lanes.size:
+            return
+        busy = self.occ[lanes] > 0
+        idle = lanes[~busy]
+        if idle.size:
+            next_cap = self.cap_idx[idle] * self.CAPP
+            over = next_cap > self.sched_end[idle]
+            if over.any():
+                self._finish(idle[over])  # nothing left to capture or process
+            go = (~over).nonzero()[0]
+            if go.size:
+                g = idle[go]
+                self.adv_target[g] = next_cap[go]
+                self.adv_draw[g] = self.sleep_p[g]
+                self.adv_stop[g] = 0.0
+                self.adv_has_stop[g] = True
+                self.adv_cont[g] = _C_IDLE
+                self.state[g] = _ADV
+        work = lanes[busy]
+        if work.size:
+            self._decide(work)
+
+    def _decide(self, lanes) -> None:
+        """_invoke_policy + plan(): FCFS pick, degrade flag, task table."""
+        self.m_policy_invocations[lanes] += 1
+        kind = self.kind[lanes]
+        degrade = kind == _K_ALWAYS
+        th = (kind == _K_BUFFER).nonzero()[0]
+        if th.size:
+            t_lanes = lanes[th]
+            fill = self.occ[t_lanes] / self.BUFL
+            degrade[th] = fill >= self.th_thresh[t_lanes]
+        pz = (kind == _K_POWER).nonzero()[0]
+        if pz.size:
+            p_lanes = lanes[pz]
+            p_now, _ = self._span(p_lanes, self.now[p_lanes])
+            degrade[pz] = p_now < self.pz_thresh[p_lanes]
+        # FCFS == global argmin capture time (free slots sit at +inf).
+        slot = np.argmin(self.buf_t[lanes], axis=1)
+        job = self.buf_job[lanes, slot]
+        interesting = self.buf_int[lanes, slot]
+        self.exec_slot[lanes] = slot
+        self.exec_job[lanes] = job
+        self.exec_deg[lanes] = degrade
+        self.exec_lo[lanes] = degrade
+        self.exec_int[lanes] = interesting
+        col = degrade.astype(np.intp)
+        det = (job == 0).nonzero()[0]
+        if det.size:
+            d_lanes = lanes[det]
+            d_col = col[det]
+            draws = self._draw_cls(d_lanes)
+            # MLModelProfile.classify: interesting -> u >= fnr, else u < fpr.
+            positive = np.where(
+                interesting[det],
+                draws >= self.fnr[d_lanes, d_col],
+                draws < self.fpr[d_lanes, d_col],
+            )
+            self.exec_pos[d_lanes] = positive
+            self.task_t2[d_lanes, 0] = self.ml_t[d_lanes, d_col]
+            self.task_p2[d_lanes, 0] = self.ml_p[d_lanes, d_col]
+            self.task_t2[d_lanes, 1] = self.prep_t[d_lanes]
+            self.task_p2[d_lanes, 1] = self.prep_p[d_lanes]
+            self.n_tasks[d_lanes] = np.where(positive, 2, 1)
+        tx = (job == 1).nonzero()[0]
+        if tx.size:
+            t_lanes = lanes[tx]
+            t_col = col[tx]
+            self.task_t2[t_lanes, 0] = self.radio_t[t_lanes, t_col]
+            self.task_p2[t_lanes, 0] = self.radio_p[t_lanes, t_col]
+            self.n_tasks[t_lanes] = 1
+        self.cur_task[lanes] = 0
+        self.blk_rem[lanes] = self.task_t2[lanes, 0]
+        self._block_top(lanes)
+
+    def _block_top(self, lanes) -> None:
+        """_run_block loop head: done / recharge-first / advance."""
+        done = self.blk_rem[lanes] <= TIME_EPSILON
+        if done.any():
+            self._task_done(lanes[done])
+            lanes = lanes[~done]
+        if not lanes.size:
+            return
+        low = self.energy[lanes] <= self.THRESHOLD
+        rech = lanes[low]
+        if rech.size:
+            self.rech_cont[rech] = _R_BLOCK
+            self.rech_start[rech] = self.now[rech]
+            self.state[rech] = _RECHG
+        go = lanes[~low]
+        if go.size:
+            self.blk_start[go] = self.now[go]
+            self.adv_target[go] = self.now[go] + self.blk_rem[go]
+            self.adv_draw[go] = self.task_p2[go, self.cur_task[go]]
+            self.adv_stop[go] = self.RESERVE
+            self.adv_has_stop[go] = True
+            self.adv_cont[go] = _C_TASK
+            self.state[go] = _ADV
+
+    def _task_done(self, lanes) -> None:
+        self.cur_task[lanes] += 1
+        more = self.cur_task[lanes] < self.n_tasks[lanes]
+        nxt = lanes[more]
+        if nxt.size:
+            self.blk_rem[nxt] = self.task_t2[nxt, self.cur_task[nxt]]
+            self._block_top(nxt)
+        fin = lanes[~more]
+        if fin.size:
+            self._complete_job(fin)
+
+    def _complete_job(self, lanes) -> None:
+        """_execute_job epilogue: buffer effect, counters, packets."""
+        self.m_jobs_completed[lanes] += 1
+        degraded = self.exec_deg[lanes]
+        self.m_jobs_degraded[lanes] += degraded.astype(np.int64)
+        lo_col = self.exec_lo[lanes].astype(np.intp)
+        slot = self.exec_slot[lanes]
+        interesting = self.exec_int[lanes]
+        det = (self.exec_job[lanes] == 0).nonzero()[0]
+        if det.size:
+            d_lanes = lanes[det]
+            self.optc[d_lanes, lo_col[det]] += 1
+            positive = self.exec_pos[d_lanes]
+            pos = positive.nonzero()[0]
+            if pos.size:
+                # Positive: input stays buffered, retagged for transmit.
+                self.buf_job[d_lanes[pos], slot[det][pos]] = 1
+            neg = (~positive).nonzero()[0]
+            if neg.size:
+                n_lanes = d_lanes[neg]
+                n_slot = slot[det][neg]
+                self.buf_used[n_lanes, n_slot] = False
+                self.buf_t[n_lanes, n_slot] = np.inf
+                self.occ[n_lanes] -= 1
+                n_int = interesting[det][neg]
+                self.m_false_negatives[n_lanes] += n_int.astype(np.int64)
+                self.m_true_negatives[n_lanes] += (~n_int).astype(np.int64)
+        tx = (self.exec_job[lanes] == 1).nonzero()[0]
+        if tx.size:
+            t_lanes = lanes[tx]
+            t_col = lo_col[tx]
+            self.optc[t_lanes, 2 + t_col] += 1
+            t_slot = slot[tx]
+            self.buf_used[t_lanes, t_slot] = False
+            self.buf_t[t_lanes, t_slot] = np.inf
+            self.occ[t_lanes] -= 1
+            t_int = interesting[tx]
+            high = self.radio_hiq[t_lanes, t_col]
+            self.m_packets_ih[t_lanes] += (t_int & high).astype(np.int64)
+            self.m_packets_il[t_lanes] += (t_int & ~high).astype(np.int64)
+            self.m_packets_uh[t_lanes] += (~t_int & high).astype(np.int64)
+            self.m_packets_ul[t_lanes] += (~t_int & ~high).astype(np.int64)
+        self.state[lanes] = _CTRL
+
+    # ---------------------------------------------------------------- advance --
+
+    def _adv(self, lanes) -> None:
+        """One ``_advance_to`` span per live lane."""
+        now = self.now[lanes]
+        target = self.adv_target[lanes]
+        reached = now >= target - TIME_EPSILON
+        if reached.any():
+            self._adv_exit(lanes[reached], depleted=False)
+            lanes = lanes[~reached]
+            now = now[~reached]
+            target = target[~reached]
+        if not lanes.size:
+            return
+        at_end = now >= self.hard_end_eps[lanes]
+        if at_end.any():
+            self._finish(lanes[at_end])
+            keep = ~at_end
+            lanes = lanes[keep]
+            now = now[keep]
+            target = target[keep]
+        if not lanes.size:
+            return
+        next_cap = self.cap_idx[lanes] * self.CAPP
+        p_in, nb = self._span(lanes, now)
+        boundary = np.minimum(np.minimum(target, next_cap), nb)
+        boundary = np.minimum(boundary, self.hard_end[lanes])
+        draw = self.adv_draw[lanes]
+        net = draw - p_in
+        energy = self.energy[lanes]
+        stop = self.adv_has_stop[lanes] & (net > 0.0)
+        depleting = None
+        if stop.any():
+            margin = energy - self.adv_stop[lanes]
+            immediate = stop & (margin <= _ENERGY_EPS)
+            if immediate.any():
+                # No headroom at span entry: stop without advancing.
+                self._adv_exit(lanes[immediate], depleted=True)
+                keep = ~immediate
+                lanes = lanes[keep]
+                if not lanes.size:
+                    return
+                now, target, boundary = now[keep], target[keep], boundary[keep]
+                p_in, nb, draw, net = p_in[keep], nb[keep], draw[keep], net[keep]
+                energy, stop, margin = energy[keep], stop[keep], margin[keep]
+                next_cap = next_cap[keep]
+            # run() holds the divide/invalid errstate for the whole loop.
+            t_depleted = now + margin / net
+            depleting = stop & (t_depleted < boundary - TIME_EPSILON)
+            boundary = np.where(depleting, t_depleted, boundary)
+        # _account_span / Supercapacitor.draw / .harvest, fused.  With
+        # dtz = 0 every update below is an identity (consumed/harvested
+        # add 0, stored clamps to 0, max(energy, 0) == energy), which is
+        # exactly the engine's "skip accounting when dt <= 0" — but the
+        # clock still moves to the boundary unconditionally, as it must.
+        dt = boundary - now
+        dtz = np.where(dt > 0.0, dt, 0.0)
+        draining = net >= 0.0
+        ndt = net * dtz
+        remaining = energy - ndt
+        overdraw = remaining < self.overdraw_floor[lanes]
+        if overdraw.any():
+            self._anomalize(lanes[overdraw])
+            keep = ~overdraw
+            lanes, boundary, dtz = lanes[keep], boundary[keep], dtz[keep]
+            draining, remaining = draining[keep], remaining[keep]
+            ndt, energy, p_in, draw = ndt[keep], energy[keep], p_in[keep], draw[keep]
+            next_cap = next_cap[keep]
+            if depleting is not None:
+                depleting = depleting[keep]
+            if not lanes.size:
+                return
+        headroom = self.capacity[lanes] - energy
+        stored = np.minimum(-ndt, headroom)
+        self.energy[lanes] = np.where(
+            draining, np.maximum(remaining, 0.0), energy + stored
+        )
+        consumed = draw * dtz
+        self.m_energy_consumed[lanes] += consumed
+        self.m_energy_harvested[lanes] += np.where(
+            draining, p_in * dtz, consumed + stored
+        )
+        self.now[lanes] = boundary
+        due = (next_cap <= boundary + TIME_EPSILON).nonzero()[0]
+        if due.size:
+            self._fire_due_captures(lanes[due], next_cap[due])
+        if depleting is not None and depleting.any():
+            self._adv_exit(lanes[depleting], depleted=True)
+
+    def _adv_exit(self, lanes, depleted: bool) -> None:
+        """Dispatch a finished span to its continuation."""
+        cont = self.adv_cont[lanes]
+        task = lanes[cont == _C_TASK]
+        if task.size:
+            # _run_block: remaining -= now - start, then maybe a failure.
+            self.blk_rem[task] = self.blk_rem[task] - (
+                self.now[task] - self.blk_start[task]
+            )
+            if depleted:
+                failing = self.blk_rem[task] > TIME_EPSILON
+                fail = task[failing]
+                if fail.size:
+                    # _power_failure: count it, then pay the save cost.
+                    self.m_power_failures[fail] += 1
+                    self.adv_target[fail] = self.now[fail] + self.SAVE_T
+                    self.adv_draw[fail] = self.SAVE_P
+                    self.adv_has_stop[fail] = False
+                    self.adv_cont[fail] = _C_SAVE
+                    self.state[fail] = _ADV
+                done = task[~failing]
+                if done.size:
+                    self._block_top(done)
+            else:
+                self._block_top(task)
+        save = lanes[cont == _C_SAVE]
+        if save.size:
+            self.rech_cont[save] = _R_FAILURE
+            self.rech_start[save] = self.now[save]
+            self.state[save] = _RECHG
+        restore = lanes[cont == _C_RESTORE]
+        if restore.size:
+            self._block_top(restore)
+        idle = lanes[cont == _C_IDLE]
+        if idle.size:
+            if depleted:
+                # Sleep-state brownout: wait for restart, then resume idling.
+                self.rech_cont[idle] = _R_IDLE
+                self.rech_start[idle] = self.now[idle]
+                self.state[idle] = _RECHG
+            else:
+                self.state[idle] = _CTRL
+
+    # --------------------------------------------------------------- recharge --
+
+    def _rech(self, lanes) -> None:
+        """One fused-recharge tick per lane (engine ``_recharge_to_restart``)."""
+        deficit = self.restart[lanes] - self.energy[lanes]
+        full = deficit <= _ENERGY_EPS
+        if full.any():
+            self._rech_exit(lanes[full])
+            lanes = lanes[~full]
+            deficit = deficit[~full]
+        if not lanes.size:
+            return
+        now = self.now[lanes]
+        at_end = now >= self.hard_end_eps[lanes]
+        if at_end.any():
+            # Engine raises _RunEnded here: recharge_time is *not* booked.
+            self._finish(lanes[at_end])
+            keep = ~at_end
+            lanes, deficit, now = lanes[keep], deficit[keep], now[keep]
+        if not lanes.size:
+            return
+        next_cap = self.cap_idx[lanes] * self.CAPP
+        hard = self.hard_end[lanes]
+        cap = np.where(next_cap < hard, next_cap, hard)
+        local0, k0 = self._fold(now)
+        e0 = self._efz(lanes, local0)
+        local1, k1 = self._fold(cap)
+        e1 = self._efz(lanes, local1)
+        e_cap = (k1 - k0) * self.epp[lanes] + e1 - e0
+        boundary = cap.copy()
+        harvested = e_cap.copy()
+        finishing = (~(e_cap < deficit)).nonzero()[0]
+        for j in finishing:
+            # Completes within this tick: reproduce the reference boundary
+            # computation exactly (time_to_harvest + integrate are scalar
+            # walks; float64 scalars make them bit-equal to the cursor's).
+            d = int(lanes[j])
+            t0 = float(now[j])
+            wait = self._time_to_harvest(d, t0, float(deficit[j]))
+            bnd = t0 + wait
+            if next_cap[j] < bnd:
+                bnd = float(next_cap[j])
+            if hard[j] < bnd:
+                bnd = float(hard[j])
+            boundary[j] = bnd
+            harvested[j] = self._integrate(d, t0, bnd)
+        negative = harvested < 0
+        if negative.any():
+            self._anomalize(lanes[negative])
+            keep = ~negative
+            lanes, boundary, harvested = lanes[keep], boundary[keep], harvested[keep]
+            next_cap = next_cap[keep]
+            if not lanes.size:
+                return
+        headroom = self.capacity[lanes] - self.energy[lanes]
+        stored = np.where(harvested < headroom, harvested, headroom)
+        self.energy[lanes] += stored
+        self.m_energy_harvested[lanes] += stored
+        self.now[lanes] = boundary
+        due = (next_cap <= boundary + TIME_EPSILON).nonzero()[0]
+        if due.size:
+            self._fire_due_captures(lanes[due], next_cap[due])
+        # Lanes stay in _RECHG; the next iteration re-checks the deficit.
+
+    def _rech_exit(self, lanes) -> None:
+        self.m_recharge_time[lanes] += self.now[lanes] - self.rech_start[lanes]
+        cont = self.rech_cont[lanes]
+        block = lanes[cont == _R_BLOCK]
+        if block.size:
+            self._block_top(block)
+        fail = lanes[cont == _R_FAILURE]
+        if fail.size:
+            # _power_failure: pay the restore cost, then back to the block.
+            self.adv_target[fail] = self.now[fail] + self.REST_T
+            self.adv_draw[fail] = self.REST_P
+            self.adv_has_stop[fail] = False
+            self.adv_cont[fail] = _C_RESTORE
+            self.state[fail] = _ADV
+        idle = lanes[cont == _R_IDLE]
+        if idle.size:
+            resume = self.now[idle] < self.adv_target[idle] - TIME_EPSILON
+            back = idle[resume]
+            if back.size:
+                self.adv_draw[back] = self.sleep_p[back]
+                self.adv_stop[back] = 0.0
+                self.adv_has_stop[back] = True
+                self.adv_cont[back] = _C_IDLE
+                self.state[back] = _ADV
+            arrived = idle[~resume]
+            if arrived.size:
+                self.state[arrived] = _CTRL
+
+    # -- scalar trace walks for the rare recharge-completion tick -------------
+
+    def _integrate(self, d: int, t0: float, t1: float) -> float:
+        """TraceCursor.integrate for lane ``d`` (periodic path), verbatim."""
+        if t1 == t0:
+            return 0.0
+        period = self.PERIOD
+        k0 = math.floor(t0 / period)
+        local0 = t0 - k0 * period
+        if local0 >= period:
+            local0 -= period
+            k0 += 1
+        e0 = self._efz_scalar(d, local0)
+        k1 = math.floor(t1 / period)
+        local1 = t1 - k1 * period
+        if local1 >= period:
+            local1 -= period
+            k1 += 1
+        whole = (k1 - k0) * float(self.epp[d])
+        return whole + self._efz_scalar(d, local1) - e0
+
+    def _efz_scalar(self, d: int, local: float) -> float:
+        seg = min(max(math.floor(local), -1), self.N - 1)
+        return float(self.cum[d, seg]) + float(self.powers[d, seg]) * (
+            local - float(self.times1d[seg])
+        )
+
+    def _time_to_harvest(self, d: int, t0: float, energy: float) -> float:
+        """TraceCursor.time_to_harvest for lane ``d``, verbatim.
+
+        The periodic fast path plus the fused segment walk; ``epp > 0`` is
+        guaranteed by eligibility, so the starvation branch cannot trigger.
+        """
+        if energy == 0:
+            return 0.0
+        remaining = energy
+        t = t0
+        period = self.PERIOD
+        epp = float(self.epp[d])
+        k = math.floor(t / period)
+        local = t - k * period
+        if local >= period:
+            local -= period
+            k += 1
+        to_boundary = period - local
+        e_to_boundary = self._integrate(d, t, t + to_boundary)
+        if e_to_boundary < remaining:
+            remaining -= e_to_boundary
+            t = (k + 1) * period
+            periods = remaining / epp
+            if periods >= _MAX_HARVEST_PERIODS:
+                return math.inf
+            n_whole = math.floor(periods)
+            skip = n_whole * period
+            if math.isinf(skip):
+                return math.inf
+            t += skip
+            remaining -= n_whole * epp
+            if remaining <= 0:
+                return t - t0
+        n = self.N
+        powers = self.powers[d]
+        guard = 0
+        while remaining > 0:
+            k = math.floor(t / period)
+            local = t - k * period
+            if local >= period:
+                local -= period
+                k += 1
+            seg = min(max(math.floor(local), -1), n - 1)
+            p = float(powers[seg])
+            nxt_local = float(seg + 1) if seg + 1 < n else period
+            nxt = k * period + nxt_local
+            if nxt <= t:
+                nxt = math.nextafter(t, math.inf)
+            span = nxt - t
+            harvest = p * span
+            if harvest >= remaining:
+                return (t + remaining / p) - t0
+            remaining -= harvest
+            t = nxt
+            guard += 1
+            if guard > 10 * n + 100:
+                raise RuntimeError("vector time_to_harvest failed to converge")
+        return t - t0
+
+    # -------------------------------------------------------------------- run --
+
+    def run(self) -> list[RunMetrics | None]:
+        state = self.state
+        # Backstop far above any real run (spans per simulated second are
+        # bounded by segment boundaries + captures + a few per job): lanes
+        # still live at the cap are handed to the scalar engine.
+        per_lane = self.hard_end / max(self.CAPP, 1e-9) + self.N
+        max_iters = int(50 * float(per_lane.max(initial=0.0))) + 10_000
+        # A lockstep round costs roughly the same whether 4000 lanes or 4
+        # are live, and device lifetimes vary a lot (a handful of lanes can
+        # outlive the batch median severalfold).  Once the survivors are
+        # down to a sliver of the batch, re-running them on the scalar
+        # engine is cheaper than dragging near-empty rounds — and exact by
+        # construction, since handoff uses the same rerun path as anomalies.
+        cutoff = self.D // 64
+        iters = 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while True:
+                live = state != _DONE
+                n_live = int(np.count_nonzero(live))
+                if not n_live:
+                    break
+                if n_live <= cutoff:
+                    self.anomaly[live] = True
+                    break
+                iters += 1
+                if iters > max_iters:
+                    self._anomalize(live.nonzero()[0])
+                    break
+                ctrl = (state == _CTRL).nonzero()[0]
+                if ctrl.size:
+                    self._ctrl(ctrl)
+                adv = (state == _ADV).nonzero()[0]
+                if adv.size:
+                    self._adv(adv)
+                rech = (state == _RECHG).nonzero()[0]
+                if rech.size:
+                    self._rech(rech)
+        return [self._metrics(i) for i in range(self.D)]
+
+    def _metrics(self, i: int) -> RunMetrics | None:
+        if self.anomaly[i]:
+            return None
+        option_use: dict = {}
+        ml_task, ml_hi, ml_lo, radio_task, radio_hi, radio_lo = self.opt_names[i]
+        ml_counts = {}
+        if self.optc[i, 0]:
+            ml_counts[ml_hi] = int(self.optc[i, 0])
+        if self.optc[i, 1]:
+            ml_counts[ml_lo] = int(self.optc[i, 1])
+        if ml_counts:
+            option_use[ml_task] = ml_counts
+        radio_counts = {}
+        if self.optc[i, 2]:
+            radio_counts[radio_hi] = int(self.optc[i, 2])
+        if self.optc[i, 3]:
+            radio_counts[radio_lo] = int(self.optc[i, 3])
+        if radio_counts:
+            option_use[radio_task] = radio_counts
+        return RunMetrics(
+            sim_end_s=float(self.m_sim_end[i]),
+            captures_total=int(self.m_captures_total[i]),
+            captures_active=int(self.m_captures_active[i]),
+            captures_interesting=int(self.m_captures_interesting[i]),
+            stored=int(self.m_stored[i]),
+            ibo_drops=int(self.m_ibo_drops[i]),
+            ibo_drops_interesting=int(self.m_ibo_drops_interesting[i]),
+            jobs_completed=int(self.m_jobs_completed[i]),
+            jobs_degraded=int(self.m_jobs_degraded[i]),
+            false_negatives=int(self.m_false_negatives[i]),
+            true_negatives=int(self.m_true_negatives[i]),
+            packets_interesting_high=int(self.m_packets_ih[i]),
+            packets_interesting_low=int(self.m_packets_il[i]),
+            packets_uninteresting_high=int(self.m_packets_uh[i]),
+            packets_uninteresting_low=int(self.m_packets_ul[i]),
+            leftover_total=int(self.m_leftover_total[i]),
+            leftover_interesting=int(self.m_leftover_interesting[i]),
+            energy_harvested_j=float(self.m_energy_harvested[i]),
+            energy_consumed_j=float(self.m_energy_consumed[i]),
+            power_failures=int(self.m_power_failures[i]),
+            recharge_time_s=float(self.m_recharge_time[i]),
+            policy_invocations=int(self.m_policy_invocations[i]),
+            option_use=option_use,
+        )

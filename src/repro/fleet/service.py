@@ -74,18 +74,51 @@ class FleetResult:
         )
 
 
-def run_shard(spec: FleetSpec, shards: int, shard: int, retries: int = 1) -> FleetRollup:
-    """Simulate one shard's devices serially, folding as they complete.
+_KERNELS = ("scalar", "vector")
+
+
+def run_shard(
+    spec: FleetSpec,
+    shards: int,
+    shard: int,
+    retries: int = 1,
+    kernel: str = "scalar",
+) -> FleetRollup:
+    """Simulate one shard's devices, folding outcomes in device order.
 
     Pure function of ``(spec, shards, shard)`` — the unit of recomputation
-    for checkpoint resume.  Each device is built from scratch (derived
-    config, fresh policy/trace/schedule/engine), retried like any grid
-    run, and immediately folded into the shard rollup; failures become
-    rollup failure records, never raised.
+    for checkpoint resume.  ``kernel`` selects *how* the shard is
+    simulated, never *what* it computes: ``"scalar"`` builds each device
+    from scratch (derived config, fresh policy/trace/schedule/engine) and
+    runs it on the reference engine; ``"vector"`` advances the shard's
+    baseline-policy devices in lockstep on the numpy struct-of-arrays
+    kernel (:mod:`repro.fleet.kernel`), which produces bit-identical
+    per-device metrics and falls back to the scalar engine for any device
+    outside its envelope (Quetzal policies included).  Either way the
+    rollup fold happens in ascending device order, failures become rollup
+    failure records (never raised), and the result is kernel-independent.
     """
+    if kernel not in _KERNELS:
+        raise ConfigurationError(
+            f"kernel must be one of {_KERNELS}, got {kernel!r}"
+        )
     device_range = shard_ranges(spec.devices, shards)[shard]
     factories = standard_policies()
     rollup = FleetRollup()
+    if kernel == "vector":
+        from repro.fleet.kernel import vector_shard_outcomes
+
+        outcomes = vector_shard_outcomes(
+            spec, device_range, retries=retries, factories=factories
+        )
+        for device in device_range:
+            policy_name = spec.device_config(device)[0]
+            outcome = outcomes[device]
+            if isinstance(outcome, RunFailure):
+                rollup.observe_failure(device, policy_name, outcome.error)
+            else:
+                rollup.observe_metrics(device, policy_name, outcome)
+        return rollup
     for device in device_range:
         policy_name, config = spec.device_config(device)
         outcome = _attempt_spec(
@@ -110,6 +143,7 @@ def run_fleet(
     checkpoint: str | None = None,
     resume: bool = False,
     retries: int = 1,
+    kernel: str = "scalar",
     recorder=None,
     stop_after: int | None = None,
     progress=None,
@@ -134,6 +168,11 @@ def run_fleet(
         recomputing them (requires a matching manifest).
     retries:
         Per-device retry count before a run becomes a failure record.
+    kernel:
+        ``"scalar"`` (default) runs one reference engine per device;
+        ``"vector"`` runs each shard's baseline-policy devices on the
+        lockstep numpy kernel (bit-identical rollup; Quetzal and other
+        uncovered devices fall back to the scalar engine automatically).
     recorder:
         Optional :class:`repro.sim.telemetry.FleetRecorder`; receives one
         ``on_shard`` call per shard (in shard order) and ``on_fleet_end``
@@ -146,6 +185,10 @@ def run_fleet(
         Optional ``callable(str)`` for human-readable progress lines.
     """
     shards = min(max(1, shards), spec.devices)
+    if kernel not in _KERNELS:
+        raise ConfigurationError(
+            f"kernel must be one of {_KERNELS}, got {kernel!r}"
+        )
     if stop_after is not None:
         if checkpoint is None:
             raise ConfigurationError("stop_after requires a checkpoint directory")
@@ -168,7 +211,9 @@ def run_fleet(
         pending = pending[:stop_after]
 
     def worker(position: int) -> dict:
-        return run_shard(spec, shards, pending[position], retries).to_dict()
+        return run_shard(
+            spec, shards, pending[position], retries, kernel=kernel
+        ).to_dict()
 
     def journal_result(position: int, payload: dict) -> None:
         shard = pending[position]

@@ -28,6 +28,8 @@ import math
 from dataclasses import dataclass, field
 from fractions import Fraction
 
+from repro.errors import SimulationError
+
 __all__ = ["RunMetrics", "StreamingDistribution", "MetricsRollup"]
 
 
@@ -221,33 +223,52 @@ def _pair_to_fraction(pair) -> Fraction:
 class StreamingDistribution:
     """Constant-size, mergeable summary of a bounded per-run metric.
 
-    Tracks the exact sum and sum of squares (for mean/std) plus a fixed
-    ``BIN_COUNT``-bin histogram over ``[0, 1]`` (for percentiles at
-    ``1/BIN_COUNT`` resolution).  All state is integers and exact
-    rationals, so :meth:`merge` is associative and commutative — any
-    sharding of the same observations folds to identical state.
+    Tracks the exact sum and sum of squares (for mean/std), the exact
+    observed min/max, plus a fixed ``BIN_COUNT``-bin histogram over
+    ``[0, 1]`` (for percentiles at ``1/BIN_COUNT`` resolution).  All
+    state is integers, exact rationals, and exact observed floats, so
+    :meth:`merge` is associative and commutative — any sharding of the
+    same observations folds to identical state.
     """
 
     BIN_COUNT = 256
 
-    __slots__ = ("count", "total", "total_sq", "bins")
+    __slots__ = ("count", "total", "total_sq", "bins", "vmin", "vmax")
 
     def __init__(self, count: int = 0, total: Fraction = Fraction(0),
-                 total_sq: Fraction = Fraction(0), bins=None) -> None:
+                 total_sq: Fraction = Fraction(0), bins=None,
+                 vmin: float | None = None, vmax: float | None = None) -> None:
         self.count = count
         self.total = total
         self.total_sq = total_sq
         self.bins: list[int] = list(bins) if bins is not None else [0] * self.BIN_COUNT
+        self.vmin = vmin
+        self.vmax = vmax
 
     # -- accumulation ------------------------------------------------------------
 
     def observe(self, value: float) -> None:
+        """Fold one observation in.
+
+        The tracked metrics are fractions by construction, so a value
+        outside ``[0, 1]`` is a bookkeeping bug upstream; it is rejected
+        rather than silently clamped into the edge bins (which would
+        corrupt the histogram without any trace).
+        """
+        if not 0.0 <= value <= 1.0:
+            raise SimulationError(
+                f"distribution observation {value!r} outside [0, 1]"
+            )
         exact = Fraction(value)
         self.count += 1
         self.total += exact
         self.total_sq += exact * exact
-        index = int(value * self.BIN_COUNT)
-        self.bins[min(max(index, 0), self.BIN_COUNT - 1)] += 1
+        index = min(int(value * self.BIN_COUNT), self.BIN_COUNT - 1)
+        self.bins[index] += 1
+        if self.vmin is None or value < self.vmin:
+            self.vmin = value
+        if self.vmax is None or value > self.vmax:
+            self.vmax = value
 
     def merge(self, other: "StreamingDistribution") -> None:
         self.count += other.count
@@ -255,6 +276,10 @@ class StreamingDistribution:
         self.total_sq += other.total_sq
         for i, n in enumerate(other.bins):
             self.bins[i] += n
+        if other.vmin is not None and (self.vmin is None or other.vmin < self.vmin):
+            self.vmin = other.vmin
+        if other.vmax is not None and (self.vmax is None or other.vmax > self.vmax):
+            self.vmax = other.vmax
 
     # -- statistics --------------------------------------------------------------
 
@@ -271,21 +296,27 @@ class StreamingDistribution:
         return math.sqrt(max(0.0, float(variance)))
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile, reported as the holding bin's upper edge.
+        """Nearest-rank percentile, reported as the holding bin's *lower*
+        edge clamped into the exact observed ``[min, max]`` range.
 
         Resolution is ``1/BIN_COUNT`` (~0.4% for the default 256 bins) —
         plenty for discard-fraction distributions, and deterministic under
-        any sharding because the histogram is exact.
+        any sharding because all the state is exact.  Reporting the lower
+        edge keeps exact-boundary populations honest (an all-zero fleet
+        reports 0.0, not 1/256), and the min/max clamp makes single-value
+        distributions exact at *any* boundary (all-1.0 reports 1.0).
         """
         if self.count == 0:
             return 0.0
         rank = max(1, math.ceil(q / 100.0 * self.count))
         seen = 0
+        edge = 1.0
         for i, n in enumerate(self.bins):
             seen += n
             if seen >= rank:
-                return (i + 1) / self.BIN_COUNT
-        return 1.0
+                edge = i / self.BIN_COUNT
+                break
+        return min(max(edge, self.vmin), self.vmax)
 
     # -- serialization -----------------------------------------------------------
 
@@ -295,6 +326,10 @@ class StreamingDistribution:
             "total": _fraction_to_pair(self.total),
             "total_sq": _fraction_to_pair(self.total_sq),
             "bins": {str(i): n for i, n in enumerate(self.bins) if n},
+            # JSON floats round-trip exactly (repr-based), so min/max stay
+            # bit-identical through serialization.
+            "min": self.vmin,
+            "max": self.vmax,
         }
 
     @classmethod
@@ -307,6 +342,8 @@ class StreamingDistribution:
             total=_pair_to_fraction(data["total"]),
             total_sq=_pair_to_fraction(data["total_sq"]),
             bins=bins,
+            vmin=data["min"],
+            vmax=data["max"],
         )
 
     def __eq__(self, other) -> bool:
@@ -317,6 +354,8 @@ class StreamingDistribution:
             and self.total == other.total
             and self.total_sq == other.total_sq
             and self.bins == other.bins
+            and self.vmin == other.vmin
+            and self.vmax == other.vmax
         )
 
 

@@ -46,6 +46,17 @@ class TestCli:
             resumed = handle.read()
         assert straight == resumed
 
+    def test_vector_kernel_is_byte_identical(self, tmp_path, capsys):
+        scalar_json = str(tmp_path / "scalar.json")
+        vector_json = str(tmp_path / "vector.json")
+        assert main(BASE + ["--json", scalar_json]) == 0
+        assert main(BASE + ["--kernel", "vector", "--json", vector_json]) == 0
+        with open(scalar_json) as handle:
+            scalar = handle.read()
+        with open(vector_json) as handle:
+            vector = handle.read()
+        assert scalar == vector
+
     def test_negative_jobs_rejected(self, capsys):
         import pytest
 

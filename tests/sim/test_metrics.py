@@ -105,6 +105,59 @@ class TestStreamingDistribution:
         assert d.percentile(99.0) >= 0.95
         assert StreamingDistribution().percentile(50.0) == 0.0
 
+    def test_all_zero_percentiles_are_exactly_zero(self):
+        from repro.sim.metrics import StreamingDistribution
+
+        # Exact boundary population: every observation sits on a bin edge.
+        # Reporting the holding bin's upper edge (the old behaviour) would
+        # turn a fleet of perfect devices into "p99 = 1/256"; the lower
+        # edge plus the min/max clamp reports 0.0 exactly.
+        d = StreamingDistribution()
+        for _ in range(200):
+            d.observe(0.0)
+        assert d.percentile(50.0) == 0.0
+        assert d.percentile(99.0) == 0.0
+        assert d.percentile(100.0) == 0.0
+
+    def test_single_bin_percentile_is_the_observed_value(self):
+        from repro.sim.metrics import StreamingDistribution
+
+        # All mass in one interior bin: the clamp recovers the exact value,
+        # not either bin edge.
+        d = StreamingDistribution()
+        for _ in range(7):
+            d.observe(0.3)
+        assert d.percentile(1.0) == 0.3
+        assert d.percentile(99.0) == 0.3
+        # The upper boundary value is representable too (the last bin is
+        # closed): an all-1.0 population reports 1.0, not 255/256.
+        top = StreamingDistribution()
+        top.observe(1.0)
+        assert top.percentile(50.0) == 1.0
+
+    def test_percentile_clamps_into_observed_range(self):
+        from repro.sim.metrics import StreamingDistribution
+
+        d = StreamingDistribution()
+        for v in (0.30, 0.31, 0.32):
+            d.observe(v)
+        # 1/256 bins cannot resolve these, but the answer can never leave
+        # the exact observed [min, max].
+        for q in (1.0, 50.0, 99.0):
+            assert 0.30 <= d.percentile(q) <= 0.32
+
+    def test_out_of_range_observation_rejected(self):
+        from repro.errors import SimulationError
+        from repro.sim.metrics import StreamingDistribution
+
+        d = StreamingDistribution()
+        with pytest.raises(SimulationError):
+            d.observe(1.0000001)
+        with pytest.raises(SimulationError):
+            d.observe(-0.1)
+        assert d.count == 0
+        assert d.bins == [0] * StreamingDistribution.BIN_COUNT
+
     def test_round_trips_through_dict(self):
         from repro.sim.metrics import StreamingDistribution
 
@@ -112,6 +165,8 @@ class TestStreamingDistribution:
         for v in (0.25, 0.5, 0.5):
             d.observe(v)
         assert StreamingDistribution.from_dict(d.to_dict()) == d
+        assert StreamingDistribution.from_dict(d.to_dict()).vmin == 0.25
+        assert StreamingDistribution.from_dict(d.to_dict()).vmax == 0.5
 
 
 class TestMetricsRollup:

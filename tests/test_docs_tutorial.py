@@ -140,6 +140,8 @@ def test_section10_fleet():
     assert "discarded_fraction_p99" in result.summary()
     assert recorder.devices_observed() == 6
     assert result.rollup == run_fleet(spec, shards=1, jobs=1).rollup
+    # The vector kernel is only ever a faster spelling of the scalar one.
+    assert result.rollup == run_fleet(spec, shards=1, jobs=1, kernel="vector").rollup
 
 
 def test_section8_parallel_grids():
