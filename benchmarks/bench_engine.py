@@ -81,6 +81,25 @@ FLEET_DEVICES = int(os.environ.get("BENCH_FLEET_DEVICES", "8192"))
 FLEET_SCALAR_DEVICES = int(os.environ.get("BENCH_FLEET_SCALAR_DEVICES", "192"))
 FLEET_REFERENCE_DEVICES = int(os.environ.get("BENCH_FLEET_REFERENCE_DEVICES", "48"))
 
+#: The shrunken scale hosted CI runs the fleet case at (must match the
+#: ``BENCH_FLEET_*`` values in ``.github/workflows/ci.yml``).  The
+#: speedup does *not* transfer across scales — the kernel's fixed
+#: per-iteration cost amortizes with batch width (measured ~8x at 8192
+#: devices but ~5x at 2048) — so ``--record`` measures the ratio at this
+#: scale too (stored under ``fleet_scale.ci_scale``) and ``--check``
+#: gates against whichever recorded scale matches its own device count.
+FLEET_CI_DEVICES = 2048
+FLEET_CI_SCALAR_DEVICES = 48
+FLEET_CI_REFERENCE_DEVICES = 12
+
+#: ``--check`` gate for the fleet case: the measured ``speedup_vs_scalar``
+#: must retain at least this fraction of the committed baseline's at the
+#: same device count.  The speedup ratio is used instead of ``wall_s``
+#: because CI runners are not speed-comparable to the recording machine
+#: (the vector/scalar ratio is the invariant worth guarding) and both
+#: sides of the ratio ride the same machine, cancelling most load noise.
+FLEET_SPEEDUP_RETENTION = float(os.environ.get("BENCH_FLEET_RETENTION", "0.8"))
+
 
 def build_case(name):
     """(trace, schedule, policy factory) for a named case."""
@@ -88,7 +107,12 @@ def build_case(name):
     return trace_factory(), CROWDED.schedule(n_events, seed=2), policy_factory
 
 
-def run_fleet_scale_case(repeats: int = 2) -> dict:
+def run_fleet_scale_case(
+    repeats: int = 2,
+    devices: int | None = None,
+    scalar_devices: int | None = None,
+    reference_devices: int | None = None,
+) -> dict:
     """Shard throughput: the vector fleet kernel vs the per-device engine.
 
     Methodology matches the engine cases above — inputs (traces,
@@ -105,6 +129,12 @@ def run_fleet_scale_case(repeats: int = 2) -> dict:
     * ``reference``: the engine's pre-optimization reference paths
       (``fast_paths=False``) over a smaller subset — the original
       per-device cost before the hot-path PRs.
+
+    Vector *and* scalar walls are best-of-``repeats`` (both sides see the
+    same machine noise), and the winning vector repeat's per-phase
+    :class:`~repro.fleet.kernel.KernelStats` breakdown rides along in the
+    result under ``"phases"`` (lane build is reported there too, but it
+    stays outside ``wall_s`` — inputs are prebuilt, as in every case).
     """
     import dataclasses as _dc
 
@@ -114,25 +144,27 @@ def run_fleet_scale_case(repeats: int = 2) -> dict:
     from repro.fleet.spec import FleetSpec
     from repro.sim.engine import SimulationEngine
 
+    devices = FLEET_DEVICES if devices is None else devices
+    scalar_devices = (
+        FLEET_SCALAR_DEVICES if scalar_devices is None else scalar_devices
+    )
+    reference_devices = (
+        FLEET_REFERENCE_DEVICES if reference_devices is None
+        else reference_devices
+    )
     spec = FleetSpec(
-        name="bench-fleet", devices=FLEET_DEVICES, seed=3, n_events=50,
+        name="bench-fleet", devices=devices, seed=3, n_events=50,
         policies=("NA", "AD", "TH50", "CN", "PZO", "PZI"), cells=(4, 6, 8),
     )
     factories = standard_policies()
     kinds = kernel._vector_kernel_policies(factories)
-    import gc as _gc
-
-    _gc.disable()
-    try:
-        lanes = []
-        for device in range(spec.devices):
-            policy_name, config = spec.device_config(device)
-            lane = kernel._Lane(device, policy_name, config)
-            if not kernel._lane_eligible(lane, kinds):
-                raise RuntimeError(f"bench spec produced ineligible lane {device}")
-            lanes.append(lane)
-    finally:
-        _gc.enable()
+    build_start = time.perf_counter()
+    lanes, scalar_lanes = kernel._build_lanes(spec, range(spec.devices), kinds)
+    lane_build_s = time.perf_counter() - build_start
+    if scalar_lanes:
+        raise RuntimeError(
+            f"bench spec produced {len(scalar_lanes)} ineligible lane(s)"
+        )
 
     def rerun_scalar(lane, fast_paths=True):
         config = lane.config
@@ -151,52 +183,56 @@ def run_fleet_scale_case(repeats: int = 2) -> dict:
         return engine.run()
 
     best_vector = None
-    fallbacks = 0
+    best_stats = None
     for _ in range(repeats):
+        stats = kernel.KernelStats(lanes=len(lanes))
         start = time.perf_counter()
-        groups: dict[tuple, list] = {}
-        for lane in lanes:
-            key = (
-                len(lane.trace._times_list),
-                lane.sim.buffer_capacity,
-                lane.sim.capture_period_s,
-            )
-            groups.setdefault(key, []).append(lane)
-        fallbacks = 0
-        for group in groups.values():
-            batch = kernel._VectorBatch(group)
-            for lane, metrics in zip(group, batch.run()):
-                if metrics is None:
-                    fallbacks += 1
-                    rerun_scalar(lane)
+        for lane, metrics in kernel._run_lane_groups(lanes, stats):
+            if metrics is None:
+                stats.fallback_lanes += 1
+                t0 = time.perf_counter()
+                rerun_scalar(lane)
+                stats.fallback_s += time.perf_counter() - t0
         elapsed = time.perf_counter() - start
         if best_vector is None or elapsed < best_vector:
             best_vector = elapsed
+            best_stats = stats
+
+    # The scalar side is just as exposed to machine noise as the vector
+    # side, so it gets the same best-of-repeats treatment.
+    scalar_s = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for lane in lanes[:scalar_devices]:
+            rerun_scalar(lane)
+        elapsed = time.perf_counter() - start
+        if scalar_s is None or elapsed < scalar_s:
+            scalar_s = elapsed
 
     start = time.perf_counter()
-    for lane in lanes[:FLEET_SCALAR_DEVICES]:
-        rerun_scalar(lane)
-    scalar_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    for lane in lanes[:FLEET_REFERENCE_DEVICES]:
+    for lane in lanes[:reference_devices]:
         rerun_scalar(lane, fast_paths=False)
     reference_s = time.perf_counter() - start
 
-    vector_ms = 1000 * best_vector / FLEET_DEVICES
-    scalar_ms = 1000 * scalar_s / FLEET_SCALAR_DEVICES
-    reference_ms = 1000 * reference_s / FLEET_REFERENCE_DEVICES
+    vector_ms = 1000 * best_vector / devices
+    scalar_ms = 1000 * scalar_s / scalar_devices
+    reference_ms = 1000 * reference_s / reference_devices
+    best_stats.lane_build_s = lane_build_s  # informational: outside wall_s
     return {
-        "devices": FLEET_DEVICES,
-        "scalar_devices_timed": FLEET_SCALAR_DEVICES,
-        "reference_devices_timed": FLEET_REFERENCE_DEVICES,
-        "fallback_lanes": fallbacks,
+        "devices": devices,
+        "scalar_devices_timed": scalar_devices,
+        "reference_devices_timed": reference_devices,
+        "fallback_lanes": best_stats.fallback_lanes,
         "wall_s": round(best_vector, 4),
         "ms_per_device_vector": round(vector_ms, 3),
         "ms_per_device_scalar": round(scalar_ms, 3),
         "ms_per_device_reference": round(reference_ms, 3),
         "speedup_vs_scalar": round(scalar_ms / vector_ms, 2),
         "speedup_vs_reference": round(reference_ms / vector_ms, 2),
+        "phases": {
+            key: round(value, 4) if isinstance(value, float) else value
+            for key, value in best_stats.as_dict().items()
+        },
     }
 
 
@@ -287,6 +323,19 @@ def cmd_record(args) -> int:
     results = {name: run_case(name, repeats=args.repeats) for name in CASES}
     # Extra cases run once: each repeat is a whole fleet-vs-engine sweep.
     results.update({name: fn() for name, fn in EXTRA_CASES.items()})
+    fleet = results.get("fleet_scale")
+    if fleet is not None and fleet["devices"] != FLEET_CI_DEVICES:
+        # Also record the vector/scalar ratio at the CI scale: speedup
+        # does not transfer across device counts, so the CI gate needs a
+        # baseline measured at its own width ("phases" is dropped — the
+        # canonical entry already carries the breakdown).
+        ci = run_fleet_scale_case(
+            devices=FLEET_CI_DEVICES,
+            scalar_devices=FLEET_CI_SCALAR_DEVICES,
+            reference_devices=FLEET_CI_REFERENCE_DEVICES,
+        )
+        ci.pop("phases", None)
+        fleet["ci_scale"] = ci
     entry = {
         "label": args.label,
         "date": time.strftime("%Y-%m-%d"),
@@ -340,13 +389,39 @@ def cmd_check(args) -> int:
         if base is None:
             print(f"  {name:24s} {res['wall_s']:8.4f}s  (no baseline; informational)")
             continue
-        ratio = res["wall_s"] / base["wall_s"]
-        ok = ratio <= args.tolerance
-        status = "ok" if ok else "REGRESSION"
-        print(
-            f"  {name:24s} {res['wall_s']:8.4f}s vs {base['wall_s']:.4f}s "
-            f"baseline ({ratio:.2f}x)  {status}"
-        )
+        if "speedup_vs_scalar" in res and "speedup_vs_scalar" in base:
+            # Fleet case: wall_s is not runner-comparable, so gate on the
+            # vector-vs-scalar speedup — against the recorded baseline at
+            # the *same* device count (speedup amortizes with width).
+            ref = base
+            if res.get("devices") != base.get("devices"):
+                ci = base.get("ci_scale")
+                if ci and ci.get("devices") == res.get("devices"):
+                    ref = ci
+                else:
+                    print(
+                        f"  {name:24s} {res['speedup_vs_scalar']:.2f}x vs "
+                        f"scalar at {res.get('devices')} devices (no "
+                        f"matching-scale baseline; informational)"
+                    )
+                    continue
+            retained = res["speedup_vs_scalar"] / ref["speedup_vs_scalar"]
+            ok = retained >= FLEET_SPEEDUP_RETENTION
+            status = "ok" if ok else "REGRESSION"
+            print(
+                f"  {name:24s} {res['speedup_vs_scalar']:.2f}x vs scalar "
+                f"(baseline {ref['speedup_vs_scalar']:.2f}x at "
+                f"{ref.get('devices')} devices, retained "
+                f"{retained:.2f}, floor {FLEET_SPEEDUP_RETENTION:.2f})  {status}"
+            )
+        else:
+            ratio = res["wall_s"] / base["wall_s"]
+            ok = ratio <= args.tolerance
+            status = "ok" if ok else "REGRESSION"
+            print(
+                f"  {name:24s} {res['wall_s']:8.4f}s vs {base['wall_s']:.4f}s "
+                f"baseline ({ratio:.2f}x)  {status}"
+            )
         if not ok:
             failed.append(name)
     if args.output:

@@ -64,11 +64,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="harvester cell-count mix, e.g. 4,6,8")
     parser.add_argument("--buffer", type=int, default=10, metavar="N",
                         help="input-buffer capacity (0 = unbounded Ideal buffer)")
-    parser.add_argument("--kernel", choices=("scalar", "vector"), default="scalar",
+    parser.add_argument("--kernel", choices=("auto", "scalar", "vector"),
+                        default="auto",
                         help="shard simulation kernel: 'scalar' runs one engine "
                         "per device, 'vector' advances baseline-policy devices "
                         "in numpy lockstep (bit-identical rollup; uncovered "
-                        "devices fall back to scalar)")
+                        "devices fall back to scalar), 'auto' (default) picks "
+                        "vector when every policy in the mix is covered")
+    parser.add_argument("--kernel-stats", action="store_true",
+                        help="print the vector kernel's per-phase timing "
+                        "breakdown (setup / CTRL / ADV / RECHG / fallback) "
+                        "after the run")
     parser.add_argument("--checkpoint", type=str, default=None, metavar="DIR",
                         help="journal completed shards into DIR")
     parser.add_argument("--resume", action="store_true",
@@ -103,6 +109,11 @@ def main(argv: list[str] | None = None) -> int:
             **overrides,
         )
         progress = None if args.quiet else print
+        recorder = None
+        if args.kernel_stats:
+            from repro.sim.telemetry import FleetRecorder
+
+            recorder = FleetRecorder()
         start = time.time()
         with profiled(args.profile, "fleet", args.profile_dir):
             result = run_fleet(
@@ -113,6 +124,7 @@ def main(argv: list[str] | None = None) -> int:
                 resume=args.resume,
                 kernel=args.kernel,
                 stop_after=args.stop_after,
+                recorder=recorder,
                 progress=progress,
             )
     except ConfigurationError as exc:
@@ -120,6 +132,13 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     print(result.render())
+    if recorder is not None:
+        stats = recorder.kernel_stats_total()
+        if stats is None:
+            print("[kernel-stats: no vector-kernel shards ran "
+                  "(scalar kernel, or all shards resumed)]")
+        else:
+            print(stats.render())
     print(f"[fleet finished in {time.time() - start:.1f} s]")
     if args.json is not None:
         with open(args.json, "w") as handle:

@@ -1,14 +1,22 @@
-"""Vectorized fleet kernel: a lockstep struct-of-arrays engine for shards.
+"""Vectorized fleet kernel: a dense packed-state lockstep engine for shards.
 
 ``run_fleet`` advances one scalar :class:`~repro.sim.engine.SimulationEngine`
 per device, so fleet cost scales as devices x simulated seconds of pure
 Python.  This module advances a whole shard of *baseline-policy* devices in
-lockstep instead: every piece of per-device state lives in a numpy array
-over devices (stored energy, simulation clock, capture index, buffer slots,
-metric counters), and each kernel iteration moves every live device across
-one breakpoint span — per-device divergence (power failure, recharge,
-depletion, policy decisions) is handled by masked sub-stepping over compact
-index arrays.
+lockstep instead.  Per-device state lives in four row-major hot-state
+matrices (float64 / int64 / int8 / bool), one row per field, one column per
+live lane; handler fields are views of those rows, so every handler touches
+a handful of contiguous slabs instead of ~15 scattered arrays.
+
+The CTRL/ADV/RECHG handlers run *dense*: full-width elementwise arithmetic
+over all live columns plus ``np.copyto(..., where=mask)`` stores, rather
+than fancy-index gather/scatter over the live subset.  Dense ops cost one
+pass over the columns regardless of how many lanes are in the state, which
+beats gathers once each state holds a reasonable fraction of lanes — and
+the batch *compacts* (harvests finished columns and shrinks every matrix)
+as lanes die, so full width tracks the live population and the longest-
+lived stragglers no longer drag near-empty rounds (the old ``D // 64``
+scalar-handoff cutoff is gone; stragglers finish in-kernel).
 
 The contract is the same one ``tests/sim/test_fast_paths.py`` pins for the
 scalar engine's fast paths: **bit-identical** :class:`RunMetrics`, not
@@ -16,7 +24,9 @@ approximately equal.  Three facts make that reachable:
 
 * elementwise numpy float64 arithmetic is IEEE-identical to the equivalent
   Python-float expression, so replaying the scalar engine's per-span
-  operations (same operands, same order) in arrays reproduces its floats;
+  operations (same operands, same order) in arrays reproduces its floats —
+  and masked full-width compute keeps this property, because masked-out
+  columns' results (including inf/nan garbage) are simply never stored;
 * fleet traces are sampled on an integer grid (``times[i] == float(i)``,
   ``period == float(n)``), where the engine's ``bisect``-based segment
   lookup reduces to a clipped ``floor`` — a gather, not a search;
@@ -39,6 +49,8 @@ from __future__ import annotations
 
 import gc
 import math
+import time
+from dataclasses import dataclass, fields as dataclass_fields
 
 import numpy as np
 
@@ -59,12 +71,21 @@ from repro.units import TIME_EPSILON
 from repro.workload.ml import MLModelProfile
 from repro.workload.pipelines import DETECT_JOB, TRANSMIT_JOB, PersonDetectionApp
 
-__all__ = ["vector_shard_outcomes", "VECTOR_KERNEL_POLICIES"]
+__all__ = ["vector_shard_outcomes", "VECTOR_KERNEL_POLICIES", "KernelStats"]
 
 #: Devices per lockstep batch.  Bounds the kernel's working set (the trace
 #: power/cumulative-energy matrices are [devices, samples] float64) while
 #: keeping batches wide enough to amortize per-iteration numpy overhead.
 _MAX_BATCH = 8192
+
+#: Compaction threshold: shrink the batch once at least this many columns
+#: are finished *and* they make up >= 1/8 of the width.  The trace tables
+#: (powers/cum — the bulk of batch memory) are never copied: gathers go
+#: through the ``trow`` row-indirection, so a compaction only touches the
+#: packed hot-state matrices and the small per-lane side arrays.  That
+#: makes an aggressive 1/8 trigger affordable, and it keeps dense
+#: full-width ops tracking the live population closely.
+_COMPACT_MIN = 64
 
 # Device states.
 _CTRL, _ADV, _RECHG, _DONE = 0, 1, 2, 3
@@ -81,6 +102,75 @@ _K_NOADAPT, _K_ALWAYS, _K_BUFFER, _K_POWER = 0, 1, 2, 3
 #: chunked at 1024 to mirror the scalar engine's own chunking exactly.
 _CLS_CHUNK = 256
 _CAP_CHUNK = 1024
+
+
+@dataclass
+class KernelStats:
+    """Per-phase accounting for one or more vector-kernel invocations.
+
+    Wall-clock fields are seconds.  ``fallback_s`` times the scalar rerun
+    loop, which covers both envelope exclusions (``scalar_lanes``) and
+    in-flight anomaly handoffs (``fallback_lanes``).
+    """
+
+    lanes: int = 0            #: devices that entered the vector kernel
+    scalar_lanes: int = 0     #: devices outside the vector envelope
+    fallback_lanes: int = 0   #: vector lanes re-run on the scalar engine
+    batches: int = 0
+    iterations: int = 0
+    compactions: int = 0
+    lane_build_s: float = 0.0
+    batch_init_s: float = 0.0
+    ctrl_s: float = 0.0
+    adv_s: float = 0.0
+    rech_s: float = 0.0
+    fallback_s: float = 0.0
+
+    @property
+    def setup_s(self) -> float:
+        return self.lane_build_s + self.batch_init_s
+
+    @property
+    def kernel_s(self) -> float:
+        return self.ctrl_s + self.adv_s + self.rech_s
+
+    def merge(self, other: "KernelStats") -> None:
+        for f in dataclass_fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+        out["setup_s"] = self.setup_s
+        out["kernel_s"] = self.kernel_s
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelStats":
+        names = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def render(self) -> str:
+        """Human-readable per-phase breakdown (the ``--kernel-stats`` view)."""
+        total = self.setup_s + self.kernel_s + self.fallback_s
+
+        def pct(part: float) -> str:
+            return f"{100.0 * part / total:5.1f}%" if total > 0 else "    -%"
+
+        lines = [
+            "=== Vector kernel per-phase timing ===",
+            f"lanes: {self.lanes} vector, {self.scalar_lanes} scalar-only, "
+            f"{self.fallback_lanes} fell back mid-run",
+            f"batches: {self.batches}  iterations: {self.iterations}  "
+            f"compactions: {self.compactions}",
+            f"setup    {self.setup_s:8.3f} s  {pct(self.setup_s)}  "
+            f"(lane build {self.lane_build_s:.3f} s, "
+            f"batch init {self.batch_init_s:.3f} s)",
+            f"CTRL     {self.ctrl_s:8.3f} s  {pct(self.ctrl_s)}",
+            f"ADV      {self.adv_s:8.3f} s  {pct(self.adv_s)}",
+            f"RECHG    {self.rech_s:8.3f} s  {pct(self.rech_s)}",
+            f"fallback {self.fallback_s:8.3f} s  {pct(self.fallback_s)}",
+        ]
+        return "\n".join(lines)
 
 
 def _policy_kind(factory) -> tuple[int, float | None] | None:
@@ -145,7 +235,7 @@ def _integer_grid(trace) -> bool:
         return False
     if trace._period is None or trace._energy_per_period <= 0:
         return False
-    times = np.asarray(trace._times_list, dtype=np.float64)
+    times = trace._times
     n = times.shape[0]
     if n == 0 or trace._period != float(n):
         return False
@@ -200,26 +290,50 @@ def _app_shape(app) -> tuple | None:
 
 
 class _Lane:
-    """One device prepared for the kernel (inputs shared with any fallback)."""
+    """One device prepared for the kernel (inputs shared with any fallback).
+
+    ``traces`` / ``schedules`` are optional per-shard caches keyed by the
+    config's ``trace_key()`` / ``schedule_key()`` (the same keys the
+    experiment runner's grid cache uses), so lanes with identical
+    generation parameters share one immutable trace/schedule object
+    instead of rebuilding it.  Fleet specs draw per-device seeds, so the
+    win is modest there, but grid-style shards with repeated seeds build
+    each artifact once.
+    """
 
     __slots__ = (
         "device", "policy_name", "config", "trace", "schedule", "app",
-        "sim", "shape", "kind",
+        "sim", "shape", "kind", "storage",
     )
 
-    def __init__(self, device, policy_name, config):
+    def __init__(self, device, policy_name, config, traces=None, schedules=None):
         self.device = device
         self.policy_name = policy_name
         self.config = config
-        self.trace = config.build_trace()
-        self.schedule = config.build_schedule()
+        if traces is None:
+            self.trace = config.build_trace()
+        else:
+            key = config.trace_key()
+            trace = traces.get(key)
+            if trace is None:
+                trace = traces[key] = config.build_trace()
+            self.trace = trace
+        if schedules is None:
+            self.schedule = config.build_schedule()
+        else:
+            key = config.schedule_key()
+            schedule = schedules.get(key)
+            if schedule is None:
+                schedule = schedules[key] = config.build_schedule()
+            self.schedule = schedule
         self.app = None
         self.sim = None
         self.shape = None
         self.kind = None
+        self.storage = None
 
 
-def _lane_eligible(lane: _Lane, kinds) -> bool:
+def _lane_eligible(lane: _Lane, kinds, apps=None) -> bool:
     """Config-level envelope of the vector kernel (trace, app, storage, sim)."""
     kind = kinds.get(lane.policy_name)
     if kind is None:
@@ -242,7 +356,15 @@ def _lane_eligible(lane: _Lane, kinds) -> bool:
         return False
     if not _integer_grid(lane.trace):
         return False
-    app = lane.config.build_app()
+    # The kernel and the fallback path only *read* the app's task/option
+    # tables, so lanes on the same MCU profile can share one instance.
+    if apps is None:
+        app = lane.config.build_app()
+    else:
+        key = id(lane.config.mcu)
+        app = apps.get(key)
+        if app is None:
+            app = apps[key] = lane.config.build_app()
     shape = _app_shape(app)
     if shape is None:
         return False
@@ -250,82 +372,144 @@ def _lane_eligible(lane: _Lane, kinds) -> bool:
     lane.sim = sim
     lane.shape = shape
     lane.kind = kind
+    lane.storage = storage
     return True
 
 
-def vector_shard_outcomes(spec, device_range, retries: int = 1, factories=None):
-    """Simulate ``device_range`` of ``spec``; return ``{device: outcome}``.
+# --------------------------------------------------------------------------
+# Packed hot-state layout.  One row per field; handler attributes are views
+# of these rows, rebound by ``_bind`` whenever the batch compacts.
+# --------------------------------------------------------------------------
 
-    Outcomes are :class:`RunMetrics` or :class:`RunFailure`, bit-identical
-    to what the scalar per-device loop produces.  Devices outside the
-    vector envelope (and any lane the kernel flags as anomalous) fall back
-    to the scalar engine via ``_attempt_spec``.
-    """
-    if factories is None:
-        from repro.experiments.harness import standard_policies
+#: float64 rows filled once from the lane tables (``_lane_float_consts``
+#: must return values in exactly this order; ``energy`` is the storage's
+#: initial charge and mutates from there).
+_F_CONST_FIELDS = (
+    "epp", "diff_p", "bg_diff_p", "sched_end", "hard_end", "hard_end_eps",
+    "sleep_p", "capacity", "restart", "overdraw_floor", "th_thresh",
+    "pz_thresh",
+    "ml_t0", "ml_t1", "ml_p0", "ml_p1", "fnr0", "fnr1", "fpr0", "fpr1",
+    "prep_t", "prep_p", "radio_t0", "radio_t1", "radio_p0", "radio_p1",
+    "energy",
+)
+#: float64 rows that start at zero (clock, span registers, float metrics).
+#: seg_nb/seg_p belong to the incremental segment cursor (see
+#: ``_seg_advance``) and are re-seeded by ``__init__``.
+_F_DYN_FIELDS = (
+    "now", "adv_target", "adv_draw", "adv_stop", "rech_start",
+    "blk_rem", "blk_start", "task_t0", "task_t1", "task_p0", "task_p1",
+    "seg_nb", "seg_p", "next_cap", "ev_next_start", "ev_cur_end",
+    "m_energy_harvested", "m_energy_consumed", "m_recharge_time", "m_sim_end",
+)
+_F_FIELDS = _F_CONST_FIELDS + _F_DYN_FIELDS
 
-        factories = standard_policies()
-    kinds = _vector_kernel_policies(factories)
-    outcomes = {}
-    devices = list(device_range)
-    for start in range(0, len(devices), _MAX_BATCH):
-        chunk = devices[start : start + _MAX_BATCH]
-        lanes = []
-        # Building thousands of lanes allocates millions of long-lived
-        # boxed floats (trace sample lists); cyclic GC passes over them
-        # are pure overhead, so pause collection for the build.
-        gc_was_enabled = gc.isenabled()
-        gc.disable()
-        try:
-            for device in chunk:
-                policy_name, config = spec.device_config(device)
-                lanes.append(_Lane(device, policy_name, config))
-        finally:
-            if gc_was_enabled:
-                gc.enable()
-        vector_lanes = [lane for lane in lanes if _lane_eligible(lane, kinds)]
-        scalar_lanes = [lane for lane in lanes if lane.kind is None]
-        # Group vector lanes by array geometry (trace samples, buffer width)
-        # and capture period, which the batch hoists to a scalar.
-        groups: dict[tuple, list[_Lane]] = {}
-        for lane in vector_lanes:
-            key = (
-                len(lane.trace._times_list),
-                lane.sim.buffer_capacity,
-                lane.sim.capture_period_s,
-            )
-            groups.setdefault(key, []).append(lane)
-        for group in groups.values():
-            batch = _VectorBatch(group)
-            for lane, metrics in zip(group, batch.run()):
-                if metrics is None:
-                    scalar_lanes.append(lane)
-                else:
-                    outcomes[lane.device] = metrics
-        for lane in scalar_lanes:
-            outcomes[lane.device] = _attempt_spec(
-                RunSpec(policy=lane.policy_name, seed=0, config=lane.config),
-                factories[lane.policy_name],
-                lane.trace,
-                lane.schedule,
-                retries,
-            )
-    return outcomes
+#: int64 rows: cursors, buffer occupancy, and integer metric counters.
+_I_FIELDS = (
+    "cap_idx", "cap_pos", "cls_pos", "occ", "ev_idx", "exec_slot", "seg",
+    "m_captures_active", "m_captures_interesting",
+    "m_stored", "m_ibo_drops", "m_ibo_drops_interesting",
+    "m_jobs_completed", "m_jobs_degraded", "m_false_negatives",
+    "m_true_negatives", "m_packets_ih", "m_packets_il",
+    "m_packets_uh", "m_packets_ul", "m_power_failures",
+    "m_policy_invocations", "m_leftover_total", "m_leftover_interesting",
+    "optc_ml_hi", "optc_ml_lo", "optc_radio_hi", "optc_radio_lo",
+    "trow",
+)
+
+#: int8 rows: small enums.
+_B_FIELDS = ("state", "kind", "adv_cont", "rech_cont", "n_tasks",
+             "cur_task", "exec_job")
+
+#: bool rows: flags and per-lane constants consumed as masks.
+#: exec_deg doubles as the low-quality-option flag: the planner always
+#: picks the degraded option exactly when the policy degraded the job.
+_M_FIELDS = ("anomaly", "adv_has_stop", "exec_pos", "exec_deg", "exec_int",
+             "radio_hiq0", "radio_hiq1", "ev_cur_int")
+
+#: 2D per-lane arrays compacted by row selection alongside the matrices.
+#: Trace tables stay lane-major: lane sim-times diverge by hours, so a
+#: lane-minor layout would not cluster the segment gathers (measured
+#: slower at 8192 lanes).  ``powers``/``cum`` are deliberately *not*
+#: here: they dominate batch memory (D x N float64 each), so compaction
+#: leaves them in place and every gather goes through the ``trow``
+#: row-indirection instead — that keeps compaction O(hot state), cheap
+#: enough to run aggressively.
+_ROW_ARRAYS = ("buf_t", "buf_int", "buf_job", "buf_used")
+#: The lane-minor (transposed) tables — RNG draw chunks and event
+#: tables — are likewise left full-size behind ``trow``.  Draw positions
+#: and event cursors are near-synchronized across lanes (every lane
+#: draws once per capture tick; schedules have similar event densities),
+#: so one tick still reads a narrow band of contiguous rows; compaction
+#: keeps ``trow`` sorted, so the column gather stays forward-marching
+#: even with dead-lane gaps.
+
+
+def _lane_float_consts(lane: _Lane) -> tuple:
+    """Per-lane float constants, in ``_F_CONST_FIELDS`` order."""
+    trace = lane.trace
+    sched = lane.schedule
+    storage = lane.storage
+    cap = storage._capacity
+    kind, param = lane.kind
+    th = param if kind == _K_BUFFER else 0.0
+    if kind == _K_POWER:
+        fraction, datasheet = param
+        reference = datasheet if datasheet is not None else trace.max_power
+        pz = fraction * reference
+    else:
+        pz = 0.0
+    (ml_ref, ml_hi, ml_lo, prep_ref, prep_opt,
+     radio_ref, radio_hi, radio_lo) = lane.shape
+    hard_end = sched.end_time + lane.sim.drain_timeout_s
+    return (
+        trace._energy_per_period,
+        sched.diff_probability,
+        sched.background_diff_probability,
+        sched.end_time,
+        hard_end,
+        hard_end - TIME_EPSILON,
+        lane.config.mcu.sleep_power_w,
+        cap,
+        storage._restart_energy,
+        -1e-9 * (cap if cap > 1.0 else 1.0),
+        th,
+        pz,
+        ml_hi.cost.t_exe_s, ml_lo.cost.t_exe_s,
+        ml_hi.cost.p_exe_w, ml_lo.cost.p_exe_w,
+        ml_hi.metadata["ml"].false_negative_rate,
+        ml_lo.metadata["ml"].false_negative_rate,
+        ml_hi.metadata["ml"].false_positive_rate,
+        ml_lo.metadata["ml"].false_positive_rate,
+        prep_opt.cost.t_exe_s, prep_opt.cost.p_exe_w,
+        radio_hi.cost.t_exe_s, radio_lo.cost.t_exe_s,
+        radio_hi.cost.p_exe_w, radio_lo.cost.p_exe_w,
+        storage._energy,
+    )
 
 
 class _VectorBatch:
-    """Lockstep SoA simulation of one homogeneous-geometry device batch.
+    """Lockstep packed-state simulation of one homogeneous-geometry batch.
 
-    Every method replays the scalar engine's floating-point operations on
-    gathered per-lane operands in the scalar op order; comments name the
-    engine code being mirrored.  ``run()`` returns one ``RunMetrics`` per
-    lane, or ``None`` where the lane must be re-run on the scalar engine.
+    Every method replays the scalar engine's floating-point operations in
+    the scalar op order; comments name the engine code being mirrored.
+    The CTRL/ADV/RECHG entry points take a full-width boolean mask over
+    the current columns and compute dense; minority sub-steps (decisions,
+    exits, captures) stay index-based.  ``run()`` returns one
+    ``RunMetrics`` per lane — in the original lane order, across any
+    number of compactions — or ``None`` where the lane must be re-run on
+    the scalar engine.
     """
 
     def __init__(self, lanes: list[_Lane]) -> None:
+        # Columns are ordered by policy kind so ``_decide`` can address
+        # each family as a contiguous slice of its sorted lane indices
+        # (compaction preserves column order, so the invariant holds for
+        # the whole run).  ``orig`` maps columns back to caller order.
+        order = sorted(range(len(lanes)), key=lambda i: lanes[i].kind[0])
+        lanes = [lanes[i] for i in order]
         self.lanes = lanes
         D = self.D = len(lanes)
-        self.N = N = len(lanes[0].trace._times_list)
+        self.N = N = lanes[0].trace._times.shape[0]
         self.C = C = int(lanes[0].sim.buffer_capacity)
         f8, i8 = np.float64, np.int64
 
@@ -347,155 +531,158 @@ class _VectorBatch:
         self.times1d = np.arange(N, dtype=f8)
         self.times_ext = np.arange(N + 1, dtype=f8)
 
-        # -- per-lane trace / schedule / storage / policy tables --
+        # -- packed hot-state matrices --
+        self.F = np.zeros((len(_F_FIELDS), D), dtype=f8)
+        self.I = np.zeros((len(_I_FIELDS), D), dtype=i8)
+        self.B = np.zeros((len(_B_FIELDS), D), dtype=np.int8)
+        self.M = np.zeros((len(_M_FIELDS), D), dtype=bool)
+        self._bind()
+        #: original column position of each current column (results index).
+        self.orig = np.array(order, dtype=np.intp)
+        self._ar = np.arange(D, dtype=np.intp)
+        # Row indirection into the full-size trace tables (powers/cum):
+        # compaction renumbers columns but never copies those tables.
+        self.trow[:] = self._ar
+        self.results: list = [None] * D
+
+        # Bulk constant fill: one boxed tuple per lane, one transposed copy.
+        self.F[: len(_F_CONST_FIELDS)] = np.array(
+            [_lane_float_consts(lane) for lane in lanes], dtype=f8
+        ).T
+        self.kind[:] = [lane.kind[0] for lane in lanes]
+        self.radio_hiq0[:] = [
+            lane.shape[6].metadata["quality"] == "high" for lane in lanes
+        ]
+        self.radio_hiq1[:] = [
+            lane.shape[7].metadata["quality"] == "high" for lane in lanes
+        ]
+
+        # -- per-lane trace / schedule tables --
         self.powers = np.empty((D, N), dtype=f8)
         self.cum = np.empty((D, N), dtype=f8)
-        self.epp = np.empty(D, dtype=f8)
-        E = max((len(lane.schedule.events) for lane in lanes), default=0)
-        self.E = E
-        self.ev_starts = np.full((D, max(E, 1) + 1), np.inf, dtype=f8)
-        self.ev_ends = np.full((D, max(E, 1)), -np.inf, dtype=f8)
-        self.ev_int = np.zeros((D, max(E, 1)), dtype=bool)
-        self.diff_p = np.empty(D, dtype=f8)
-        self.bg_diff_p = np.empty(D, dtype=f8)
-        self.sched_end = np.empty(D, dtype=f8)
-        self.hard_end = np.empty(D, dtype=f8)
-        self.sleep_p = np.empty(D, dtype=f8)
-        self.capacity = np.empty(D, dtype=f8)
-        self.restart = np.empty(D, dtype=f8)
-        self.overdraw_floor = np.empty(D, dtype=f8)
-        self.kind = np.empty(D, dtype=np.int8)
-        self.th_thresh = np.zeros(D, dtype=f8)
-        self.pz_thresh = np.zeros(D, dtype=f8)
-        # Task cost tables: column 0 = highest quality, 1 = lowest.
-        self.ml_t = np.empty((D, 2), dtype=f8)
-        self.ml_p = np.empty((D, 2), dtype=f8)
-        self.fnr = np.empty((D, 2), dtype=f8)
-        self.fpr = np.empty((D, 2), dtype=f8)
-        self.prep_t = np.empty(D, dtype=f8)
-        self.prep_p = np.empty(D, dtype=f8)
-        self.radio_t = np.empty((D, 2), dtype=f8)
-        self.radio_p = np.empty((D, 2), dtype=f8)
-        self.radio_hiq = np.empty((D, 2), dtype=bool)
-        self.opt_names = []
-        self.cap_rngs = []
-        self.cls_rngs = []
-
         for i, lane in enumerate(lanes):
             trace = lane.trace
-            # _powers_list is _powers.tolist(): copying the float64 arrays
-            # directly is bit-identical and skips 2N box/unbox conversions.
             self.powers[i] = trace._powers
             self.cum[i] = trace._cum_energy
-            self.epp[i] = trace._energy_per_period
-            sched = lane.schedule
-            events = sched.events
-            for j, ev in enumerate(events):
-                self.ev_starts[i, j] = ev.start
-                self.ev_ends[i, j] = ev.end
-                self.ev_int[i, j] = ev.interesting
-            self.diff_p[i] = sched.diff_probability
-            self.bg_diff_p[i] = sched.background_diff_probability
-            self.sched_end[i] = sched.end_time
-            sim = lane.sim
-            self.hard_end[i] = sched.end_time + sim.drain_timeout_s
-            self.sleep_p[i] = lane.config.mcu.sleep_power_w
-            storage = lane.config.build_storage()
-            self.capacity[i] = storage._capacity
-            self.restart[i] = storage._restart_energy
-            cap = storage._capacity
-            self.overdraw_floor[i] = -1e-9 * (cap if cap > 1.0 else 1.0)
-            kind, param = lane.kind
-            self.kind[i] = kind
-            if kind == _K_BUFFER:
-                self.th_thresh[i] = param
-            elif kind == _K_POWER:
-                fraction, datasheet = param
-                reference = datasheet if datasheet is not None else trace.max_power
-                self.pz_thresh[i] = fraction * reference
-            ml_ref, ml_hi, ml_lo, prep_ref, prep_opt, radio_ref, radio_hi, radio_lo = lane.shape
-            for col, opt in ((0, ml_hi), (1, ml_lo)):
-                self.ml_t[i, col] = opt.cost.t_exe_s
-                self.ml_p[i, col] = opt.cost.p_exe_w
-                model = opt.metadata["ml"]
-                self.fnr[i, col] = model.false_negative_rate
-                self.fpr[i, col] = model.false_positive_rate
-            self.prep_t[i] = prep_opt.cost.t_exe_s
-            self.prep_p[i] = prep_opt.cost.p_exe_w
-            for col, opt in ((0, radio_hi), (1, radio_lo)):
-                self.radio_t[i, col] = opt.cost.t_exe_s
-                self.radio_p[i, col] = opt.cost.p_exe_w
-                self.radio_hiq[i, col] = opt.metadata["quality"] == "high"
-            self.opt_names.append((
-                ml_ref.task.name, ml_hi.name, ml_lo.name,
-                radio_ref.task.name, radio_hi.name, radio_lo.name,
-            ))
-            seed = sim.seed
-            self.cls_rngs.append(np.random.default_rng(seed))
-            self.cap_rngs.append(np.random.default_rng((seed, 0xD1FF)))
-        # Storage is full at t=0 for the fleet configs; an arbitrary
-        # initial fraction is still handled exactly (we copy the value).
-        self.energy = np.array(
-            [lane.config.build_storage()._energy for lane in lanes], dtype=f8
-        )
-        self.hard_end_eps = self.hard_end - TIME_EPSILON
+        E = max((len(lane.schedule.events) for lane in lanes), default=0)
+        self.E = E
+        # Event tables are event-major (lane-minor): event cursors advance
+        # in loose lockstep, so a capture tick gathers from a narrow band
+        # of rows instead of one scattered row per lane.  ev_ends/ev_int
+        # carry one trailing sentinel row (-inf / False) so the
+        # pre-first-event cursor (ev_idx == -1) wraps to a gather that
+        # reads "not in an event" without a separate ``ei >= 0`` term.
+        self.ev_starts = np.full((max(E, 1) + 1, D), np.inf, dtype=f8)
+        self.ev_ends = np.full((max(E, 1) + 1, D), -np.inf, dtype=f8)
+        self.ev_int = np.zeros((max(E, 1) + 1, D), dtype=bool)
+        if E > 0:
+            if all(len(lane.schedule.events) == E for lane in lanes):
+                self.ev_starts[:E] = np.array([
+                    [ev.start for ev in lane.schedule.events] for lane in lanes
+                ]).T
+                self.ev_ends[:E] = np.array([
+                    [ev.end for ev in lane.schedule.events] for lane in lanes
+                ]).T
+                self.ev_int[:E] = np.array([
+                    [ev.interesting for ev in lane.schedule.events]
+                    for lane in lanes
+                ]).T
+            else:  # ragged schedules: pad per lane
+                for i, lane in enumerate(lanes):
+                    for j, ev in enumerate(lane.schedule.events):
+                        self.ev_starts[j, i] = ev.start
+                        self.ev_ends[j, i] = ev.end
+                        self.ev_int[j, i] = ev.interesting
+        self.opt_names = [
+            (
+                lane.shape[0].task.name, lane.shape[1].name, lane.shape[2].name,
+                lane.shape[5].task.name, lane.shape[6].name, lane.shape[7].name,
+            )
+            for lane in lanes
+        ]
+        self.cls_rngs = [np.random.default_rng(lane.sim.seed) for lane in lanes]
+        self.cap_rngs = [
+            np.random.default_rng((lane.sim.seed, 0xD1FF)) for lane in lanes
+        ]
 
-        # -- dynamic state --
-        self.now = np.zeros(D, dtype=f8)
-        self.cap_idx = np.ones(D, dtype=i8)
-        self.state = np.full(D, _CTRL, dtype=np.int8)
-        self.anomaly = np.zeros(D, dtype=bool)
-        self.adv_cont = np.zeros(D, dtype=np.int8)
-        self.adv_target = np.zeros(D, dtype=f8)
-        self.adv_draw = np.zeros(D, dtype=f8)
-        self.adv_stop = np.zeros(D, dtype=f8)
-        self.adv_has_stop = np.zeros(D, dtype=bool)
-        self.rech_cont = np.zeros(D, dtype=np.int8)
-        self.rech_start = np.zeros(D, dtype=f8)
-        self.blk_rem = np.zeros(D, dtype=f8)
-        self.blk_start = np.zeros(D, dtype=f8)
-        self.task_t2 = np.zeros((D, 2), dtype=f8)
-        self.task_p2 = np.zeros((D, 2), dtype=f8)
-        self.n_tasks = np.zeros(D, dtype=np.int8)
-        self.cur_task = np.zeros(D, dtype=np.int8)
-        self.exec_slot = np.zeros(D, dtype=np.intp)
-        self.exec_job = np.zeros(D, dtype=np.int8)  # 0 detect, 1 transmit
-        self.exec_pos = np.zeros(D, dtype=bool)
-        self.exec_deg = np.zeros(D, dtype=bool)
-        self.exec_int = np.zeros(D, dtype=bool)
-        self.exec_lo = np.zeros(D, dtype=bool)
+        # -- dynamic state not covered by the zero-init of F/I/B/M --
+        self.cap_idx[:] = 1
+        # Cached ``cap_idx * CAPP``: re-derived only where cap_idx moves
+        # (the capture-fire loop), so the handlers read it for free.
+        self.next_cap[:] = 1 * self.CAPP
+        self.cap_pos[:] = _CAP_CHUNK
+        self.cls_pos[:] = _CLS_CHUNK
+        self.ev_idx[:] = -1
+        # Cached event-cursor reads (the cursor moves on a tiny fraction
+        # of capture ticks, so per-tick 2D gathers from the event tables
+        # are replaced by 1D rows refreshed only at move time).  The
+        # cursor starts at -1, i.e. on the sentinel row: no event active.
+        self.ev_next_start[:] = self.ev_starts[0]
+        self.ev_cur_end[:] = -np.inf
+        self.ev_cur_int[:] = False
+        # Segment cursor at t = 0: segment 0, next boundary at 1.0 (every
+        # grid segment has length exactly 1.0).
+        self.seg_nb[:] = 1.0
+        self.seg_p[:] = self.powers[:, 0]
         # Buffer SoA: +inf capture time marks a free slot, so FCFS selection
         # and free-slot search are both argmins.
         self.buf_t = np.full((D, C), np.inf, dtype=f8)
         self.buf_int = np.zeros((D, C), dtype=bool)
         self.buf_job = np.zeros((D, C), dtype=np.int8)
         self.buf_used = np.zeros((D, C), dtype=bool)
-        self.occ = np.zeros(D, dtype=i8)
-        # Chunked RNG draws (positions start exhausted -> refill on first use).
-        self.cap_chunk = np.zeros((D, _CAP_CHUNK), dtype=f8)
-        self.cap_pos = np.full(D, _CAP_CHUNK, dtype=i8)
-        self.cls_chunk = np.zeros((D, _CLS_CHUNK), dtype=f8)
-        self.cls_pos = np.full(D, _CLS_CHUNK, dtype=i8)
-        self.ev_idx = np.full(D, -1, dtype=i8)
+        # Chunked RNG draws (positions start exhausted -> refill on first
+        # use), lane-minor: capture draws are near-synchronized across
+        # lanes, so one tick reads a mostly-contiguous row.
+        self.cap_chunk = np.zeros((_CAP_CHUNK, D), dtype=f8)
+        self.cls_chunk = np.zeros((_CLS_CHUNK, D), dtype=f8)
 
-        # -- metric accumulators (RunMetrics fields) --
-        for name in (
-            "m_captures_total", "m_captures_active", "m_captures_interesting",
-            "m_stored", "m_ibo_drops", "m_ibo_drops_interesting",
-            "m_jobs_completed", "m_jobs_degraded", "m_false_negatives",
-            "m_true_negatives", "m_packets_ih", "m_packets_il",
-            "m_packets_uh", "m_packets_ul", "m_power_failures",
-            "m_policy_invocations",
-        ):
-            setattr(self, name, np.zeros(D, dtype=i8))
-        self.m_energy_harvested = np.zeros(D, dtype=f8)
-        self.m_energy_consumed = np.zeros(D, dtype=f8)
-        self.m_recharge_time = np.zeros(D, dtype=f8)
-        self.m_sim_end = np.zeros(D, dtype=f8)
-        self.m_leftover_total = np.zeros(D, dtype=i8)
-        self.m_leftover_interesting = np.zeros(D, dtype=i8)
-        # Option-use counters: ml hi/lo, radio hi/lo.
-        self.optc = np.zeros((D, 4), dtype=i8)
+        # -- phase accounting (read by the shard runner after run()) --
+        self.iterations = 0
+        self.compactions = 0
+        self.ctrl_s = 0.0
+        self.adv_s = 0.0
+        self.rech_s = 0.0
+
+    # --------------------------------------------------------------- layout --
+
+    def _bind(self) -> None:
+        """(Re)bind field attributes to the rows of the packed matrices."""
+        for row, name in enumerate(_F_FIELDS):
+            setattr(self, name, self.F[row])
+        for row, name in enumerate(_I_FIELDS):
+            setattr(self, name, self.I[row])
+        for row, name in enumerate(_B_FIELDS):
+            setattr(self, name, self.B[row])
+        for row, name in enumerate(_M_FIELDS):
+            setattr(self, name, self.M[row])
+
+    def _compact(self, live) -> None:
+        """Harvest finished columns and shrink every array to the live set."""
+        self._harvest((~live).nonzero()[0])
+        keep = live.nonzero()[0]
+        self.F = np.ascontiguousarray(self.F[:, keep])
+        self.I = np.ascontiguousarray(self.I[:, keep])
+        self.B = np.ascontiguousarray(self.B[:, keep])
+        self.M = np.ascontiguousarray(self.M[:, keep])
+        self._bind()
+        self.orig = self.orig[keep]
+        for name in _ROW_ARRAYS:
+            setattr(self, name, getattr(self, name)[keep])
+        self._ar = np.arange(keep.size, dtype=np.intp)
+        self.compactions += 1
+
+    def _harvest(self, idx) -> None:
+        """Materialize finished columns into ``results`` (None = fallback)."""
+        results = self.results
+        orig = self.orig
+        anomaly = self.anomaly
+        state = self.state
+        for i in idx:
+            i = int(i)
+            if anomaly[i] or state[i] != _DONE:
+                results[int(orig[i])] = None
+            else:
+                results[int(orig[i])] = self._metrics(i)
 
     # ------------------------------------------------------------- helpers --
 
@@ -512,29 +699,43 @@ class _VectorBatch:
         )
         self.state[lanes] = _DONE
 
-    def _span(self, lanes, t):
-        """TraceCursor.span_at on the integer grid: (p_in, next boundary).
+    def _seg_advance(self, lanes) -> None:
+        """Catch the segment cursor up to each lane's clock (monotone).
 
-        Same fold as ``_fold``; the bisect-based segment lookup reduces to
-        ``floor(local)`` clipped to [-1, n-1] (the -1 wrap resolves to the
-        last segment for both list and ndarray indexing, exactly like the
-        scalar path), and the ``nb <= t`` nextafter guard is kept verbatim.
+        Replaces TraceCursor.span_at: after this, ``seg_p[lane]`` is the
+        segment power at ``now`` and ``seg_nb[lane]`` the next boundary,
+        with ``now < seg_nb`` (the scalar path's ``nb <= t`` nextafter
+        guard cannot trigger on the integer grid, where every boundary
+        value is an exactly-represented integer).  Clocks only move
+        forward, and almost always by one segment per iteration, so the
+        catch-up is a subset walk with per-lane sequential trace reads;
+        lanes that jumped far (post-recharge) fall back to one direct
+        fold after a few passes.  Bit-exact: boundaries are integers
+        below 2**53, so ``+= 1.0`` equals the scalar ``k*period +
+        times[seg+1]`` arithmetic, and ``seg_p`` gathers the same table.
         """
-        k = np.floor(t / self.PERIOD)
-        local = t - k * self.PERIOD
-        adjust = local >= self.PERIOD
-        if adjust.any():
-            local = np.where(adjust, local - self.PERIOD, local)
-            k = np.where(adjust, k + 1.0, k)
-        # local is in [0, PERIOD), so truncation equals the clipped floor
-        # (the scalar path's -1 wrap only exists for negative times).
-        seg = local.astype(np.intp)
-        p_in = self.powers[lanes, seg]
-        nb = k * self.PERIOD + self.times_ext[seg + 1]
-        low = nb <= t
-        if low.any():
-            nb = np.where(low, np.nextafter(t, np.inf), nb)
-        return p_in, nb
+        behind = lanes[self.now[lanes] >= self.seg_nb[lanes]]
+        passes = 0
+        while behind.size:
+            passes += 1
+            if passes > 4:
+                # Far behind: one direct fold (same truncation-as-floor
+                # lookup the dense span evaluation used).
+                t = self.now[behind]
+                local, k = self._fold(t)
+                seg = local.astype(np.intp)
+                self.seg[behind] = seg
+                self.seg_nb[behind] = k * self.PERIOD + self.times_ext[seg + 1]
+                self.seg_p[behind] = self.powers[self.trow[behind], seg]
+                return
+            seg = self.seg[behind] + 1
+            wrap = seg == self.N
+            if wrap.any():
+                seg = np.where(wrap, 0, seg)
+            self.seg[behind] = seg
+            self.seg_nb[behind] += 1.0
+            self.seg_p[behind] = self.powers[self.trow[behind], seg]
+            behind = behind[self.now[behind] >= self.seg_nb[behind]]
 
     def _fold(self, t):
         """PiecewiseConstantTrace._fold, vectorized (k kept as float64)."""
@@ -553,57 +754,93 @@ class _VectorBatch:
         the scalar path's clipped floor.
         """
         seg = local.astype(np.intp)
-        return self.cum[lanes, seg] + self.powers[lanes, seg] * (
+        rows = self.trow[lanes]
+        return self.cum[rows, seg] + self.powers[rows, seg] * (
             local - self.times1d[seg]
         )
 
     def _draw_caps(self, lanes):
-        """One differencing-filter draw per lane (chunked like the engine)."""
-        need = lanes[self.cap_pos[lanes] == _CAP_CHUNK]
-        for d in need:
-            self.cap_chunk[d] = self.cap_rngs[d].random(_CAP_CHUNK)
-            self.cap_pos[d] = 0
-        draws = self.cap_chunk[lanes, self.cap_pos[lanes]]
-        self.cap_pos[lanes] += 1
+        """One differencing-filter draw per lane (chunked like the engine).
+
+        Refills are batched: lockstep capture ticks exhaust most lanes'
+        chunks on the same pass, so one stacked draw + column store beats
+        per-lane strided column writes.
+        """
+        pos = self.cap_pos[lanes]
+        need = lanes[pos == _CAP_CHUNK]
+        if need.size:
+            rows = self.trow[need]
+            self.cap_chunk[:, rows] = np.stack(
+                [self.cap_rngs[d].random(_CAP_CHUNK) for d in rows], axis=1
+            )
+            self.cap_pos[need] = 0
+            pos = self.cap_pos[lanes]
+        draws = self.cap_chunk[pos, self.trow[lanes]]
+        self.cap_pos[lanes] = pos + 1
         return draws
 
     def _draw_cls(self, lanes):
         """One classification draw per lane (engine draws these singly)."""
-        need = lanes[self.cls_pos[lanes] == _CLS_CHUNK]
-        for d in need:
-            self.cls_chunk[d] = self.cls_rngs[d].random(_CLS_CHUNK)
-            self.cls_pos[d] = 0
-        draws = self.cls_chunk[lanes, self.cls_pos[lanes]]
-        self.cls_pos[lanes] += 1
+        pos = self.cls_pos[lanes]
+        need = lanes[pos == _CLS_CHUNK]
+        if need.size:
+            rows = self.trow[need]
+            self.cls_chunk[:, rows] = np.stack(
+                [self.cls_rngs[d].random(_CLS_CHUNK) for d in rows], axis=1
+            )
+            self.cls_pos[need] = 0
+            pos = self.cls_pos[lanes]
+        draws = self.cls_chunk[pos, self.trow[lanes]]
+        self.cls_pos[lanes] = pos + 1
         return draws
 
     # ------------------------------------------------------------- captures --
 
-    def _fire_due_captures(self, lanes, t) -> None:
+    def _fire_due_captures(self, lanes, t, limit=None) -> None:
         """Engine ``_fire_due_captures`` fast body, one tick per pass.
 
         Callers pass ``t = cap_idx * CAPP`` for lanes they already proved
-        due (the boundary reached the next capture tick); later passes
-        re-derive dueness for the rare multi-tick catch-up.
+        due (the boundary reached the next capture tick) and ``limit`` as
+        those lanes' post-advance clocks; later passes re-derive dueness
+        against ``limit`` for the rare multi-tick catch-up.
         """
+        if limit is None:
+            limit = self.now[lanes]
         while True:
-            self.m_captures_total[lanes] += 1
+            # captures_total is not counted here: every fired tick bumps
+            # ``cap_idx`` below, so it is always ``cap_idx - 1`` (both
+            # start one apart) and the harvest derives it for free.
             # EventCursor.event_at: monotone advance over start times.
-            ei = self.ev_idx[lanes]
-            while True:
-                step = self.ev_starts[lanes, ei + 1] <= t
-                if not step.any():
-                    break
-                ei = ei + step
-            self.ev_idx[lanes] = ei
-            in_event = (ei >= 0) & (t < self.ev_ends[lanes, ei])
-            ev_interesting = in_event & self.ev_int[lanes, ei]
+            # The cached ``ev_next_start`` row decides whether any lane
+            # moves this tick; only movers touch the 2D event tables.
+            adv = (self.ev_next_start[lanes] <= t).nonzero()[0]
+            if adv.size:
+                ml = lanes[adv]
+                mr = self.trow[ml]
+                mt = t[adv]
+                ei = self.ev_idx[ml] + 1  # first step already proven due
+                while True:
+                    step = self.ev_starts[ei + 1, mr] <= mt
+                    if not step.any():
+                        break
+                    ei = ei + step
+                self.ev_idx[ml] = ei
+                self.ev_next_start[ml] = self.ev_starts[ei + 1, mr]
+                self.ev_cur_end[ml] = self.ev_ends[ei, mr]
+                self.ev_cur_int[ml] = self.ev_int[ei, mr]
+            in_event = t < self.ev_cur_end[lanes]
             draws = self._draw_caps(lanes)
-            active = np.where(
-                in_event, draws < self.diff_p[lanes], draws < self.bg_diff_p[lanes]
-            )
-            interesting = active & ev_interesting
-            self.m_captures_interesting[lanes] += interesting.astype(np.int64)
+            if in_event.any():
+                ev_interesting = in_event & self.ev_cur_int[lanes]
+                active = draws < np.where(
+                    in_event, self.diff_p[lanes], self.bg_diff_p[lanes]
+                )
+                interesting = active & ev_interesting
+                if ev_interesting.any():  # all-zero adds are pure overhead
+                    self.m_captures_interesting[lanes] += interesting
+            else:
+                active = draws < self.bg_diff_p[lanes]
+                interesting = np.zeros(lanes.shape[0], dtype=bool)
             act = active.nonzero()[0]
             if act.size:
                 a_lanes = lanes[act]
@@ -615,7 +852,7 @@ class _VectorBatch:
                 if fl.size:
                     f_lanes = a_lanes[fl]
                     self.m_ibo_drops[f_lanes] += 1
-                    self.m_ibo_drops_interesting[f_lanes] += a_int[fl].astype(np.int64)
+                    self.m_ibo_drops_interesting[f_lanes] += a_int[fl]
                 ins = (~full).nonzero()[0]
                 if ins.size:
                     i_lanes = a_lanes[ins]
@@ -628,57 +865,74 @@ class _VectorBatch:
                     self.m_stored[i_lanes] += 1
             self.cap_idx[lanes] += 1
             t = self.cap_idx[lanes] * self.CAPP
-            due = (t <= self.now[lanes] + TIME_EPSILON).nonzero()[0]
+            self.next_cap[lanes] = t
+            due = (t <= limit + TIME_EPSILON).nonzero()[0]
             if not due.size:
                 return
             lanes = lanes[due]
             t = t[due]
+            limit = limit[due]
 
     # ---------------------------------------------------------------- control --
 
-    def _ctrl(self, lanes) -> None:
-        """The engine ``run()`` loop head: end / decide / idle."""
+    def _ctrl(self, m, count: int) -> None:
+        """The engine ``run()`` loop head: end / decide / idle.
+
+        CTRL holds a minority of lanes most iterations (decisions resolve
+        into multi-pass ADV/RECHG stints), so the handler goes subset-first
+        — one ``nonzero`` up front, then everything gathers through the
+        lane list — unlike ``_adv``, whose ~50% live fraction favours
+        dense full-width arithmetic.  ``count`` is the number of lanes in
+        ``m``, so emptiness checks are integer arithmetic.
+        """
+        lanes = m.nonzero()[0]
         at_end = self.now[lanes] >= self.hard_end_eps[lanes]
-        if at_end.any():
-            self._finish(lanes[at_end])
-            lanes = lanes[~at_end]
-        if not lanes.size:
-            return
+        ae = at_end.nonzero()[0]
+        if ae.size:
+            self._finish(lanes[ae])
+            count -= ae.size
+            if not count:
+                return
+            lanes = lanes[(~at_end).nonzero()[0]]
         busy = self.occ[lanes] > 0
-        idle = lanes[~busy]
+        idle = lanes[(~busy).nonzero()[0]]
         if idle.size:
-            next_cap = self.cap_idx[idle] * self.CAPP
+            next_cap = self.next_cap[idle]
             over = next_cap > self.sched_end[idle]
             if over.any():
-                self._finish(idle[over])  # nothing left to capture or process
-            go = (~over).nonzero()[0]
-            if go.size:
-                g = idle[go]
-                self.adv_target[g] = next_cap[go]
-                self.adv_draw[g] = self.sleep_p[g]
-                self.adv_stop[g] = 0.0
-                self.adv_has_stop[g] = True
-                self.adv_cont[g] = _C_IDLE
-                self.state[g] = _ADV
-        work = lanes[busy]
+                self._finish(idle[over])  # nothing left to capture
+                keep = ~over
+                idle = idle[keep]
+                next_cap = next_cap[keep]
+            if idle.size:
+                self.adv_target[idle] = next_cap
+                self.adv_draw[idle] = self.sleep_p[idle]
+                self.adv_stop[idle] = 0.0
+                self.adv_has_stop[idle] = True
+                self.adv_cont[idle] = _C_IDLE
+                self.state[idle] = _ADV
+        work = lanes[busy.nonzero()[0]]
         if work.size:
             self._decide(work)
 
     def _decide(self, lanes) -> None:
         """_invoke_policy + plan(): FCFS pick, degrade flag, task table."""
         self.m_policy_invocations[lanes] += 1
+        # Columns are kind-sorted and ``lanes`` ascending, so each policy
+        # family is one contiguous run: a searchsorted replaces three
+        # mask/nonzero scans and the runs slice for free.
         kind = self.kind[lanes]
-        degrade = kind == _K_ALWAYS
-        th = (kind == _K_BUFFER).nonzero()[0]
-        if th.size:
-            t_lanes = lanes[th]
+        b = kind.searchsorted((_K_ALWAYS, _K_BUFFER, _K_POWER, _K_POWER + 1))
+        degrade = np.zeros(lanes.shape[0], dtype=bool)
+        degrade[b[0]:b[1]] = True
+        if b[2] > b[1]:
+            t_lanes = lanes[b[1]:b[2]]
             fill = self.occ[t_lanes] / self.BUFL
-            degrade[th] = fill >= self.th_thresh[t_lanes]
-        pz = (kind == _K_POWER).nonzero()[0]
-        if pz.size:
-            p_lanes = lanes[pz]
-            p_now, _ = self._span(p_lanes, self.now[p_lanes])
-            degrade[pz] = p_now < self.pz_thresh[p_lanes]
+            degrade[b[1]:b[2]] = fill >= self.th_thresh[t_lanes]
+        if b[3] > b[2]:
+            p_lanes = lanes[b[2]:b[3]]
+            self._seg_advance(p_lanes)
+            degrade[b[2]:b[3]] = self.seg_p[p_lanes] < self.pz_thresh[p_lanes]
         # FCFS == global argmin capture time (free slots sit at +inf).
         slot = np.argmin(self.buf_t[lanes], axis=1)
         job = self.buf_job[lanes, slot]
@@ -686,35 +940,39 @@ class _VectorBatch:
         self.exec_slot[lanes] = slot
         self.exec_job[lanes] = job
         self.exec_deg[lanes] = degrade
-        self.exec_lo[lanes] = degrade
         self.exec_int[lanes] = interesting
-        col = degrade.astype(np.intp)
         det = (job == 0).nonzero()[0]
         if det.size:
             d_lanes = lanes[det]
-            d_col = col[det]
+            d_deg = degrade[det]
             draws = self._draw_cls(d_lanes)
             # MLModelProfile.classify: interesting -> u >= fnr, else u < fpr.
-            positive = np.where(
-                interesting[det],
-                draws >= self.fnr[d_lanes, d_col],
-                draws < self.fpr[d_lanes, d_col],
-            )
+            fnr = np.where(d_deg, self.fnr1[d_lanes], self.fnr0[d_lanes])
+            fpr = np.where(d_deg, self.fpr1[d_lanes], self.fpr0[d_lanes])
+            positive = np.where(interesting[det], draws >= fnr, draws < fpr)
             self.exec_pos[d_lanes] = positive
-            self.task_t2[d_lanes, 0] = self.ml_t[d_lanes, d_col]
-            self.task_p2[d_lanes, 0] = self.ml_p[d_lanes, d_col]
-            self.task_t2[d_lanes, 1] = self.prep_t[d_lanes]
-            self.task_p2[d_lanes, 1] = self.prep_p[d_lanes]
+            self.task_t0[d_lanes] = np.where(
+                d_deg, self.ml_t1[d_lanes], self.ml_t0[d_lanes]
+            )
+            self.task_p0[d_lanes] = np.where(
+                d_deg, self.ml_p1[d_lanes], self.ml_p0[d_lanes]
+            )
+            self.task_t1[d_lanes] = self.prep_t[d_lanes]
+            self.task_p1[d_lanes] = self.prep_p[d_lanes]
             self.n_tasks[d_lanes] = np.where(positive, 2, 1)
         tx = (job == 1).nonzero()[0]
         if tx.size:
             t_lanes = lanes[tx]
-            t_col = col[tx]
-            self.task_t2[t_lanes, 0] = self.radio_t[t_lanes, t_col]
-            self.task_p2[t_lanes, 0] = self.radio_p[t_lanes, t_col]
+            t_deg = degrade[tx]
+            self.task_t0[t_lanes] = np.where(
+                t_deg, self.radio_t1[t_lanes], self.radio_t0[t_lanes]
+            )
+            self.task_p0[t_lanes] = np.where(
+                t_deg, self.radio_p1[t_lanes], self.radio_p0[t_lanes]
+            )
             self.n_tasks[t_lanes] = 1
         self.cur_task[lanes] = 0
-        self.blk_rem[lanes] = self.task_t2[lanes, 0]
+        self.blk_rem[lanes] = self.task_t0[lanes]
         self._block_top(lanes)
 
     def _block_top(self, lanes) -> None:
@@ -735,7 +993,10 @@ class _VectorBatch:
         if go.size:
             self.blk_start[go] = self.now[go]
             self.adv_target[go] = self.now[go] + self.blk_rem[go]
-            self.adv_draw[go] = self.task_p2[go, self.cur_task[go]]
+            second = self.cur_task[go] == 1
+            self.adv_draw[go] = np.where(
+                second, self.task_p1[go], self.task_p0[go]
+            )
             self.adv_stop[go] = self.RESERVE
             self.adv_has_stop[go] = True
             self.adv_cont[go] = _C_TASK
@@ -746,7 +1007,10 @@ class _VectorBatch:
         more = self.cur_task[lanes] < self.n_tasks[lanes]
         nxt = lanes[more]
         if nxt.size:
-            self.blk_rem[nxt] = self.task_t2[nxt, self.cur_task[nxt]]
+            second = self.cur_task[nxt] == 1
+            self.blk_rem[nxt] = np.where(
+                second, self.task_t1[nxt], self.task_t0[nxt]
+            )
             self._block_top(nxt)
         fin = lanes[~more]
         if fin.size:
@@ -755,15 +1019,16 @@ class _VectorBatch:
     def _complete_job(self, lanes) -> None:
         """_execute_job epilogue: buffer effect, counters, packets."""
         self.m_jobs_completed[lanes] += 1
-        degraded = self.exec_deg[lanes]
-        self.m_jobs_degraded[lanes] += degraded.astype(np.int64)
-        lo_col = self.exec_lo[lanes].astype(np.intp)
+        lo = self.exec_deg[lanes]
+        self.m_jobs_degraded[lanes] += lo  # bool upcasts to int64
         slot = self.exec_slot[lanes]
         interesting = self.exec_int[lanes]
         det = (self.exec_job[lanes] == 0).nonzero()[0]
         if det.size:
             d_lanes = lanes[det]
-            self.optc[d_lanes, lo_col[det]] += 1
+            d_lo = lo[det]
+            self.optc_ml_hi[d_lanes] += ~d_lo
+            self.optc_ml_lo[d_lanes] += d_lo
             positive = self.exec_pos[d_lanes]
             pos = positive.nonzero()[0]
             if pos.size:
@@ -777,119 +1042,151 @@ class _VectorBatch:
                 self.buf_t[n_lanes, n_slot] = np.inf
                 self.occ[n_lanes] -= 1
                 n_int = interesting[det][neg]
-                self.m_false_negatives[n_lanes] += n_int.astype(np.int64)
-                self.m_true_negatives[n_lanes] += (~n_int).astype(np.int64)
+                self.m_false_negatives[n_lanes] += n_int
+                self.m_true_negatives[n_lanes] += ~n_int
         tx = (self.exec_job[lanes] == 1).nonzero()[0]
         if tx.size:
             t_lanes = lanes[tx]
-            t_col = lo_col[tx]
-            self.optc[t_lanes, 2 + t_col] += 1
+            t_lo = lo[tx]
+            self.optc_radio_hi[t_lanes] += ~t_lo
+            self.optc_radio_lo[t_lanes] += t_lo
             t_slot = slot[tx]
             self.buf_used[t_lanes, t_slot] = False
             self.buf_t[t_lanes, t_slot] = np.inf
             self.occ[t_lanes] -= 1
             t_int = interesting[tx]
-            high = self.radio_hiq[t_lanes, t_col]
-            self.m_packets_ih[t_lanes] += (t_int & high).astype(np.int64)
-            self.m_packets_il[t_lanes] += (t_int & ~high).astype(np.int64)
-            self.m_packets_uh[t_lanes] += (~t_int & high).astype(np.int64)
-            self.m_packets_ul[t_lanes] += (~t_int & ~high).astype(np.int64)
+            high = np.where(
+                t_lo, self.radio_hiq1[t_lanes], self.radio_hiq0[t_lanes]
+            )
+            self.m_packets_ih[t_lanes] += t_int & high
+            self.m_packets_il[t_lanes] += t_int & ~high
+            self.m_packets_uh[t_lanes] += ~t_int & high
+            self.m_packets_ul[t_lanes] += ~t_int & ~high
         self.state[lanes] = _CTRL
 
     # ---------------------------------------------------------------- advance --
 
-    def _adv(self, lanes) -> None:
-        """One ``_advance_to`` span per live lane."""
-        now = self.now[lanes]
-        target = self.adv_target[lanes]
-        reached = now >= target - TIME_EPSILON
-        if reached.any():
-            self._adv_exit(lanes[reached], depleted=False)
-            lanes = lanes[~reached]
-            now = now[~reached]
-            target = target[~reached]
-        if not lanes.size:
-            return
-        at_end = now >= self.hard_end_eps[lanes]
-        if at_end.any():
-            self._finish(lanes[at_end])
-            keep = ~at_end
-            lanes = lanes[keep]
-            now = now[keep]
-            target = target[keep]
-        if not lanes.size:
-            return
-        next_cap = self.cap_idx[lanes] * self.CAPP
-        p_in, nb = self._span(lanes, now)
-        boundary = np.minimum(np.minimum(target, next_cap), nb)
-        boundary = np.minimum(boundary, self.hard_end[lanes])
-        draw = self.adv_draw[lanes]
+    def _adv(self, m, count: int) -> None:
+        """One ``_advance_to`` span per live lane (dense masked).
+
+        ``count`` tracks the lanes remaining in ``m`` so exit branches
+        test an integer instead of reducing the mask again.
+
+        Arithmetic runs full-width; masked-out columns may compute inf/nan
+        garbage (``run()`` holds the divide/invalid errstate), which the
+        ``where=`` stores discard.  Exit paths mutate only the columns they
+        are handed, so reading the row views after an exit call is safe
+        for every column still in ``m``.
+        """
+        now = self.now
+        energy = self.energy
+        reached = m & (now >= self.adv_target - TIME_EPSILON)
+        r = reached.nonzero()[0]
+        if r.size:
+            self._adv_exit(r, depleted=False)
+            count -= r.size
+            if not count:
+                return
+            m = m & ~reached
+        at_end = m & (now >= self.hard_end_eps)
+        ae = at_end.nonzero()[0]
+        if ae.size:
+            self._finish(ae)
+            count -= ae.size
+            if not count:
+                return
+            m = m & ~at_end
+        next_cap = self.next_cap
+        self._seg_advance(m.nonzero()[0])
+        p_in = self.seg_p
+        boundary = np.minimum(np.minimum(self.adv_target, next_cap), self.seg_nb)
+        boundary = np.minimum(boundary, self.hard_end)
+        draw = self.adv_draw
         net = draw - p_in
-        energy = self.energy[lanes]
-        stop = self.adv_has_stop[lanes] & (net > 0.0)
+        stop = m & self.adv_has_stop & (net > 0.0)
         depleting = None
         if stop.any():
-            margin = energy - self.adv_stop[lanes]
+            margin = energy - self.adv_stop
             immediate = stop & (margin <= _ENERGY_EPS)
-            if immediate.any():
+            im = immediate.nonzero()[0]
+            if im.size:
                 # No headroom at span entry: stop without advancing.
-                self._adv_exit(lanes[immediate], depleted=True)
-                keep = ~immediate
-                lanes = lanes[keep]
-                if not lanes.size:
+                self._adv_exit(im, depleted=True)
+                count -= im.size
+                if not count:
                     return
-                now, target, boundary = now[keep], target[keep], boundary[keep]
-                p_in, nb, draw, net = p_in[keep], nb[keep], draw[keep], net[keep]
-                energy, stop, margin = energy[keep], stop[keep], margin[keep]
-                next_cap = next_cap[keep]
-            # run() holds the divide/invalid errstate for the whole loop.
-            t_depleted = now + margin / net
-            depleting = stop & (t_depleted < boundary - TIME_EPSILON)
-            boundary = np.where(depleting, t_depleted, boundary)
+                m = m & ~immediate
+                stop = stop & ~immediate
+            if stop.any():
+                t_depleted = now + margin / net
+                depleting = stop & (t_depleted < boundary - TIME_EPSILON)
+                boundary = np.where(depleting, t_depleted, boundary)
         # _account_span / Supercapacitor.draw / .harvest, fused.  With
         # dtz = 0 every update below is an identity (consumed/harvested
         # add 0, stored clamps to 0, max(energy, 0) == energy), which is
         # exactly the engine's "skip accounting when dt <= 0" — but the
         # clock still moves to the boundary unconditionally, as it must.
         dt = boundary - now
-        dtz = np.where(dt > 0.0, dt, 0.0)
+        dtz = np.maximum(dt, 0.0)
         draining = net >= 0.0
         ndt = net * dtz
         remaining = energy - ndt
-        overdraw = remaining < self.overdraw_floor[lanes]
-        if overdraw.any():
-            self._anomalize(lanes[overdraw])
-            keep = ~overdraw
-            lanes, boundary, dtz = lanes[keep], boundary[keep], dtz[keep]
-            draining, remaining = draining[keep], remaining[keep]
-            ndt, energy, p_in, draw = ndt[keep], energy[keep], p_in[keep], draw[keep]
-            next_cap = next_cap[keep]
-            if depleting is not None:
-                depleting = depleting[keep]
-            if not lanes.size:
+        overdraw = m & (remaining < self.overdraw_floor)
+        ov = overdraw.nonzero()[0]
+        if ov.size:
+            self._anomalize(ov)
+            count -= ov.size
+            if not count:
                 return
-        headroom = self.capacity[lanes] - energy
+            m = m & ~overdraw
+            if depleting is not None:
+                depleting = depleting & m
+        headroom = self.capacity - energy
         stored = np.minimum(-ndt, headroom)
-        self.energy[lanes] = np.where(
-            draining, np.maximum(remaining, 0.0), energy + stored
+        np.copyto(
+            energy,
+            np.where(draining, np.maximum(remaining, 0.0), energy + stored),
+            where=m,
         )
         consumed = draw * dtz
-        self.m_energy_consumed[lanes] += consumed
-        self.m_energy_harvested[lanes] += np.where(
-            draining, p_in * dtz, consumed + stored
+        np.add(
+            self.m_energy_consumed, consumed,
+            out=self.m_energy_consumed, where=m,
         )
-        self.now[lanes] = boundary
-        due = (next_cap <= boundary + TIME_EPSILON).nonzero()[0]
-        if due.size:
-            self._fire_due_captures(lanes[due], next_cap[due])
-        if depleting is not None and depleting.any():
-            self._adv_exit(lanes[depleting], depleted=True)
+        np.add(
+            self.m_energy_harvested,
+            np.where(draining, p_in * dtz, consumed + stored),
+            out=self.m_energy_harvested, where=m,
+        )
+        np.copyto(now, boundary, where=m)
+        d = (m & (next_cap <= boundary + TIME_EPSILON)).nonzero()[0]
+        if d.size:
+            self._fire_due_captures(d, next_cap[d], boundary[d])
+        if depleting is not None:
+            dep = depleting.nonzero()[0]
+            if dep.size:
+                self._adv_exit(dep, depleted=True)
+                m = m & ~depleting
+        # Spans that just reached their target exit in the same pass: the
+        # scalar engine has no iteration boundary between reaching a span
+        # end and running its continuation, so dispatching now (instead
+        # of letting the next call's reached-check do it) preserves each
+        # lane's op sequence while halving the passes per span.
+        arrived = m & (now >= self.adv_target - TIME_EPSILON)
+        arr = arrived.nonzero()[0]
+        if arr.size:
+            self._adv_exit(arr, depleted=False)
 
     def _adv_exit(self, lanes, depleted: bool) -> None:
-        """Dispatch a finished span to its continuation."""
+        """Dispatch a finished span to its continuation.
+
+        One bincount decides which continuations are present, so absent
+        ones cost nothing instead of a compare + scan each.
+        """
         cont = self.adv_cont[lanes]
-        task = lanes[cont == _C_TASK]
-        if task.size:
+        cnt = np.bincount(cont, minlength=4)
+        if cnt[_C_TASK]:
+            task = lanes[cont == _C_TASK]
             # _run_block: remaining -= now - start, then maybe a failure.
             self.blk_rem[task] = self.blk_rem[task] - (
                 self.now[task] - self.blk_start[task]
@@ -910,16 +1207,15 @@ class _VectorBatch:
                     self._block_top(done)
             else:
                 self._block_top(task)
-        save = lanes[cont == _C_SAVE]
-        if save.size:
+        if cnt[_C_SAVE]:
+            save = lanes[cont == _C_SAVE]
             self.rech_cont[save] = _R_FAILURE
             self.rech_start[save] = self.now[save]
             self.state[save] = _RECHG
-        restore = lanes[cont == _C_RESTORE]
-        if restore.size:
-            self._block_top(restore)
-        idle = lanes[cont == _C_IDLE]
-        if idle.size:
+        if cnt[_C_RESTORE]:
+            self._block_top(lanes[cont == _C_RESTORE])
+        if cnt[_C_IDLE]:
+            idle = lanes[cont == _C_IDLE]
             if depleted:
                 # Sleep-state brownout: wait for restart, then resume idling.
                 self.rech_cont[idle] = _R_IDLE
@@ -930,26 +1226,42 @@ class _VectorBatch:
 
     # --------------------------------------------------------------- recharge --
 
-    def _rech(self, lanes) -> None:
-        """One fused-recharge tick per lane (engine ``_recharge_to_restart``)."""
+    def _rech(self, m, count: int) -> None:
+        """One fused-recharge tick per lane (engine ``_recharge_to_restart``).
+
+        RECHG holds the smallest lane population of the three states (a
+        few percent most iterations), so the whole handler is subset-based
+        — one ``nonzero``, then per-lane gathers; its core is dominated by
+        per-lane trace-table gathers (``_efz``) whose cost is per *element
+        touched* either way, and full-width evaluation of the state checks
+        would do strictly more element work (measured ~2x on the fleet
+        mix).
+        """
+        lanes = m.nonzero()[0]
         deficit = self.restart[lanes] - self.energy[lanes]
         full = deficit <= _ENERGY_EPS
-        if full.any():
-            self._rech_exit(lanes[full])
-            lanes = lanes[~full]
-            deficit = deficit[~full]
-        if not lanes.size:
-            return
-        now = self.now[lanes]
-        at_end = now >= self.hard_end_eps[lanes]
-        if at_end.any():
+        fu = full.nonzero()[0]
+        if fu.size:
+            self._rech_exit(lanes[fu])
+            count -= fu.size
+            if not count:
+                return
+            keep = (~full).nonzero()[0]
+            lanes = lanes[keep]
+            deficit = deficit[keep]
+        at_end = self.now[lanes] >= self.hard_end_eps[lanes]
+        ae = at_end.nonzero()[0]
+        if ae.size:
             # Engine raises _RunEnded here: recharge_time is *not* booked.
-            self._finish(lanes[at_end])
-            keep = ~at_end
-            lanes, deficit, now = lanes[keep], deficit[keep], now[keep]
-        if not lanes.size:
-            return
-        next_cap = self.cap_idx[lanes] * self.CAPP
+            self._finish(lanes[ae])
+            count -= ae.size
+            if not count:
+                return
+            keep = (~at_end).nonzero()[0]
+            lanes = lanes[keep]
+            deficit = deficit[keep]
+        now = self.now[lanes]
+        next_cap = self.next_cap[lanes]
         hard = self.hard_end[lanes]
         cap = np.where(next_cap < hard, next_cap, hard)
         local0, k0 = self._fold(now)
@@ -957,57 +1269,70 @@ class _VectorBatch:
         local1, k1 = self._fold(cap)
         e1 = self._efz(lanes, local1)
         e_cap = (k1 - k0) * self.epp[lanes] + e1 - e0
-        boundary = cap.copy()
-        harvested = e_cap.copy()
+        boundary = cap  # np.where above returned a fresh writable array
+        harvested = e_cap
         finishing = (~(e_cap < deficit)).nonzero()[0]
-        for j in finishing:
+        if finishing.size:
             # Completes within this tick: reproduce the reference boundary
-            # computation exactly (time_to_harvest + integrate are scalar
-            # walks; float64 scalars make them bit-equal to the cursor's).
-            d = int(lanes[j])
-            t0 = float(now[j])
-            wait = self._time_to_harvest(d, t0, float(deficit[j]))
+            # computation exactly (time_to_harvest + integrate), replayed
+            # elementwise over the finishing subset.
+            fin = lanes[finishing]
+            t0 = now[finishing]
+            wait = self._time_to_harvest_vec(fin, t0, deficit[finishing])
             bnd = t0 + wait
-            if next_cap[j] < bnd:
-                bnd = float(next_cap[j])
-            if hard[j] < bnd:
-                bnd = float(hard[j])
-            boundary[j] = bnd
-            harvested[j] = self._integrate(d, t0, bnd)
-        negative = harvested < 0
+            nc = next_cap[finishing]
+            bnd = np.where(nc < bnd, nc, bnd)
+            hd = hard[finishing]
+            bnd = np.where(hd < bnd, hd, bnd)
+            boundary[finishing] = bnd
+            harvested[finishing] = self._integrate_vec(fin, t0, bnd)
+            # The walk anomalizes non-converging lanes (never in practice).
+            alive = self.state[lanes] == _RECHG
+            if not alive.all():
+                keep = alive.nonzero()[0]
+                lanes = lanes[keep]
+                if not lanes.size:
+                    return
+                boundary = boundary[keep]
+                harvested = harvested[keep]
+                next_cap = next_cap[keep]
+        negative = harvested < 0.0
         if negative.any():
             self._anomalize(lanes[negative])
-            keep = ~negative
-            lanes, boundary, harvested = lanes[keep], boundary[keep], harvested[keep]
-            next_cap = next_cap[keep]
+            keep = (~negative).nonzero()[0]
+            lanes = lanes[keep]
             if not lanes.size:
                 return
-        headroom = self.capacity[lanes] - self.energy[lanes]
+            boundary = boundary[keep]
+            harvested = harvested[keep]
+            next_cap = next_cap[keep]
+        energy = self.energy[lanes]
+        headroom = self.capacity[lanes] - energy
         stored = np.where(harvested < headroom, harvested, headroom)
-        self.energy[lanes] += stored
+        self.energy[lanes] = energy + stored
         self.m_energy_harvested[lanes] += stored
         self.now[lanes] = boundary
         due = (next_cap <= boundary + TIME_EPSILON).nonzero()[0]
         if due.size:
-            self._fire_due_captures(lanes[due], next_cap[due])
+            self._fire_due_captures(lanes[due], next_cap[due], boundary[due])
         # Lanes stay in _RECHG; the next iteration re-checks the deficit.
 
     def _rech_exit(self, lanes) -> None:
         self.m_recharge_time[lanes] += self.now[lanes] - self.rech_start[lanes]
         cont = self.rech_cont[lanes]
-        block = lanes[cont == _R_BLOCK]
-        if block.size:
-            self._block_top(block)
-        fail = lanes[cont == _R_FAILURE]
-        if fail.size:
+        cnt = np.bincount(cont, minlength=3)
+        if cnt[_R_BLOCK]:
+            self._block_top(lanes[cont == _R_BLOCK])
+        if cnt[_R_FAILURE]:
+            fail = lanes[cont == _R_FAILURE]
             # _power_failure: pay the restore cost, then back to the block.
             self.adv_target[fail] = self.now[fail] + self.REST_T
             self.adv_draw[fail] = self.REST_P
             self.adv_has_stop[fail] = False
             self.adv_cont[fail] = _C_RESTORE
             self.state[fail] = _ADV
-        idle = lanes[cont == _R_IDLE]
-        if idle.size:
+        if cnt[_R_IDLE]:
+            idle = lanes[cont == _R_IDLE]
             resume = self.now[idle] < self.adv_target[idle] - TIME_EPSILON
             back = idle[resume]
             if back.size:
@@ -1020,155 +1345,204 @@ class _VectorBatch:
             if arrived.size:
                 self.state[arrived] = _CTRL
 
-    # -- scalar trace walks for the rare recharge-completion tick -------------
+    # -- vectorized trace walks for the recharge-completion tick --------------
 
-    def _integrate(self, d: int, t0: float, t1: float) -> float:
-        """TraceCursor.integrate for lane ``d`` (periodic path), verbatim."""
-        if t1 == t0:
-            return 0.0
-        period = self.PERIOD
-        k0 = math.floor(t0 / period)
-        local0 = t0 - k0 * period
-        if local0 >= period:
-            local0 -= period
-            k0 += 1
-        e0 = self._efz_scalar(d, local0)
-        k1 = math.floor(t1 / period)
-        local1 = t1 - k1 * period
-        if local1 >= period:
-            local1 -= period
-            k1 += 1
-        whole = (k1 - k0) * float(self.epp[d])
-        return whole + self._efz_scalar(d, local1) - e0
+    def _integrate_vec(self, lanes, t0, t1):
+        """TraceCursor.integrate (periodic path) over aligned arrays.
 
-    def _efz_scalar(self, d: int, local: float) -> float:
-        seg = min(max(math.floor(local), -1), self.N - 1)
-        return float(self.cum[d, seg]) + float(self.powers[d, seg]) * (
-            local - float(self.times1d[seg])
-        )
-
-    def _time_to_harvest(self, d: int, t0: float, energy: float) -> float:
-        """TraceCursor.time_to_harvest for lane ``d``, verbatim.
-
-        The periodic fast path plus the fused segment walk; ``epp > 0`` is
-        guaranteed by eligibility, so the starvation branch cannot trigger.
+        ``k`` stays float64: the fold keeps it integer-valued and far below
+        2**53, so ``k * period`` and ``(k1 - k0) * epp`` are bit-equal to
+        the scalar int-arithmetic (the ``_fold`` precedent).
         """
-        if energy == 0:
-            return 0.0
-        remaining = energy
-        t = t0
         period = self.PERIOD
-        epp = float(self.epp[d])
-        k = math.floor(t / period)
+        k0 = np.floor(t0 / period)
+        local0 = t0 - k0 * period
+        adjust = local0 >= period
+        if adjust.any():
+            local0 = np.where(adjust, local0 - period, local0)
+            k0 = np.where(adjust, k0 + 1.0, k0)
+        e0 = self._efz(lanes, local0)
+        k1 = np.floor(t1 / period)
+        local1 = t1 - k1 * period
+        adjust = local1 >= period
+        if adjust.any():
+            local1 = np.where(adjust, local1 - period, local1)
+            k1 = np.where(adjust, k1 + 1.0, k1)
+        e1 = self._efz(lanes, local1)
+        out = (k1 - k0) * self.epp[lanes] + e1 - e0
+        zero = t1 == t0
+        if zero.any():
+            out = np.where(zero, 0.0, out)
+        return out
+
+    def _time_to_harvest_vec(self, lanes, t0, energy):
+        """TraceCursor.time_to_harvest replayed elementwise over ``lanes``.
+
+        The scalar routine is a periodic fast path (whole-period skip) plus
+        a fused segment walk; here every lane advances one segment per
+        lockstep pass under a shrinking mask, preserving each lane's own
+        op sequence exactly.  ``epp > 0`` is guaranteed by eligibility, so
+        the starvation branch cannot trigger; where the scalar code would
+        raise on non-convergence, the vector path anomalizes the lane so
+        it falls back to the scalar engine instead of sinking the batch.
+        """
+        period = self.PERIOD
+        epp = self.epp[lanes]
+        out = np.zeros(lanes.shape[0], dtype=np.float64)
+        active = energy != 0.0
+        remaining = energy.copy()
+        t = t0.copy()
+        # Whole-period skip.  Masked-out columns ride along; their garbage
+        # (inf - inf, etc.) is discarded by the where-blends.
+        k = np.floor(t / period)
         local = t - k * period
-        if local >= period:
-            local -= period
-            k += 1
+        adjust = local >= period
+        if adjust.any():
+            local = np.where(adjust, local - period, local)
+            k = np.where(adjust, k + 1.0, k)
         to_boundary = period - local
-        e_to_boundary = self._integrate(d, t, t + to_boundary)
-        if e_to_boundary < remaining:
-            remaining -= e_to_boundary
-            t = (k + 1) * period
+        e_to_boundary = self._integrate_vec(lanes, t, t + to_boundary)
+        skipping = active & (e_to_boundary < remaining)
+        if skipping.any():
+            remaining = np.where(skipping, remaining - e_to_boundary, remaining)
+            t = np.where(skipping, (k + 1.0) * period, t)
             periods = remaining / epp
-            if periods >= _MAX_HARVEST_PERIODS:
-                return math.inf
-            n_whole = math.floor(periods)
+            n_whole = np.floor(periods)
             skip = n_whole * period
-            if math.isinf(skip):
-                return math.inf
-            t += skip
-            remaining -= n_whole * epp
-            if remaining <= 0:
-                return t - t0
-        n = self.N
-        powers = self.powers[d]
+            never = skipping & (
+                (periods >= _MAX_HARVEST_PERIODS) | np.isinf(skip)
+            )
+            if never.any():
+                out = np.where(never, np.inf, out)
+                active = active & ~never
+                skipping = skipping & ~never
+            t = np.where(skipping, t + skip, t)
+            remaining = np.where(skipping, remaining - n_whole * epp, remaining)
+            done = skipping & (remaining <= 0.0)
+            if done.any():
+                out = np.where(done, t - t0, out)
+                active = active & ~done
+        # Fused segment walk, one segment per pass in lockstep.
+        walk = active & (remaining > 0.0)
         guard = 0
-        while remaining > 0:
-            k = math.floor(t / period)
-            local = t - k * period
-            if local >= period:
-                local -= period
-                k += 1
-            seg = min(max(math.floor(local), -1), n - 1)
-            p = float(powers[seg])
-            nxt_local = float(seg + 1) if seg + 1 < n else period
-            nxt = k * period + nxt_local
-            if nxt <= t:
-                nxt = math.nextafter(t, math.inf)
-            span = nxt - t
-            harvest = p * span
-            if harvest >= remaining:
-                return (t + remaining / p) - t0
-            remaining -= harvest
-            t = nxt
+        limit = 10 * self.N + 100
+        while True:
+            w = walk.nonzero()[0]
+            if not w.size:
+                break
             guard += 1
-            if guard > 10 * n + 100:
-                raise RuntimeError("vector time_to_harvest failed to converge")
-        return t - t0
+            if guard > limit:
+                self._anomalize(lanes[w])
+                break
+            lw = lanes[w]
+            tw = t[w]
+            k = np.floor(tw / period)
+            local = tw - k * period
+            adjust = local >= period
+            if adjust.any():
+                local = np.where(adjust, local - period, local)
+                k = np.where(adjust, k + 1.0, k)
+            seg = np.minimum(local.astype(np.intp), self.N - 1)
+            p = self.powers[self.trow[lw], seg]
+            # Integer grid: the scalar "float(seg + 1) if seg + 1 < n else
+            # period" collapses to seg + 1 because period == float(n).
+            nxt = k * period + self.times_ext[seg + 1]
+            low = nxt <= tw
+            if low.any():
+                nxt = np.where(low, np.nextafter(tw, np.inf), nxt)
+            rw = remaining[w]
+            harvest = p * (nxt - tw)
+            fin = harvest >= rw
+            if fin.any():
+                wf = w[fin]
+                out[wf] = (tw + rw / p)[fin] - t0[wf]
+                walk[wf] = False
+            cont = ~fin
+            if cont.any():
+                wc = w[cont]
+                remaining[wc] = rw[cont] - harvest[cont]
+                t[wc] = nxt[cont]
+        return out
 
     # -------------------------------------------------------------------- run --
 
     def run(self) -> list[RunMetrics | None]:
-        state = self.state
         # Backstop far above any real run (spans per simulated second are
         # bounded by segment boundaries + captures + a few per job): lanes
         # still live at the cap are handed to the scalar engine.
         per_lane = self.hard_end / max(self.CAPP, 1e-9) + self.N
         max_iters = int(50 * float(per_lane.max(initial=0.0))) + 10_000
-        # A lockstep round costs roughly the same whether 4000 lanes or 4
-        # are live, and device lifetimes vary a lot (a handful of lanes can
-        # outlive the batch median severalfold).  Once the survivors are
-        # down to a sliver of the batch, re-running them on the scalar
-        # engine is cheaper than dragging near-empty rounds — and exact by
-        # construction, since handoff uses the same rerun path as anomalies.
-        cutoff = self.D // 64
         iters = 0
+        perf = time.perf_counter
+        t_ctrl = t_adv = t_rech = 0.0
         with np.errstate(divide="ignore", invalid="ignore"):
             while True:
-                live = state != _DONE
-                n_live = int(np.count_nonzero(live))
-                if not n_live:
+                state = self.state
+                width = state.shape[0]
+                counts = np.bincount(state, minlength=4)
+                dead = int(counts[_DONE])
+                if dead == width:
                     break
-                if n_live <= cutoff:
-                    self.anomaly[live] = True
-                    break
+                if dead >= _COMPACT_MIN and dead * 8 >= width:
+                    self._compact(state != _DONE)
+                    state = self.state
                 iters += 1
                 if iters > max_iters:
-                    self._anomalize(live.nonzero()[0])
+                    self._anomalize((state != _DONE).nonzero()[0])
                     break
-                ctrl = (state == _CTRL).nonzero()[0]
-                if ctrl.size:
-                    self._ctrl(ctrl)
-                adv = (state == _ADV).nonzero()[0]
-                if adv.size:
-                    self._adv(adv)
-                rech = (state == _RECHG).nonzero()[0]
-                if rech.size:
-                    self._rech(rech)
-        return [self._metrics(i) for i in range(self.D)]
+                t0 = perf()
+                if counts[_CTRL]:
+                    self._ctrl(state == _CTRL, int(counts[_CTRL]))
+                t1 = perf()
+                if counts[_ADV]:
+                    self._adv(state == _ADV, int(counts[_ADV]))
+                t2 = perf()
+                if counts[_RECHG]:
+                    self._rech(state == _RECHG, int(counts[_RECHG]))
+                t3 = perf()
+                # Span/recharge exits above hand lanes back to CTRL; run
+                # their loop-head step now instead of next iteration.  The
+                # scalar engine has no iteration boundary between a span's
+                # continuation and the next decision, so the per-lane op
+                # sequence is unchanged — this only shortens each lane's
+                # pass chain (and with it the batch's iteration count).
+                post = state == _CTRL
+                pc = int(np.count_nonzero(post))
+                if pc:
+                    self._ctrl(post, pc)
+                t4 = perf()
+                t_ctrl += (t1 - t0) + (t4 - t3)
+                t_adv += t2 - t1
+                t_rech += t3 - t2
+        self._harvest(np.arange(self.state.shape[0]))
+        self.iterations = iters
+        self.ctrl_s = t_ctrl
+        self.adv_s = t_adv
+        self.rech_s = t_rech
+        return self.results
 
-    def _metrics(self, i: int) -> RunMetrics | None:
-        if self.anomaly[i]:
-            return None
+    def _metrics(self, i: int) -> RunMetrics:
         option_use: dict = {}
-        ml_task, ml_hi, ml_lo, radio_task, radio_hi, radio_lo = self.opt_names[i]
+        ml_task, ml_hi, ml_lo, radio_task, radio_hi, radio_lo = self.opt_names[
+            int(self.trow[i])
+        ]
         ml_counts = {}
-        if self.optc[i, 0]:
-            ml_counts[ml_hi] = int(self.optc[i, 0])
-        if self.optc[i, 1]:
-            ml_counts[ml_lo] = int(self.optc[i, 1])
+        if self.optc_ml_hi[i]:
+            ml_counts[ml_hi] = int(self.optc_ml_hi[i])
+        if self.optc_ml_lo[i]:
+            ml_counts[ml_lo] = int(self.optc_ml_lo[i])
         if ml_counts:
             option_use[ml_task] = ml_counts
         radio_counts = {}
-        if self.optc[i, 2]:
-            radio_counts[radio_hi] = int(self.optc[i, 2])
-        if self.optc[i, 3]:
-            radio_counts[radio_lo] = int(self.optc[i, 3])
+        if self.optc_radio_hi[i]:
+            radio_counts[radio_hi] = int(self.optc_radio_hi[i])
+        if self.optc_radio_lo[i]:
+            radio_counts[radio_lo] = int(self.optc_radio_lo[i])
         if radio_counts:
             option_use[radio_task] = radio_counts
         return RunMetrics(
             sim_end_s=float(self.m_sim_end[i]),
-            captures_total=int(self.m_captures_total[i]),
+            captures_total=int(self.cap_idx[i]) - 1,
             captures_active=int(self.m_captures_active[i]),
             captures_interesting=int(self.m_captures_interesting[i]),
             stored=int(self.m_stored[i]),
@@ -1191,3 +1565,125 @@ class _VectorBatch:
             policy_invocations=int(self.m_policy_invocations[i]),
             option_use=option_use,
         )
+
+
+# --------------------------------------------------------------------------
+# Shard orchestration.
+# --------------------------------------------------------------------------
+
+def _build_lanes(spec, chunk, kinds):
+    """Build lanes for a device chunk; returns (vector, scalar) lane lists.
+
+    Lane building allocates large long-lived arrays; cyclic GC passes over
+    them are pure overhead, so collection is paused for the build.  Traces,
+    schedules, and apps are shared across lanes via per-chunk caches.
+    """
+    lanes = []
+    traces: dict = {}
+    schedules: dict = {}
+    apps: dict = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for device in chunk:
+            policy_name, config = spec.device_config(device)
+            lanes.append(_Lane(device, policy_name, config, traces, schedules))
+        vector_lanes = [
+            lane for lane in lanes if _lane_eligible(lane, kinds, apps)
+        ]
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    scalar_lanes = [lane for lane in lanes if lane.kind is None]
+    return vector_lanes, scalar_lanes
+
+
+def _run_lane_groups(vector_lanes, stats: KernelStats | None = None):
+    """Run vector lanes through batches; returns [(lane, metrics-or-None)].
+
+    Lanes are grouped by array geometry (trace samples, buffer width) and
+    capture period, which the batch hoists to scalars.
+    """
+    groups: dict[tuple, list[_Lane]] = {}
+    for lane in vector_lanes:
+        key = (
+            lane.trace._times.shape[0],
+            lane.sim.buffer_capacity,
+            lane.sim.capture_period_s,
+        )
+        groups.setdefault(key, []).append(lane)
+    out = []
+    perf = time.perf_counter
+    for group in groups.values():
+        # The batch kind-sorts its columns internally and returns results
+        # in caller order, so groups go in as-is.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = perf()
+            batch = _VectorBatch(group)
+            t1 = perf()
+            results = batch.run()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if stats is not None:
+            stats.batches += 1
+            stats.batch_init_s += t1 - t0
+            stats.iterations += batch.iterations
+            stats.compactions += batch.compactions
+            stats.ctrl_s += batch.ctrl_s
+            stats.adv_s += batch.adv_s
+            stats.rech_s += batch.rech_s
+        out.extend(zip(group, results))
+    return out
+
+
+def vector_shard_outcomes(
+    spec, device_range, retries: int = 1, factories=None,
+    stats: KernelStats | None = None,
+):
+    """Simulate ``device_range`` of ``spec``; return ``{device: outcome}``.
+
+    Outcomes are :class:`RunMetrics` or :class:`RunFailure`, bit-identical
+    to what the scalar per-device loop produces.  Devices outside the
+    vector envelope (and any lane the kernel flags as anomalous) fall back
+    to the scalar engine via ``_attempt_spec``.  Pass a :class:`KernelStats`
+    to accumulate the per-phase timing breakdown.
+    """
+    if factories is None:
+        from repro.experiments.harness import standard_policies
+
+        factories = standard_policies()
+    kinds = _vector_kernel_policies(factories)
+    outcomes = {}
+    devices = list(device_range)
+    perf = time.perf_counter
+    for start in range(0, len(devices), _MAX_BATCH):
+        chunk = devices[start : start + _MAX_BATCH]
+        t0 = perf()
+        vector_lanes, scalar_lanes = _build_lanes(spec, chunk, kinds)
+        if stats is not None:
+            stats.lane_build_s += perf() - t0
+            stats.lanes += len(vector_lanes)
+            stats.scalar_lanes += len(scalar_lanes)
+        rerun = list(scalar_lanes)
+        for lane, metrics in _run_lane_groups(vector_lanes, stats):
+            if metrics is None:
+                rerun.append(lane)
+                if stats is not None:
+                    stats.fallback_lanes += 1
+            else:
+                outcomes[lane.device] = metrics
+        t2 = perf()
+        for lane in rerun:
+            outcomes[lane.device] = _attempt_spec(
+                RunSpec(policy=lane.policy_name, seed=0, config=lane.config),
+                factories[lane.policy_name],
+                lane.trace,
+                lane.schedule,
+                retries,
+            )
+        if stats is not None:
+            stats.fallback_s += perf() - t2
+    return outcomes

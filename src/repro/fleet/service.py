@@ -26,7 +26,7 @@ from repro.fleet.checkpoint import FleetCheckpoint
 from repro.fleet.rollup import FleetRollup
 from repro.fleet.spec import FleetSpec, shard_ranges
 
-__all__ = ["FleetResult", "run_fleet", "run_shard"]
+__all__ = ["FleetResult", "resolve_kernel", "run_fleet", "run_shard"]
 
 
 @dataclass
@@ -74,7 +74,31 @@ class FleetResult:
         )
 
 
-_KERNELS = ("scalar", "vector")
+_KERNELS = ("scalar", "vector", "auto")
+
+
+def resolve_kernel(spec: FleetSpec, kernel: str, factories=None) -> str:
+    """Collapse ``"auto"`` to a concrete kernel for ``spec``.
+
+    ``auto`` picks the vector kernel when *every* policy in the spec's
+    mix is inside the vector envelope (:func:`VECTOR_KERNEL_POLICIES`),
+    and the scalar engine otherwise — a spec-level decision, so every
+    shard of a fleet resolves identically.  Explicit kernels pass
+    through unchanged (``"vector"`` still falls back per device for
+    anything outside the envelope).
+    """
+    if kernel not in _KERNELS:
+        raise ConfigurationError(
+            f"kernel must be one of {_KERNELS}, got {kernel!r}"
+        )
+    if kernel != "auto":
+        return kernel
+    from repro.fleet.kernel import VECTOR_KERNEL_POLICIES
+
+    if factories is None:
+        factories = standard_policies()
+    covered = VECTOR_KERNEL_POLICIES(factories)
+    return "vector" if set(spec.policies) <= covered else "scalar"
 
 
 def run_shard(
@@ -83,6 +107,7 @@ def run_shard(
     shard: int,
     retries: int = 1,
     kernel: str = "scalar",
+    stats=None,
 ) -> FleetRollup:
     """Simulate one shard's devices, folding outcomes in device order.
 
@@ -94,14 +119,15 @@ def run_shard(
     baseline-policy devices in lockstep on the numpy struct-of-arrays
     kernel (:mod:`repro.fleet.kernel`), which produces bit-identical
     per-device metrics and falls back to the scalar engine for any device
-    outside its envelope (Quetzal policies included).  Either way the
-    rollup fold happens in ascending device order, failures become rollup
-    failure records (never raised), and the result is kernel-independent.
+    outside its envelope (Quetzal policies included); ``"auto"`` resolves
+    per :func:`resolve_kernel`.  Either way the rollup fold happens in
+    ascending device order, failures become rollup failure records (never
+    raised), and the result is kernel-independent.  ``stats`` optionally
+    receives the vector kernel's per-phase timing
+    (:class:`repro.fleet.kernel.KernelStats`) — pure telemetry, never
+    part of the rollup.
     """
-    if kernel not in _KERNELS:
-        raise ConfigurationError(
-            f"kernel must be one of {_KERNELS}, got {kernel!r}"
-        )
+    kernel = resolve_kernel(spec, kernel)
     device_range = shard_ranges(spec.devices, shards)[shard]
     factories = standard_policies()
     rollup = FleetRollup()
@@ -109,7 +135,7 @@ def run_shard(
         from repro.fleet.kernel import vector_shard_outcomes
 
         outcomes = vector_shard_outcomes(
-            spec, device_range, retries=retries, factories=factories
+            spec, device_range, retries=retries, factories=factories, stats=stats
         )
         for device in device_range:
             policy_name = spec.device_config(device)[0]
@@ -172,7 +198,10 @@ def run_fleet(
         ``"scalar"`` (default) runs one reference engine per device;
         ``"vector"`` runs each shard's baseline-policy devices on the
         lockstep numpy kernel (bit-identical rollup; Quetzal and other
-        uncovered devices fall back to the scalar engine automatically).
+        uncovered devices fall back to the scalar engine automatically);
+        ``"auto"`` picks vector when every policy in the spec's mix is
+        inside the vector envelope, scalar otherwise (see
+        :func:`resolve_kernel`), logging the choice via ``progress``.
     recorder:
         Optional :class:`repro.sim.telemetry.FleetRecorder`; receives one
         ``on_shard`` call per shard (in shard order) and ``on_fleet_end``
@@ -185,9 +214,12 @@ def run_fleet(
         Optional ``callable(str)`` for human-readable progress lines.
     """
     shards = min(max(1, shards), spec.devices)
-    if kernel not in _KERNELS:
-        raise ConfigurationError(
-            f"kernel must be one of {_KERNELS}, got {kernel!r}"
+    requested_kernel = kernel
+    kernel = resolve_kernel(spec, kernel)
+    if requested_kernel == "auto" and progress is not None:
+        progress(
+            f"[fleet] kernel auto -> {kernel} "
+            f"(policies: {', '.join(spec.policies)})"
         )
     if stop_after is not None:
         if checkpoint is None:
@@ -211,30 +243,55 @@ def run_fleet(
         pending = pending[:stop_after]
 
     def worker(position: int) -> dict:
-        return run_shard(
-            spec, shards, pending[position], retries, kernel=kernel
-        ).to_dict()
+        # The payload carries the rollup (the result) plus the vector
+        # kernel's per-phase timing (pure telemetry).  Only the rollup
+        # ever reaches the checkpoint journal — resumed shards have no
+        # stats, and the journal format is kernel-invariant.
+        stats = None
+        if kernel == "vector":
+            from repro.fleet.kernel import KernelStats
+
+            stats = KernelStats()
+        rollup = run_shard(
+            spec, shards, pending[position], retries, kernel=kernel, stats=stats
+        )
+        return {
+            "rollup": rollup.to_dict(),
+            "kernel_stats": None if stats is None else stats.as_dict(),
+        }
 
     def journal_result(position: int, payload: dict) -> None:
         shard = pending[position]
         if journal is not None:
-            journal.write_shard(shard, FleetRollup.from_dict(payload))
+            journal.write_shard(shard, FleetRollup.from_dict(payload["rollup"]))
         if progress is not None:
-            progress(f"[fleet] shard {shard} done ({payload['devices']} devices)")
+            progress(
+                f"[fleet] shard {shard} done "
+                f"({payload['rollup']['devices']} devices)"
+            )
 
     payloads = map_indexed(worker, len(pending), jobs, on_result=journal_result)
-    computed = {
-        shard: FleetRollup.from_dict(payload)
-        for shard, payload in zip(pending, payloads)
-    }
+    computed = {}
+    for shard, payload in zip(pending, payloads):
+        stats_dict = payload["kernel_stats"]
+        if stats_dict is not None:
+            from repro.fleet.kernel import KernelStats
+
+            stats_dict = KernelStats.from_dict(stats_dict)
+        computed[shard] = (FleetRollup.from_dict(payload["rollup"]), stats_dict)
 
     total = FleetRollup()
     for shard in range(shards):
-        rollup = done.get(shard, computed.get(shard))
-        if rollup is None:
+        if shard in done:
+            rollup, stats = done[shard], None
+        elif shard in computed:
+            rollup, stats = computed[shard]
+        else:
             continue
         if recorder is not None:
-            recorder.on_shard(shard, rollup, resumed=shard in done)
+            recorder.on_shard(
+                shard, rollup, resumed=shard in done, kernel_stats=stats
+            )
         total.merge(rollup)
 
     result = FleetResult(

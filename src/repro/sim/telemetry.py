@@ -274,12 +274,19 @@ class ShardSample:
     resumed:
         True when the shard was restored from a checkpoint journal rather
         than recomputed.
+    kernel_stats:
+        Per-phase vector-kernel timing for the shard (a
+        :class:`repro.fleet.kernel.KernelStats`), or None when the shard
+        ran on the scalar kernel / was resumed from a journal.  Pure
+        telemetry: it never feeds the rollup, so results stay
+        kernel-invariant.
     """
 
     shard: int
     devices: int
     failures: int
     resumed: bool
+    kernel_stats: object | None = None
 
 
 class FleetRecorder:
@@ -301,7 +308,7 @@ class FleetRecorder:
 
     # -- fleet-service hooks -----------------------------------------------------
 
-    def on_shard(self, shard: int, rollup, resumed: bool) -> None:
+    def on_shard(self, shard: int, rollup, resumed: bool, kernel_stats=None) -> None:
         """Record one completed shard's rollup (not retained, only sampled)."""
         self.shard_samples.append(
             ShardSample(
@@ -309,11 +316,29 @@ class FleetRecorder:
                 devices=rollup.devices,
                 failures=rollup.failure_count,
                 resumed=resumed,
+                kernel_stats=kernel_stats,
             )
         )
 
     def on_fleet_end(self, rollup) -> None:
         self.rollup = rollup
+
+    def kernel_stats_total(self):
+        """Merged per-phase kernel timing across recomputed shards.
+
+        Returns a :class:`repro.fleet.kernel.KernelStats`, or None when no
+        shard reported one (scalar kernel, or everything resumed).
+        """
+        total = None
+        for sample in self.shard_samples:
+            if sample.kernel_stats is None:
+                continue
+            if total is None:
+                from repro.fleet.kernel import KernelStats
+
+                total = KernelStats()
+            total.merge(sample.kernel_stats)
+        return total
 
     # -- analysis helpers ----------------------------------------------------------
 

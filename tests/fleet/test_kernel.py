@@ -132,11 +132,11 @@ class TestOutOfOrderKillResume:
 
         real_run_shard = service.run_shard
 
-        def slow_crash_shard_0(spec, shards, shard, retries=1, kernel="scalar"):
+        def slow_crash_shard_0(spec, shards, shard, retries=1, **kwargs):
             if shard == 0:
                 time.sleep(1.0)  # let shards 1 and 2 finish and journal first
                 raise RuntimeError("simulated kill")
-            return real_run_shard(spec, shards, shard, retries, kernel=kernel)
+            return real_run_shard(spec, shards, shard, retries, **kwargs)
 
         monkeypatch.setattr(service, "run_shard", slow_crash_shard_0)
         with pytest.raises(RuntimeError, match="simulated kill"):
@@ -145,9 +145,9 @@ class TestOutOfOrderKillResume:
 
         computed = []
 
-        def counting_run_shard(spec, shards, shard, retries=1, kernel="scalar"):
+        def counting_run_shard(spec, shards, shard, retries=1, **kwargs):
             computed.append(shard)
-            return real_run_shard(spec, shards, shard, retries, kernel=kernel)
+            return real_run_shard(spec, shards, shard, retries, **kwargs)
 
         monkeypatch.setattr(service, "run_shard", counting_run_shard)
         resumed = run_fleet(

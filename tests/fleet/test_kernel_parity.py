@@ -1,0 +1,185 @@
+"""Randomized vector-vs-scalar parity sweep plus kernel selection/telemetry.
+
+The fixed fixtures in ``test_kernel.py`` pin bit-exactness on one
+heterogeneous spec; layout refactors (packed hot-state matrices, masked
+full-width ops) can slip through a fixed fixture while breaking some
+other policy/trace/MCU mix.  The sweep here draws small random
+:class:`FleetSpec`s from the whole configuration space (seeded, so
+failures replay) and asserts per-device ``RunMetrics`` equality against
+the scalar oracle for every one.
+
+Also covered: ``kernel="auto"`` resolution, and the per-phase
+:class:`KernelStats` telemetry (recorder exposure, rollup invariance).
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.harness import standard_policies
+from repro.fleet import FleetSpec, run_fleet
+from repro.fleet.kernel import (
+    VECTOR_KERNEL_POLICIES,
+    KernelStats,
+    vector_shard_outcomes,
+)
+from repro.fleet.service import resolve_kernel, run_shard
+
+from tests.fleet.test_kernel import scalar_outcome
+
+#: Draw pools for the randomized sweep.  Policies deliberately include
+#: Quetzal (scalar fallback) alongside every vector-covered family.
+POLICY_POOL = ("NA", "AD", "CN", "PZO", "PZI", "TH25", "TH50", "TH75", "QZ")
+ENVIRONMENT_POOL = ("more crowded", "crowded", "less crowded")
+MCU_POOL = ("apollo4", "msp430")
+CELL_POOL = (2, 4, 6, 8)
+BUFFER_POOL = (None, 4, 10)
+
+
+def draw_spec(rng: random.Random, index: int) -> FleetSpec:
+    """One small random fleet covering policy/trace/MCU/buffer mixes."""
+
+    def subset(pool, at_least=1):
+        k = rng.randint(at_least, len(pool))
+        return tuple(rng.sample(pool, k))
+
+    return FleetSpec(
+        name=f"parity-sweep-{index}",
+        devices=rng.randint(4, 9),
+        seed=rng.randint(0, 10_000),
+        n_events=rng.randint(5, 14),
+        policies=subset(POLICY_POOL, at_least=2),
+        environments=subset(ENVIRONMENT_POOL),
+        mcus=subset(MCU_POOL),
+        cells=subset(CELL_POOL),
+        buffer_capacity=rng.choice(BUFFER_POOL),
+    )
+
+
+class TestRandomizedParity:
+    @pytest.mark.parametrize("index", range(8))
+    def test_random_spec_matches_scalar_oracle(self, index):
+        rng = random.Random(0xC0FFEE + index)
+        spec = draw_spec(rng, index)
+        outcomes = vector_shard_outcomes(spec, range(spec.devices), retries=0)
+        for device in range(spec.devices):
+            policy_name, _ = spec.device_config(device)
+            expected = scalar_outcome(spec, device)
+            got = outcomes[device]
+            assert dataclasses.asdict(got) == dataclasses.asdict(expected), (
+                f"spec {spec.name} (seed {spec.seed}) device {device} "
+                f"({policy_name}) diverged from the scalar engine"
+            )
+
+    def test_sweep_exercises_vector_and_fallback_devices(self):
+        # The sweep is only meaningful if its draws actually hit both
+        # sides of the envelope; guard against pool edits silencing it.
+        covered = VECTOR_KERNEL_POLICIES(standard_policies())
+        seen = set()
+        for index in range(8):
+            rng = random.Random(0xC0FFEE + index)
+            spec = draw_spec(rng, index)
+            for device in range(spec.devices):
+                seen.add(spec.device_config(device)[0])
+        assert seen & covered
+        assert seen - covered
+
+
+class TestAutoKernel:
+    def test_auto_resolves_vector_for_covered_mix(self):
+        spec = FleetSpec(devices=4, policies=("NA", "AD", "TH50"))
+        assert resolve_kernel(spec, "auto") == "vector"
+
+    def test_auto_resolves_scalar_when_any_policy_uncovered(self):
+        spec = FleetSpec(devices=4, policies=("NA", "QZ"))
+        assert resolve_kernel(spec, "auto") == "scalar"
+
+    def test_explicit_kernels_pass_through(self):
+        spec = FleetSpec(devices=4, policies=("NA", "QZ"))
+        assert resolve_kernel(spec, "scalar") == "scalar"
+        assert resolve_kernel(spec, "vector") == "vector"
+
+    def test_unknown_kernel_rejected(self):
+        spec = FleetSpec(devices=4)
+        with pytest.raises(ConfigurationError):
+            resolve_kernel(spec, "warp")
+
+    def test_run_fleet_auto_matches_explicit_and_logs_choice(self):
+        spec = FleetSpec(devices=6, n_events=8, policies=("NA", "TH50"))
+        lines = []
+        auto = run_fleet(spec, shards=2, jobs=1, kernel="auto",
+                         progress=lines.append)
+        explicit = run_fleet(spec, shards=2, jobs=1, kernel="vector")
+        assert auto.rollup.to_dict() == explicit.rollup.to_dict()
+        assert any("kernel auto -> vector" in line for line in lines)
+
+    def test_run_shard_accepts_auto(self):
+        spec = FleetSpec(devices=4, n_events=8, policies=("NA", "QZ"))
+        auto = run_shard(spec, 1, 0, retries=0, kernel="auto")
+        scalar = run_shard(spec, 1, 0, retries=0, kernel="scalar")
+        assert auto.to_dict() == scalar.to_dict()
+
+
+class TestKernelStatsTelemetry:
+    def test_vector_run_reports_phase_timings(self):
+        from repro.sim.telemetry import FleetRecorder
+
+        spec = FleetSpec(devices=6, n_events=8,
+                         policies=("NA", "AD", "TH50", "QZ"))
+        recorder = FleetRecorder()
+        run_fleet(spec, shards=2, jobs=1, kernel="vector", recorder=recorder)
+        total = recorder.kernel_stats_total()
+        assert total is not None
+        assert total.lanes + total.scalar_lanes == spec.devices
+        assert total.scalar_lanes > 0  # QZ devices fell back
+        assert total.batches >= 1
+        assert total.iterations > 0
+        assert total.kernel_s > 0
+        assert total.setup_s > 0
+        # Per-shard samples carry their own stats objects.
+        per_shard = [s.kernel_stats for s in recorder.shard_samples]
+        assert all(isinstance(s, KernelStats) for s in per_shard)
+
+    def test_scalar_run_reports_no_stats(self):
+        from repro.sim.telemetry import FleetRecorder
+
+        spec = FleetSpec(devices=4, n_events=8, policies=("NA",))
+        recorder = FleetRecorder()
+        run_fleet(spec, shards=1, jobs=1, kernel="scalar", recorder=recorder)
+        assert recorder.kernel_stats_total() is None
+        assert all(s.kernel_stats is None for s in recorder.shard_samples)
+
+    def test_stats_never_enter_rollup_or_journal(self, tmp_path):
+        spec = FleetSpec(devices=6, n_events=8, policies=("NA", "TH50"))
+        ckpt = str(tmp_path / "journal")
+        vector = run_fleet(spec, shards=2, jobs=1, kernel="vector",
+                           checkpoint=ckpt)
+        scalar = run_fleet(spec, shards=2, jobs=1, kernel="scalar")
+        # Rollup (and therefore the journal payload) is kernel-invariant:
+        # stats are recorder-only telemetry.
+        assert vector.rollup.to_dict() == scalar.rollup.to_dict()
+        from repro.sim.telemetry import FleetRecorder
+
+        recorder = FleetRecorder()
+        resumed = run_fleet(spec, shards=2, jobs=1, kernel="vector",
+                            checkpoint=ckpt, resume=True, recorder=recorder)
+        assert resumed.resumed_shards == 2
+        # Resumed shards were not recomputed, so they carry no stats.
+        assert recorder.kernel_stats_total() is None
+
+    def test_stats_roundtrip_and_render(self):
+        stats = KernelStats(lanes=10, scalar_lanes=2, batches=1,
+                            iterations=123, ctrl_s=0.5, adv_s=1.0,
+                            rech_s=0.25, lane_build_s=0.1, batch_init_s=0.05)
+        clone = KernelStats.from_dict(stats.as_dict())
+        assert clone.as_dict() == stats.as_dict()
+        merged = KernelStats()
+        merged.merge(stats)
+        merged.merge(clone)
+        assert merged.iterations == 246
+        assert merged.kernel_s == pytest.approx(3.5)
+        text = stats.render()
+        for token in ("CTRL", "ADV", "RECHG", "fallback", "setup"):
+            assert token in text
