@@ -1,6 +1,6 @@
 # Convenience targets for the Quetzal reproduction.
 
-.PHONY: install test lint bench bench-record bench-figures fleet-smoke figures figures-paper-scale examples clean
+.PHONY: install test lint bench bench-record bench-figures fleet-smoke obs-smoke figures figures-paper-scale examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -39,6 +39,15 @@ bench-figures:
 # uninterrupted run.  Scale with FLEET_SMOKE_DEVICES / FLEET_SMOKE_SHARDS.
 fleet-smoke:
 	PYTHONPATH=src python benchmarks/fleet_smoke.py
+
+# Observability gate: runs a small fleet through the CLI with tracing,
+# metrics, and streaming telemetry all on, schema-validates the emitted
+# Chrome-trace / JSONL / Prometheus artifacts, and fails unless the
+# rollup and metrics outputs are byte-identical across shards/jobs/kernel
+# choices and unchanged by observation.  Set OBS_SMOKE_DIR to keep the
+# artifacts (CI uploads them); scale with OBS_SMOKE_DEVICES/_SHARDS.
+obs-smoke:
+	PYTHONPATH=src python benchmarks/obs_smoke.py
 
 # Regenerate every table and figure at the default (fast) scale.
 figures:

@@ -236,10 +236,70 @@ def run_fleet_scale_case(
     }
 
 
+#: ``--check`` gate for the observability case: simulating with tracing
+#: *disabled* may cost at most this much over the plain engine (percent).
+#: Both sides are timed in the same harness run on the same machine, so
+#: the gate is meaningful at small thresholds; tracing *enabled* overhead
+#: is recorded but informational.
+OBS_OVERHEAD_PCT = float(os.environ.get("BENCH_OBS_OVERHEAD_PCT", "2.0"))
+
+
+def run_obs_overhead_case(repeats: int = 3) -> dict:
+    """Tracing overhead on the paper-scale NoAdapt workload.
+
+    Three interleaved measurements of the same run (best-of-``repeats``
+    each, so both sides of every ratio see the same machine noise):
+
+    * ``baseline``: plain ``simulate()`` — no observability kwargs;
+    * ``disabled``: ``simulate(tracer=None)`` — the default path every
+      non-observing caller takes, which must stay free;
+    * ``enabled``: ``simulate(tracer=RingBufferTracer())`` — the full
+      per-event recording cost, reported for the docs/FAQ.
+    """
+    from repro.obs import RingBufferTracer
+
+    trace, schedule, policy_factory = build_case("paper_scale_noadapt")
+    config = SimulationConfig(seed=3)
+
+    def timed(tracer=None):
+        policy = policy_factory()
+        start = time.perf_counter()
+        simulate(
+            build_apollo_app(), policy, trace, schedule, config=config,
+            tracer=tracer,
+        )
+        return time.perf_counter() - start
+
+    best = {"baseline": None, "disabled": None, "enabled": None}
+    for _ in range(repeats):
+        for name, tracer in (
+            ("baseline", None),
+            ("disabled", None),
+            ("enabled", RingBufferTracer()),
+        ):
+            elapsed = timed(tracer)
+            if best[name] is None or elapsed < best[name]:
+                best[name] = elapsed
+
+    def overhead_pct(variant):
+        return round(100.0 * (best[variant] / best["baseline"] - 1.0), 2)
+
+    return {
+        "events": len(schedule.events),
+        "wall_s": round(best["disabled"], 4),
+        "wall_s_baseline": round(best["baseline"], 4),
+        "wall_s_enabled": round(best["enabled"], 4),
+        "disabled_overhead_pct": overhead_pct("disabled"),
+        "enabled_overhead_pct": overhead_pct("enabled"),
+        "gate_pct": OBS_OVERHEAD_PCT,
+    }
+
+
 #: Extra harness-only cases (not in the pytest-benchmark parametrization:
 #: they time cross-engine comparisons, not a single simulate() call).
 EXTRA_CASES = {
     "fleet_scale": run_fleet_scale_case,
+    "obs_overhead": run_obs_overhead_case,
 }
 
 
@@ -356,6 +416,13 @@ def cmd_record(args) -> int:
                 f"{res['speedup_vs_reference']:.2f}x vs reference"
             )
             continue
+        if "disabled_overhead_pct" in res:
+            print(
+                f"  {name:24s} {res['wall_s']:8.4f}s  disabled "
+                f"{res['disabled_overhead_pct']:+.2f}%, enabled "
+                f"{res['enabled_overhead_pct']:+.2f}%"
+            )
+            continue
         line = (
             f"  {name:24s} {res['wall_s']:8.4f}s  "
             f"{res['sim_seconds_per_wall_second']:>9.1f} sim-s/s  "
@@ -385,6 +452,21 @@ def cmd_check(args) -> int:
         else:
             res = run_case(name, repeats=args.repeats)
         results[name] = res
+        if "disabled_overhead_pct" in res:
+            # Self-contained gate: both sides were timed in this run, so
+            # no committed baseline is needed (and none could be
+            # machine-comparable at a 2% threshold anyway).
+            overhead = res["disabled_overhead_pct"]
+            ok = overhead <= OBS_OVERHEAD_PCT
+            status = "ok" if ok else "REGRESSION"
+            print(
+                f"  {name:24s} disabled {overhead:+.2f}% vs plain engine "
+                f"(gate {OBS_OVERHEAD_PCT:.1f}%), enabled "
+                f"{res['enabled_overhead_pct']:+.2f}% (informational)  {status}"
+            )
+            if not ok:
+                failed.append(name)
+            continue
         base = baseline["results"].get(name)
         if base is None:
             print(f"  {name:24s} {res['wall_s']:8.4f}s  (no baseline; informational)")

@@ -1,0 +1,163 @@
+"""Observability smoke test (the `make obs-smoke` / CI gate).
+
+Drives the real CLI end to end on a small fleet with every observability
+surface switched on, then validates the emitted artifacts against their
+schemas:
+
+1. run a fleet with ``--trace-out`` / ``--metrics-out`` /
+   ``--telemetry-out`` / ``--kernel-stats`` all enabled — plus a plain
+   ``--json`` rollup;
+2. schema-validate the Chrome trace (``validate_chrome_trace``), the
+   JSONL event stream (``validate_jsonl_events``), and the heartbeat
+   stream (``validate_heartbeat_records``); require the Prometheus text
+   to parse as HELP/TYPE/sample lines;
+3. rerun with different ``--shards``/``--jobs`` and a different
+   ``--kernel`` and require the rollup JSON, the ``.prom`` text, and the
+   metrics ``.json`` to be byte-identical (wall-clock kernel timing is
+   excluded from ``--metrics-out`` unless ``--kernel-stats`` is given,
+   precisely so this holds);
+4. require the observed run's rollup to be byte-identical to a run with
+   observability off — tracing must never change results.
+
+Exits non-zero (with a diagnostic) on any deviation.  Scale via
+``OBS_SMOKE_DEVICES`` / ``OBS_SMOKE_SHARDS`` (defaults: 8 devices,
+2 shards — a few seconds).  Artifacts are written under
+``OBS_SMOKE_DIR`` (default: a temp dir) so CI can upload them.
+"""
+
+import json
+import os
+import sys
+import tempfile
+
+from repro.fleet.__main__ import main
+from repro.obs import validate_chrome_trace, validate_jsonl_events
+from repro.obs.heartbeat import validate_heartbeat_records
+
+
+def run(args: list[str], expect: int = 0) -> None:
+    print(f"$ python -m repro.fleet {' '.join(args)}")
+    code = main(args)
+    if code != expect:
+        print(f"FAIL: exit code {code}, expected {expect}", file=sys.stderr)
+        sys.exit(1)
+
+
+def read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_prometheus(text: str) -> str | None:
+    """A light parse of the text exposition format; None when it holds."""
+    families = set()
+    for i, line in enumerate(text.splitlines()):
+        where = f".prom line {i + 1}"
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            families.add(line.split()[2])
+            continue
+        if not line:
+            return f"{where}: empty line"
+        name, _, value = line.rpartition(" ")
+        name = name.split("{")[0]
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+        if base not in families and name not in families:
+            return f"{where}: sample {name!r} has no HELP/TYPE header"
+        try:
+            float(value)
+        except ValueError:
+            return f"{where}: unparsable value {value!r}"
+    if "repro_captures_total" not in families:
+        return "repro_captures_total family missing"
+    return None
+
+
+def smoke(tmp: str) -> int:
+    devices = os.environ.get("OBS_SMOKE_DEVICES", "8")
+    shards = os.environ.get("OBS_SMOKE_SHARDS", "2")
+    # QZ rides along deliberately: Quetzal exercises the scalar-fallback
+    # lanes under --kernel vector, pid_update trace events, and the
+    # signed prediction_error_s sum (a gauge, not a counter).
+    base = ["--devices", devices, "--seed", "3", "--events", "5",
+            "--policies", "NA,AD,QZ,TH50", "--quiet"]
+
+    def path(name: str) -> str:
+        return os.path.join(tmp, name)
+
+    # 1. The fully-observed run.
+    run(base + [
+        "--shards", shards, "--kernel", "vector", "--kernel-stats",
+        "--json", path("observed.json"),
+        "--trace-out", path("trace"),
+        "--metrics-out", path("metrics"),
+        "--telemetry-out", path("telemetry.jsonl"),
+    ])
+
+    # 2. Schema validation of every artifact.
+    problems = validate_chrome_trace(json.loads(read(path("trace.chrome.json"))))
+    if problems:
+        return fail(f"chrome trace invalid: {problems[:3]}")
+    rows = [json.loads(line) for line in read(path("trace.jsonl")).splitlines()]
+    if not rows:
+        return fail("trace.jsonl is empty")
+    problems = validate_jsonl_events(rows)
+    if problems:
+        return fail(f"trace.jsonl invalid: {problems[:3]}")
+    beats = [
+        json.loads(line) for line in read(path("telemetry.jsonl")).splitlines()
+    ]
+    problems = validate_heartbeat_records(beats)
+    if problems:
+        return fail(f"telemetry.jsonl invalid: {problems[:3]}")
+    if beats[0]["type"] != "start" or beats[-1]["type"] != "end":
+        return fail("telemetry stream missing start/end records")
+    problem = check_prometheus(read(path("metrics.prom")))
+    if problem:
+        return fail(f"metrics.prom invalid: {problem}")
+    json.loads(read(path("metrics.json")))
+
+    # 3. Metrics artifacts are identical across shards/jobs/kernels
+    #    (without --kernel-stats, which adds wall-clock series).
+    run(base + ["--shards", "1", "--kernel", "scalar",
+                "--json", path("rollup_a.json"), "--metrics-out", path("a")])
+    run(base + ["--shards", shards, "--jobs", "2", "--kernel", "vector",
+                "--json", path("rollup_b.json"), "--metrics-out", path("b")])
+    for left, right in (
+        ("rollup_a.json", "rollup_b.json"),
+        ("a.prom", "b.prom"),
+        ("a.json", "b.json"),
+    ):
+        if read(path(left)) != read(path(right)):
+            return fail(f"{left} and {right} differ across run configurations")
+
+    # 4. Observability never changes the result.
+    observed = json.loads(read(path("observed.json")))
+    observed.pop("kernel_stats", None)  # wall clock, opt-in, not a result
+    if observed != json.loads(read(path("rollup_a.json"))):
+        return fail("observed run's rollup differs from unobserved run")
+
+    print("obs-smoke OK: trace/metrics/telemetry artifacts validate, "
+          "metrics are run-configuration-invariant, and rollups are "
+          "unchanged by observation")
+    return 0
+
+
+def main_smoke() -> int:
+    keep = os.environ.get("OBS_SMOKE_DIR")
+    if keep:
+        os.makedirs(keep, exist_ok=True)
+        return smoke(keep)
+    with tempfile.TemporaryDirectory(prefix="obs-smoke-") as tmp:
+        return smoke(tmp)
+
+
+if __name__ == "__main__":
+    sys.exit(main_smoke())

@@ -21,7 +21,12 @@ Everything exported here — and exactly this list, pinned by
 * **fleets** — ``run_fleet`` over a ``FleetSpec`` for batch populations
   of devices, with ``FleetRecorder`` shard telemetry and an opt-in
   ``kernel="vector"`` lockstep numpy kernel (bit-identical rollups,
-  scalar fallback for uncovered devices).
+  scalar fallback for uncovered devices);
+* **observability** — ``RingBufferTracer`` / ``TraceEvent`` device
+  timelines (``simulate(tracer=...)``, ``run_fleet(trace=...)``),
+  the ``MetricsRegistry`` with ``fleet_registry`` Prometheus/JSON
+  projection, and ``HeartbeatPublisher`` streaming run telemetry —
+  all strictly opt-in, with results bit-identical when off.
 
 Anything importable from deeper modules but absent here (engine
 internals, hardware circuit models, estimator classes, cursors, ...) is
@@ -44,6 +49,13 @@ from repro.experiments.configs import (
 from repro.experiments.harness import run_grid, standard_policies
 from repro.experiments.runner import ExperimentRunner, GridResults, RunFailure
 from repro.fleet import FleetResult, FleetRollup, FleetSpec, run_fleet
+from repro.obs import (
+    HeartbeatPublisher,
+    MetricsRegistry,
+    RingBufferTracer,
+    TraceEvent,
+    fleet_registry,
+)
 from repro.policies.always_degrade import AlwaysDegradePolicy
 from repro.policies.base import Policy
 from repro.policies.buffer_threshold import BufferThresholdPolicy, catnap_policy
@@ -95,6 +107,12 @@ __all__ = [
     "FleetRollup",
     "MetricsRollup",
     "FleetRecorder",
+    # observability
+    "TraceEvent",
+    "RingBufferTracer",
+    "MetricsRegistry",
+    "fleet_registry",
+    "HeartbeatPublisher",
     # meta
     "__version__",
 ]

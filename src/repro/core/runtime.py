@@ -212,6 +212,9 @@ class QuetzalRuntime(Policy):
         #: RunMetrics and telemetry at the end of a run); all-zero whenever
         #: the cached path is disabled.
         self.decision_stats = DecisionPathStats()
+        #: Trace sink handed over by the engine (SimulationEngine(tracer=...))
+        #: so PID corrections land in the same event stream.
+        self._tracer = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -265,6 +268,15 @@ class QuetzalRuntime(Policy):
     def configure_decision_path(self, enabled: bool) -> None:
         super().configure_decision_path(enabled)
         self._refresh_select_binding()
+
+    def attach_tracer(self, tracer) -> None:
+        """Receive the engine's :class:`repro.obs.TraceSink` for the run.
+
+        The runtime emits one ``pid_update`` event per absorbed service-time
+        error sample; everything else about the decision path is already
+        visible through the engine's own events.
+        """
+        self._tracer = tracer
 
     def reset(self) -> None:
         if self._arrivals is not None:
@@ -413,6 +425,15 @@ class QuetzalRuntime(Policy):
                 if output != pid._output:
                     pid._epoch += 1
                 pid._output = output
+            if self._tracer is not None:
+                from repro.obs.events import TraceEvent
+
+                self._tracer.emit(TraceEvent(record.finished_s, "pid_update", data={
+                    "job": record.decision.job_name,
+                    "error_s": error,
+                    "dt_s": dt,
+                    "output": pid._output,
+                }))
         self._last_completion_s = record.finished_s
 
     # -- the decision procedure -------------------------------------------------------

@@ -231,6 +231,7 @@ def _execute_spec(
     factory: PolicyFactory,
     trace: PowerTrace,
     schedule: EventSchedule,
+    tracer=None,
 ) -> RunMetrics:
     """Run one spec once with prebuilt inputs (fresh engine and policy)."""
     cfg = spec.seeded_config()
@@ -242,6 +243,7 @@ def _execute_spec(
         mcu=cfg.mcu,
         storage=cfg.build_storage(),
         config=cfg.build_sim_config(),
+        tracer=tracer,
     )
     return engine.run()
 
@@ -252,11 +254,12 @@ def _attempt_spec(
     trace: PowerTrace,
     schedule: EventSchedule,
     retries: int,
+    tracer=None,
 ) -> RunMetrics | RunFailure:
     """Run one spec, retrying ``retries`` times before recording failure."""
     for attempt in range(retries + 1):
         try:
-            return _execute_spec(spec, factory, trace, schedule)
+            return _execute_spec(spec, factory, trace, schedule, tracer=tracer)
         except Exception as exc:  # noqa: BLE001 - failures become data
             if attempt >= retries:
                 return RunFailure(

@@ -82,7 +82,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stop-after", type=int, default=None, metavar="K",
                         help="simulate a kill: run only K more shards, then exit 3")
     parser.add_argument("--json", type=str, default=None, metavar="PATH",
-                        help="dump the exact fleet rollup as JSON")
+                        help="dump the exact fleet rollup as JSON (add "
+                        "--kernel-stats to append a kernel_stats key)")
+    parser.add_argument("--trace-out", type=str, default=None, metavar="PREFIX",
+                        help="record the device timeline and write "
+                        "PREFIX.chrome.json (Perfetto-loadable) plus "
+                        "PREFIX.jsonl")
+    parser.add_argument("--trace-capacity", type=int, default=None, metavar="N",
+                        help="per-shard trace ring capacity in events "
+                        "(default 65536; oldest events drop first)")
+    parser.add_argument("--metrics-out", type=str, default=None, metavar="PREFIX",
+                        help="write the fleet metrics registry as PREFIX.prom "
+                        "(Prometheus text) plus PREFIX.json; add "
+                        "--kernel-stats to include kernel timing series")
+    parser.add_argument("--telemetry-out", type=str, default=None, metavar="PATH",
+                        help="append streaming JSONL progress records to PATH "
+                        "('-' = stdout)")
+    parser.add_argument("--telemetry-every", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="throttle heartbeats to one per SECONDS "
+                        "(default 0 = every shard)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-shard progress lines")
     add_execution_flags(parser)
@@ -114,36 +133,91 @@ def main(argv: list[str] | None = None) -> int:
             from repro.sim.telemetry import FleetRecorder
 
             recorder = FleetRecorder()
-        start = time.time()
-        with profiled(args.profile, "fleet", args.profile_dir):
-            result = run_fleet(
-                spec,
-                shards=args.shards,
-                jobs=jobs,
-                checkpoint=args.checkpoint,
-                resume=args.resume,
-                kernel=args.kernel,
-                stop_after=args.stop_after,
-                recorder=recorder,
-                progress=progress,
+        tracer = None
+        if args.trace_out is not None:
+            from repro.obs import RingBufferTracer
+
+            tracer = (
+                RingBufferTracer() if args.trace_capacity is None
+                else RingBufferTracer(args.trace_capacity)
             )
+        heartbeat = None
+        telemetry_handle = None
+        if args.telemetry_out is not None:
+            from repro.obs import HeartbeatPublisher
+
+            if args.telemetry_out == "-":
+                stream = sys.stdout
+            else:
+                stream = telemetry_handle = open(args.telemetry_out, "a")
+            heartbeat = HeartbeatPublisher(stream, every_s=args.telemetry_every)
+        start = time.time()
+        try:
+            with profiled(args.profile, "fleet", args.profile_dir):
+                result = run_fleet(
+                    spec,
+                    shards=args.shards,
+                    jobs=jobs,
+                    checkpoint=args.checkpoint,
+                    resume=args.resume,
+                    kernel=args.kernel,
+                    stop_after=args.stop_after,
+                    recorder=recorder,
+                    progress=progress,
+                    trace=tracer,
+                    heartbeat=heartbeat,
+                )
+        finally:
+            if telemetry_handle is not None:
+                telemetry_handle.close()
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     print(result.render())
+    kernel_stats = None if recorder is None else recorder.kernel_stats_total()
     if recorder is not None:
-        stats = recorder.kernel_stats_total()
-        if stats is None:
+        if kernel_stats is None:
             print("[kernel-stats: no vector-kernel shards ran "
                   "(scalar kernel, or all shards resumed)]")
         else:
-            print(stats.render())
+            print(kernel_stats.render())
     print(f"[fleet finished in {time.time() - start:.1f} s]")
     if args.json is not None:
+        payload = result.rollup.to_dict()
+        if args.kernel_stats:
+            # Opt-in: the key appears only under --kernel-stats, so plain
+            # --json files stay byte-identical across kernel choices.
+            payload["kernel_stats"] = (
+                None if kernel_stats is None else kernel_stats.as_dict()
+            )
         with open(args.json, "w") as handle:
-            json.dump(result.rollup.to_dict(), handle, sort_keys=True)
+            json.dump(payload, handle, sort_keys=True)
         print(f"[wrote {args.json}]")
+    if tracer is not None:
+        from repro.obs import write_chrome_trace, write_jsonl
+
+        events = tracer.events()
+        write_chrome_trace(events, f"{args.trace_out}.chrome.json")
+        write_jsonl(events, f"{args.trace_out}.jsonl")
+        print(f"[wrote {args.trace_out}.chrome.json and {args.trace_out}.jsonl:"
+              f" {len(events)} events retained, {tracer.dropped} dropped]")
+    if args.metrics_out is not None:
+        from repro.obs import fleet_registry
+
+        # Kernel timing series are wall-clock (never reproducible), so
+        # they ride along only when explicitly asked for via
+        # --kernel-stats; the default registry output is bit-identical
+        # across shards/jobs/kernel choices.
+        registry = fleet_registry(
+            result.rollup,
+            kernel_stats=kernel_stats if args.kernel_stats else None,
+        )
+        with open(f"{args.metrics_out}.prom", "w") as handle:
+            handle.write(registry.to_prometheus())
+        with open(f"{args.metrics_out}.json", "w") as handle:
+            json.dump(registry.to_dict(), handle, sort_keys=True)
+        print(f"[wrote {args.metrics_out}.prom and {args.metrics_out}.json]")
     return 0 if result.complete else 3
 
 

@@ -59,6 +59,8 @@ from repro.device.checkpoint import CheckpointModel
 from repro.device.storage import Supercapacitor
 from repro.env.events import EventSchedule
 from repro.experiments.runner import RunFailure, RunSpec, _attempt_spec
+from repro.obs.events import TraceEvent
+from repro.obs.tracer import stamping_sink
 from repro.policies.always_degrade import AlwaysDegradePolicy
 from repro.policies.base import Policy
 from repro.policies.buffer_threshold import BufferThresholdPolicy
@@ -500,7 +502,7 @@ class _VectorBatch:
     the scalar engine.
     """
 
-    def __init__(self, lanes: list[_Lane]) -> None:
+    def __init__(self, lanes: list[_Lane], tracer=None) -> None:
         # Columns are ordered by policy kind so ``_decide`` can address
         # each family as a contiguous slice of its sorted lane indices
         # (compaction preserves column order, so the invariant holds for
@@ -642,6 +644,21 @@ class _VectorBatch:
         self.ctrl_s = 0.0
         self.adv_s = 0.0
         self.rech_s = 0.0
+
+        # -- opt-in tracing: handlers buffer (t, kind, device, dur, data)
+        # rows; ``run()`` flushes them to the sink once per phase.  The
+        # kernel emits the state-changing timeline (active captures, IBO
+        # drops, decisions, degradations, power failures, checkpoint/
+        # restore/recharge spans); quiescent capture ticks are elided —
+        # their count is recoverable from RunMetrics.captures_total.
+        self._trace = tracer
+        if tracer is not None:
+            # Device ids in packed-row order, indexed through ``trow`` so
+            # the mapping survives compaction.
+            self._trace_dev = np.array(
+                [lane.device for lane in lanes], dtype=np.int64
+            )
+            self._trace_rows: list = []
 
     # --------------------------------------------------------------- layout --
 
@@ -848,6 +865,23 @@ class _VectorBatch:
                 a_t = t[act]
                 self.m_captures_active[a_lanes] += 1
                 full = self.occ[a_lanes] >= self.C
+                if self._trace is not None:
+                    rows = self._trace_rows
+                    dev = self._trace_dev[self.trow[a_lanes]]
+                    occ = self.occ[a_lanes]
+                    en = self.energy[a_lanes]
+                    for j in range(act.size):
+                        rows.append((
+                            float(a_t[j]), "capture", int(dev[j]), 0.0,
+                            {"active": True, "interesting": bool(a_int[j]),
+                             "occupancy": int(occ[j]),
+                             "energy_j": float(en[j])},
+                        ))
+                        if full[j]:
+                            rows.append((
+                                float(a_t[j]), "ibo", int(dev[j]), 0.0,
+                                {"interesting": bool(a_int[j])},
+                            ))
                 fl = full.nonzero()[0]
                 if fl.size:
                     f_lanes = a_lanes[fl]
@@ -941,6 +975,29 @@ class _VectorBatch:
         self.exec_job[lanes] = job
         self.exec_deg[lanes] = degrade
         self.exec_int[lanes] = interesting
+        if self._trace is not None:
+            rows = self._trace_rows
+            trow = self.trow[lanes]
+            dev = self._trace_dev[trow]
+            now = self.now[lanes]
+            for j in range(lanes.shape[0]):
+                names = self.opt_names[int(trow[j])]
+                if job[j]:
+                    jname = TRANSMIT_JOB
+                    opt = names[5] if degrade[j] else names[4]
+                else:
+                    jname = DETECT_JOB
+                    opt = names[2] if degrade[j] else names[1]
+                rows.append((
+                    float(now[j]), "decision", int(dev[j]), 0.0,
+                    {"job": jname, "option": opt,
+                     "degraded": bool(degrade[j])},
+                ))
+                if degrade[j]:
+                    rows.append((
+                        float(now[j]), "degradation", int(dev[j]), 0.0,
+                        {"job": jname, "option": opt},
+                    ))
         det = (job == 0).nonzero()[0]
         if det.size:
             d_lanes = lanes[det]
@@ -1197,6 +1254,15 @@ class _VectorBatch:
                 if fail.size:
                     # _power_failure: count it, then pay the save cost.
                     self.m_power_failures[fail] += 1
+                    if self._trace is not None:
+                        rows = self._trace_rows
+                        dev = self._trace_dev[self.trow[fail]]
+                        now = self.now[fail]
+                        for j in range(fail.size):
+                            rows.append((
+                                float(now[j]), "power_fail",
+                                int(dev[j]), 0.0, {},
+                            ))
                     self.adv_target[fail] = self.now[fail] + self.SAVE_T
                     self.adv_draw[fail] = self.SAVE_P
                     self.adv_has_stop[fail] = False
@@ -1209,11 +1275,31 @@ class _VectorBatch:
                 self._block_top(task)
         if cnt[_C_SAVE]:
             save = lanes[cont == _C_SAVE]
+            if self._trace is not None:
+                # The save span just completed: now is its end.
+                rows = self._trace_rows
+                dev = self._trace_dev[self.trow[save]]
+                now = self.now[save]
+                for j in range(save.size):
+                    rows.append((
+                        float(now[j]) - self.SAVE_T, "checkpoint",
+                        int(dev[j]), self.SAVE_T, {},
+                    ))
             self.rech_cont[save] = _R_FAILURE
             self.rech_start[save] = self.now[save]
             self.state[save] = _RECHG
         if cnt[_C_RESTORE]:
-            self._block_top(lanes[cont == _C_RESTORE])
+            rest = lanes[cont == _C_RESTORE]
+            if self._trace is not None:
+                rows = self._trace_rows
+                dev = self._trace_dev[self.trow[rest]]
+                now = self.now[rest]
+                for j in range(rest.size):
+                    rows.append((
+                        float(now[j]) - self.REST_T, "restore",
+                        int(dev[j]), self.REST_T, {},
+                    ))
+            self._block_top(rest)
         if cnt[_C_IDLE]:
             idle = lanes[cont == _C_IDLE]
             if depleted:
@@ -1319,6 +1405,17 @@ class _VectorBatch:
 
     def _rech_exit(self, lanes) -> None:
         self.m_recharge_time[lanes] += self.now[lanes] - self.rech_start[lanes]
+        if self._trace is not None:
+            rows = self._trace_rows
+            dev = self._trace_dev[self.trow[lanes]]
+            start = self.rech_start[lanes]
+            dur = self.now[lanes] - start
+            for j in range(lanes.shape[0]):
+                if dur[j] > 0.0:
+                    rows.append((
+                        float(start[j]), "recharge", int(dev[j]),
+                        float(dur[j]), {},
+                    ))
         cont = self.rech_cont[lanes]
         cnt = np.bincount(cont, minlength=3)
         if cnt[_R_BLOCK]:
@@ -1466,6 +1563,16 @@ class _VectorBatch:
 
     # -------------------------------------------------------------------- run --
 
+    def _flush_trace(self) -> None:
+        """Emit buffered rows to the sink (called once per phase)."""
+        rows = self._trace_rows
+        if not rows:
+            return
+        emit = self._trace.emit
+        for t, kind, device, dur, data in rows:
+            emit(TraceEvent(t, kind, device=device, dur=dur, data=data))
+        rows.clear()
+
     def run(self) -> list[RunMetrics | None]:
         # Backstop far above any real run (spans per simulated second are
         # bounded by segment boundaries + captures + a few per job): lanes
@@ -1490,15 +1597,25 @@ class _VectorBatch:
                 if iters > max_iters:
                     self._anomalize((state != _DONE).nonzero()[0])
                     break
+                # Trace rows buffered by a phase's handlers flush inside
+                # that phase's timed region: tracing cost is attributed to
+                # the phase that produced the events.
+                tracing = self._trace is not None
                 t0 = perf()
                 if counts[_CTRL]:
                     self._ctrl(state == _CTRL, int(counts[_CTRL]))
+                    if tracing:
+                        self._flush_trace()
                 t1 = perf()
                 if counts[_ADV]:
                     self._adv(state == _ADV, int(counts[_ADV]))
+                    if tracing:
+                        self._flush_trace()
                 t2 = perf()
                 if counts[_RECHG]:
                     self._rech(state == _RECHG, int(counts[_RECHG]))
+                    if tracing:
+                        self._flush_trace()
                 t3 = perf()
                 # Span/recharge exits above hand lanes back to CTRL; run
                 # their loop-head step now instead of next iteration.  The
@@ -1510,10 +1627,14 @@ class _VectorBatch:
                 pc = int(np.count_nonzero(post))
                 if pc:
                     self._ctrl(post, pc)
+                    if tracing:
+                        self._flush_trace()
                 t4 = perf()
                 t_ctrl += (t1 - t0) + (t4 - t3)
                 t_adv += t2 - t1
                 t_rech += t3 - t2
+        if self._trace is not None:
+            self._flush_trace()
         self._harvest(np.arange(self.state.shape[0]))
         self.iterations = iters
         self.ctrl_s = t_ctrl
@@ -1598,7 +1719,8 @@ def _build_lanes(spec, chunk, kinds):
     return vector_lanes, scalar_lanes
 
 
-def _run_lane_groups(vector_lanes, stats: KernelStats | None = None):
+def _run_lane_groups(vector_lanes, stats: KernelStats | None = None,
+                     tracer=None):
     """Run vector lanes through batches; returns [(lane, metrics-or-None)].
 
     Lanes are grouped by array geometry (trace samples, buffer width) and
@@ -1621,7 +1743,7 @@ def _run_lane_groups(vector_lanes, stats: KernelStats | None = None):
         gc.disable()
         try:
             t0 = perf()
-            batch = _VectorBatch(group)
+            batch = _VectorBatch(group, tracer=tracer)
             t1 = perf()
             results = batch.run()
         finally:
@@ -1641,7 +1763,7 @@ def _run_lane_groups(vector_lanes, stats: KernelStats | None = None):
 
 def vector_shard_outcomes(
     spec, device_range, retries: int = 1, factories=None,
-    stats: KernelStats | None = None,
+    stats: KernelStats | None = None, tracer=None,
 ):
     """Simulate ``device_range`` of ``spec``; return ``{device: outcome}``.
 
@@ -1649,7 +1771,10 @@ def vector_shard_outcomes(
     to what the scalar per-device loop produces.  Devices outside the
     vector envelope (and any lane the kernel flags as anomalous) fall back
     to the scalar engine via ``_attempt_spec``.  Pass a :class:`KernelStats`
-    to accumulate the per-phase timing breakdown.
+    to accumulate the per-phase timing breakdown, and a
+    :class:`repro.obs.TraceSink` to record device-stamped timeline events
+    (fallback lanes emit through the scalar engine, wrapped in a
+    stamping sink, so the stream stays device-attributed either way).
     """
     if factories is None:
         from repro.experiments.harness import standard_policies
@@ -1668,7 +1793,7 @@ def vector_shard_outcomes(
             stats.lanes += len(vector_lanes)
             stats.scalar_lanes += len(scalar_lanes)
         rerun = list(scalar_lanes)
-        for lane, metrics in _run_lane_groups(vector_lanes, stats):
+        for lane, metrics in _run_lane_groups(vector_lanes, stats, tracer):
             if metrics is None:
                 rerun.append(lane)
                 if stats is not None:
@@ -1683,6 +1808,10 @@ def vector_shard_outcomes(
                 lane.trace,
                 lane.schedule,
                 retries,
+                tracer=(
+                    None if tracer is None
+                    else stamping_sink(tracer, lane.device)
+                ),
             )
         if stats is not None:
             stats.fallback_s += perf() - t2

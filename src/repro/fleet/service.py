@@ -25,6 +25,8 @@ from repro.experiments.runner import RunFailure, RunSpec, _attempt_spec, map_ind
 from repro.fleet.checkpoint import FleetCheckpoint
 from repro.fleet.rollup import FleetRollup
 from repro.fleet.spec import FleetSpec, shard_ranges
+from repro.obs.events import TraceEvent
+from repro.obs.tracer import RingBufferTracer, stamping_sink
 
 __all__ = ["FleetResult", "resolve_kernel", "run_fleet", "run_shard"]
 
@@ -108,6 +110,7 @@ def run_shard(
     retries: int = 1,
     kernel: str = "scalar",
     stats=None,
+    tracer=None,
 ) -> FleetRollup:
     """Simulate one shard's devices, folding outcomes in device order.
 
@@ -125,7 +128,10 @@ def run_shard(
     raised), and the result is kernel-independent.  ``stats`` optionally
     receives the vector kernel's per-phase timing
     (:class:`repro.fleet.kernel.KernelStats`) — pure telemetry, never
-    part of the rollup.
+    part of the rollup.  ``tracer`` optionally receives device-stamped
+    :class:`~repro.obs.events.TraceEvent` rows from every device in the
+    shard (same observability status: never journaled, never part of the
+    rollup, and the rollup stays bit-identical with or without it).
     """
     kernel = resolve_kernel(spec, kernel)
     device_range = shard_ranges(spec.devices, shards)[shard]
@@ -135,7 +141,8 @@ def run_shard(
         from repro.fleet.kernel import vector_shard_outcomes
 
         outcomes = vector_shard_outcomes(
-            spec, device_range, retries=retries, factories=factories, stats=stats
+            spec, device_range, retries=retries, factories=factories,
+            stats=stats, tracer=tracer,
         )
         for device in device_range:
             policy_name = spec.device_config(device)[0]
@@ -153,6 +160,7 @@ def run_shard(
             config.build_trace(),
             config.build_schedule(),
             retries,
+            tracer=None if tracer is None else stamping_sink(tracer, device),
         )
         if isinstance(outcome, RunFailure):
             rollup.observe_failure(device, policy_name, outcome.error)
@@ -173,6 +181,8 @@ def run_fleet(
     recorder=None,
     stop_after: int | None = None,
     progress=None,
+    trace=None,
+    heartbeat=None,
 ) -> FleetResult:
     """Run a whole fleet, sharded, stream-aggregated, and resumable.
 
@@ -212,6 +222,19 @@ def run_fleet(
         what ``make fleet-smoke`` and the resume tests drive.
     progress:
         Optional ``callable(str)`` for human-readable progress lines.
+    trace:
+        Optional :class:`repro.obs.TraceSink` receiving the fleet's
+        device-stamped timeline events.  Workers record into a local
+        bounded ring, ship the retained window back in the shard payload,
+        and the parent folds windows in **shard order**, so the merged
+        stream is deterministic for any ``jobs`` setting.  Resumed shards
+        contribute no events (the checkpoint journal stays trace-free and
+        kernel-invariant).
+    heartbeat:
+        Optional :class:`repro.obs.HeartbeatPublisher`; receives
+        ``start``, one throttled ``on_shard`` per completed shard (in
+        completion order — this is wall-clock telemetry, not part of the
+        deterministic result), and ``finish``.
     """
     shards = min(max(1, shards), spec.devices)
     requested_kernel = kernel
@@ -242,23 +265,47 @@ def run_fleet(
     if cut:
         pending = pending[:stop_after]
 
+    if heartbeat is not None:
+        heartbeat.start(
+            fleet=spec.name, devices=spec.devices, shards=shards, kernel=kernel
+        )
+    resumed_devices = sum(rollup.devices for rollup in done.values())
+    beat = {
+        "shards_done": len(done),
+        "devices_done": resumed_devices,
+        "phase_seconds": None,
+    }
+    trace_capacity = getattr(trace, "capacity", None)
+
     def worker(position: int) -> dict:
-        # The payload carries the rollup (the result) plus the vector
-        # kernel's per-phase timing (pure telemetry).  Only the rollup
-        # ever reaches the checkpoint journal — resumed shards have no
-        # stats, and the journal format is kernel-invariant.
+        # The payload carries the rollup (the result) plus pure telemetry:
+        # the vector kernel's per-phase timing and the shard's retained
+        # trace window.  Only the rollup ever reaches the checkpoint
+        # journal — resumed shards have no stats or trace, and the journal
+        # format is kernel- and observability-invariant.
         stats = None
         if kernel == "vector":
             from repro.fleet.kernel import KernelStats
 
             stats = KernelStats()
+        local = None
+        if trace is not None:
+            local = (
+                RingBufferTracer() if trace_capacity is None
+                else RingBufferTracer(trace_capacity)
+            )
         rollup = run_shard(
-            spec, shards, pending[position], retries, kernel=kernel, stats=stats
+            spec, shards, pending[position], retries, kernel=kernel,
+            stats=stats, tracer=local,
         )
-        return {
+        payload = {
             "rollup": rollup.to_dict(),
             "kernel_stats": None if stats is None else stats.as_dict(),
         }
+        if local is not None:
+            payload["trace"] = [event.as_dict() for event in local.events()]
+            payload["trace_dropped"] = local.dropped
+        return payload
 
     def journal_result(position: int, payload: dict) -> None:
         shard = pending[position]
@@ -268,6 +315,23 @@ def run_fleet(
             progress(
                 f"[fleet] shard {shard} done "
                 f"({payload['rollup']['devices']} devices)"
+            )
+        if heartbeat is not None:
+            beat["shards_done"] += 1
+            beat["devices_done"] += payload["rollup"]["devices"]
+            stats_dict = payload["kernel_stats"]
+            if stats_dict is not None:
+                phases = beat["phase_seconds"] or {}
+                for key in ("setup_s", "ctrl_s", "adv_s", "rech_s", "fallback_s"):
+                    phases[key] = phases.get(key, 0.0) + stats_dict[key]
+                beat["phase_seconds"] = phases
+            heartbeat.on_shard(
+                shards_done=beat["shards_done"],
+                shards_total=shards,
+                devices_done=beat["devices_done"],
+                devices_total=spec.devices,
+                kernel=kernel,
+                phase_seconds=beat["phase_seconds"],
             )
 
     payloads = map_indexed(worker, len(pending), jobs, on_result=journal_result)
@@ -279,6 +343,15 @@ def run_fleet(
 
             stats_dict = KernelStats.from_dict(stats_dict)
         computed[shard] = (FleetRollup.from_dict(payload["rollup"]), stats_dict)
+        if trace is not None and "trace" in payload:
+            # Fold each shard's window in shard order: the merged stream
+            # is deterministic for any jobs setting.
+            absorb = getattr(trace, "absorb_rows", None)
+            if absorb is not None:
+                absorb(payload["trace"], payload.get("trace_dropped", 0))
+            else:
+                for row in payload["trace"]:
+                    trace.emit(TraceEvent.from_dict(row))
 
     total = FleetRollup()
     for shard in range(shards):
@@ -305,6 +378,14 @@ def run_fleet(
     )
     if recorder is not None:
         recorder.on_fleet_end(total)
+    if heartbeat is not None:
+        heartbeat.finish(
+            devices=total.devices,
+            failures=total.failure_count,
+            complete=not cut,
+            kernel=kernel,
+            phase_seconds=beat["phase_seconds"],
+        )
     if progress is not None:
         progress(
             f"[fleet] {total.devices} devices folded; "

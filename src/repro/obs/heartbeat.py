@@ -1,0 +1,164 @@
+"""Streaming run telemetry: JSONL heartbeats from long fleet runs.
+
+A :class:`HeartbeatPublisher` attaches to :func:`repro.fleet.run_fleet`
+and appends one JSON object per line to any writable stream as the run
+progresses — the seam a future fleet *service* subscribes to, and today
+the way a shell (or a dashboard tailing ``--telemetry-out``) watches a
+million-device run without parsing human progress lines.
+
+Three record types::
+
+    {"type": "start",     "fleet": ..., "devices": N, "shards": K, "kernel": ...}
+    {"type": "heartbeat", "shards_done": ..., "devices_done": ..., "elapsed_s": ...,
+                          "rate_devices_per_s": ..., "eta_s": ..., "kernel": ...,
+                          "phase_seconds": {...} | null}
+    {"type": "end",       "devices": ..., "failures": ..., "complete": ...,
+                          "elapsed_s": ..., "kernel": ..., "phase_seconds": ...}
+
+Heartbeats fire on shard completion, throttled to at most one per
+``every_s`` wall seconds (0 = every shard); the final shard always
+emits.  ``phase_seconds`` carries the vector kernel's running per-phase
+wall-clock totals when the kernel reports them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.errors import ConfigurationError
+
+__all__ = ["HeartbeatPublisher"]
+
+
+class HeartbeatPublisher:
+    """Appends progress records to ``stream`` as JSON lines.
+
+    Parameters
+    ----------
+    stream:
+        Anything with ``write(str)`` (a file opened in append mode,
+        ``sys.stdout``, an in-memory buffer).  Each record is one line,
+        flushed immediately when the stream supports it.
+    every_s:
+        Minimum wall seconds between heartbeat records (start/end are
+        never throttled; neither is the final shard).
+    clock:
+        Monotonic clock, injectable for tests.
+    """
+
+    def __init__(self, stream, every_s: float = 0.0, clock=time.monotonic) -> None:
+        if every_s < 0:
+            raise ConfigurationError(f"every_s must be >= 0, got {every_s}")
+        self._stream = stream
+        self.every_s = every_s
+        self._clock = clock
+        self._t0: float | None = None
+        self._last_beat: float | None = None
+        self.records = 0
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        self.records += 1
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        flush = getattr(self._stream, "flush", None)
+        if flush is not None:
+            flush()
+
+    def _elapsed(self) -> float:
+        if self._t0 is None:
+            self._t0 = self._clock()
+        return self._clock() - self._t0
+
+    # -- run_fleet hooks ---------------------------------------------------------
+
+    def start(self, *, fleet: str, devices: int, shards: int, kernel: str) -> None:
+        self._t0 = self._clock()
+        self._write({
+            "type": "start",
+            "fleet": fleet,
+            "devices": devices,
+            "shards": shards,
+            "kernel": kernel,
+        })
+
+    def on_shard(
+        self,
+        *,
+        shards_done: int,
+        shards_total: int,
+        devices_done: int,
+        devices_total: int,
+        kernel: str,
+        phase_seconds: dict | None = None,
+    ) -> None:
+        now = self._clock()
+        final = shards_done >= shards_total
+        if (
+            not final
+            and self._last_beat is not None
+            and now - self._last_beat < self.every_s
+        ):
+            return
+        self._last_beat = now
+        elapsed = self._elapsed()
+        rate = devices_done / elapsed if elapsed > 0 else 0.0
+        remaining = max(0, devices_total - devices_done)
+        eta = remaining / rate if rate > 0 else None
+        self._write({
+            "type": "heartbeat",
+            "shards_done": shards_done,
+            "shards_total": shards_total,
+            "devices_done": devices_done,
+            "devices_total": devices_total,
+            "elapsed_s": elapsed,
+            "rate_devices_per_s": rate,
+            "eta_s": eta,
+            "kernel": kernel,
+            "phase_seconds": phase_seconds,
+        })
+
+    def finish(
+        self,
+        *,
+        devices: int,
+        failures: int,
+        complete: bool,
+        kernel: str,
+        phase_seconds: dict | None = None,
+    ) -> None:
+        self._write({
+            "type": "end",
+            "devices": devices,
+            "failures": failures,
+            "complete": complete,
+            "elapsed_s": self._elapsed(),
+            "kernel": kernel,
+            "phase_seconds": phase_seconds,
+        })
+
+
+def validate_heartbeat_records(rows) -> list[str]:
+    """Problems with a decoded heartbeat JSONL stream ([] = conforming)."""
+    problems = []
+    kinds = {"start", "heartbeat", "end"}
+    for i, row in enumerate(rows):
+        where = f"line {i + 1}"
+        if not isinstance(row, dict) or row.get("type") not in kinds:
+            problems.append(f"{where}: not a telemetry record")
+            continue
+        kind = row["type"]
+        required = {
+            "start": ("fleet", "devices", "shards", "kernel"),
+            "heartbeat": (
+                "shards_done", "shards_total", "devices_done",
+                "devices_total", "elapsed_s", "rate_devices_per_s",
+                "kernel",
+            ),
+            "end": ("devices", "failures", "complete", "elapsed_s", "kernel"),
+        }[kind]
+        missing = [key for key in required if key not in row]
+        if missing:
+            problems.append(f"{where}: {kind} record missing {missing}")
+    return problems

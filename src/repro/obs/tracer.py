@@ -1,0 +1,122 @@
+"""Trace sinks: where emitted :class:`~repro.obs.events.TraceEvent` rows go.
+
+The engine and kernel are written against the two-method
+:class:`TraceSink` protocol, so tests can pass a bare list-backed stub
+and the future fleet service can pass a network publisher.  The stock
+sink is :class:`RingBufferTracer`: a bounded deque that never grows a
+paper-scale run's memory past its capacity — old events fall off the
+front, the per-kind counters keep counting, and ``dropped`` says exactly
+how much of the timeline the export window lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.obs.events import TraceEvent
+
+__all__ = ["TraceSink", "RingBufferTracer", "stamping_sink"]
+
+#: Default ring capacity: ~64k events covers a full paper-scale device
+#: run (one row per capture plus the sparse kinds) without thinning.
+DEFAULT_CAPACITY = 65536
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that accepts a stream of trace events."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Ingest one event (must not mutate it after returning)."""
+        ...
+
+
+class RingBufferTracer:
+    """Bounded in-memory :class:`TraceSink` with exact per-kind counts.
+
+    The ring holds the **newest** ``capacity`` events; counters cover
+    everything ever emitted, so rates and totals stay exact even after
+    the window starts dropping.  Single-use like the engine: attach one
+    recorder per run (or `clear()` between runs).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+        self._counts: dict[str, int] = {}
+
+    # -- TraceSink ---------------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        self.emitted += 1
+        counts = self._counts
+        kind = event.kind
+        counts[kind] = counts.get(kind, 0) + 1
+        self._ring.append(event)
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return self.emitted - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> list[TraceEvent]:
+        """The retained window, oldest first."""
+        return list(self._ring)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Exact emit counts per kind (ring drops do not decrement)."""
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.emitted = 0
+        self._counts = {}
+
+    # -- merge -------------------------------------------------------------------
+
+    def absorb_rows(self, rows: list[dict], dropped: int = 0) -> None:
+        """Fold a serialized event stream in (fleet shard payloads).
+
+        ``rows`` are ``TraceEvent.as_dict()`` dicts in stream order;
+        ``dropped`` is how many events the producing ring had already
+        lost, carried into this ring's accounting so fleet-level
+        ``dropped`` stays truthful.
+        """
+        for row in rows:
+            self.emit(TraceEvent.from_dict(row))
+        self.emitted += dropped
+
+
+class _StampingSink:
+    """Proxy sink that stamps a device id on every event passing through."""
+
+    __slots__ = ("_sink", "_device")
+
+    def __init__(self, sink: TraceSink, device: int) -> None:
+        self._sink = sink
+        self._device = device
+
+    def emit(self, event: TraceEvent) -> None:
+        if event.device is None:
+            event.device = self._device
+        self._sink.emit(event)
+
+
+def stamping_sink(sink: TraceSink, device: int) -> TraceSink:
+    """Wrap ``sink`` so emitters unaware of fleet ids still label rows.
+
+    The scalar engine simulates one device and never knows its fleet
+    position; the shard loop wraps its tracer per device so the merged
+    stream stays attributable.
+    """
+    return _StampingSink(sink, device)

@@ -33,6 +33,7 @@ from repro.device.storage import Supercapacitor
 from repro.env.events import EventSchedule
 from repro.errors import ConfigurationError, SchedulingError, SimulationError
 from repro.core.scheduler import JobCandidate
+from repro.obs.events import TraceEvent
 from repro.policies.base import CompletionRecord, Decision, Policy, SchedulingContext
 from repro.sim.metrics import RunMetrics
 from repro.trace.power_trace import PiecewiseConstantTrace, PowerTrace, TraceCursor
@@ -126,6 +127,7 @@ class SimulationEngine:
         checkpoint: CheckpointModel | None = None,
         config: SimulationConfig | None = None,
         telemetry=None,
+        tracer=None,
     ) -> None:
         self.app = app
         self.policy = policy
@@ -137,6 +139,11 @@ class SimulationEngine:
         self.config = config or SimulationConfig()
         #: Optional :class:`repro.sim.telemetry.TelemetryRecorder`.
         self.telemetry = telemetry
+        #: Optional :class:`repro.obs.TraceSink` receiving typed timeline
+        #: events (capture/decision/ibo/power_fail/checkpoint/restore/
+        #: recharge).  Like ``telemetry``, attaching one routes captures
+        #: through the readable reference body; results stay bit-identical.
+        self.tracer = tracer
 
         self.buffer = InputBuffer(self.config.buffer_capacity)
         self.metrics = RunMetrics()
@@ -259,7 +266,7 @@ class SimulationEngine:
         if self._fast:
             sq = self._sq  # EventCursor (fast paths are on)
             self._cap_consts = (
-                self.telemetry is None,
+                self.telemetry is None and self.tracer is None,
                 sq,
                 sq._starts,
                 sq._ends,
@@ -291,6 +298,12 @@ class SimulationEngine:
         configure = getattr(self.policy, "configure_decision_path", None)
         if configure is not None:
             configure(self._fast)
+        if self.tracer is not None:
+            # Policies with internal observable state (the Quetzal PID)
+            # emit their own events into the same stream.
+            attach = getattr(self.policy, "attach_tracer", None)
+            if attach is not None:
+                attach(self.tracer)
         self.policy.prepare(self.app.jobs, self.config.capture_period_s)
         # Read after prepare(): policies may only then know whether their
         # estimator consumes realised task spans.  Skipping span timing is
@@ -349,7 +362,7 @@ class SimulationEngine:
         t = idx * cap_period
         if t > limit:
             return
-        if not self._fast or self.telemetry is not None:
+        if not self._fast or self.telemetry is not None or self.tracer is not None:
             while t <= limit:
                 self._do_capture(t)
                 idx = self._capture_index = idx + 1
@@ -874,6 +887,8 @@ class SimulationEngine:
         storage._energy = energy
         metrics.energy_harvested_j = e_harvested
         metrics.recharge_time_s += now - start
+        if self.tracer is not None and now > start:
+            self.tracer.emit(TraceEvent(start, "recharge", dur=now - start))
 
     def _recharge_to_restart_reference(self) -> None:
         """Pre-optimization recharge loop (see `_recharge_to_restart`)."""
@@ -895,6 +910,8 @@ class SimulationEngine:
             self.now = boundary
             self._fire_due_captures()
         self.metrics.recharge_time_s += self.now - start
+        if self.tracer is not None and self.now > start:
+            self.tracer.emit(TraceEvent(start, "recharge", dur=self.now - start))
 
     def _run_block(self, duration_s: float, power_w: float) -> None:
         """Run a compute block intermittently, checkpointing across failures.
@@ -920,11 +937,28 @@ class SimulationEngine:
     def _power_failure(self) -> None:
         """JIT checkpoint: save, die, recharge, restore."""
         self.metrics.power_failures += 1
+        tracer = self.tracer
+        if tracer is None:
+            self._pay_overhead(
+                self.checkpoint.save_time_s, self.checkpoint.save_energy_j
+            )
+            self._recharge_to_restart()
+            self._pay_overhead(
+                self.checkpoint.restore_time_s, self.checkpoint.restore_energy_j
+            )
+            return
+        # Traced variant: same call sequence, with the save/restore spans
+        # measured around the same overhead payments.
+        tracer.emit(TraceEvent(self.now, "power_fail"))
+        t0 = self.now
         self._pay_overhead(self.checkpoint.save_time_s, self.checkpoint.save_energy_j)
+        tracer.emit(TraceEvent(t0, "checkpoint", dur=self.now - t0))
         self._recharge_to_restart()
+        t0 = self.now
         self._pay_overhead(
             self.checkpoint.restore_time_s, self.checkpoint.restore_energy_j
         )
+        tracer.emit(TraceEvent(t0, "restore", dur=self.now - t0))
 
     def _pay_overhead(self, time_s: float, energy_j: float) -> None:
         """Charge a fixed time+energy overhead (checkpoint save/restore).
@@ -947,6 +981,10 @@ class SimulationEngine:
                 remaining -= step
             if remaining > _ENERGY_EPS:
                 self.metrics.power_failures += 1
+                if self.tracer is not None:
+                    self.tracer.emit(TraceEvent(self.now, "power_fail", data={
+                        "during": "overhead",
+                    }))
                 self._recharge_to_restart()
 
     def _idle_until(self, target_s: float) -> None:
@@ -993,6 +1031,15 @@ class SimulationEngine:
         interesting = active and ev is not None and ev.interesting
         if interesting:
             metrics.captures_interesting += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(TraceEvent(t, "capture", data={
+                "occupancy": len(self.buffer._entries),
+                "energy_j": self.storage.energy_j,
+                "power_w": self._tq.power(t),
+                "active": active,
+                "interesting": interesting,
+            }))
         hook = self._on_capture_hook
         if hook is not None:
             hook(t, active)  # positional: ~55k calls/run, kwargs cost real time
@@ -1008,6 +1055,10 @@ class SimulationEngine:
             metrics.ibo_drops += 1
             if interesting:
                 metrics.ibo_drops_interesting += 1
+            if tracer is not None:
+                tracer.emit(TraceEvent(t, "ibo", data={
+                    "interesting": interesting,
+                }))
             return
         entry = BufferedInput(
             capture_time=t,
@@ -1021,6 +1072,10 @@ class SimulationEngine:
             metrics.ibo_drops += 1
             if interesting:
                 metrics.ibo_drops_interesting += 1
+            if tracer is not None:
+                tracer.emit(TraceEvent(t, "ibo", data={
+                    "interesting": interesting,
+                }))
 
     # ----------------------------------------------------------------- policy --
 
@@ -1153,6 +1208,22 @@ class SimulationEngine:
                 ibo_predicted=decision.ibo_predicted,
                 predicted_service_s=decision.predicted_service_s,
             )
+        if self.tracer is not None:
+            job = self.app.jobs.job(decision.job_name)
+            deg_task = job.degradable_task
+            option = decision.chosen_options.get(deg_task.name, deg_task.highest_quality)
+            self.tracer.emit(TraceEvent(self.now, "decision", data={
+                "job": decision.job_name,
+                "option": option.name,
+                "degraded": decision.degraded,
+                "ibo_predicted": decision.ibo_predicted,
+                "predicted_service_s": decision.predicted_service_s,
+            }))
+            if decision.degraded:
+                self.tracer.emit(TraceEvent(self.now, "degradation", data={
+                    "job": decision.job_name,
+                    "option": option.name,
+                }))
         metrics = self.metrics
         metrics.policy_invocations += 1
         if decision.ibo_predicted:
@@ -1362,10 +1433,12 @@ def simulate(
     checkpoint: CheckpointModel | None = None,
     config: SimulationConfig | None = None,
     telemetry=None,
+    tracer=None,
 ) -> RunMetrics:
     """Convenience wrapper: build an engine, run it, return the metrics."""
     engine = SimulationEngine(
         app, policy, trace, schedule, mcu=mcu, storage=storage,
         checkpoint=checkpoint, config=config, telemetry=telemetry,
+        tracer=tracer,
     )
     return engine.run()

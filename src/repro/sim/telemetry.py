@@ -154,6 +154,10 @@ class TelemetryRecorder:
         #: finalizes a run with a policy that exposes them).
         self.decision_path: DecisionPathStats | None = None
         self._capture_count = 0
+        # Occupancy aggregates run over *every* capture tick: sampling
+        # thins the stored series only, never the statistics.
+        self._occ_peak = 0
+        self._occ_sum = 0
 
     # -- engine hooks -----------------------------------------------------------
 
@@ -166,6 +170,9 @@ class TelemetryRecorder:
         event_active: bool,
     ) -> None:
         self._capture_count += 1
+        if occupancy > self._occ_peak:
+            self._occ_peak = occupancy
+        self._occ_sum += occupancy
         if (self._capture_count - 1) % self.sample_every:
             return
         self.buffer_samples.append(
@@ -200,16 +207,21 @@ class TelemetryRecorder:
     # -- analysis helpers ----------------------------------------------------------
 
     def peak_occupancy(self) -> int:
-        """Highest buffer occupancy observed at a capture tick."""
-        if not self.buffer_samples:
-            return 0
-        return max(s.occupancy for s in self.buffer_samples)
+        """Highest buffer occupancy observed at any capture tick.
+
+        Computed from every ``on_capture`` event, not the (possibly
+        thinned) stored series — ``sample_every`` never changes it.
+        """
+        return self._occ_peak
 
     def mean_occupancy(self) -> float:
-        """Mean occupancy across capture ticks (0 if none)."""
-        if not self.buffer_samples:
+        """Mean occupancy across all capture ticks (0 if none).
+
+        Like :meth:`peak_occupancy`, exact under any ``sample_every``.
+        """
+        if not self._capture_count:
             return 0.0
-        return sum(s.occupancy for s in self.buffer_samples) / len(self.buffer_samples)
+        return self._occ_sum / self._capture_count
 
     def degraded_fraction(self) -> float:
         """Fraction of decisions that ran a degraded option."""

@@ -62,3 +62,70 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(BASE + ["--jobs", "-2"])
+
+
+class TestObservabilityFlags:
+    def test_trace_out_writes_valid_artifacts(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace, validate_jsonl_events
+
+        prefix = str(tmp_path / "trace")
+        assert main(BASE + ["--trace-out", prefix]) == 0
+        with open(prefix + ".chrome.json") as handle:
+            assert validate_chrome_trace(json.load(handle)) == []
+        with open(prefix + ".jsonl") as handle:
+            rows = [json.loads(line) for line in handle]
+        assert rows
+        assert validate_jsonl_events(rows) == []
+        devices = {row["device"] for row in rows}
+        assert devices <= set(range(4))
+
+    def test_trace_capacity_bounds_the_ring(self, tmp_path, capsys):
+        prefix = str(tmp_path / "trace")
+        assert main(BASE + ["--trace-out", prefix,
+                            "--trace-capacity", "5"]) == 0
+        with open(prefix + ".jsonl") as handle:
+            rows = handle.readlines()
+        assert len(rows) <= 5
+        assert "dropped" in capsys.readouterr().out
+
+    def test_metrics_out_is_run_configuration_invariant(self, tmp_path, capsys):
+        artifacts = {}
+        for tag, flags in (
+            ("a", ["--kernel", "scalar", "--shards", "1"]),
+            ("b", ["--kernel", "vector", "--shards", "2", "--jobs", "2"]),
+        ):
+            prefix = str(tmp_path / tag)
+            assert main(BASE + flags + ["--metrics-out", prefix]) == 0
+            with open(prefix + ".prom") as handle:
+                prom = handle.read()
+            with open(prefix + ".json") as handle:
+                as_json = handle.read()
+            artifacts[tag] = (prom, as_json)
+        assert artifacts["a"] == artifacts["b"]
+        assert "repro_captures_total" in artifacts["a"][0]
+
+    def test_telemetry_out_appends_valid_records(self, tmp_path, capsys):
+        from repro.obs.heartbeat import validate_heartbeat_records
+
+        path = str(tmp_path / "telemetry.jsonl")
+        assert main(BASE + ["--shards", "2", "--telemetry-out", path]) == 0
+        with open(path) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert validate_heartbeat_records(rows) == []
+        assert [r["type"] for r in rows] == ["start", "heartbeat",
+                                            "heartbeat", "end"]
+
+    def test_kernel_stats_key_in_json_is_opt_in(self, tmp_path, capsys):
+        plain = str(tmp_path / "plain.json")
+        stats = str(tmp_path / "stats.json")
+        assert main(BASE + ["--kernel", "vector", "--json", plain]) == 0
+        assert main(BASE + ["--kernel", "vector", "--json", stats,
+                            "--kernel-stats"]) == 0
+        with open(plain) as handle:
+            plain_payload = json.load(handle)
+        with open(stats) as handle:
+            stats_payload = json.load(handle)
+        assert "kernel_stats" not in plain_payload
+        assert stats_payload["kernel_stats"]["lanes"] == 4
+        del stats_payload["kernel_stats"]
+        assert stats_payload == plain_payload

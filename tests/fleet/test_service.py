@@ -43,6 +43,60 @@ class TestShardInvariance:
         assert recorder.decision_path_totals() is not None
 
 
+class TestFleetRecorderTelemetry:
+    def test_kernel_stats_total_with_mixed_shards(self):
+        # QZ devices fall outside the vector envelope, so every shard's
+        # KernelStats mixes vector lanes with scalar fallbacks.
+        recorder = FleetRecorder()
+        run_fleet(small_spec(), shards=3, jobs=1, kernel="vector",
+                  recorder=recorder)
+        per_shard = [s.kernel_stats for s in recorder.shard_samples]
+        assert all(stats is not None for stats in per_shard)
+        total = recorder.kernel_stats_total()
+        assert total.lanes + total.scalar_lanes == 6
+        assert total.lanes > 0
+        assert total.scalar_lanes > 0  # the QZ devices
+        assert total.batches == sum(s.batches for s in per_shard)
+
+    def test_kernel_stats_total_none_for_scalar_runs(self):
+        recorder = FleetRecorder()
+        run_fleet(small_spec(), shards=2, jobs=1, kernel="scalar",
+                  recorder=recorder)
+        assert all(s.kernel_stats is None for s in recorder.shard_samples)
+        assert recorder.kernel_stats_total() is None
+
+    def test_kernel_stats_total_skips_resumed_shards(self, tmp_path):
+        spec = small_spec()
+        ckpt = str(tmp_path / "journal")
+        run_fleet(spec, shards=3, jobs=1, kernel="vector",
+                  checkpoint=ckpt, stop_after=1)
+        recorder = FleetRecorder()
+        run_fleet(spec, shards=3, jobs=1, kernel="vector",
+                  checkpoint=ckpt, resume=True, recorder=recorder)
+        assert recorder.resumed_shards() == [0]
+        for sample in recorder.shard_samples:
+            assert (sample.kernel_stats is None) == sample.resumed
+        # The recomputed shards still report timing.
+        assert recorder.kernel_stats_total() is not None
+
+    def test_decision_path_totals_survive_resume(self, tmp_path):
+        spec = small_spec()
+        straight = FleetRecorder()
+        run_fleet(spec, shards=3, jobs=1, recorder=straight)
+        ckpt = str(tmp_path / "journal")
+        run_fleet(spec, shards=3, jobs=1, checkpoint=ckpt, stop_after=1)
+        resumed = FleetRecorder()
+        run_fleet(spec, shards=3, jobs=1, checkpoint=ckpt, resume=True,
+                  recorder=resumed)
+        assert resumed.resumed_shards() == [0]
+        assert (
+            resumed.decision_path_totals().as_dict()
+            == straight.decision_path_totals().as_dict()
+        )
+        # The QZ devices did real cached-decision work.
+        assert resumed.decision_path_totals().scored_candidates > 0
+
+
 class TestCheckpointResume:
     def test_kill_then_resume_matches_uninterrupted(self, tmp_path):
         spec = small_spec()

@@ -1,0 +1,85 @@
+"""Chrome-trace / JSONL exporters and their schema validators."""
+
+import json
+
+from repro.obs import (
+    TraceEvent,
+    read_jsonl,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_jsonl_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+EVENTS = [
+    TraceEvent(1.0, "capture", device=3, data={"occupancy": 1}),
+    TraceEvent(2.0, "decision", device=3, data={"job": "detect"}),
+    TraceEvent(4.0, "recharge", device=5, dur=2.5),
+    TraceEvent(7.0, "power_fail", device=5),
+]
+
+
+class TestChromeTrace:
+    def test_object_shape(self):
+        obj = to_chrome_trace(EVENTS)
+        assert set(obj) == {"traceEvents", "displayTimeUnit"}
+        assert validate_chrome_trace(obj) == []
+
+    def test_instants_and_spans(self):
+        rows = {
+            (r["pid"], r["name"]): r
+            for r in to_chrome_trace(EVENTS)["traceEvents"]
+            if r["ph"] != "M"
+        }
+        capture = rows[(3, "capture")]
+        assert capture["ph"] == "i"
+        assert capture["ts"] == 1.0e6  # seconds -> microseconds
+        recharge = rows[(5, "recharge")]
+        assert recharge["ph"] == "X"
+        assert recharge["dur"] == 2.5e6
+
+    def test_metadata_names_processes_and_threads(self):
+        meta = [r for r in to_chrome_trace(EVENTS)["traceEvents"] if r["ph"] == "M"]
+        names = {r["args"]["name"] for r in meta if r["name"] == "process_name"}
+        assert names == {"device 3", "device 5"}
+        threads = {r["args"]["name"] for r in meta if r["name"] == "thread_name"}
+        assert {"capture", "decision", "recharge", "power_fail"} <= threads
+
+    def test_unattributed_events_land_on_pid_zero(self):
+        obj = to_chrome_trace([TraceEvent(0.0, "capture")])
+        rows = [r for r in obj["traceEvents"] if r["ph"] != "M"]
+        assert rows[0]["pid"] == 0
+
+    def test_write_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.chrome.json")
+        write_chrome_trace(EVENTS, path)
+        with open(path) as handle:
+            assert validate_chrome_trace(json.load(handle)) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_chrome_trace({}) != []
+        assert validate_chrome_trace({"traceEvents": [{"ph": "?"}]}) != []
+
+
+class TestJsonl:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(EVENTS, path)
+        assert read_jsonl(path) == EVENTS
+
+    def test_lines_validate(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(EVENTS, path)
+        with open(path) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert validate_jsonl_events(rows) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_jsonl_events([{"t": 0.0}]) != []
+        assert validate_jsonl_events(
+            [{"t": 0.0, "kind": "nope", "device": None, "dur": 0.0, "data": {}}]
+        ) != []
+        assert validate_jsonl_events(
+            [{"t": 0.0, "kind": "capture", "device": None, "dur": -1.0, "data": {}}]
+        ) != []

@@ -1,0 +1,95 @@
+"""The streaming heartbeat publisher and its record schema."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import HeartbeatPublisher
+from repro.obs.heartbeat import validate_heartbeat_records
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def records(buffer):
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+def publisher(every_s=0.0):
+    buffer = io.StringIO()
+    clock = FakeClock()
+    return HeartbeatPublisher(buffer, every_s=every_s, clock=clock), buffer, clock
+
+
+class TestHeartbeatPublisher:
+    def test_every_s_validated(self):
+        with pytest.raises(ConfigurationError, match="every_s"):
+            HeartbeatPublisher(io.StringIO(), every_s=-1)
+
+    def test_start_beat_end_record_shapes(self):
+        pub, buffer, clock = publisher()
+        pub.start(fleet="f", devices=10, shards=2, kernel="vector")
+        clock.now += 5.0
+        pub.on_shard(shards_done=1, shards_total=2, devices_done=5,
+                     devices_total=10, kernel="vector")
+        clock.now += 5.0
+        pub.finish(devices=10, failures=0, complete=True, kernel="vector")
+        rows = records(buffer)
+        assert [r["type"] for r in rows] == ["start", "heartbeat", "end"]
+        assert validate_heartbeat_records(rows) == []
+        beat = rows[1]
+        assert beat["elapsed_s"] == 5.0
+        assert beat["rate_devices_per_s"] == 1.0
+        assert beat["eta_s"] == 5.0
+        assert rows[2]["elapsed_s"] == 10.0
+        assert pub.records == 3
+
+    def test_throttling_skips_rapid_shards(self):
+        pub, buffer, clock = publisher(every_s=60.0)
+        pub.start(fleet="f", devices=4, shards=4, kernel="scalar")
+        for shard in range(1, 4):  # 3 quick non-final shards, 1s apart
+            clock.now += 1.0
+            pub.on_shard(shards_done=shard, shards_total=4,
+                         devices_done=shard, devices_total=4, kernel="scalar")
+        beats = [r for r in records(buffer) if r["type"] == "heartbeat"]
+        assert [b["shards_done"] for b in beats] == [1]
+
+    def test_final_shard_bypasses_throttle(self):
+        pub, buffer, clock = publisher(every_s=60.0)
+        pub.start(fleet="f", devices=2, shards=2, kernel="scalar")
+        clock.now += 1.0
+        pub.on_shard(shards_done=1, shards_total=2, devices_done=1,
+                     devices_total=2, kernel="scalar")
+        clock.now += 1.0
+        pub.on_shard(shards_done=2, shards_total=2, devices_done=2,
+                     devices_total=2, kernel="scalar")
+        beats = [r for r in records(buffer) if r["type"] == "heartbeat"]
+        assert [b["shards_done"] for b in beats] == [1, 2]
+
+    def test_eta_none_when_rate_unknown(self):
+        pub, buffer, clock = publisher()
+        pub.start(fleet="f", devices=2, shards=2, kernel="scalar")
+        pub.on_shard(shards_done=1, shards_total=2, devices_done=0,
+                     devices_total=2, kernel="scalar")
+        assert records(buffer)[1]["eta_s"] is None
+
+    def test_phase_seconds_passthrough(self):
+        pub, buffer, clock = publisher()
+        pub.start(fleet="f", devices=1, shards=1, kernel="vector")
+        pub.finish(devices=1, failures=0, complete=True, kernel="vector",
+                   phase_seconds={"ctrl_s": 0.5})
+        assert records(buffer)[-1]["phase_seconds"] == {"ctrl_s": 0.5}
+
+
+class TestValidator:
+    def test_flags_unknown_and_incomplete_records(self):
+        assert validate_heartbeat_records([{"type": "nope"}]) != []
+        assert validate_heartbeat_records([{"type": "start"}]) != []
+        assert validate_heartbeat_records([[1, 2]]) != []

@@ -1,0 +1,91 @@
+"""The trace event model and the bounded ring-buffer sink."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    EVENT_KINDS,
+    SPAN_KINDS,
+    RingBufferTracer,
+    TraceEvent,
+    TraceSink,
+    stamping_sink,
+)
+
+
+class TestTraceEvent:
+    def test_dict_roundtrip(self):
+        event = TraceEvent(3.5, "capture", device=7, data={"occupancy": 2})
+        again = TraceEvent.from_dict(event.as_dict())
+        assert again == event
+
+    def test_defaults(self):
+        event = TraceEvent(0.0, "ibo")
+        assert event.device is None
+        assert event.dur == 0.0
+        assert event.data == {}
+
+    def test_kind_tables(self):
+        assert SPAN_KINDS <= set(EVENT_KINDS)
+        assert "capture" in EVENT_KINDS
+        assert "pid_update" in EVENT_KINDS
+        assert "recharge" in SPAN_KINDS
+
+
+class TestRingBufferTracer:
+    def test_is_a_trace_sink(self):
+        assert isinstance(RingBufferTracer(), TraceSink)
+
+    def test_retains_newest_and_counts_everything(self):
+        ring = RingBufferTracer(capacity=3)
+        for i in range(5):
+            ring.emit(TraceEvent(float(i), "capture"))
+        assert ring.emitted == 5
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        assert [e.t for e in ring.events()] == [2.0, 3.0, 4.0]
+        assert ring.counts_by_kind() == {"capture": 5}
+
+    def test_counts_by_kind_survive_drops(self):
+        ring = RingBufferTracer(capacity=1)
+        ring.emit(TraceEvent(0.0, "capture"))
+        ring.emit(TraceEvent(1.0, "ibo"))
+        assert ring.counts_by_kind() == {"capture": 1, "ibo": 1}
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            RingBufferTracer(capacity=0)
+
+    def test_clear(self):
+        ring = RingBufferTracer()
+        ring.emit(TraceEvent(0.0, "capture"))
+        ring.clear()
+        assert ring.emitted == 0
+        assert len(ring) == 0
+        assert ring.counts_by_kind() == {}
+
+    def test_absorb_rows_carries_dropped(self):
+        producer = RingBufferTracer(capacity=2)
+        for i in range(5):
+            producer.emit(TraceEvent(float(i), "capture"))
+        parent = RingBufferTracer()
+        parent.absorb_rows(
+            [e.as_dict() for e in producer.events()], dropped=producer.dropped
+        )
+        assert parent.emitted == 5
+        assert len(parent) == 2
+        assert parent.dropped == 3
+
+
+class TestStampingSink:
+    def test_stamps_unattributed_events(self):
+        ring = RingBufferTracer()
+        sink = stamping_sink(ring, 42)
+        sink.emit(TraceEvent(0.0, "capture"))
+        assert ring.events()[0].device == 42
+
+    def test_leaves_existing_device_alone(self):
+        ring = RingBufferTracer()
+        sink = stamping_sink(ring, 42)
+        sink.emit(TraceEvent(0.0, "capture", device=7))
+        assert ring.events()[0].device == 7

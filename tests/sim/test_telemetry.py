@@ -43,6 +43,29 @@ class TestRecorder:
         assert len(sparse.buffer_samples) < len(dense.buffer_samples)
         assert len(sparse.buffer_samples) >= len(dense.buffer_samples) // 4
 
+    def test_sampling_does_not_thin_occupancy_statistics(self, steady_trace):
+        # Peak/mean run over every capture tick; sample_every thins only
+        # the stored series.
+        dense, _ = run_with_telemetry(NoAdaptPolicy(), steady_trace, sample_every=1)
+        sparse, _ = run_with_telemetry(NoAdaptPolicy(), steady_trace, sample_every=4)
+        assert sparse.peak_occupancy() == dense.peak_occupancy()
+        assert sparse.mean_occupancy() == dense.mean_occupancy()
+
+    def test_sampled_peak_can_exceed_stored_samples(self, low_power_trace):
+        # Under low power the buffer fills and drains; a coarse sampler
+        # can easily miss the tick where occupancy peaked — the statistic
+        # must not.
+        dense, _ = run_with_telemetry(
+            NoAdaptPolicy(), low_power_trace, duration=60.0, sample_every=1
+        )
+        sparse, _ = run_with_telemetry(
+            NoAdaptPolicy(), low_power_trace, duration=60.0, sample_every=7
+        )
+        assert sparse.peak_occupancy() == dense.peak_occupancy()
+        assert sparse.mean_occupancy() == dense.mean_occupancy()
+        stored_peak = max(s.occupancy for s in sparse.buffer_samples)
+        assert stored_peak <= sparse.peak_occupancy()
+
     def test_samples_carry_physical_state(self, steady_trace):
         telemetry, _ = run_with_telemetry(NoAdaptPolicy(), steady_trace)
         sample = telemetry.buffer_samples[0]

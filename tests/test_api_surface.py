@@ -55,6 +55,12 @@ API_SNAPSHOT = sorted([
     "FleetRollup",
     "MetricsRollup",
     "FleetRecorder",
+    # observability
+    "TraceEvent",
+    "RingBufferTracer",
+    "MetricsRegistry",
+    "fleet_registry",
+    "HeartbeatPublisher",
     # meta
     "__version__",
 ])

@@ -154,3 +154,52 @@ def test_section8_parallel_grids():
     assert results == run_grid(cfg, grid, seeds=(0, 1), jobs=1)
     assert results.ok and not results.failures
     assert results["QZ"].ibo_fraction_std >= 0.0
+
+
+def test_section11_observability(tutorial_world, tmp_path):
+    """The 'Watching a run' walkthrough: tracer, exporters, registry."""
+    import json
+
+    from repro.api import (
+        FleetSpec,
+        RingBufferTracer,
+        fleet_registry,
+        run_fleet,
+    )
+    from repro.obs import (
+        validate_chrome_trace,
+        validate_jsonl_events,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    app, trace, schedule = tutorial_world
+    tracer = RingBufferTracer()
+    plain = simulate(build_apollo_app(), QuetzalRuntime(), trace, schedule,
+                     config=SimulationConfig(seed=42))
+    traced = simulate(build_apollo_app(), QuetzalRuntime(), trace, schedule,
+                      config=SimulationConfig(seed=42), tracer=tracer)
+    # Opt-in and free: observing never changes the result.
+    assert traced.to_dict() == plain.to_dict()
+    counts = tracer.counts_by_kind()
+    assert counts["capture"] == traced.captures_total
+    assert counts["decision"] == traced.policy_invocations
+
+    chrome = str(tmp_path / "run.chrome.json")
+    jsonl = str(tmp_path / "run.jsonl")
+    write_chrome_trace(tracer.events(), chrome)
+    write_jsonl(tracer.events(), jsonl)
+    with open(chrome) as handle:
+        assert validate_chrome_trace(json.load(handle)) == []
+    with open(jsonl) as handle:
+        rows = [json.loads(line) for line in handle]
+    assert validate_jsonl_events(rows) == []
+
+    # Per-shard registries merge to exactly the whole-fleet registry.
+    spec = FleetSpec(devices=6, seed=7, n_events=3, policies=("NA", "TH50"))
+    result = run_fleet(spec, shards=2, jobs=1)
+    registry = fleet_registry(result.rollup)
+    assert "repro_captures_total" in registry.to_prometheus()
+    assert registry.to_dict() == fleet_registry(
+        run_fleet(spec, shards=1, jobs=1, kernel="vector").rollup
+    ).to_dict()
