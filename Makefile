@@ -1,6 +1,6 @@
 # Convenience targets for the Quetzal reproduction.
 
-.PHONY: install test lint bench bench-record bench-figures fleet-smoke obs-smoke figures figures-paper-scale examples clean
+.PHONY: install test lint bench bench-record bench-figures fleet-smoke obs-smoke trace-smoke figures figures-paper-scale examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -48,6 +48,14 @@ fleet-smoke:
 # artifacts (CI uploads them); scale with OBS_SMOKE_DEVICES/_SHARDS.
 obs-smoke:
 	PYTHONPATH=src python benchmarks/obs_smoke.py
+
+# Trace-store gate: builds a small memory-mapped store through the CLI,
+# verifies its digests, and fails unless fleet rollups with --trace-store
+# are byte-identical to the generator path on both kernels.  Set
+# TRACE_SMOKE_DIR to keep the store manifest (CI uploads it); scale with
+# TRACE_SMOKE_DEVICES.
+trace-smoke:
+	PYTHONPATH=src python benchmarks/trace_smoke.py
 
 # Regenerate every table and figure at the default (fast) scale.
 figures:

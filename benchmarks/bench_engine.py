@@ -100,6 +100,13 @@ FLEET_CI_REFERENCE_DEVICES = 12
 #: sides of the ratio ride the same machine, cancelling most load noise.
 FLEET_SPEEDUP_RETENTION = float(os.environ.get("BENCH_FLEET_RETENTION", "0.8"))
 
+#: Self-contained ``--check`` gate for fleet input setup: attaching the
+#: memory-mapped trace store must beat regenerating traces/schedules by
+#: at least this factor.  Both sides are timed in the same run on the
+#: same machine, so no committed baseline is needed and the threshold
+#: can sit well below the recorded ~6-7x without tripping on noise.
+FLEET_SETUP_SPEEDUP = float(os.environ.get("BENCH_FLEET_SETUP_SPEEDUP", "2.0"))
+
 
 def build_case(name):
     """(trace, schedule, policy factory) for a named case."""
@@ -135,14 +142,24 @@ def run_fleet_scale_case(
     :class:`~repro.fleet.kernel.KernelStats` breakdown rides along in the
     result under ``"phases"`` (lane build is reported there too, but it
     stays outside ``wall_s`` — inputs are prebuilt, as in every case).
+
+    The result's ``"setup"`` block times the input-setup path itself:
+    generator-backed lane build vs attaching a
+    :class:`~repro.trace.store.TraceStore` populated from the already
+    built lanes (no regeneration), with the store's build cost reported
+    alongside.  The store/generator ratio is self-contained — both sides
+    ride this run's machine — and ``--check`` gates it against
+    ``FLEET_SETUP_SPEEDUP``.
     """
     import dataclasses as _dc
+    import tempfile
 
     from repro.experiments.harness import standard_policies
     from repro.experiments.runner import RunSpec, _attempt_spec
     from repro.fleet import kernel
     from repro.fleet.spec import FleetSpec
     from repro.sim.engine import SimulationEngine
+    from repro.trace.store import TraceStore
 
     devices = FLEET_DEVICES if devices is None else devices
     scalar_devices = (
@@ -159,12 +176,31 @@ def run_fleet_scale_case(
     factories = standard_policies()
     kinds = kernel._vector_kernel_policies(factories)
     build_start = time.perf_counter()
-    lanes, scalar_lanes = kernel._build_lanes(spec, range(spec.devices), kinds)
+    lanes, scalar_lanes, _ = kernel._build_lanes(spec, range(spec.devices), kinds)
     lane_build_s = time.perf_counter() - build_start
     if scalar_lanes:
         raise RuntimeError(
             f"bench spec produced {len(scalar_lanes)} ineligible lane(s)"
         )
+
+    # Input-setup comparison: persist the prebuilt lanes' traces and
+    # schedules into a store (no regeneration — put_for_config reuses the
+    # built objects), then rebuild the lanes by memory-mapped attach.
+    with tempfile.TemporaryDirectory(prefix="bench-trace-store-") as tmp:
+        store = TraceStore.create(tmp)
+        store_start = time.perf_counter()
+        for lane in lanes:
+            store.put_for_config(lane.config, trace=lane.trace, schedule=lane.schedule)
+        store.save()
+        store_build_s = time.perf_counter() - store_start
+        attach_start = time.perf_counter()
+        store_lanes, _, store_attach_s = kernel._build_lanes(
+            spec, range(spec.devices), kinds, store=store
+        )
+        lane_build_store_s = time.perf_counter() - attach_start
+        if len(store_lanes) != len(lanes):
+            raise RuntimeError("store-backed lane build lost lanes")
+        del store_lanes, store
 
     def rerun_scalar(lane, fast_paths=True):
         config = lane.config
@@ -229,6 +265,13 @@ def run_fleet_scale_case(
         "ms_per_device_reference": round(reference_ms, 3),
         "speedup_vs_scalar": round(scalar_ms / vector_ms, 2),
         "speedup_vs_reference": round(reference_ms / vector_ms, 2),
+        "setup": {
+            "lane_build_s": round(lane_build_s, 4),
+            "store_build_s": round(store_build_s, 4),
+            "lane_build_store_s": round(lane_build_store_s, 4),
+            "store_attach_s": round(store_attach_s, 4),
+            "speedup": round(lane_build_s / lane_build_store_s, 2),
+        },
         "phases": {
             key: round(value, 4) if isinstance(value, float) else value
             for key, value in best_stats.as_dict().items()
@@ -415,6 +458,13 @@ def cmd_record(args) -> int:
                 f"{res['speedup_vs_scalar']:.2f}x vs scalar, "
                 f"{res['speedup_vs_reference']:.2f}x vs reference"
             )
+            setup = res.get("setup")
+            if setup is not None:
+                print(
+                    f"  {name + '.setup':24s} {setup['lane_build_store_s']:8.4f}s"
+                    f" store-backed lane build vs {setup['lane_build_s']:.4f}s "
+                    f"generated ({setup['speedup']:.2f}x)"
+                )
             continue
         if "disabled_overhead_pct" in res:
             print(
@@ -478,24 +528,37 @@ def cmd_check(args) -> int:
             ref = base
             if res.get("devices") != base.get("devices"):
                 ci = base.get("ci_scale")
-                if ci and ci.get("devices") == res.get("devices"):
-                    ref = ci
-                else:
-                    print(
-                        f"  {name:24s} {res['speedup_vs_scalar']:.2f}x vs "
-                        f"scalar at {res.get('devices')} devices (no "
-                        f"matching-scale baseline; informational)"
-                    )
-                    continue
-            retained = res["speedup_vs_scalar"] / ref["speedup_vs_scalar"]
-            ok = retained >= FLEET_SPEEDUP_RETENTION
-            status = "ok" if ok else "REGRESSION"
-            print(
-                f"  {name:24s} {res['speedup_vs_scalar']:.2f}x vs scalar "
-                f"(baseline {ref['speedup_vs_scalar']:.2f}x at "
-                f"{ref.get('devices')} devices, retained "
-                f"{retained:.2f}, floor {FLEET_SPEEDUP_RETENTION:.2f})  {status}"
-            )
+                ref = ci if ci and ci.get("devices") == res.get("devices") else None
+            if ref is None:
+                ok = True
+                print(
+                    f"  {name:24s} {res['speedup_vs_scalar']:.2f}x vs "
+                    f"scalar at {res.get('devices')} devices (no "
+                    f"matching-scale baseline; informational)"
+                )
+            else:
+                retained = res["speedup_vs_scalar"] / ref["speedup_vs_scalar"]
+                ok = retained >= FLEET_SPEEDUP_RETENTION
+                status = "ok" if ok else "REGRESSION"
+                print(
+                    f"  {name:24s} {res['speedup_vs_scalar']:.2f}x vs scalar "
+                    f"(baseline {ref['speedup_vs_scalar']:.2f}x at "
+                    f"{ref.get('devices')} devices, retained "
+                    f"{retained:.2f}, floor {FLEET_SPEEDUP_RETENTION:.2f})  {status}"
+                )
+            setup = res.get("setup")
+            if setup is not None:
+                # Self-contained gate (like obs_overhead): both sides of
+                # the setup ratio were timed in this run.
+                setup_ok = setup["speedup"] >= FLEET_SETUP_SPEEDUP
+                setup_status = "ok" if setup_ok else "REGRESSION"
+                print(
+                    f"  {name + '.setup':24s} {setup['speedup']:.2f}x store "
+                    f"attach vs regenerate ({setup['lane_build_store_s']:.3f}s "
+                    f"vs {setup['lane_build_s']:.3f}s, floor "
+                    f"{FLEET_SETUP_SPEEDUP:.1f})  {setup_status}"
+                )
+                ok = ok and setup_ok
         else:
             ratio = res["wall_s"] / base["wall_s"]
             ok = ratio <= args.tolerance

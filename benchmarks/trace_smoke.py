@@ -1,0 +1,84 @@
+"""Trace-store smoke test (the `make trace-smoke` / CI gate).
+
+Drives the real CLIs end to end on a small fleet:
+
+1. ``python -m repro.trace store build`` a store holding every trace and
+   schedule the fleet's devices need, then ``store ls`` / ``store
+   verify`` it;
+2. run the fleet *without* the store (scalar and vector kernels) and
+   keep the exact rollup JSONs;
+3. run it again with ``--trace-store`` on both kernels and require the
+   rollups to be *byte-identical* to the generator-backed ones — the
+   memory-mapped store is only ever a faster spelling of the generators.
+
+Exits non-zero (with a diagnostic) on any deviation.  Scale via
+``TRACE_SMOKE_DEVICES`` (default 24 — a few seconds); set
+``TRACE_SMOKE_DIR`` to keep the store manifest as an artifact (CI
+uploads it).
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+
+from repro.fleet.__main__ import main as fleet_main
+from repro.trace.__main__ import main as trace_main
+
+
+def run(module: str, main, args: list[str], expect: int = 0) -> None:
+    print(f"$ python -m {module} {' '.join(args)}")
+    code = main(args)
+    if code != expect:
+        print(f"FAIL: exit code {code}, expected {expect}", file=sys.stderr)
+        sys.exit(1)
+
+
+def read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def main_smoke() -> int:
+    devices = os.environ.get("TRACE_SMOKE_DEVICES", "24")
+    keep_dir = os.environ.get("TRACE_SMOKE_DIR")
+    spec = ["--devices", devices, "--seed", "3", "--events", "5"]
+    with tempfile.TemporaryDirectory(prefix="trace-smoke-") as tmp:
+        store = os.path.join(tmp, "store")
+        run("repro.trace", trace_main, ["store", "build", store] + spec + ["--quiet"])
+        run("repro.trace", trace_main, ["store", "ls", store])
+        run("repro.trace", trace_main, ["store", "verify", store])
+
+        rollups = {}
+        for kernel in ("scalar", "vector"):
+            for backing, extra in (("generated", []), ("store", ["--trace-store", store])):
+                path = os.path.join(tmp, f"{kernel}-{backing}.json")
+                run(
+                    "repro.fleet", fleet_main,
+                    spec + ["--kernel", kernel, "--quiet", "--json", path] + extra,
+                )
+                rollups[(kernel, backing)] = read(path)
+
+        reference = rollups[("scalar", "generated")]
+        for key, payload in rollups.items():
+            if payload != reference:
+                print(
+                    f"FAIL: {key[0]} kernel with {key[1]} inputs differs "
+                    f"from the generator-backed scalar rollup", file=sys.stderr,
+                )
+                return 1
+
+        if keep_dir:
+            os.makedirs(keep_dir, exist_ok=True)
+            shutil.copy(
+                os.path.join(store, "manifest.json"),
+                os.path.join(keep_dir, "manifest.json"),
+            )
+            print(f"kept store manifest -> {keep_dir}/manifest.json")
+    print("trace-smoke OK: store-backed rollups byte-identical to the "
+          "generator path on both kernels")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_smoke())

@@ -15,7 +15,9 @@ Everything exported here — and exactly this list, pinned by
 * **the systems under test** — ``QuetzalRuntime`` and every paper
   baseline behind the common ``Policy`` interface;
 * **workloads and worlds** — ``build_apollo_app`` / ``build_msp430_app``,
-  solar traces, and the named sensing environments;
+  solar traces, the named sensing environments, and the memory-mapped
+  ``TraceStore`` of prebuilt traces/schedules
+  (``run_fleet(trace_store=...)``);
 * **grids** — ``ExperimentConfig`` / ``run_grid`` /
   ``standard_policies`` / ``ExperimentRunner`` for policy × seed sweeps;
 * **fleets** — ``run_fleet`` over a ``FleetSpec`` for batch populations
@@ -65,6 +67,7 @@ from repro.sim.engine import SimulationConfig, SimulationEngine, simulate
 from repro.sim.metrics import MetricsRollup, RunMetrics
 from repro.sim.telemetry import FleetRecorder, TelemetryRecorder
 from repro.trace.solar import SolarTraceConfig, SolarTraceGenerator
+from repro.trace.store import TraceStore
 from repro.workload.pipelines import build_apollo_app, build_msp430_app
 
 __all__ = [
@@ -87,6 +90,7 @@ __all__ = [
     "build_msp430_app",
     "SolarTraceGenerator",
     "SolarTraceConfig",
+    "TraceStore",
     "environment_by_name",
     "EventSchedule",
     "EventScheduleGenerator",

@@ -110,6 +110,79 @@ class EventSchedule:
         self._events: tuple[Event, ...] = tuple(events)
         self._starts = [e.start for e in self._events]
 
+    @classmethod
+    def _from_arrays(
+        cls,
+        starts: np.ndarray,
+        durations: np.ndarray,
+        interesting: np.ndarray,
+        diff_probability: float,
+        background_diff_probability: float,
+    ) -> "EventSchedule":
+        """Rebuild a schedule from its column arrays without re-validation.
+
+        The trace-store attach path: the arrays were persisted from an
+        already-validated schedule (sorted, non-overlapping, positive
+        durations), so ordering checks and per-event ``__post_init__``
+        validation are skipped.  The :class:`Event` tuple itself is
+        materialized lazily on first access — the vector kernel reads
+        only :meth:`arrays`, so store-backed lanes never pay for the
+        per-event objects unless a scalar fallback needs them.
+        """
+        schedule = cls.__new__(cls)
+        schedule.diff_probability = diff_probability
+        schedule.background_diff_probability = background_diff_probability
+        schedule._arrays = (
+            np.asarray(starts, dtype=np.float64),
+            np.asarray(durations, dtype=np.float64),
+            np.asarray(interesting, dtype=bool),
+        )
+        return schedule
+
+    def __getattr__(self, name: str):
+        # Lazy materialization for _from_arrays instances; every other
+        # missing attribute is a genuine AttributeError.
+        if name == "_events":
+            starts, durations, interesting = self._arrays
+            make, setattr_ = Event.__new__, object.__setattr__
+            events = []
+            for s, d, i in zip(
+                starts.tolist(), durations.tolist(), interesting.tolist()
+            ):
+                ev = make(Event)
+                setattr_(ev, "start", s)
+                setattr_(ev, "duration", d)
+                setattr_(ev, "interesting", i)
+                events.append(ev)
+            self._events = value = tuple(events)
+            return value
+        if name == "_starts":
+            value = [e.start for e in self._events]
+            self._starts = value
+            return value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(starts, durations, interesting)`` column arrays, cached.
+
+        The canonical columnar view of the schedule: float64 start times
+        and durations plus a bool interesting flag, in event order.  This
+        is the layout the trace store persists and the vector kernel's
+        event tables load from (``end = start + duration`` element-wise
+        reproduces ``Event.end`` exactly).
+        """
+        cached = getattr(self, "_arrays", None)
+        if cached is None:
+            events = self._events
+            cached = self._arrays = (
+                np.array([e.start for e in events], dtype=np.float64),
+                np.array([e.duration for e in events], dtype=np.float64),
+                np.array([e.interesting for e in events], dtype=bool),
+            )
+        return cached
+
     def __len__(self) -> int:
         return len(self._events)
 
@@ -126,6 +199,15 @@ class EventSchedule:
     @property
     def end_time(self) -> float:
         """Time at which the last event ends (0 for an empty schedule)."""
+        arrays = getattr(self, "_arrays", None)
+        if arrays is not None:
+            # Store-attached path: float(start) + float(duration) is the
+            # exact op sequence of Event.end, without materializing the
+            # event tuple.
+            starts, durations, _ = arrays
+            if starts.shape[0] == 0:
+                return 0.0
+            return float(starts[-1]) + float(durations[-1])
         return self._events[-1].end if self._events else 0.0
 
     @property

@@ -49,6 +49,13 @@ __all__ = [
 DEFAULT_SIM_EVENTS = 1000
 DEFAULT_HW_EVENTS = 100
 
+#: Trace-store key templates (see ``trace_store_key``): seed-0 key dicts
+#: cached per cell count / per (generator, n_events), shallow-copied with
+#: the real seed per call.  The schedule cache keeps a strong reference
+#: to its generator so cached ``id()`` keys stay valid.
+_SOLAR_KEY_TEMPLATES: dict = {}
+_SCHEDULE_KEY_TEMPLATES: dict = {}
+
 
 @keyword_only
 @dataclass(frozen=True)
@@ -140,6 +147,48 @@ class ExperimentConfig:
     def schedule_key(self) -> tuple:
         """Hashable identity of :meth:`build_schedule`'s inputs."""
         return (self.environment, self.n_events, self.schedule_seed)
+
+    # -- trace-store keys --------------------------------------------------------
+    #
+    # The persistent, process-independent identities of the same builders:
+    # full generator params + seed, fingerprinted by the trace store.  A
+    # store entry written for one config is found by any other config
+    # whose builder would generate identical data.  Key templates (the
+    # params dicts) are cached per generator — fleet lane builds call
+    # these once per device, and re-running ``dataclasses.asdict`` per
+    # lane measurably dented the store's setup win.
+
+    def trace_store_key(self) -> dict:
+        """:mod:`repro.trace.store` key of :meth:`build_trace`'s output."""
+        base = _SOLAR_KEY_TEMPLATES.get(self.cells)
+        if base is None:
+            from repro.trace.store import solar_store_key
+
+            base = solar_store_key(SolarTraceConfig(cells=self.cells), 0)
+            _SOLAR_KEY_TEMPLATES[self.cells] = base
+        key = dict(base)
+        key["seed"] = self.trace_seed
+        return key
+
+    def schedule_store_key(self) -> dict:
+        """:mod:`repro.trace.store` key of :meth:`build_schedule`'s output."""
+        generator = self.environment.generator
+        cached = _SCHEDULE_KEY_TEMPLATES.get((id(generator), self.n_events))
+        # The cache holds a strong reference to the generator, so a hit's
+        # id() cannot have been recycled; the identity check is belt and
+        # braces.
+        if cached is None or cached[0] is not generator:
+            from repro.trace.store import schedule_store_key
+
+            base = schedule_store_key(generator, self.n_events, 0)
+            _SCHEDULE_KEY_TEMPLATES[(id(generator), self.n_events)] = (
+                generator, base,
+            )
+        else:
+            base = cached[1]
+        key = dict(base)
+        key["seed"] = self.schedule_seed
+        return key
 
     # -- variants ---------------------------------------------------------------
 

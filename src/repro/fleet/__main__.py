@@ -6,6 +6,8 @@ Usage::
         --checkpoint runs/fleet-1k            # journal as shards finish
     python -m repro.fleet --devices 1000 --shards 16 --jobs 0 \\
         --checkpoint runs/fleet-1k --resume   # pick up after a kill
+    python -m repro.fleet --devices 1000 --trace-store runs/store \\
+        --kernel vector                       # attach prebuilt traces
 
 Shares ``--jobs`` / ``--profile`` / ``--profile-dir`` semantics with
 ``python -m repro.experiments`` (one helper:
@@ -25,7 +27,7 @@ import json
 import sys
 import time
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TraceError
 from repro.experiments.cli import add_execution_flags, jobs_from_args, profiled
 from repro.fleet.service import run_fleet
 from repro.fleet.spec import FleetSpec
@@ -75,6 +77,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the vector kernel's per-phase timing "
                         "breakdown (setup / CTRL / ADV / RECHG / fallback) "
                         "after the run")
+    parser.add_argument("--trace-store", type=str, default=None, metavar="DIR",
+                        help="attach a prebuilt memory-mapped trace store "
+                        "(python -m repro.trace store build) instead of "
+                        "regenerating traces/schedules per device; missing "
+                        "entries fall back to the generators, and results "
+                        "are byte-identical either way")
     parser.add_argument("--checkpoint", type=str, default=None, metavar="DIR",
                         help="journal completed shards into DIR")
     parser.add_argument("--resume", action="store_true",
@@ -166,11 +174,12 @@ def main(argv: list[str] | None = None) -> int:
                     progress=progress,
                     trace=tracer,
                     heartbeat=heartbeat,
+                    trace_store=args.trace_store,
                 )
         finally:
             if telemetry_handle is not None:
                 telemetry_handle.close()
-    except ConfigurationError as exc:
+    except (ConfigurationError, TraceError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -15,8 +15,12 @@ pass over the columns regardless of how many lanes are in the state, which
 beats gathers once each state holds a reasonable fraction of lanes — and
 the batch *compacts* (harvests finished columns and shrinks every matrix)
 as lanes die, so full width tracks the live population and the longest-
-lived stragglers no longer drag near-empty rounds (the old ``D // 64``
-scalar-handoff cutoff is gone; stragglers finish in-kernel).
+lived stragglers no longer drag near-empty rounds.  The old fixed
+``D // 64`` scalar-handoff cutoff is replaced by an *adaptive* one
+(``_should_handoff``): stragglers finish in-kernel unless the measured
+live-width decay shows the tail has both shrunk below 1/64 of the batch
+and stopped completing, in which case the survivors are handed to the
+scalar engine.
 
 The contract is the same one ``tests/sim/test_fast_paths.py`` pins for the
 scalar engine's fast paths: **bit-identical** :class:`RunMetrics`, not
@@ -102,8 +106,27 @@ _K_NOADAPT, _K_ALWAYS, _K_BUFFER, _K_POWER = 0, 1, 2, 3
 #: Classification draws fetched per device per refill.  Any size yields the
 #: same stream (Generator.random(n) == n scalar draws); capture draws are
 #: chunked at 1024 to mirror the scalar engine's own chunking exactly.
+#:
+#: Cohort-refill contract: refills are batched and double-buffered — each
+#: lane's draw buffer holds *two* chunks, and whenever any drawing lane
+#: runs dry, every lane within one chunk of empty is topped up in the same
+#: pass (one C-level ``Generator.random(out=)`` fill per lane, no per-pass
+#: allocation).  Topping a lane up *ahead* of consumption is stream-safe
+#: under the same equivalence: the lane's generator is still invoked in
+#: the identical chunk-sized call sequence, and draws generated early are
+#: simply consumed later, so the value read for draw ``k`` never changes.
 _CLS_CHUNK = 256
 _CAP_CHUNK = 1024
+
+#: Adaptive straggler handoff (see ``_VectorBatch._should_handoff``): the
+#: live width must have decayed below 1/64 of the batch's initial width,
+#: and the completion rate over the trailing window must have collapsed to
+#: below 1/8 of the whole-run average, before the kernel hands the
+#: remaining stragglers to the scalar engine.  Rate is re-measured every
+#: window, so a batch whose tail is still finishing lanes stays in-kernel.
+_HANDOFF_WINDOW = 512
+_HANDOFF_WIDTH_DIV = 64
+_HANDOFF_RATE_DIV = 8.0
 
 
 @dataclass
@@ -122,6 +145,7 @@ class KernelStats:
     iterations: int = 0
     compactions: int = 0
     lane_build_s: float = 0.0
+    attach_s: float = 0.0     #: trace-store attach time (subset of lane build)
     batch_init_s: float = 0.0
     ctrl_s: float = 0.0
     adv_s: float = 0.0
@@ -165,7 +189,8 @@ class KernelStats:
             f"batches: {self.batches}  iterations: {self.iterations}  "
             f"compactions: {self.compactions}",
             f"setup    {self.setup_s:8.3f} s  {pct(self.setup_s)}  "
-            f"(lane build {self.lane_build_s:.3f} s, "
+            f"(lane build {self.lane_build_s:.3f} s"
+            f" incl. store attach {self.attach_s:.3f} s, "
             f"batch init {self.batch_init_s:.3f} s)",
             f"CTRL     {self.ctrl_s:8.3f} s  {pct(self.ctrl_s)}",
             f"ADV      {self.adv_s:8.3f} s  {pct(self.adv_s)}",
@@ -308,11 +333,16 @@ class _Lane:
         "sim", "shape", "kind", "storage",
     )
 
-    def __init__(self, device, policy_name, config, traces=None, schedules=None):
+    def __init__(self, device, policy_name, config, traces=None, schedules=None,
+                 trace=None, schedule=None):
         self.device = device
         self.policy_name = policy_name
         self.config = config
-        if traces is None:
+        # Prebuilt (store-attached) artifacts win outright; otherwise fall
+        # through to the per-chunk generator caches.
+        if trace is not None:
+            self.trace = trace
+        elif traces is None:
             self.trace = config.build_trace()
         else:
             key = config.trace_key()
@@ -320,7 +350,9 @@ class _Lane:
             if trace is None:
                 trace = traces[key] = config.build_trace()
             self.trace = trace
-        if schedules is None:
+        if schedule is not None:
+            self.schedule = schedule
+        elif schedules is None:
             self.schedule = config.build_schedule()
         else:
             key = config.schedule_key()
@@ -407,7 +439,8 @@ _F_FIELDS = _F_CONST_FIELDS + _F_DYN_FIELDS
 
 #: int64 rows: cursors, buffer occupancy, and integer metric counters.
 _I_FIELDS = (
-    "cap_idx", "cap_pos", "cls_pos", "occ", "ev_idx", "exec_slot", "seg",
+    "cap_idx", "cap_pos", "cap_fill", "cls_pos", "cls_fill",
+    "occ", "ev_idx", "exec_slot", "seg",
     "m_captures_active", "m_captures_interesting",
     "m_stored", "m_ibo_drops", "m_ibo_drops_interesting",
     "m_jobs_completed", "m_jobs_degraded", "m_false_negatives",
@@ -566,7 +599,13 @@ class _VectorBatch:
             trace = lane.trace
             self.powers[i] = trace._powers
             self.cum[i] = trace._cum_energy
-        E = max((len(lane.schedule.events) for lane in lanes), default=0)
+        # Schedules expose their columnar (starts, durations, interesting)
+        # view directly; ``starts + durations`` reproduces ``Event.end``
+        # element-wise, so no per-event Python objects are touched here
+        # (store-attached schedules never materialize them at all).
+        sched_arrays = [lane.schedule.arrays() for lane in lanes]
+        counts = [arr[0].shape[0] for arr in sched_arrays]
+        E = max(counts, default=0)
         self.E = E
         # Event tables are event-major (lane-minor): event cursors advance
         # in loose lockstep, so a capture tick gathers from a narrow band
@@ -578,23 +617,20 @@ class _VectorBatch:
         self.ev_ends = np.full((max(E, 1) + 1, D), -np.inf, dtype=f8)
         self.ev_int = np.zeros((max(E, 1) + 1, D), dtype=bool)
         if E > 0:
-            if all(len(lane.schedule.events) == E for lane in lanes):
-                self.ev_starts[:E] = np.array([
-                    [ev.start for ev in lane.schedule.events] for lane in lanes
-                ]).T
-                self.ev_ends[:E] = np.array([
-                    [ev.end for ev in lane.schedule.events] for lane in lanes
-                ]).T
-                self.ev_int[:E] = np.array([
-                    [ev.interesting for ev in lane.schedule.events]
-                    for lane in lanes
-                ]).T
+            if all(count == E for count in counts):
+                starts = np.array([arr[0] for arr in sched_arrays], dtype=f8)
+                durations = np.array([arr[1] for arr in sched_arrays], dtype=f8)
+                self.ev_starts[:E] = starts.T
+                self.ev_ends[:E] = (starts + durations).T
+                self.ev_int[:E] = np.array(
+                    [arr[2] for arr in sched_arrays], dtype=bool
+                ).T
             else:  # ragged schedules: pad per lane
-                for i, lane in enumerate(lanes):
-                    for j, ev in enumerate(lane.schedule.events):
-                        self.ev_starts[j, i] = ev.start
-                        self.ev_ends[j, i] = ev.end
-                        self.ev_int[j, i] = ev.interesting
+                for i, (starts, durations, interesting) in enumerate(sched_arrays):
+                    count = counts[i]
+                    self.ev_starts[:count, i] = starts
+                    self.ev_ends[:count, i] = starts + durations
+                    self.ev_int[:count, i] = interesting
         self.opt_names = [
             (
                 lane.shape[0].task.name, lane.shape[1].name, lane.shape[2].name,
@@ -612,8 +648,9 @@ class _VectorBatch:
         # Cached ``cap_idx * CAPP``: re-derived only where cap_idx moves
         # (the capture-fire loop), so the handlers read it for free.
         self.next_cap[:] = 1 * self.CAPP
-        self.cap_pos[:] = _CAP_CHUNK
-        self.cls_pos[:] = _CLS_CHUNK
+        # cap_pos/cls_pos (draws consumed) and cap_fill/cls_fill (draws
+        # generated) are absolute per-lane counters; both start at zero,
+        # so the first draw triggers a full-width cohort refill.
         self.ev_idx[:] = -1
         # Cached event-cursor reads (the cursor moves on a tiny fraction
         # of capture ticks, so per-tick 2D gathers from the event tables
@@ -632,11 +669,13 @@ class _VectorBatch:
         self.buf_int = np.zeros((D, C), dtype=bool)
         self.buf_job = np.zeros((D, C), dtype=np.int8)
         self.buf_used = np.zeros((D, C), dtype=bool)
-        # Chunked RNG draws (positions start exhausted -> refill on first
-        # use), lane-minor: capture draws are near-synchronized across
-        # lanes, so one tick reads a mostly-contiguous row.
-        self.cap_chunk = np.zeros((_CAP_CHUNK, D), dtype=f8)
-        self.cls_chunk = np.zeros((_CLS_CHUNK, D), dtype=f8)
+        # Chunked RNG draws, lane-minor (capture draws are near-synchronized
+        # across lanes, so one tick reads a mostly-contiguous row) and
+        # double-buffered: two chunk planes per lane, indexed by the
+        # absolute counters modulo 2*chunk, so a cohort refill can land a
+        # lane's next chunk while the current one still has unread draws.
+        self.cap_chunk = np.zeros((2 * _CAP_CHUNK, D), dtype=f8)
+        self.cls_chunk = np.zeros((2 * _CLS_CHUNK, D), dtype=f8)
 
         # -- phase accounting (read by the shard runner after run()) --
         self.iterations = 0
@@ -776,38 +815,56 @@ class _VectorBatch:
             local - self.times1d[seg]
         )
 
-    def _draw_caps(self, lanes):
-        """One differencing-filter draw per lane (chunked like the engine).
+    def _refill(self, pos, fill, rngs, table, chunk) -> None:
+        """Cohort-batched, double-buffered chunk refill (see _CLS_CHUNK note).
 
-        Refills are batched: lockstep capture ticks exhaust most lanes'
-        chunks on the same pass, so one stacked draw + column store beats
-        per-lane strided column writes.
+        Called when some drawing lane ran dry; tops up *every* live column
+        within one chunk of empty in the same pass, so loosely-desynced
+        lanes share refill passes instead of each triggering its own.
+        Each lane gets one C-level ``Generator.random(out=)`` fill into a
+        row of the staging block (no per-lane allocation, same stream as
+        chunked scalar draws), and the staging rows land in the lane's
+        free buffer plane in two contiguous strided stores grouped by
+        plane parity.  ``fill - pos <= chunk`` guarantees the landing
+        plane holds no unconsumed draws (buffer capacity is 2*chunk).
         """
+        cohort = ((fill - pos) <= chunk).nonzero()[0]
+        # Group by landing plane first so each plane's store is one
+        # contiguous slice of the staging block.
+        offsets = fill[cohort] & (2 * chunk - 1)  # 0 or chunk per lane
+        cohort = cohort[np.argsort(offsets, kind="stable")]
+        low = int(np.count_nonzero(offsets == 0))
+        rows = self.trow[cohort]
+        stage = np.empty((rows.size, chunk), dtype=np.float64)
+        for j, d in enumerate(rows.tolist()):
+            rngs[d].random(out=stage[j])
+        if low:
+            table[:chunk, rows[:low]] = stage[:low].T
+        if low < rows.size:
+            table[chunk:, rows[low:]] = stage[low:].T
+        fill[cohort] += chunk
+
+    def _draw_caps(self, lanes):
+        """One differencing-filter draw per lane (chunked like the engine)."""
         pos = self.cap_pos[lanes]
-        need = lanes[pos == _CAP_CHUNK]
-        if need.size:
-            rows = self.trow[need]
-            self.cap_chunk[:, rows] = np.stack(
-                [self.cap_rngs[d].random(_CAP_CHUNK) for d in rows], axis=1
+        if (pos == self.cap_fill[lanes]).any():
+            self._refill(
+                self.cap_pos, self.cap_fill, self.cap_rngs,
+                self.cap_chunk, _CAP_CHUNK,
             )
-            self.cap_pos[need] = 0
-            pos = self.cap_pos[lanes]
-        draws = self.cap_chunk[pos, self.trow[lanes]]
+        draws = self.cap_chunk[pos & (2 * _CAP_CHUNK - 1), self.trow[lanes]]
         self.cap_pos[lanes] = pos + 1
         return draws
 
     def _draw_cls(self, lanes):
         """One classification draw per lane (engine draws these singly)."""
         pos = self.cls_pos[lanes]
-        need = lanes[pos == _CLS_CHUNK]
-        if need.size:
-            rows = self.trow[need]
-            self.cls_chunk[:, rows] = np.stack(
-                [self.cls_rngs[d].random(_CLS_CHUNK) for d in rows], axis=1
+        if (pos == self.cls_fill[lanes]).any():
+            self._refill(
+                self.cls_pos, self.cls_fill, self.cls_rngs,
+                self.cls_chunk, _CLS_CHUNK,
             )
-            self.cls_pos[need] = 0
-            pos = self.cls_pos[lanes]
-        draws = self.cls_chunk[pos, self.trow[lanes]]
+        draws = self.cls_chunk[pos & (2 * _CLS_CHUNK - 1), self.trow[lanes]]
         self.cls_pos[lanes] = pos + 1
         return draws
 
@@ -1573,6 +1630,31 @@ class _VectorBatch:
             emit(TraceEvent(t, kind, device=device, dur=dur, data=data))
         rows.clear()
 
+    @staticmethod
+    def _should_handoff(initial, live, iters, window_done, window_iters) -> bool:
+        """Adaptive straggler cutoff, from measured live-width decay.
+
+        Hand the surviving lanes to the scalar engine only when both hold:
+
+        * the live width has decayed below ``initial / 64`` — dense
+          full-width passes are amortizing over almost nothing; and
+        * completions over the trailing ``window_iters`` iterations have
+          collapsed below 1/8 of the whole-run average rate — the tail is
+          *stalled*, not finishing, so the remaining in-kernel iteration
+          count is large compared to a scalar rerun.
+
+        Unlike the old fixed ``D // 64`` cutoff this never fires while the
+        tail is still completing lanes at a healthy rate (each window
+        re-measures), and it is pure policy: handed-off lanes are re-run
+        from scratch on the scalar oracle, so the choice can never change
+        a device's metrics (the parity sweep pins this).
+        """
+        if live == 0 or live * _HANDOFF_WIDTH_DIV > initial or iters <= 0:
+            return False
+        average_rate = (initial - live) / iters
+        window_rate = window_done / window_iters
+        return window_rate < average_rate / _HANDOFF_RATE_DIV
+
     def run(self) -> list[RunMetrics | None]:
         # Backstop far above any real run (spans per simulated second are
         # bounded by segment boundaries + captures + a few per job): lanes
@@ -1580,6 +1662,9 @@ class _VectorBatch:
         per_lane = self.hard_end / max(self.CAPP, 1e-9) + self.N
         max_iters = int(50 * float(per_lane.max(initial=0.0))) + 10_000
         iters = 0
+        initial_width = self.D
+        window_mark = _HANDOFF_WINDOW
+        window_live = initial_width
         perf = time.perf_counter
         t_ctrl = t_adv = t_rech = 0.0
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -1590,6 +1675,16 @@ class _VectorBatch:
                 dead = int(counts[_DONE])
                 if dead == width:
                     break
+                if iters >= window_mark:
+                    live = width - dead
+                    if self._should_handoff(
+                        initial_width, live, iters,
+                        window_live - live, _HANDOFF_WINDOW,
+                    ):
+                        self._anomalize((state != _DONE).nonzero()[0])
+                        break
+                    window_mark = iters + _HANDOFF_WINDOW
+                    window_live = live
                 if dead >= _COMPACT_MIN and dead * 8 >= width:
                     self._compact(state != _DONE)
                     state = self.state
@@ -1692,23 +1787,41 @@ class _VectorBatch:
 # Shard orchestration.
 # --------------------------------------------------------------------------
 
-def _build_lanes(spec, chunk, kinds):
-    """Build lanes for a device chunk; returns (vector, scalar) lane lists.
+def _build_lanes(spec, chunk, kinds, store=None):
+    """Build lanes for a device chunk; returns (vector, scalar, attach_s).
 
     Lane building allocates large long-lived arrays; cyclic GC passes over
     them are pure overhead, so collection is paused for the build.  Traces,
     schedules, and apps are shared across lanes via per-chunk caches.
+
+    With a :class:`repro.trace.store.TraceStore`, traces and schedules are
+    *attached* (zero-copy memmap views, memoized per distinct artifact) in
+    place of regeneration; entries missing from the store fall back to the
+    generator caches per artifact, so a partial store still helps.
+    ``attach_s`` is the seconds spent in store lookups (a subset of the
+    caller's lane-build wall time).
     """
     lanes = []
     traces: dict = {}
     schedules: dict = {}
     apps: dict = {}
+    attach_s = 0.0
+    perf = time.perf_counter
     gc_was_enabled = gc.isenabled()
     gc.disable()
     try:
         for device in chunk:
             policy_name, config = spec.device_config(device)
-            lanes.append(_Lane(device, policy_name, config, traces, schedules))
+            trace = schedule = None
+            if store is not None:
+                t0 = perf()
+                trace = store.trace_for(config)
+                schedule = store.schedule_for(config)
+                attach_s += perf() - t0
+            lanes.append(
+                _Lane(device, policy_name, config, traces, schedules,
+                      trace=trace, schedule=schedule)
+            )
         vector_lanes = [
             lane for lane in lanes if _lane_eligible(lane, kinds, apps)
         ]
@@ -1716,7 +1829,7 @@ def _build_lanes(spec, chunk, kinds):
         if gc_was_enabled:
             gc.enable()
     scalar_lanes = [lane for lane in lanes if lane.kind is None]
-    return vector_lanes, scalar_lanes
+    return vector_lanes, scalar_lanes, attach_s
 
 
 def _run_lane_groups(vector_lanes, stats: KernelStats | None = None,
@@ -1763,7 +1876,7 @@ def _run_lane_groups(vector_lanes, stats: KernelStats | None = None,
 
 def vector_shard_outcomes(
     spec, device_range, retries: int = 1, factories=None,
-    stats: KernelStats | None = None, tracer=None,
+    stats: KernelStats | None = None, tracer=None, store=None,
 ):
     """Simulate ``device_range`` of ``spec``; return ``{device: outcome}``.
 
@@ -1775,6 +1888,8 @@ def vector_shard_outcomes(
     :class:`repro.obs.TraceSink` to record device-stamped timeline events
     (fallback lanes emit through the scalar engine, wrapped in a
     stamping sink, so the stream stays device-attributed either way).
+    ``store`` (a :class:`repro.trace.store.TraceStore`) replaces per-lane
+    trace/schedule regeneration with zero-copy memmap attach.
     """
     if factories is None:
         from repro.experiments.harness import standard_policies
@@ -1787,9 +1902,12 @@ def vector_shard_outcomes(
     for start in range(0, len(devices), _MAX_BATCH):
         chunk = devices[start : start + _MAX_BATCH]
         t0 = perf()
-        vector_lanes, scalar_lanes = _build_lanes(spec, chunk, kinds)
+        vector_lanes, scalar_lanes, attach_s = _build_lanes(
+            spec, chunk, kinds, store
+        )
         if stats is not None:
             stats.lane_build_s += perf() - t0
+            stats.attach_s += attach_s
             stats.lanes += len(vector_lanes)
             stats.scalar_lanes += len(scalar_lanes)
         rerun = list(scalar_lanes)

@@ -79,6 +79,23 @@ class FleetResult:
 _KERNELS = ("scalar", "vector", "auto")
 
 
+def _resolve_store(trace_store):
+    """Normalize ``trace_store``: a directory path opens a TraceStore.
+
+    Resolved once in the parent before the shard fan-out — forked workers
+    inherit the already-parsed manifest and the read-only file mappings,
+    so attaching a store adds no per-worker setup and no extra RSS (the
+    mapped pages are shared).
+    """
+    if trace_store is None or isinstance(trace_store, str):
+        if trace_store is None:
+            return None
+        from repro.trace.store import TraceStore
+
+        return TraceStore.open(trace_store)
+    return trace_store
+
+
 def resolve_kernel(spec: FleetSpec, kernel: str, factories=None) -> str:
     """Collapse ``"auto"`` to a concrete kernel for ``spec``.
 
@@ -111,6 +128,7 @@ def run_shard(
     kernel: str = "scalar",
     stats=None,
     tracer=None,
+    trace_store=None,
 ) -> FleetRollup:
     """Simulate one shard's devices, folding outcomes in device order.
 
@@ -132,17 +150,24 @@ def run_shard(
     :class:`~repro.obs.events.TraceEvent` rows from every device in the
     shard (same observability status: never journaled, never part of the
     rollup, and the rollup stays bit-identical with or without it).
+    ``trace_store`` optionally names (or is) a
+    :class:`~repro.trace.store.TraceStore`; devices whose trace/schedule
+    the store holds attach the memory-mapped arrays instead of
+    regenerating them — a pure setup-time optimization, pinned
+    byte-identical to the generator path by ``tests/fleet``.  Missing
+    entries fall back to the generators silently.
     """
     kernel = resolve_kernel(spec, kernel)
     device_range = shard_ranges(spec.devices, shards)[shard]
     factories = standard_policies()
+    store = _resolve_store(trace_store)
     rollup = FleetRollup()
     if kernel == "vector":
         from repro.fleet.kernel import vector_shard_outcomes
 
         outcomes = vector_shard_outcomes(
             spec, device_range, retries=retries, factories=factories,
-            stats=stats, tracer=tracer,
+            stats=stats, tracer=tracer, store=store,
         )
         for device in device_range:
             policy_name = spec.device_config(device)[0]
@@ -154,11 +179,15 @@ def run_shard(
         return rollup
     for device in device_range:
         policy_name, config = spec.device_config(device)
+        trace = schedule = None
+        if store is not None:
+            trace = store.trace_for(config)
+            schedule = store.schedule_for(config)
         outcome = _attempt_spec(
             RunSpec(policy=policy_name, seed=0, config=config),
             factories[policy_name],
-            config.build_trace(),
-            config.build_schedule(),
+            trace if trace is not None else config.build_trace(),
+            schedule if schedule is not None else config.build_schedule(),
             retries,
             tracer=None if tracer is None else stamping_sink(tracer, device),
         )
@@ -183,6 +212,7 @@ def run_fleet(
     progress=None,
     trace=None,
     heartbeat=None,
+    trace_store=None,
 ) -> FleetResult:
     """Run a whole fleet, sharded, stream-aggregated, and resumable.
 
@@ -235,8 +265,15 @@ def run_fleet(
         ``start``, one throttled ``on_shard`` per completed shard (in
         completion order — this is wall-clock telemetry, not part of the
         deterministic result), and ``finish``.
+    trace_store:
+        Optional :class:`~repro.trace.store.TraceStore` (or a store
+        directory path) of prebuilt traces/schedules; see
+        :func:`run_shard`.  The store is opened once here and inherited
+        by forked shard workers, and the rollup is byte-identical with
+        or without it.
     """
     shards = min(max(1, shards), spec.devices)
+    trace_store = _resolve_store(trace_store)
     requested_kernel = kernel
     kernel = resolve_kernel(spec, kernel)
     if requested_kernel == "auto" and progress is not None:
@@ -296,7 +333,7 @@ def run_fleet(
             )
         rollup = run_shard(
             spec, shards, pending[position], retries, kernel=kernel,
-            stats=stats, tracer=local,
+            stats=stats, tracer=local, trace_store=trace_store,
         )
         payload = {
             "rollup": rollup.to_dict(),

@@ -11,6 +11,7 @@ from repro.trace.io import load_trace_csv, save_trace_csv, trace_from_rows
 from repro.trace.power_trace import PiecewiseConstantTrace, PowerTrace
 from repro.trace.solar import SolarTraceConfig, SolarTraceGenerator
 from repro.trace.stats import TraceSummary, fraction_above, percentile_power, summarize
+from repro.trace.store import TraceStore, schedule_store_key, solar_store_key
 from repro.trace.synthetic import (
     constant_trace,
     ramp_trace,
@@ -34,4 +35,7 @@ __all__ = [
     "TraceSummary",
     "fraction_above",
     "percentile_power",
+    "TraceStore",
+    "solar_store_key",
+    "schedule_store_key",
 ]

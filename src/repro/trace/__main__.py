@@ -4,10 +4,20 @@ Usage::
 
     python -m repro.trace summarize <trace.csv>
     python -m repro.trace generate <out.csv> [--cells N] [--seed S] [--days D]
+    python -m repro.trace store build DIR --devices N [fleet-spec flags]
+    python -m repro.trace store ls DIR
+    python -m repro.trace store verify DIR
 
 ``summarize`` prints the statistics of a recorded trace CSV;
 ``generate`` synthesises a solar trace and writes it as CSV, so users can
 inspect, edit, or post-process the exact power profile an experiment uses.
+``store`` manages the memory-mapped columnar trace store
+(:mod:`repro.trace.store`): ``build`` generates every trace/schedule a
+fleet spec's devices need into one shared library, ``ls`` prints the
+manifest summary, and ``verify`` re-checks every payload against its
+recorded SHA-256.  Fleet runs then attach the library with
+``python -m repro.fleet ... --trace-store DIR`` instead of regenerating
+per process.
 """
 
 from __future__ import annotations
@@ -18,6 +28,108 @@ import sys
 from repro.trace.io import load_trace_csv, save_trace_csv
 from repro.trace.solar import SolarTraceConfig, SolarTraceGenerator
 from repro.trace.stats import summarize
+
+
+def _csv(text: str) -> tuple:
+    return tuple(item.strip() for item in text.split(",") if item.strip())
+
+
+def _int_csv(text: str) -> tuple:
+    return tuple(int(item) for item in _csv(text))
+
+
+def _add_store_parser(sub) -> None:
+    p_store = sub.add_parser(
+        "store", help="manage the memory-mapped columnar trace store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+
+    p_build = store_sub.add_parser(
+        "build", help="populate a store with every entry a fleet spec needs"
+    )
+    p_build.add_argument("directory", metavar="DIR")
+    p_build.add_argument("--devices", type=int, required=True, metavar="N",
+                         help="fleet size (mirrors python -m repro.fleet)")
+    p_build.add_argument("--seed", type=int, default=0, help="fleet seed")
+    p_build.add_argument("--name", type=str, default="fleet", help="fleet label")
+    p_build.add_argument("--events", type=int, default=50, metavar="N",
+                         help="events per device schedule (default 50)")
+    p_build.add_argument("--policies", type=_csv, default=None, metavar="CSV")
+    p_build.add_argument("--environments", type=_csv, default=None, metavar="CSV")
+    p_build.add_argument("--mcus", type=_csv, default=None, metavar="CSV")
+    p_build.add_argument("--cells", type=_int_csv, default=None, metavar="CSV")
+    p_build.add_argument("--buffer", type=int, default=10, metavar="N",
+                         help="input-buffer capacity (0 = unbounded)")
+    p_build.add_argument("--jobs", type=int, default=1, metavar="J",
+                         help="parallel generator workers (0 = one per CPU)")
+    p_build.add_argument("--quiet", action="store_true")
+
+    p_ls = store_sub.add_parser("ls", help="print the store manifest summary")
+    p_ls.add_argument("directory", metavar="DIR")
+    p_ls.add_argument("--entries", action="store_true",
+                      help="also list every entry (kind, seed, shape, file)")
+
+    p_verify = store_sub.add_parser(
+        "verify", help="re-check every payload against the manifest digests"
+    )
+    p_verify.add_argument("directory", metavar="DIR")
+
+
+def _run_store(args: argparse.Namespace) -> int:
+    from repro.trace.store import TraceStore
+
+    if args.store_command == "build":
+        from repro.fleet.spec import FleetSpec
+
+        overrides = {
+            key: value
+            for key, value in (
+                ("policies", args.policies),
+                ("environments", args.environments),
+                ("mcus", args.mcus),
+                ("cells", args.cells),
+            )
+            if value is not None
+        }
+        spec = FleetSpec(
+            devices=args.devices,
+            seed=args.seed,
+            name=args.name,
+            n_events=args.events,
+            buffer_capacity=None if args.buffer == 0 else args.buffer,
+            **overrides,
+        )
+        store = TraceStore.create(args.directory)
+        counts = store.build_for_spec(
+            spec, jobs=args.jobs, progress=None if args.quiet else print
+        )
+        print(
+            f"built {counts['traces']} traces + {counts['schedules']} "
+            f"schedules ({counts['reused']} reused)"
+        )
+        print(store.render())
+        return 0
+
+    store = TraceStore.open(args.directory)
+    if args.store_command == "ls":
+        print(store.render())
+        if args.entries:
+            for fingerprint, entry in sorted(store._entries.items()):
+                key = entry["key"]
+                print(
+                    f"  {entry['kind']:<7} seed={key['seed']:<10} "
+                    f"shape={'x'.join(map(str, entry['shape'])):<9} "
+                    f"{entry['file']}"
+                )
+        return 0
+
+    problems = store.verify()
+    if problems:
+        for problem in problems:
+            print(f"CORRUPT: {problem}", file=sys.stderr)
+        return 1
+    print(f"verified {len(store)} entries: all digests match")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -34,7 +146,12 @@ def main(argv: list[str] | None = None) -> int:
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("--days", type=int, default=1)
 
+    _add_store_parser(sub)
+
     args = parser.parse_args(argv)
+
+    if args.command == "store":
+        return _run_store(args)
 
     if args.command == "summarize":
         trace = load_trace_csv(args.path)

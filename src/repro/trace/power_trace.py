@@ -176,12 +176,54 @@ class PiecewiseConstantTrace(PowerTrace):
             self._energy_per_period = float(self._cum_energy[-1] + tail)
         else:
             self._energy_per_period = math.inf
-        self._times_list = self._times.tolist()  # bisect wants a list
-        # Plain-float copies for the cursor: indexing a Python list returns
-        # exactly the same float64 value as float(ndarray[i]) without the
-        # per-access numpy-scalar boxing.
-        self._powers_list = self._powers.tolist()
-        self._cum_energy_list = self._cum_energy.tolist()
+
+    # The plain-list mirrors of the arrays (bisect wants a list, and list
+    # indexing skips the per-access numpy-scalar boxing the cursor would
+    # otherwise pay) are materialized on first use: the vector fleet
+    # kernel binds the ndarrays directly and never touches them, so
+    # building a store-attached or generator-built trace stays O(1) in
+    # list work until a scalar cursor actually needs the copies.
+    def __getattr__(self, name: str):
+        if name == "_times_list":
+            value = self._times.tolist()
+        elif name == "_powers_list":
+            value = self._powers.tolist()
+        elif name == "_cum_energy_list":
+            value = self._cum_energy.tolist()
+        else:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            )
+        setattr(self, name, value)
+        return value
+
+    @classmethod
+    def _attach(
+        cls,
+        times: np.ndarray,
+        powers: np.ndarray,
+        cum_energy: np.ndarray,
+        period: float | None,
+        energy_per_period: float,
+    ) -> "PiecewiseConstantTrace":
+        """Bind precomputed (possibly memory-mapped) arrays without copying.
+
+        The trace-store attach path: ``powers`` and ``cum_energy`` may be
+        read-only ``np.memmap`` views of a store file, and no derived
+        state is recomputed — the caller guarantees the arrays satisfy
+        ``_init_from_validated``'s postconditions exactly (the store
+        persisted them from a validated trace).  The result is a plain
+        :class:`PiecewiseConstantTrace` (``type() is`` checks hold), so
+        every consumer — including the vector kernel's integer-grid
+        envelope — treats it identically to a generator-built trace.
+        """
+        trace = cls.__new__(cls)
+        trace._times = times
+        trace._powers = powers
+        trace._period = period
+        trace._cum_energy = cum_energy
+        trace._energy_per_period = energy_per_period
+        return trace
 
     @classmethod
     def _from_validated(

@@ -157,3 +157,121 @@ class TestOutOfOrderKillResume:
         assert resumed.resumed_shards == 2
         assert resumed.computed_shards == 1
         assert resumed.rollup.to_dict() == straight.rollup.to_dict()
+
+
+class TestTraceStoreBacked:
+    """Attaching a trace store must never change what gets computed."""
+
+    def _store_for(self, spec, tmp_path):
+        from repro.trace.store import TraceStore
+
+        store = TraceStore.create(tmp_path / "store")
+        for device in range(spec.devices):
+            _, config = spec.device_config(device)
+            store.put_for_config(config)
+        store.save()
+        return store
+
+    def test_vector_outcomes_identical_with_store(self, tmp_path):
+        spec = mixed_spec()
+        store = self._store_for(spec, tmp_path)
+        plain = vector_shard_outcomes(spec, range(spec.devices))
+        backed = vector_shard_outcomes(spec, range(spec.devices), store=store)
+        for device in range(spec.devices):
+            assert dataclasses.asdict(backed[device]) == dataclasses.asdict(
+                plain[device]
+            )
+
+    @pytest.mark.parametrize("kernel", ["scalar", "vector"])
+    def test_run_shard_rollup_identical_with_store(self, kernel, tmp_path):
+        import json
+
+        spec = mixed_spec()
+        store = self._store_for(spec, tmp_path)
+        plain = run_shard(spec, 1, 0, kernel=kernel)
+        backed = run_shard(spec, 1, 0, kernel=kernel, trace_store=store)
+        assert json.dumps(backed.to_dict(), sort_keys=True) == json.dumps(
+            plain.to_dict(), sort_keys=True
+        )
+
+    def test_run_shard_accepts_store_path(self, tmp_path):
+        spec = mixed_spec(devices=4)
+        store = self._store_for(spec, tmp_path)
+        plain = run_shard(spec, 1, 0, kernel="vector")
+        backed = run_shard(
+            spec, 1, 0, kernel="vector", trace_store=store.directory
+        )
+        assert backed == plain
+
+    def test_partial_store_falls_back_to_generators(self, tmp_path):
+        from repro.trace.store import TraceStore
+
+        spec = mixed_spec()
+        store = TraceStore.create(tmp_path / "store")
+        _, config = spec.device_config(0)
+        store.put_for_config(config)  # only device 0's inputs
+        store.save()
+        plain = run_shard(spec, 1, 0, kernel="vector")
+        backed = run_shard(spec, 1, 0, kernel="vector", trace_store=store)
+        assert backed == plain
+
+    def test_attach_time_reported_in_stats(self, tmp_path):
+        from repro.fleet.kernel import KernelStats
+
+        spec = mixed_spec()
+        store = self._store_for(spec, tmp_path)
+        stats = KernelStats()
+        run_shard(spec, 1, 0, kernel="vector", stats=stats, trace_store=store)
+        assert stats.attach_s > 0.0
+        assert stats.attach_s <= stats.lane_build_s
+        assert "store attach" in stats.render()
+
+
+class TestAdaptiveHandoff:
+    """The straggler cutoff fires only on a genuinely collapsed tail."""
+
+    def _handoff(self, **kwargs):
+        from repro.fleet.kernel import _VectorBatch
+
+        return _VectorBatch._should_handoff(**kwargs)
+
+    def test_fires_on_narrow_slow_tail(self):
+        # 8192 lanes down to 64 over 10k iterations (avg ~0.8 done/iter),
+        # and the last window retired almost nobody.
+        assert self._handoff(
+            initial=8192, live=64, iters=10_000, window_done=1,
+            window_iters=512,
+        )
+
+    def test_holds_while_wide(self):
+        # Plenty of lanes still live: never hand off, however slow the
+        # window looks.
+        assert not self._handoff(
+            initial=8192, live=1024, iters=10_000, window_done=0,
+            window_iters=512,
+        )
+
+    def test_holds_while_window_is_productive(self):
+        # Narrow but still retiring lanes at a healthy fraction of the
+        # average rate.
+        assert not self._handoff(
+            initial=8192, live=64, iters=10_000, window_done=300,
+            window_iters=512,
+        )
+
+    def test_holds_at_zero_live_or_iters(self):
+        assert not self._handoff(
+            initial=8192, live=0, iters=10_000, window_done=0,
+            window_iters=512,
+        )
+        assert not self._handoff(
+            initial=8192, live=64, iters=0, window_done=0, window_iters=512,
+        )
+
+    def test_boundary_width_is_inclusive(self):
+        # live * 64 == initial sits exactly on the threshold and is
+        # eligible (the guard is live * 64 > initial).
+        assert self._handoff(
+            initial=4096, live=64, iters=10_000, window_done=0,
+            window_iters=512,
+        )

@@ -35,6 +35,7 @@ API_SNAPSHOT = sorted([
     "build_msp430_app",
     "SolarTraceGenerator",
     "SolarTraceConfig",
+    "TraceStore",
     "environment_by_name",
     "EventSchedule",
     "EventScheduleGenerator",
