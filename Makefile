@@ -1,6 +1,6 @@
 # Convenience targets for the Quetzal reproduction.
 
-.PHONY: install test lint bench bench-record bench-figures fleet-smoke obs-smoke trace-smoke figures figures-paper-scale examples clean
+.PHONY: install test lint bench bench-record bench-figures fleet-smoke obs-smoke trace-smoke serve-smoke figures figures-paper-scale examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -56,6 +56,15 @@ obs-smoke:
 # TRACE_SMOKE_DEVICES.
 trace-smoke:
 	PYTHONPATH=src python benchmarks/trace_smoke.py
+
+# Fleet-service gate: starts the server, submits two identical specs plus
+# one distinct one, and fails unless exactly one request hit the
+# content-addressed cache, the served/cached rollups are byte-identical
+# to the fleet CLI's --json output, and the streamed telemetry
+# schema-validates.  Set SERVE_SMOKE_DIR to keep the artifacts (CI
+# uploads them); scale with SERVE_SMOKE_DEVICES.
+serve-smoke:
+	PYTHONPATH=src python benchmarks/serve_smoke.py
 
 # Regenerate every table and figure at the default (fast) scale.
 figures:

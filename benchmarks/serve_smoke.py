@@ -1,0 +1,123 @@
+"""Fleet service smoke test (the `make serve-smoke` / CI gate).
+
+Drives the real server + client end to end:
+
+1. start ``python -m repro.serve`` (in-process, ephemeral port, tmp data
+   dir) and submit a spec — a cache **miss** that computes the fleet;
+2. submit the byte-identical spec again (different shard count on
+   purpose) — must be answered as a cache **hit** with a rollup
+   byte-identical to the first, and to an independent
+   ``python -m repro.fleet --json`` run of the same spec;
+3. submit a distinct spec (one field mutated) — must **miss**;
+4. stream the first job's telemetry via ``watch`` and schema-validate
+   the records with :func:`repro.obs.validate_heartbeat_records`;
+5. assert the final server stats: 3 submissions, exactly 1 hit, 2
+   misses.
+
+Exits non-zero (with a diagnostic) on any deviation.  Set
+``SERVE_SMOKE_DIR`` to keep the artifacts (CI uploads them); scale with
+``SERVE_SMOKE_DEVICES``.
+"""
+
+import contextlib
+import json
+import os
+import sys
+import tempfile
+
+from repro.fleet.__main__ import main as fleet_main
+from repro.fleet.spec import FleetSpec
+from repro.obs.heartbeat import validate_heartbeat_records
+from repro.serve import (
+    FleetClient,
+    ServeConfig,
+    canonical_rollup_json,
+    start_background,
+)
+
+
+def fail(message: str) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main_smoke() -> int:
+    devices = int(os.environ.get("SERVE_SMOKE_DEVICES", "8"))
+    keep_dir = os.environ.get("SERVE_SMOKE_DIR")
+    stack = contextlib.ExitStack()
+    with stack:
+        if keep_dir:
+            out = keep_dir
+            os.makedirs(out, exist_ok=True)
+        else:
+            out = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="serve-smoke-")
+            )
+        spec = FleetSpec(devices=devices, seed=3, name="serve-smoke", n_events=5)
+        mutated = FleetSpec(devices=devices, seed=4, name="serve-smoke", n_events=5)
+
+        # Independent ground truth via the fleet CLI's --json path.
+        spec_path = os.path.join(out, "spec.json")
+        with open(spec_path, "w") as handle:
+            handle.write(spec.to_json())
+        cli_json = os.path.join(out, "cli-rollup.json")
+        print(f"$ python -m repro.fleet --spec {spec_path} --json ...")
+        if fleet_main(["--spec", spec_path, "--json", cli_json, "--quiet"]) != 0:
+            return fail("fleet CLI baseline run failed")
+        with open(cli_json) as handle:
+            cli_bytes = handle.read()
+
+        config = ServeConfig(data_dir=os.path.join(out, "server"))
+        print("$ python -m repro.serve  # in-process, ephemeral port")
+        handle_ = stack.enter_context(start_background(config))
+        print(f"[serve-smoke] listening on {handle_.host}:{handle_.port}")
+        client = stack.enter_context(FleetClient(port=handle_.port))
+
+        first = client.submit(spec, shards=2, wait=True)
+        if not first["ok"] or first["cached"]:
+            return fail(f"first submission should compute, got {first}")
+        second = client.submit(spec, shards=4, wait=True)
+        if not second["ok"] or not second["cached"]:
+            return fail(f"identical resubmission should hit the cache, got "
+                        f"{ {k: second[k] for k in ('ok', 'state', 'cached')} }")
+        third = client.submit(mutated, shards=2, wait=True)
+        if not third["ok"] or third["cached"]:
+            return fail("mutated spec (seed changed) must miss the cache")
+
+        served = [canonical_rollup_json(r["rollup"]) for r in (first, second)]
+        if served[0] != served[1]:
+            return fail("cache-hit rollup differs from computed rollup")
+        if served[0] != cli_bytes:
+            return fail("served rollup differs from the fleet CLI --json bytes")
+        if canonical_rollup_json(third["rollup"]) == served[0]:
+            return fail("mutated spec produced the base spec's rollup")
+
+        beats = list(client.watch(spec))
+        problems = validate_heartbeat_records(beats)
+        if problems:
+            return fail(f"streamed telemetry is malformed: {problems}")
+        kinds = [b["type"] for b in beats]
+        if kinds[0] != "start" or kinds[-1] != "end" or "heartbeat" not in kinds:
+            return fail(f"unexpected telemetry shape: {kinds}")
+
+        stats = client.stats()
+        expected = {"hits": 1, "misses": 2, "entries": 2}
+        if stats["cache"] != expected:
+            return fail(f"cache stats {stats['cache']}, expected {expected}")
+        if stats["submitted"] != 3:
+            return fail(f"expected 3 submissions, got {stats['submitted']}")
+
+        with open(os.path.join(out, "telemetry.jsonl"), "w") as handle:
+            for beat in beats:
+                handle.write(json.dumps(beat, sort_keys=True) + "\n")
+        with open(os.path.join(out, "stats.json"), "w") as handle:
+            json.dump(stats, handle, sort_keys=True, indent=2)
+
+        client.shutdown()
+    print("serve-smoke OK: 1 cache hit, byte-identical served/cached/CLI "
+          "rollups, telemetry schema-valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main_smoke())

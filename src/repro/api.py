@@ -28,7 +28,13 @@ Everything exported here — and exactly this list, pinned by
   timelines (``simulate(tracer=...)``, ``run_fleet(trace=...)``),
   the ``MetricsRegistry`` with ``fleet_registry`` Prometheus/JSON
   projection, and ``HeartbeatPublisher`` streaming run telemetry —
-  all strictly opt-in, with results bit-identical when off.
+  all strictly opt-in, with results bit-identical when off;
+* **serving** — ``ServeConfig`` / ``FleetClient`` / ``submit`` /
+  ``ResultCache`` for the fleet service (``python -m repro.serve``):
+  async spec submission over a versioned wire protocol
+  (``FleetSpec.to_json``/``from_json``), with a content-addressed
+  result cache that answers repeated specs byte-identically and with
+  zero recompute.
 
 Anything importable from deeper modules but absent here (engine
 internals, hardware circuit models, estimator classes, cursors, ...) is
@@ -63,6 +69,7 @@ from repro.policies.base import Policy
 from repro.policies.buffer_threshold import BufferThresholdPolicy, catnap_policy
 from repro.policies.noadapt import NoAdaptPolicy
 from repro.policies.power_threshold import PowerThresholdPolicy
+from repro.serve import FleetClient, ResultCache, ServeConfig, submit
 from repro.sim.engine import SimulationConfig, SimulationEngine, simulate
 from repro.sim.metrics import MetricsRollup, RunMetrics
 from repro.sim.telemetry import FleetRecorder, TelemetryRecorder
@@ -117,6 +124,11 @@ __all__ = [
     "MetricsRegistry",
     "fleet_registry",
     "HeartbeatPublisher",
+    # serving
+    "ServeConfig",
+    "FleetClient",
+    "submit",
+    "ResultCache",
     # meta
     "__version__",
 ]

@@ -19,8 +19,13 @@ see where simulation wall-clock goes before reaching for
 processes would escape the profiler.  ``--profile-dir DIR`` additionally
 dumps one ``.pstats`` file per figure (CI uploads these as artifacts).
 
-The ``--jobs``/``--profile``/``--profile-dir`` flags are shared with
-``python -m repro.fleet`` through :mod:`repro.experiments.cli`.
+The execution flags (``--jobs``/``--profile``/``--profile-dir`` plus the
+``--kernel``/``--trace-store``/``--metrics-out`` group) are shared with
+``python -m repro.fleet`` and ``python -m repro.serve`` through
+:mod:`repro.cli`.  Grids always run on the reference scalar engine, so
+``--kernel vector`` is rejected here; ``--trace-store`` attaches a
+prebuilt store as the grid runners' read-through input cache, and
+``--metrics-out`` writes the figure batch as a Prometheus/JSON registry.
 """
 
 from __future__ import annotations
@@ -29,8 +34,8 @@ import argparse
 import sys
 import time
 
+from repro.cli import add_core_flags, jobs_from_args, profiled
 from repro.experiments import figures
-from repro.experiments.cli import add_execution_flags, jobs_from_args, profiled
 
 #: Figure id -> runner.  Runners returning multiple results are wrapped.
 RUNNERS = {
@@ -51,7 +56,8 @@ RUNNERS = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The experiments CLI parser (exposed so tests can pin its flags)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the Quetzal paper's tables and figures.",
@@ -66,11 +72,27 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="also dump the results as a JSON file",
     )
-    add_execution_flags(parser)
+    add_core_flags(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     seeds = tuple(range(args.seeds))
     jobs = jobs_from_args(args, parser)
+    if args.kernel == "vector":
+        parser.error(
+            "experiment grids run on the reference scalar engine; "
+            "--kernel vector applies to `python -m repro.fleet` and "
+            "`python -m repro.serve`"
+        )
+    if args.trace_store is not None:
+        from repro.experiments.runner import set_default_trace_store
+        from repro.trace.store import TraceStore
+
+        set_default_trace_store(TraceStore.open(args.trace_store))
     selected = {
         name: runner
         for name, runner in RUNNERS.items()
@@ -96,6 +118,17 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w") as handle:
             json.dump([r.to_dict() for r in collected], handle, indent=2)
         print(f"[wrote {args.json}]")
+    if args.metrics_out is not None:
+        import json
+
+        from repro.obs.metrics import figures_registry
+
+        registry = figures_registry(collected)
+        with open(f"{args.metrics_out}.prom", "w") as handle:
+            handle.write(registry.to_prometheus())
+        with open(f"{args.metrics_out}.json", "w") as handle:
+            json.dump(registry.to_dict(), handle, sort_keys=True)
+        print(f"[wrote {args.metrics_out}.prom and {args.metrics_out}.json]")
     print(f"[regenerated {len(selected)} figure(s) in {time.time() - start:.1f} s]")
     return 0
 

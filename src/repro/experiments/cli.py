@@ -1,30 +1,17 @@
-"""Shared command-line plumbing for the repro CLIs.
+"""Deprecated home of the shared CLI flags — import :mod:`repro.cli`.
 
-``python -m repro.experiments`` and ``python -m repro.fleet`` expose the
-same execution knobs — parallel fan-out and profiling — and they must
-mean the same thing on both.  This module is the single source of those
-flags:
-
-* ``--jobs N`` — worker processes (``0`` = one per CPU, matching
-  ``BENCH_JOBS`` and :func:`repro.experiments.runner.resolve_jobs`);
-  the default comes from the ``BENCH_JOBS`` environment variable (1 when
-  unset), so the benchmarks' knob drives the CLIs too.
-* ``--profile`` — wrap the work in :mod:`cProfile` and print the top
-  hotspots; forces serial execution (child processes would escape the
-  profiler).
-* ``--profile-dir DIR`` — additionally dump ``.pstats`` files (CI uploads
-  these as artifacts; inspect with ``python -m pstats``).
+When the serve CLI arrived (``python -m repro.serve``), the shared
+``--jobs``/``--profile``/``--kernel``/``--trace-store``/``--metrics-out``
+flag group stopped being an *experiments* concern and moved to
+:mod:`repro.cli`, where all three CLIs consume it.  The old names keep
+resolving here through a module ``__getattr__`` shim that emits a
+:class:`DeprecationWarning` naming the new home (the same one-release
+grace the PR-4 top-level shims give).
 """
 
 from __future__ import annotations
 
-import argparse
-import contextlib
-import os
-import re
-import sys
-
-from repro.experiments.runner import resolve_jobs
+import warnings
 
 __all__ = [
     "add_execution_flags",
@@ -32,79 +19,23 @@ __all__ = [
     "profiled",
 ]
 
-
-def _default_jobs_flag() -> int:
-    """The ``--jobs`` default: the ``BENCH_JOBS`` env var, else 1 (serial)."""
-    try:
-        return int(os.environ.get("BENCH_JOBS", "1"))
-    except ValueError:
-        return 1
+_MOVED = {"add_core_flags", "add_execution_flags", "jobs_from_args",
+          "profiled", "CORE_FLAGS"}
 
 
-def add_execution_flags(parser: argparse.ArgumentParser) -> None:
-    """Install the shared ``--jobs`` / ``--profile`` / ``--profile-dir`` flags."""
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=_default_jobs_flag(),
-        metavar="N",
-        help="worker processes (0 = one per CPU; default from BENCH_JOBS, else 1)",
-    )
-    parser.add_argument(
-        "--profile",
-        action="store_true",
-        help="cProfile the run and print its top hotspots (forces --jobs 1)",
-    )
-    parser.add_argument(
-        "--profile-dir",
-        type=str,
-        default=None,
-        metavar="DIR",
-        help="with --profile, also dump pstats files into DIR "
-        "(inspect with `python -m pstats`)",
-    )
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.experiments.cli.{name} has moved; import it from "
+            "repro.cli instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.cli
+
+        return getattr(repro.cli, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def jobs_from_args(
-    args: argparse.Namespace, parser: argparse.ArgumentParser
-) -> int:
-    """Resolve ``args.jobs`` to a concrete worker count (0/None = per CPU).
-
-    ``--profile`` forces 1 so all simulation work stays in the profiled
-    process.  Negative values are an argparse error.
-    """
-    if args.jobs < 0:
-        parser.error(f"--jobs must be >= 0 (0 = one per CPU), got {args.jobs}")
-    if args.profile:
-        return 1
-    return resolve_jobs(args.jobs)
-
-
-@contextlib.contextmanager
-def profiled(enabled: bool, label: str, profile_dir: str | None = None, top: int = 15):
-    """Optionally cProfile a block, printing hotspots (and dumping pstats).
-
-    A no-op context manager when ``enabled`` is false, so call sites can
-    wrap their work unconditionally.
-    """
-    if not enabled:
-        yield
-        return
-    import cProfile
-    import pstats
-
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        yield
-    finally:
-        profiler.disable()
-        print(f"[profile] {label}: top hotspots by total time")
-        stats = pstats.Stats(profiler, stream=sys.stdout)
-        stats.sort_stats("tottime").print_stats(top)
-        if profile_dir is not None:
-            os.makedirs(profile_dir, exist_ok=True)
-            slug = re.sub(r"[^a-z0-9]+", "_", label.lower()).strip("_")
-            out = os.path.join(profile_dir, f"{slug}.pstats")
-            profiler.dump_stats(out)
-            print(f"[profile] wrote {out}")
+def __dir__():
+    return sorted(set(globals()) | _MOVED)

@@ -164,6 +164,7 @@ def run_grid(
     seeds: Sequence[int] = (0, 1, 2),
     jobs: int | None = 1,
     runner: ExperimentRunner | None = None,
+    trace_store=None,
 ) -> GridResults:
     """Run every policy over seed-shifted replicas of ``config``.
 
@@ -173,9 +174,12 @@ def run_grid(
     are bit-identical at any setting.  A run that keeps raising after its
     retry is recorded on the result's ``failures`` list instead of
     aborting the sweep; a policy whose every replica failed has no
-    aggregate entry.
+    aggregate entry.  ``trace_store`` optionally names (or is) a
+    :class:`~repro.trace.store.TraceStore` the grid's input cache reads
+    through (byte-identical results, setup-time speedup; ignored when an
+    explicit ``runner`` is passed — configure the runner instead).
     """
-    runner = runner or ExperimentRunner(jobs=jobs)
+    runner = runner or ExperimentRunner(jobs=jobs, trace_store=trace_store)
     specs = grid_specs(config, policies, seeds)
     outcomes = runner.run_specs(specs, policies)
     runs_by_policy: dict[str, list[RunMetrics]] = {name: [] for name in policies}

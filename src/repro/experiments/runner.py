@@ -50,6 +50,7 @@ __all__ = [
     "default_jobs",
     "resolve_jobs",
     "map_indexed",
+    "set_default_trace_store",
 ]
 
 #: A factory producing a *fresh* policy instance per run attempt.
@@ -138,6 +139,25 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs < 0:
         raise ConfigurationError(f"jobs must be >= 0 (0 = one per CPU), got {jobs}")
     return jobs
+
+
+#: Fallback store for runners constructed without an explicit
+#: ``trace_store`` — the hook ``python -m repro.experiments
+#: --trace-store`` uses to thread a store through every figure's grids
+#: without widening each figure function's signature.
+_default_trace_store = None
+
+
+def set_default_trace_store(store) -> None:
+    """Install the process-wide default read-through :class:`TraceStore`.
+
+    ``None`` clears it.  Runners constructed *after* this call (with no
+    explicit ``trace_store``) read their grid inputs through the store;
+    results are byte-identical either way, so this is purely a setup-time
+    optimization knob.
+    """
+    global _default_trace_store
+    _default_trace_store = store
 
 
 def grid_specs(
@@ -284,13 +304,36 @@ class ExperimentRunner:
     retries:
         How many times a raising run is re-attempted (fresh policy and
         engine each time) before it is recorded as a :class:`RunFailure`.
+    trace_store:
+        Optional :class:`~repro.trace.store.TraceStore` (or a store
+        directory path) the per-grid input cache reads through: configs
+        whose trace/schedule the store holds attach the memory-mapped
+        arrays instead of regenerating them, and entries the store lacks
+        fall back to the generators silently — results are byte-identical
+        either way.  Defaults to the process-wide store installed via
+        :func:`set_default_trace_store` (usually none).  This is the
+        fleet path's persistent artifact layer generalized to grids: the
+        same ``(params, seed)`` entry is shared across *different* grids
+        and fleet specs because the store key ignores everything else.
     """
 
-    def __init__(self, jobs: int | None = 1, retries: int = 1) -> None:
+    def __init__(
+        self,
+        jobs: int | None = 1,
+        retries: int = 1,
+        trace_store=None,
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
         if retries < 0:
             raise ConfigurationError(f"retries must be >= 0, got {retries}")
         self.retries = retries
+        if trace_store is None:
+            trace_store = _default_trace_store
+        if isinstance(trace_store, str):
+            from repro.trace.store import TraceStore
+
+            trace_store = TraceStore.open(trace_store)
+        self.trace_store = trace_store
 
     # -- input caching -----------------------------------------------------------
 
@@ -315,6 +358,32 @@ class ExperimentRunner:
                 schedules[s_key] = cfg.build_schedule()
         return traces, schedules
 
+    def _build_caches(self, specs: Sequence[RunSpec]) -> tuple[dict, dict]:
+        """The per-grid input cache, reading through ``self.trace_store``.
+
+        Identical to :meth:`build_caches` when no store is attached; with
+        one, each distinct key is first looked up in the store (zero-copy
+        mmap attach) and only generated on a miss.
+        """
+        store = self.trace_store
+        if store is None:
+            return self.build_caches(specs)
+        traces: dict = {}
+        schedules: dict = {}
+        for spec in specs:
+            cfg = spec.seeded_config()
+            t_key = cfg.trace_key()
+            if t_key not in traces:
+                attached = store.trace_for(cfg)
+                traces[t_key] = attached if attached is not None else cfg.build_trace()
+            s_key = cfg.schedule_key()
+            if s_key not in schedules:
+                attached = store.schedule_for(cfg)
+                schedules[s_key] = (
+                    attached if attached is not None else cfg.build_schedule()
+                )
+        return traces, schedules
+
     # -- execution ---------------------------------------------------------------
 
     def run_specs(
@@ -333,7 +402,7 @@ class ExperimentRunner:
                 raise ConfigurationError(
                     f"spec names unknown policy {spec.policy!r}"
                 )
-        traces, schedules = self.build_caches(specs)
+        traces, schedules = self._build_caches(specs)
         retries = self.retries
 
         def run_one(index: int) -> RunMetrics | RunFailure:

@@ -22,10 +22,11 @@ Three entry points:
 from repro.fleet.checkpoint import FleetCheckpoint
 from repro.fleet.rollup import MAX_RECORDED_FAILURES, DeviceFailure, FleetRollup
 from repro.fleet.service import FleetResult, run_fleet, run_shard
-from repro.fleet.spec import FleetSpec, shard_ranges
+from repro.fleet.spec import SPEC_SCHEMA_VERSION, FleetSpec, shard_ranges
 
 __all__ = [
     "FleetSpec",
+    "SPEC_SCHEMA_VERSION",
     "FleetResult",
     "FleetRollup",
     "DeviceFailure",

@@ -9,12 +9,17 @@ Usage::
     python -m repro.fleet --devices 1000 --trace-store runs/store \\
         --kernel vector                       # attach prebuilt traces
 
-Shares ``--jobs`` / ``--profile`` / ``--profile-dir`` semantics with
-``python -m repro.experiments`` (one helper:
-:mod:`repro.experiments.cli`); ``--jobs 0`` is one worker per CPU and
+Shares ``--jobs`` / ``--profile`` / ``--profile-dir`` / ``--kernel`` /
+``--trace-store`` / ``--metrics-out`` semantics with
+``python -m repro.experiments`` and ``python -m repro.serve`` (one
+helper: :mod:`repro.cli`); ``--jobs 0`` is one worker per CPU and
 ``BENCH_JOBS`` sets the default.  Results are bit-identical at any
 ``--shards``/``--jobs`` setting, and a ``--resume`` after a kill matches
 an uninterrupted run exactly (``make fleet-smoke`` checks this).
+
+Instead of spelling the fleet out in flags, ``--spec spec.json`` loads a
+versioned :meth:`FleetSpec.to_json` file — the same codec the serve
+protocol and checkpoint manifests use.
 
 Exit codes: ``0`` complete, ``2`` bad arguments, ``3`` incomplete
 (``--stop-after`` cut the run short; resume to finish).
@@ -27,8 +32,8 @@ import json
 import sys
 import time
 
+from repro.cli import add_core_flags, jobs_from_args, profiled
 from repro.errors import ConfigurationError, TraceError
-from repro.experiments.cli import add_execution_flags, jobs_from_args, profiled
 from repro.fleet.service import run_fleet
 from repro.fleet.spec import FleetSpec
 
@@ -41,14 +46,19 @@ def _int_csv(text: str) -> tuple:
     return tuple(int(item) for item in _csv(text))
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The fleet CLI parser (exposed so tests can pin its flags)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.fleet",
         description="Batch-simulate a fleet of heterogeneous energy-harvesting "
         "devices with streaming rollups and checkpoint/resume.",
     )
-    parser.add_argument("--devices", type=int, required=True, metavar="N",
-                        help="fleet size")
+    parser.add_argument("--devices", type=int, default=None, metavar="N",
+                        help="fleet size (or load the whole spec via --spec)")
+    parser.add_argument("--spec", type=str, default=None, metavar="PATH",
+                        help="load the fleet spec from a versioned JSON file "
+                        "(FleetSpec.to_json); mutually exclusive with the "
+                        "spec-shaping flags")
     parser.add_argument("--shards", type=int, default=1, metavar="K",
                         help="work units the fleet is split into (default 1; "
                         "results are shard-invariant)")
@@ -66,23 +76,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="harvester cell-count mix, e.g. 4,6,8")
     parser.add_argument("--buffer", type=int, default=10, metavar="N",
                         help="input-buffer capacity (0 = unbounded Ideal buffer)")
-    parser.add_argument("--kernel", choices=("auto", "scalar", "vector"),
-                        default="auto",
-                        help="shard simulation kernel: 'scalar' runs one engine "
-                        "per device, 'vector' advances baseline-policy devices "
-                        "in numpy lockstep (bit-identical rollup; uncovered "
-                        "devices fall back to scalar), 'auto' (default) picks "
-                        "vector when every policy in the mix is covered")
     parser.add_argument("--kernel-stats", action="store_true",
                         help="print the vector kernel's per-phase timing "
                         "breakdown (setup / CTRL / ADV / RECHG / fallback) "
                         "after the run")
-    parser.add_argument("--trace-store", type=str, default=None, metavar="DIR",
-                        help="attach a prebuilt memory-mapped trace store "
-                        "(python -m repro.trace store build) instead of "
-                        "regenerating traces/schedules per device; missing "
-                        "entries fall back to the generators, and results "
-                        "are byte-identical either way")
     parser.add_argument("--checkpoint", type=str, default=None, metavar="DIR",
                         help="journal completed shards into DIR")
     parser.add_argument("--resume", action="store_true",
@@ -99,10 +96,6 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace-capacity", type=int, default=None, metavar="N",
                         help="per-shard trace ring capacity in events "
                         "(default 65536; oldest events drop first)")
-    parser.add_argument("--metrics-out", type=str, default=None, metavar="PREFIX",
-                        help="write the fleet metrics registry as PREFIX.prom "
-                        "(Prometheus text) plus PREFIX.json; add "
-                        "--kernel-stats to include kernel timing series")
     parser.add_argument("--telemetry-out", type=str, default=None, metavar="PATH",
                         help="append streaming JSONL progress records to PATH "
                         "('-' = stdout)")
@@ -112,10 +105,20 @@ def main(argv: list[str] | None = None) -> int:
                         "(default 0 = every shard)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-shard progress lines")
-    add_execution_flags(parser)
-    args = parser.parse_args(argv)
-    jobs = jobs_from_args(args, parser)
+    add_core_flags(parser)
+    return parser
 
+
+def _spec_from_args(args, parser) -> FleetSpec:
+    """Build the FleetSpec from either ``--spec`` or the shaping flags."""
+    if args.spec is not None:
+        if args.devices is not None:
+            parser.error("--spec and --devices are mutually exclusive "
+                         "(the spec file fixes the fleet size)")
+        with open(args.spec) as handle:
+            return FleetSpec.from_json(handle.read())
+    if args.devices is None:
+        parser.error("either --devices or --spec is required")
     overrides = {
         key: value
         for key, value in (
@@ -126,15 +129,23 @@ def main(argv: list[str] | None = None) -> int:
         )
         if value is not None
     }
+    return FleetSpec(
+        devices=args.devices,
+        seed=args.seed,
+        name=args.name,
+        n_events=args.events,
+        buffer_capacity=None if args.buffer == 0 else args.buffer,
+        **overrides,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    jobs = jobs_from_args(args, parser)
+
     try:
-        spec = FleetSpec(
-            devices=args.devices,
-            seed=args.seed,
-            name=args.name,
-            n_events=args.events,
-            buffer_capacity=None if args.buffer == 0 else args.buffer,
-            **overrides,
-        )
+        spec = _spec_from_args(args, parser)
         progress = None if args.quiet else print
         recorder = None
         if args.kernel_stats:
@@ -179,7 +190,7 @@ def main(argv: list[str] | None = None) -> int:
         finally:
             if telemetry_handle is not None:
                 telemetry_handle.close()
-    except (ConfigurationError, TraceError) as exc:
+    except (ConfigurationError, TraceError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

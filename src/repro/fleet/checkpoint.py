@@ -29,8 +29,9 @@ from repro.fleet.spec import FleetSpec
 __all__ = ["FleetCheckpoint"]
 
 _MANIFEST = "manifest.json"
-#: Version 2: rollup distributions carry exact min/max state.
-_VERSION = 2
+#: Version 3: the manifest's spec block is the versioned wire encoding
+#: (``FleetSpec.to_wire``) instead of a bare field dict.
+_VERSION = 3
 
 
 class FleetCheckpoint:
@@ -52,6 +53,20 @@ class FleetCheckpoint:
         return os.path.join(self.directory, f"shard-{shard:06d}.json")
 
     # -- lifecycle ---------------------------------------------------------------
+
+    def resumable(self) -> bool:
+        """True when the directory holds a manifest this run could resume.
+
+        The seam the serve layer uses to turn "a journal from an earlier
+        (possibly killed) run of this exact spec and shard count exists"
+        into ``run_fleet(resume=True)`` without recomputing anything.
+        """
+        manifest = self._load_manifest()
+        return (
+            manifest is not None
+            and manifest.get("fingerprint") == self.fingerprint
+            and manifest.get("shards") == self.shards
+        )
 
     def initialize(self, resume: bool) -> dict[int, FleetRollup]:
         """Prepare the journal; return the shards already completed.
@@ -88,7 +103,7 @@ class FleetCheckpoint:
             "fingerprint": self.fingerprint,
             "shards": self.shards,
             "devices": self.spec.devices,
-            "spec": self.spec.to_dict(),
+            "spec": self.spec.to_wire(),
         })
         for path in glob.glob(os.path.join(self.directory, "shard-*.json")):
             try:

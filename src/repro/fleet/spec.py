@@ -29,10 +29,16 @@ from repro.env.activity import environment_by_name
 from repro.errors import ConfigurationError
 from repro.experiments.configs import ExperimentConfig
 
-__all__ = ["FleetSpec", "shard_ranges"]
+__all__ = ["FleetSpec", "SPEC_SCHEMA_VERSION", "shard_ranges"]
 
 #: Ceiling for derived per-device RNG seeds.
 _SEED_SPAN = 1 << 30
+
+#: Version of the FleetSpec wire encoding (``to_json``/``from_json``).
+#: Bump when a field is added, removed, or changes meaning; ``from_json``
+#: rejects versions it does not read, so stale spec files fail loudly
+#: instead of silently describing a different fleet.
+SPEC_SCHEMA_VERSION = 1
 
 
 def shard_ranges(devices: int, shards: int) -> list[range]:
@@ -177,6 +183,16 @@ class FleetSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FleetSpec":
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"FleetSpec data must be a mapping, got {type(data).__name__}"
+            )
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown FleetSpec keys {unknown}; known: {sorted(known)}"
+            )
         kwargs = dict(data)
         for field_name in ("policies", "environments", "mcus", "cells"):
             if field_name in kwargs:
@@ -184,6 +200,61 @@ class FleetSpec:
         return cls(**kwargs)
 
     def fingerprint(self) -> str:
-        """Stable identity hash (checkpoint journals are keyed on this)."""
+        """Stable identity hash (checkpoint journals are keyed on this).
+
+        Deliberately computed over the *fields only* (:meth:`to_dict`,
+        not the versioned wire form): the identity of a fleet must not
+        change when the wire envelope does, or every cache and journal
+        would be invalidated by a schema bump.
+        """
         canonical = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # -- versioned wire codec ----------------------------------------------------
+    #
+    # The one encoding every spec-consuming surface shares: the serve
+    # protocol, the fleet CLI's ``--spec spec.json``, and the checkpoint
+    # manifest all round-trip specs through to_wire/from_wire instead of
+    # ad-hoc dict handling.  The golden file pinned by
+    # tests/fleet/test_spec_wire.py freezes the v1 byte layout.
+
+    def to_wire(self) -> dict:
+        """The versioned wire dict (``to_dict`` plus ``schema_version``)."""
+        out = {"schema_version": SPEC_SCHEMA_VERSION}
+        out.update(self.to_dict())
+        return out
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "FleetSpec":
+        """Decode a wire dict; unknown keys and foreign versions are errors."""
+        if not isinstance(data, dict):
+            raise ConfigurationError(
+                f"FleetSpec wire data must be a mapping, got {type(data).__name__}"
+            )
+        if "schema_version" not in data:
+            raise ConfigurationError(
+                "FleetSpec wire data is missing 'schema_version' "
+                f"(this build writes version {SPEC_SCHEMA_VERSION})"
+            )
+        version = data["schema_version"]
+        if version != SPEC_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"FleetSpec schema_version {version!r} is not supported; "
+                f"this build reads version {SPEC_SCHEMA_VERSION}"
+            )
+        payload = {key: value for key, value in data.items()
+                   if key != "schema_version"}
+        return cls.from_dict(payload)
+
+    def to_json(self) -> str:
+        """Canonical JSON wire form (sorted keys, 2-space indent, newline)."""
+        return json.dumps(self.to_wire(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetSpec":
+        """Decode :meth:`to_json` output (raises ``ConfigurationError``)."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"FleetSpec JSON is unreadable: {exc}") from exc
+        return cls.from_wire(data)

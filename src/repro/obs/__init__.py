@@ -37,6 +37,7 @@ from repro.obs.metrics import (
     decision_path_registry,
     fleet_registry,
     kernel_stats_registry,
+    serve_registry,
 )
 from repro.obs.tracer import RingBufferTracer, TraceSink, stamping_sink
 
@@ -58,6 +59,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "fleet_registry",
+    "serve_registry",
     "decision_path_registry",
     "kernel_stats_registry",
     "HeartbeatPublisher",

@@ -32,6 +32,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "fleet_registry",
+    "serve_registry",
     "decision_path_registry",
     "kernel_stats_registry",
 ]
@@ -377,6 +378,73 @@ def fleet_registry(rollup, kernel_stats=None) -> MetricsRegistry:
     registry.merge(decision_path_registry(stats))
     if kernel_stats is not None:
         registry.merge(kernel_stats_registry(kernel_stats))
+    return registry
+
+
+def figures_registry(results) -> MetricsRegistry:
+    """Registry view of a batch of reproduced figures/tables.
+
+    ``results`` is a sequence of
+    :class:`~repro.experiments.reporting.FigureResult`; the projection is
+    derived purely from the (deterministic) result rows, so the output is
+    bit-identical across ``--jobs`` settings — the same discipline as
+    :func:`fleet_registry`.  This is what the experiments CLI's
+    ``--metrics-out`` writes.
+    """
+    results = list(results)
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_experiments_figures_total", "Figures/tables regenerated"
+    ).inc(len(results))
+    rows = registry.gauge(
+        "repro_experiments_rows", "Data rows per reproduced figure",
+        labels=("figure",),
+    )
+    notes = registry.gauge(
+        "repro_experiments_notes", "Notes attached per reproduced figure",
+        labels=("figure",),
+    )
+    for result in results:
+        rows.set(len(result.rows), figure=result.figure_id)
+        notes.set(len(result.notes), figure=result.figure_id)
+    return registry
+
+
+def serve_registry(stats: dict) -> MetricsRegistry:
+    """Registry view of a :meth:`FleetServer.stats` snapshot.
+
+    This is what the serve CLI's ``--metrics-out`` writes at shutdown:
+    submission/dedup/cache-hit counters plus job-state and store-size
+    gauges.  Unlike the fleet/figure registries this one describes the
+    *service*, not a simulation result, so it is wall-history-dependent
+    by nature (two differently-ordered submission streams legitimately
+    produce different hit counts).
+    """
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_serve_submissions_total", "Specs submitted to the server"
+    ).inc(stats["submitted"])
+    registry.counter(
+        "repro_serve_deduped_total", "Submissions attached to an in-flight job"
+    ).inc(stats["deduped"])
+    registry.counter(
+        "repro_serve_cache_hits_total", "Submissions answered from the result cache"
+    ).inc(stats["cache"]["hits"])
+    registry.counter(
+        "repro_serve_cache_misses_total", "Submissions that had to compute"
+    ).inc(stats["cache"]["misses"])
+    registry.gauge(
+        "repro_serve_cache_entries", "Rollups journaled in the result cache"
+    ).set(stats["cache"]["entries"])
+    registry.gauge(
+        "repro_serve_store_entries", "Trace/schedule artifacts in the shared store"
+    ).set(stats["store_entries"])
+    jobs = registry.gauge(
+        "repro_serve_jobs", "Jobs known to the server, by lifecycle state",
+        labels=("state",),
+    )
+    for state, count in sorted(stats["jobs"].items()):
+        jobs.set(count, state=state)
     return registry
 
 

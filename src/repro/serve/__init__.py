@@ -1,0 +1,43 @@
+"""Fleet-as-a-service: async submission, caching, and streaming.
+
+The package turns the batch fleet runner into a long-lived service:
+
+* :mod:`repro.serve.protocol` — the versioned JSON-lines wire protocol.
+* :mod:`repro.serve.cache` — the content-addressed result cache
+  (fingerprint → rollup; identical specs never recompute).
+* :mod:`repro.serve.server` — the asyncio server: submission dedupe,
+  bounded job execution, shared trace-store reuse, checkpoint-backed
+  crash recovery, and heartbeat fan-out to watchers.
+* :mod:`repro.serve.client` — the blocking client and the one-shot
+  :func:`submit` helper.
+* ``python -m repro.serve`` — the server CLI (shares the core flag group
+  with the experiments and fleet CLIs via :mod:`repro.cli`).
+
+The service adds *availability*, never *variability*: a rollup fetched
+from the server is byte-identical to the fleet CLI's ``--json`` output
+for the same spec, whether it was computed fresh, resumed from a
+checkpoint journal, or served straight from the cache.
+"""
+
+from repro.serve.cache import CACHE_VERSION, ResultCache, canonical_rollup_json
+from repro.serve.client import FleetClient, submit
+from repro.serve.protocol import PROTOCOL_VERSION
+from repro.serve.server import (
+    FleetServer,
+    ServeConfig,
+    ServerHandle,
+    start_background,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "PROTOCOL_VERSION",
+    "FleetClient",
+    "FleetServer",
+    "ResultCache",
+    "ServeConfig",
+    "ServerHandle",
+    "canonical_rollup_json",
+    "start_background",
+    "submit",
+]

@@ -1,0 +1,125 @@
+"""Fleet service CLI.
+
+Usage::
+
+    python -m repro.serve --data-dir runs/serve                 # ephemeral port
+    python -m repro.serve --data-dir runs/serve --port 7787 \\
+        --workers 2 --shards 8 --kernel auto
+
+Starts a :class:`~repro.serve.server.FleetServer` and prints one
+machine-readable line once the socket is bound::
+
+    [serve] listening on 127.0.0.1:43117 (data: runs/serve)
+
+then serves until a client sends the ``shutdown`` op (drain in-flight
+jobs, exit 0).  ``--data-dir`` holds everything the server persists: the
+content-addressed result cache, the shared trace store, and per-job
+checkpoint journals — kill the process and restart it on the same
+directory and cached results survive while interrupted jobs resume from
+their finished shards.
+
+Shares ``--jobs`` / ``--profile`` / ``--profile-dir`` / ``--kernel`` /
+``--trace-store`` / ``--metrics-out`` with ``python -m repro.experiments``
+and ``python -m repro.fleet`` (one helper: :mod:`repro.cli`).  Here
+``--jobs``/``--kernel`` set the *defaults* a submission inherits,
+``--trace-store`` relocates the shared store (default
+``data_dir/store``), and ``--metrics-out`` writes the server's lifetime
+counters (submissions, dedups, cache hits) at shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.cli import add_core_flags, jobs_from_args, profiled
+from repro.errors import ConfigurationError, TraceError
+from repro.serve.server import FleetServer, ServeConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The serve CLI parser (exposed so tests can pin its flags)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve fleet simulations: async spec submission with a "
+        "content-addressed result cache and streamed progress.",
+    )
+    parser.add_argument("--data-dir", type=str, required=True, metavar="DIR",
+                        help="server state root: result cache, shared trace "
+                        "store, and per-job checkpoint journals")
+    parser.add_argument("--host", type=str, default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="bind port (default 0 = ephemeral; the bound "
+                        "port is printed at startup)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="concurrent fleet jobs (default 1; keep 1 when "
+                        "raising --jobs above 1)")
+    parser.add_argument("--shards", type=int, default=1, metavar="K",
+                        help="default shard count for submissions that don't "
+                        "choose one (default 1; results are shard-invariant)")
+    parser.add_argument("--telemetry-every", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="throttle streamed heartbeats to one per SECONDS "
+                        "(default 0 = every shard)")
+    add_core_flags(parser)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    jobs = jobs_from_args(args, parser)
+
+    try:
+        config = ServeConfig(
+            data_dir=args.data_dir,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            jobs=jobs,
+            shards=args.shards,
+            kernel=args.kernel,
+            telemetry_every=args.telemetry_every,
+            trace_store=args.trace_store,
+        )
+        server = FleetServer(config)
+    except (ConfigurationError, TraceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def body() -> None:
+        await server.start()
+        print(f"[serve] listening on {server.host}:{server.port} "
+              f"(data: {config.data_dir})", flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        with profiled(args.profile, "serve", args.profile_dir):
+            asyncio.run(body())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    stats = server.stats()
+    print(f"[serve] stopped: {stats['submitted']} submitted, "
+          f"{stats['deduped']} deduped, cache {stats['cache']['hits']} hit(s) / "
+          f"{stats['cache']['misses']} miss(es)")
+    if args.metrics_out is not None:
+        from repro.obs import serve_registry
+
+        registry = serve_registry(stats)
+        with open(f"{args.metrics_out}.prom", "w") as handle:
+            handle.write(registry.to_prometheus())
+        with open(f"{args.metrics_out}.json", "w") as handle:
+            json.dump(registry.to_dict(), handle, sort_keys=True)
+        print(f"[wrote {args.metrics_out}.prom and {args.metrics_out}.json]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Synchronous client for the fleet service.
+
+:class:`FleetClient` speaks the JSON-lines protocol over one persistent
+TCP connection — blocking and thread-simple on purpose, because callers
+are shells, tests, and notebooks, not event loops.  The high-level
+verbs::
+
+    with FleetClient(port=port) as client:
+        ticket = client.submit(spec)              # returns immediately
+        for beat in client.watch(spec):           # streamed heartbeats
+            print(beat["type"], beat.get("shards_done"))
+        text = client.fetch_json(spec)            # canonical rollup bytes
+
+``fetch_json`` returns exactly the bytes the fleet CLI's ``--json`` flag
+writes for the same spec — the invariant the serve tests byte-compare.
+:func:`submit` is the one-shot module-level convenience (connect,
+submit-and-wait, disconnect) promoted into :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ConfigurationError
+from repro.fleet.spec import FleetSpec
+from repro.serve import protocol
+from repro.serve.cache import canonical_rollup_json
+
+__all__ = ["FleetClient", "submit"]
+
+
+class FleetClient:
+    """One blocking protocol connection to a :class:`FleetServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float | None = 60.0
+    ) -> None:
+        if port <= 0:
+            raise ConfigurationError(f"client needs the server's port, got {port}")
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _send(self, op: str, **fields) -> None:
+        request = {"schema_version": protocol.PROTOCOL_VERSION, "op": op}
+        request.update(fields)
+        self._file.write(protocol.encode(request))
+        self._file.flush()
+
+    def _read(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConfigurationError("server closed the connection mid-request")
+        return protocol.decode_line(line)
+
+    def _request(self, op: str, **fields) -> dict:
+        self._send(op, **fields)
+        return self._read()
+
+    @staticmethod
+    def _target(target) -> dict:
+        """``spec=``/``job=`` request fields for a FleetSpec or fingerprint."""
+        if isinstance(target, FleetSpec):
+            return {"spec": target.to_wire()}
+        if isinstance(target, str):
+            return {"job": target}
+        raise ConfigurationError(
+            f"target must be a FleetSpec or a fingerprint string, "
+            f"got {type(target).__name__}"
+        )
+
+    # -- verbs -------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self._request("ping")
+
+    def submit(
+        self,
+        spec: FleetSpec,
+        *,
+        shards: int | None = None,
+        kernel: str | None = None,
+        wait: bool = False,
+    ) -> dict:
+        """Submit ``spec``; returns the job ticket (or, with ``wait``,
+        the finished response carrying the rollup)."""
+        fields: dict = {"spec": spec.to_wire(), "wait": wait}
+        if shards is not None:
+            fields["shards"] = shards
+        if kernel is not None:
+            fields["kernel"] = kernel
+        return self._request("submit", **fields)
+
+    def status(self, target) -> dict:
+        return self._request("status", **self._target(target))
+
+    def result(self, target, *, wait: bool = True) -> dict:
+        """The full result response for a spec or fingerprint."""
+        return self._request("result", wait=wait, **self._target(target))
+
+    def fetch_rollup(self, target, *, wait: bool = True) -> dict:
+        """The rollup dict alone; raises on a missing or failed result."""
+        response = self.result(target, wait=wait)
+        if not response.get("ok"):
+            raise ConfigurationError(
+                f"no rollup: {response.get('error', 'unknown failure')}"
+            )
+        return response["rollup"]
+
+    def fetch_json(self, target, *, wait: bool = True) -> str:
+        """The rollup in canonical byte form (the CLI's ``--json`` bytes)."""
+        return canonical_rollup_json(self.fetch_rollup(target, wait=wait))
+
+    def watch(self, target):
+        """Yield the job's heartbeat records (dicts), history included.
+
+        The generator ends when the job does; the server's closing
+        status object is swallowed after a success and raised after a
+        failure.
+        """
+        self._send("watch", **self._target(target))
+        while True:
+            record = self._read()
+            if "type" in record:
+                yield record
+                continue
+            if not record.get("ok"):
+                raise ConfigurationError(
+                    f"watch failed: {record.get('error', record.get('state'))}"
+                )
+            return
+
+    def stats(self) -> dict:
+        return self._request("stats")
+
+    def shutdown(self) -> dict:
+        return self._request("shutdown")
+
+
+def submit(
+    spec: FleetSpec,
+    *,
+    host: str = "127.0.0.1",
+    port: int,
+    shards: int | None = None,
+    kernel: str | None = None,
+) -> dict:
+    """One-shot convenience: connect, submit-and-wait, return the rollup."""
+    with FleetClient(host, port) as client:
+        response = client.submit(spec, shards=shards, kernel=kernel, wait=True)
+    if not response.get("ok"):
+        raise ConfigurationError(
+            f"fleet submission failed: {response.get('error', 'unknown failure')}"
+        )
+    return response["rollup"]

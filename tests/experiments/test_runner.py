@@ -139,6 +139,63 @@ class TestCaching:
         assert len(schedules) == 2  # different environments
 
 
+class TestTraceStoreReadThrough:
+    """A grid with a store-backed input cache is bit-identical without it."""
+
+    POLICIES = {"NA": NoAdaptPolicy}
+
+    def _store(self, tmp_path, specs):
+        from repro.trace.store import TraceStore
+
+        store = TraceStore.create(str(tmp_path / "store"))
+        for spec in specs:
+            store.put_for_config(spec.config)
+        store.save()
+        return store
+
+    def test_store_backed_grid_matches_plain_grid(self, tmp_path):
+        specs = grid_specs(TINY, self.POLICIES, seeds=(0, 1))
+        store = self._store(tmp_path, specs)
+        plain = run_grid(TINY, self.POLICIES, seeds=(0, 1), jobs=1)
+        backed = run_grid(
+            TINY, self.POLICIES, seeds=(0, 1), jobs=1, trace_store=store
+        )
+        assert backed["NA"] == plain["NA"]
+
+    def test_store_accepts_a_directory_path(self, tmp_path):
+        specs = grid_specs(TINY, self.POLICIES, seeds=(0,))
+        self._store(tmp_path, specs)
+        plain = run_grid(TINY, self.POLICIES, seeds=(0,), jobs=1)
+        backed = run_grid(
+            TINY, self.POLICIES, seeds=(0,), jobs=1,
+            trace_store=str(tmp_path / "store"),
+        )
+        assert backed["NA"] == plain["NA"]
+
+    def test_empty_store_falls_back_to_generators(self, tmp_path):
+        from repro.trace.store import TraceStore
+
+        empty = TraceStore.create(str(tmp_path / "empty"))
+        plain = run_grid(TINY, self.POLICIES, seeds=(0,), jobs=1)
+        backed = run_grid(
+            TINY, self.POLICIES, seeds=(0,), jobs=1, trace_store=empty
+        )
+        assert backed["NA"] == plain["NA"]
+
+    def test_default_store_hook(self, tmp_path):
+        from repro.experiments.runner import set_default_trace_store
+
+        specs = grid_specs(TINY, self.POLICIES, seeds=(0,))
+        store = self._store(tmp_path, specs)
+        plain = run_grid(TINY, self.POLICIES, seeds=(0,), jobs=1)
+        set_default_trace_store(store)
+        try:
+            backed = run_grid(TINY, self.POLICIES, seeds=(0,), jobs=1)
+        finally:
+            set_default_trace_store(None)
+        assert backed["NA"] == plain["NA"]
+
+
 class TestConstruction:
     def test_jobs_validation(self):
         with pytest.raises(ConfigurationError):

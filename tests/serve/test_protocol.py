@@ -1,0 +1,68 @@
+"""Framing-level protocol tests (no server involved)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import protocol
+
+
+def request(**fields):
+    base = {"schema_version": protocol.PROTOCOL_VERSION, "op": "ping"}
+    base.update(fields)
+    return base
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        message = request(op="stats")
+        assert protocol.decode_line(protocol.encode(message)) == message
+
+    def test_encode_is_one_sorted_json_line(self):
+        data = protocol.encode({"b": 1, "a": 2})
+        assert data == b'{"a": 2, "b": 1}\n'
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(ConfigurationError, match="not JSON"):
+            protocol.decode_line(b"{nope\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ConfigurationError, match="object"):
+            protocol.decode_line(b"[1, 2]\n")
+
+    def test_decode_rejects_non_utf8(self):
+        with pytest.raises(ConfigurationError, match="UTF-8"):
+            protocol.decode_line(b"\xff\xfe\n")
+
+
+class TestValidateRequest:
+    def test_conforming_request(self):
+        assert protocol.validate_request(request()) is None
+
+    def test_missing_version(self):
+        message = request()
+        del message["schema_version"]
+        assert "schema_version" in protocol.validate_request(message)
+
+    def test_foreign_version(self):
+        reason = protocol.validate_request(request(schema_version=99))
+        assert "99" in reason
+
+    def test_unknown_op(self):
+        reason = protocol.validate_request(request(op="frobnicate"))
+        assert "frobnicate" in reason
+
+    def test_targeted_op_needs_spec_or_job(self):
+        reason = protocol.validate_request(request(op="submit"))
+        assert "spec" in reason
+        assert protocol.validate_request(
+            request(op="submit", spec={"schema_version": 1})
+        ) is None
+        assert protocol.validate_request(request(op="status", job="abc")) is None
+
+    def test_spec_must_be_an_object(self):
+        reason = protocol.validate_request(request(op="submit", spec="abc"))
+        assert "wire-encoded" in reason
+
+    def test_job_must_be_a_string(self):
+        reason = protocol.validate_request(request(op="watch", job=7))
+        assert "fingerprint" in reason

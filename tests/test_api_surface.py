@@ -62,6 +62,11 @@ API_SNAPSHOT = sorted([
     "MetricsRegistry",
     "fleet_registry",
     "HeartbeatPublisher",
+    # serving
+    "ServeConfig",
+    "FleetClient",
+    "submit",
+    "ResultCache",
     # meta
     "__version__",
 ])
@@ -90,12 +95,17 @@ class TestApiFacade:
 
     def test_names_are_the_same_objects_as_their_homes(self):
         from repro.fleet import FleetSpec, run_fleet
+        from repro.serve import FleetClient, ResultCache, ServeConfig, submit
         from repro.sim.engine import simulate
 
         assert api.simulate is simulate
         assert api.run_fleet is run_fleet
         assert api.FleetSpec is FleetSpec
         assert api.QuetzalRuntime is repro.QuetzalRuntime
+        assert api.ServeConfig is ServeConfig
+        assert api.FleetClient is FleetClient
+        assert api.submit is submit
+        assert api.ResultCache is ResultCache
         assert api.__version__ == repro.__version__
 
     def test_facade_import_does_not_warn(self):
@@ -145,3 +155,25 @@ class TestTopLevelShims:
         listing = dir(repro)
         assert "IBOEngine" in listing
         assert "simulate" in listing
+
+
+class TestMovedCliHelpers:
+    """The flag helpers moved repro.experiments.cli -> repro.cli (PR 10)."""
+
+    MOVED = ["CORE_FLAGS", "add_core_flags", "add_execution_flags",
+             "jobs_from_args", "profiled"]
+
+    @pytest.mark.parametrize("name", MOVED)
+    def test_old_location_warns_but_resolves(self, name):
+        import repro.cli
+        import repro.experiments.cli as old
+
+        with pytest.warns(DeprecationWarning, match="repro.cli"):
+            obj = getattr(old, name)
+        assert obj is getattr(repro.cli, name)
+
+    def test_old_location_dir_covers_moved_names(self):
+        import repro.experiments.cli as old
+
+        for name in self.MOVED:
+            assert name in dir(old), name

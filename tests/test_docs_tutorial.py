@@ -156,6 +156,25 @@ def test_section8_parallel_grids():
     assert results["QZ"].ibo_fraction_std >= 0.0
 
 
+def test_section12_serving(tmp_path):
+    """The 'Serving fleets' walkthrough: submit -> watch -> fetch."""
+    from repro.api import FleetClient, FleetSpec, submit
+    from repro.serve import ServeConfig, start_background
+
+    spec = FleetSpec(devices=6, seed=7, n_events=3, policies=("NA", "TH50"))
+    config = ServeConfig(data_dir=str(tmp_path / "serve"))
+    with start_background(config) as handle:
+        with FleetClient(port=handle.port) as client:
+            ticket = client.submit(spec, shards=2)
+            assert ticket["state"] in ("queued", "running", "done")
+            beats = list(client.watch(spec))
+            assert [b["type"] for b in beats][0] == "start"
+            rollup = client.fetch_rollup(spec)
+            assert client.fetch_json(spec) is not None
+        # The one-shot helper returns the same (now cached) rollup.
+        assert submit(spec, port=handle.port) == rollup
+
+
 def test_section11_observability(tutorial_world, tmp_path):
     """The 'Watching a run' walkthrough: tracer, exporters, registry."""
     import json
